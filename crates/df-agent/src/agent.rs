@@ -1,0 +1,742 @@
+//! The Agent facade: install hooks, poll observations, ship spans.
+//!
+//! One [`Agent`] per node (paper Fig. 4: "An Agent is deployed in each
+//! container node, virtual machine, or physical machine"). `install`
+//! attaches the verified eBPF programs to every Table 3 ABI — in zero code,
+//! while the monitored processes run. `poll` drains the perf ring,
+//! coroutine events and capture taps, and turns them into spans carrying
+//! every implicit-context attribute plus the phase-1 smart-encoded tags.
+
+use crate::ebpf::{SharedSyscallProgram, SharedTlsProgram};
+use crate::flow_table::FlowTable;
+use crate::net_spans::{hash2, NetSpanBuilder, TapContext};
+use crate::pseudo_thread::PseudoThreadTracker;
+use crate::session::{SessionAggregator, SessionOutcome};
+use crate::systrace::SystraceTracker;
+use df_kernel::hooks::{AttachPoint, KernelEvent, ProbeKind};
+use df_kernel::{Kernel, VerifierError};
+use df_net::fabric::Fabric;
+use df_protocols::inference::InferenceEngine;
+use df_protocols::ParsedMessage;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::{
+    AgentId, Direction, DurationNs, FlowId, L7Metrics, MessageData, NodeId, SpanId, SyscallAbi,
+    TimeNs,
+};
+use std::collections::HashMap;
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Node this agent runs on.
+    pub node: NodeId,
+    /// VPC dictionary id for phase-1 smart-encoding (Fig. 8 ④).
+    pub vpc_id: Option<u32>,
+    /// Payload snap length for eBPF captures.
+    pub snap_len: usize,
+    /// Attach TLS uprobes (`ssl_read`/`ssl_write`).
+    pub enable_uprobes: bool,
+    /// Use tracepoints instead of kprobes for syscall hooks (Fig. 13(a)
+    /// contrasts the two).
+    pub use_tracepoints: bool,
+    /// Session time-window slot width (§3.3.1: 60 s in production).
+    pub session_slot: DurationNs,
+    /// Fraction of the node's CPU capacity the agent's user-space
+    /// processing consumes (protocol inference, session aggregation,
+    /// shipping). Calibrated against Appendix B: the full agent costs a few
+    /// percent; the eBPF module alone costs less.
+    pub cpu_share: f64,
+}
+
+impl AgentConfig {
+    /// Defaults for a node.
+    pub fn for_node(node: NodeId) -> Self {
+        AgentConfig {
+            node,
+            vpc_id: Some(1),
+            snap_len: 1024,
+            enable_uprobes: true,
+            use_tracepoints: false,
+            session_slot: DurationNs::from_secs(60),
+            cpu_share: 0.05,
+        }
+    }
+}
+
+impl AgentConfig {
+    /// The "eBPF module only" configuration of Appendix B: hooks attached,
+    /// but no user-space protocol processing cost.
+    pub fn ebpf_only(node: NodeId) -> Self {
+        AgentConfig {
+            cpu_share: 0.02,
+            ..AgentConfig::for_node(node)
+        }
+    }
+}
+
+/// Agent throughput/diagnostic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// MessageData records consumed from the perf ring.
+    pub messages: u64,
+    /// Sys spans produced.
+    pub sys_spans: u64,
+    /// Net spans produced.
+    pub net_spans: u64,
+    /// Incomplete spans produced by expiry.
+    pub incomplete_spans: u64,
+    /// Messages whose flow defied protocol inference.
+    pub unclassified: u64,
+    /// Sessions matched out-of-window (server re-aggregation candidates).
+    pub out_of_window: u64,
+}
+
+/// The per-node DeepFlow agent.
+pub struct Agent {
+    cfg: AgentConfig,
+    id: AgentId,
+    syscall_prog: SharedSyscallProgram,
+    inference: InferenceEngine,
+    systrace: SystraceTracker,
+    pseudo: PseudoThreadTracker,
+    sessions: SessionAggregator<(MessageData, ParsedMessage)>,
+    net: NetSpanBuilder,
+    /// The agent's flow table (public: examples query it directly, like the
+    /// §4.1.2 operators inspecting ARP counts per interface).
+    pub flows: FlowTable,
+    /// L7 metrics per (process, endpoint), aggregated from sys spans — the
+    /// request-rate/error-rate/latency series DeepFlow exports alongside
+    /// traces (§3.4 tag-based correlation feeds these to dashboards).
+    l7_metrics: HashMap<(String, String), L7Metrics>,
+    stats: AgentStats,
+    out: Vec<Span>,
+}
+
+impl Agent {
+    /// Create an agent for a node.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let id = AgentId(cfg.node.raw());
+        let net = NetSpanBuilder::new(cfg.node, id, cfg.session_slot);
+        Agent {
+            syscall_prog: SharedSyscallProgram::new(cfg.snap_len),
+            inference: InferenceEngine::default(),
+            systrace: SystraceTracker::with_namespace(cfg.node.raw()),
+            pseudo: PseudoThreadTracker::with_namespace(cfg.node.raw()),
+            sessions: SessionAggregator::new(cfg.session_slot),
+            net,
+            flows: FlowTable::new(),
+            l7_metrics: HashMap::new(),
+            stats: AgentStats::default(),
+            out: Vec::new(),
+            id,
+            cfg,
+        }
+    }
+
+    /// Agent id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// L7 metrics for one (process, endpoint) pair.
+    pub fn l7_metrics(&self, process: &str, endpoint: &str) -> Option<&L7Metrics> {
+        self.l7_metrics
+            .get(&(process.to_string(), endpoint.to_string()))
+    }
+
+    /// Iterate all L7 metric series.
+    pub fn l7_metrics_iter(&self) -> impl Iterator<Item = (&(String, String), &L7Metrics)> {
+        self.l7_metrics.iter()
+    }
+
+    /// Attach the syscall program to all ten ABIs (enter + exit), and the
+    /// TLS program to `ssl_read`/`ssl_write` when enabled. Every program
+    /// passes the verifier or nothing attaches (§2.3.1).
+    pub fn install(&self, kernel: &mut Kernel) -> Result<(), VerifierError> {
+        let kind = if self.cfg.use_tracepoints {
+            ProbeKind::Tracepoint
+        } else {
+            ProbeKind::Kprobe
+        };
+        for abi in SyscallAbi::ALL {
+            kernel.hooks.attach(
+                AttachPoint::SyscallEnter(abi),
+                kind,
+                Box::new(self.syscall_prog.clone()),
+            )?;
+            kernel.hooks.attach(
+                AttachPoint::SyscallExit(abi),
+                kind,
+                Box::new(self.syscall_prog.clone()),
+            )?;
+        }
+        if self.cfg.enable_uprobes {
+            let tls = SharedTlsProgram::new(self.cfg.snap_len);
+            for sym in ["ssl_read", "ssl_write"] {
+                kernel.hooks.attach(
+                    AttachPoint::UserFnEnter(sym),
+                    ProbeKind::Uprobe,
+                    Box::new(tls.clone()),
+                )?;
+                kernel.hooks.attach(
+                    AttachPoint::UserFnExit(sym),
+                    ProbeKind::Uretprobe,
+                    Box::new(tls.clone()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a tap context so net spans can resolve their tap side.
+    pub fn register_tap(&mut self, interface: &str, ctx: TapContext) {
+        self.net.register_tap(interface, ctx);
+    }
+
+    /// Register a user-supplied protocol specification (paper §3.3.1) for
+    /// both the syscall path and the packet path. The factory is invoked
+    /// twice because each inference engine owns its specification.
+    pub fn register_custom_protocol(
+        &mut self,
+        mut factory: impl FnMut() -> df_protocols::inference::CustomProtocol,
+    ) -> df_types::L7Protocol {
+        let slot = self.inference.register_custom(factory());
+        let net_slot = self.net.register_custom_protocol(factory());
+        debug_assert_eq!(slot, net_slot, "sys and net engines stay in lockstep");
+        slot
+    }
+
+    /// Drain kernel + tap observations, producing spans.
+    pub fn poll(&mut self, kernel: &mut Kernel, fabric: &mut Fabric, now: TimeNs) -> Vec<Span> {
+        // 1. Coroutine lifecycle events → pseudo-thread structure.
+        let coroutine_events = kernel.procs.drain_coroutine_events();
+        self.pseudo.observe(&coroutine_events);
+
+        // 2. Perf ring → sys spans.
+        for event in kernel.hooks.ring.drain_all() {
+            if let KernelEvent::Message(msg) = event {
+                self.process_message(msg);
+            }
+        }
+
+        // 3. Capture taps → flow metrics + net spans.
+        for (_kind, cap) in fabric.taps.drain_for_node(self.cfg.node) {
+            self.flows.observe(&cap.interface, &cap.frame, cap.ts);
+            if let Some(mut span) = self.net.offer(&cap.interface, &cap.frame, cap.ts) {
+                span.flow_metrics = self.flows.metrics(
+                    span.capture.interface.as_deref().unwrap_or(""),
+                    &span.five_tuple,
+                );
+                self.phase1_tags(&mut span);
+                self.stats.net_spans += 1;
+                self.out.push(span);
+            }
+        }
+
+        // 4. Expiry: overdue requests become Incomplete spans.
+        for (msg, parse) in self.sessions.expire(now) {
+            let span = self.build_incomplete_sys_span(msg, parse);
+            self.stats.incomplete_spans += 1;
+            self.out.push(span);
+        }
+        for span in self.net.expire(now) {
+            self.stats.incomplete_spans += 1;
+            self.out.push(span);
+        }
+
+        std::mem::take(&mut self.out)
+    }
+
+    fn process_message(&mut self, mut msg: MessageData) {
+        self.stats.messages += 1;
+        // Implicit intra-component association (Figure 7).
+        let systrace = self.systrace.assign(
+            msg.program.pid,
+            msg.program.tid,
+            msg.tracing.direction,
+            msg.network.socket_id,
+            msg.capture_ns(),
+        );
+        msg.context.systrace_id = Some(systrace);
+        if let Some(coroutine) = msg.program.coroutine {
+            msg.context.pseudo_thread_id =
+                Some(self.pseudo.pseudo_thread(msg.program.pid, coroutine));
+        }
+        // Protocol inference + parse (Figure 6 phase 2).
+        let flow_key = msg.network.socket_id.raw();
+        let Some(parse) = self.inference.parse_for(flow_key, &msg.syscall.payload) else {
+            self.stats.unclassified += 1;
+            return;
+        };
+        msg.context.l7_protocol = Some(parse.protocol);
+        msg.context.message_type = Some(parse.msg_type);
+        msg.context.session_key = Some(parse.session_key);
+        msg.context.x_request_id = parse.headers.x_request_id;
+        msg.context.otel_trace_id = parse.headers.trace_id;
+        msg.context.otel_span_id = parse.headers.span_id;
+        // Session aggregation (Figure 6 phase 3).
+        let ts = msg.capture_ns();
+        let key = parse.session_key;
+        let mtype = parse.msg_type;
+        match self.sessions.offer(flow_key, key, mtype, ts, (msg, parse)) {
+            SessionOutcome::Matched { request, response } => {
+                let span = self.build_sys_span(request, response);
+                self.stats.sys_spans += 1;
+                self.out.push(span);
+            }
+            SessionOutcome::OutOfWindow { request, response } => {
+                self.stats.out_of_window += 1;
+                let span = self.build_sys_span(request, response);
+                self.stats.sys_spans += 1;
+                self.out.push(span);
+            }
+            SessionOutcome::OrphanResponse((resp, parse)) => {
+                // The request already expired out of the time window.
+                // Ship the response as a ResponseOnly fragment so the
+                // server can re-aggregate it against the Incomplete span
+                // (§3.3.1 server-side re-aggregation).
+                let span = self.build_response_only_span(resp, parse);
+                self.out.push(span);
+            }
+            SessionOutcome::Stored | SessionOutcome::Ignored(_) => {}
+        }
+    }
+
+    fn build_response_only_span(&mut self, resp: MessageData, parse: ParsedMessage) -> Span {
+        // A response travels server→client: the observer that *receives* it
+        // is the client.
+        let client_side = resp.tracing.direction == Direction::Ingress;
+        let five_tuple = if client_side {
+            resp.network.five_tuple
+        } else {
+            resp.network.five_tuple.reversed()
+        };
+        let udp = resp.network.five_tuple.protocol == df_types::TransportProtocol::Udp;
+        let mut span = Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: self.cfg.node,
+                tap_side: if client_side {
+                    TapSide::ClientProcess
+                } else {
+                    TapSide::ServerProcess
+                },
+                interface: None,
+            },
+            agent: self.id,
+            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            five_tuple,
+            l7_protocol: parse.protocol,
+            endpoint: parse.endpoint.clone(),
+            req_time: resp.capture_ns(),
+            resp_time: resp.capture_ns(),
+            status: SpanStatus::ResponseOnly,
+            status_code: parse.status_code,
+            req_bytes: 0,
+            resp_bytes: resp.syscall.byte_len as u64,
+            pid: Some(resp.program.pid),
+            tid: Some(resp.program.tid),
+            process_name: Some(resp.program.process_name.clone()),
+            systrace_id_req: None,
+            systrace_id_resp: resp.context.systrace_id,
+            pseudo_thread_id: resp.context.pseudo_thread_id,
+            x_request_id_req: None,
+            x_request_id_resp: resp.context.x_request_id,
+            tcp_seq_req: None,
+            tcp_seq_resp: if udp { None } else { Some(resp.network.tcp_seq) },
+            otel_trace_id: resp.context.otel_trace_id,
+            otel_span_id: resp.context.otel_span_id,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        };
+        self.phase1_tags(&mut span);
+        span
+    }
+
+    fn build_sys_span(
+        &mut self,
+        (req, req_parse): (MessageData, ParsedMessage),
+        (resp, resp_parse): (MessageData, ParsedMessage),
+    ) -> Span {
+        // Observer side: a component that *sends* the request is the client.
+        let client_side = req.tracing.direction == Direction::Egress;
+        let tap_side = if client_side {
+            TapSide::ClientProcess
+        } else {
+            TapSide::ServerProcess
+        };
+        let five_tuple = if client_side {
+            req.network.five_tuple
+        } else {
+            req.network.five_tuple.reversed()
+        };
+        let status = if resp_parse.server_error {
+            SpanStatus::ServerError
+        } else if resp_parse.client_error {
+            SpanStatus::ClientError
+        } else {
+            SpanStatus::Ok
+        };
+        let udp = req.network.five_tuple.protocol == df_types::TransportProtocol::Udp;
+        let mut span = Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: self.cfg.node,
+                tap_side,
+                interface: None,
+            },
+            agent: self.id,
+            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            five_tuple,
+            l7_protocol: req_parse.protocol,
+            endpoint: req_parse.endpoint.clone(),
+            req_time: req.capture_ns(),
+            resp_time: resp.capture_ns(),
+            status,
+            status_code: resp_parse.status_code,
+            req_bytes: req.syscall.byte_len as u64,
+            resp_bytes: resp.syscall.byte_len as u64,
+            pid: Some(req.program.pid),
+            tid: Some(req.program.tid),
+            process_name: Some(req.program.process_name.clone()),
+            systrace_id_req: req.context.systrace_id,
+            systrace_id_resp: resp.context.systrace_id,
+            pseudo_thread_id: req.context.pseudo_thread_id.or(resp.context.pseudo_thread_id),
+            x_request_id_req: req.context.x_request_id,
+            x_request_id_resp: resp.context.x_request_id,
+            tcp_seq_req: if udp { None } else { Some(req.network.tcp_seq) },
+            tcp_seq_resp: if udp { None } else { Some(resp.network.tcp_seq) },
+            otel_trace_id: req.context.otel_trace_id,
+            otel_span_id: req.context.otel_span_id,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        };
+        span.flow_metrics = self.flows.metrics_any_interface(&span.five_tuple);
+        self.phase1_tags(&mut span);
+        self.l7_metrics
+            .entry((
+                span.process_name.clone().unwrap_or_default(),
+                span.endpoint.clone(),
+            ))
+            .or_default()
+            .record_session(
+                span.duration(),
+                span.status == SpanStatus::ClientError,
+                span.status == SpanStatus::ServerError,
+            );
+        span
+    }
+
+    fn build_incomplete_sys_span(&mut self, req: MessageData, parse: ParsedMessage) -> Span {
+        let client_side = req.tracing.direction == Direction::Egress;
+        let five_tuple = if client_side {
+            req.network.five_tuple
+        } else {
+            req.network.five_tuple.reversed()
+        };
+        let udp = req.network.five_tuple.protocol == df_types::TransportProtocol::Udp;
+        let mut span = Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: self.cfg.node,
+                tap_side: if client_side {
+                    TapSide::ClientProcess
+                } else {
+                    TapSide::ServerProcess
+                },
+                interface: None,
+            },
+            agent: self.id,
+            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            five_tuple,
+            l7_protocol: parse.protocol,
+            endpoint: parse.endpoint.clone(),
+            req_time: req.capture_ns(),
+            resp_time: req.capture_ns(),
+            status: SpanStatus::Incomplete,
+            status_code: None,
+            req_bytes: req.syscall.byte_len as u64,
+            resp_bytes: 0,
+            pid: Some(req.program.pid),
+            tid: Some(req.program.tid),
+            process_name: Some(req.program.process_name.clone()),
+            systrace_id_req: req.context.systrace_id,
+            systrace_id_resp: None,
+            pseudo_thread_id: req.context.pseudo_thread_id,
+            x_request_id_req: req.context.x_request_id,
+            x_request_id_resp: None,
+            tcp_seq_req: if udp { None } else { Some(req.network.tcp_seq) },
+            tcp_seq_resp: None,
+            otel_trace_id: req.context.otel_trace_id,
+            otel_span_id: req.context.otel_span_id,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        };
+        span.flow_metrics = self.flows.metrics_any_interface(&span.five_tuple);
+        self.phase1_tags(&mut span);
+        self.l7_metrics
+            .entry((
+                span.process_name.clone().unwrap_or_default(),
+                span.endpoint.clone(),
+            ))
+            .or_default()
+            .record_timeout();
+        span
+    }
+
+    /// Smart-encoding phase 1 (Fig. 8 ④–⑥): the agent writes only the VPC
+    /// id and the observed component's IP, as integers.
+    fn phase1_tags(&self, span: &mut Span) {
+        span.tags.resource.vpc_id = self.cfg.vpc_id;
+        let local_ip = if span.capture.tap_side.is_client_side() {
+            span.five_tuple.src_ip
+        } else {
+            span.five_tuple.dst_ip
+        };
+        span.tags.resource.ip = Some(u32::from(local_ip));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use df_kernel::{KernelConfig, SyscallSurface, Wakeup};
+    use df_net::topology::Topology;
+    use df_net::FabricConfig;
+    use df_protocols::http1;
+    use df_types::net::TransportProtocol;
+    use std::net::Ipv4Addr;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    const IP_B: Ipv4Addr = Ipv4Addr::new(10, 1, 1, 1);
+
+    struct World {
+        ka: Kernel,
+        kb: Kernel,
+        fabric: Fabric,
+    }
+
+    fn pump(w: &mut World, now: TimeNs) -> Vec<Wakeup> {
+        let mut wakeups = Vec::new();
+        loop {
+            let mut moved = false;
+            for (kern, _other) in [(0, 1), (1, 0)] {
+                let segs = if kern == 0 {
+                    w.ka.drain_outbox()
+                } else {
+                    w.kb.drain_outbox()
+                };
+                for seg in segs {
+                    moved = true;
+                    for d in w.fabric.transmit(seg, now) {
+                        let k = if d.node == w.ka.node() {
+                            &mut w.ka
+                        } else {
+                            &mut w.kb
+                        };
+                        wakeups.extend(k.deliver(&d.segment, d.at));
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        wakeups
+    }
+
+    fn world() -> World {
+        let mut topo = Topology::new();
+        let n1 = topo.add_simple_node("node-1", Ipv4Addr::new(192, 168, 0, 1));
+        let n2 = topo.add_simple_node("node-2", Ipv4Addr::new(192, 168, 0, 2));
+        topo.add_pod(n1, "client", IP_A, "default", "client", "client-svc");
+        topo.add_pod(n2, "server", IP_B, "default", "server", "server-svc");
+        let fabric = Fabric::new(topo, FabricConfig::default());
+        let ka = Kernel::new(KernelConfig {
+            node: n1,
+            ..Default::default()
+        });
+        let kb = Kernel::new(KernelConfig {
+            node: n2,
+            ..Default::default()
+        });
+        World { ka, kb, fabric }
+    }
+
+    /// Full end-to-end: two kernels, two agents, one HTTP exchange —
+    /// verifying client and server sys spans with shared TCP sequences.
+    #[test]
+    fn http_exchange_produces_client_and_server_spans() {
+        let mut w = world();
+        let mut agent_a = Agent::new(AgentConfig::for_node(w.ka.node()));
+        let mut agent_b = Agent::new(AgentConfig::for_node(w.kb.node()));
+        agent_a.install(&mut w.ka).unwrap();
+        agent_b.install(&mut w.kb).unwrap();
+
+        // server setup
+        let (spid, stid) = w.kb.procs.spawn_process("reviews");
+        let lfd = w.kb.socket(spid, TransportProtocol::Tcp).unwrap();
+        w.kb.bind(spid, lfd, IP_B, 9080).unwrap();
+        w.kb.listen(spid, lfd, 16).unwrap();
+        w.kb.accept(stid, spid, lfd);
+
+        // client connect
+        let (cpid, ctid) = w.ka.procs.spawn_process("productpage");
+        let cfd = w.ka.socket(cpid, TransportProtocol::Tcp).unwrap();
+        w.ka.connect(ctid, cpid, cfd, IP_A, (IP_B, 9080));
+        pump(&mut w, TimeNs(0));
+        let (sfd, _) = w.kb.accept(stid, spid, lfd).unwrap_complete();
+
+        // request
+        let t1 = TimeNs::from_millis(1);
+        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/reviews/7", &[], b""), t1)
+            .unwrap_complete();
+        w.kb.sys_read(stid, spid, sfd, 4096, t1); // parks
+        pump(&mut w, t1);
+        let t2 = TimeNs::from_millis(2);
+        let (_req, _) = w.kb.sys_read(stid, spid, sfd, 4096, t2).unwrap_complete();
+        // response
+        let t3 = TimeNs::from_millis(3);
+        w.kb.sys_write(stid, spid, sfd, http1::response(200, &[], b"five stars"), t3)
+            .unwrap_complete();
+        w.ka.sys_read(ctid, cpid, cfd, 4096, t3);
+        pump(&mut w, t3);
+        let t4 = TimeNs::from_millis(4);
+        w.ka.sys_read(ctid, cpid, cfd, 4096, t4).unwrap_complete();
+
+        let spans_a = agent_a.poll(&mut w.ka, &mut w.fabric, TimeNs::from_millis(5));
+        let spans_b = agent_b.poll(&mut w.kb, &mut w.fabric, TimeNs::from_millis(5));
+
+        assert_eq!(spans_a.len(), 1, "client agent: one sys span");
+        assert_eq!(spans_b.len(), 1, "server agent: one sys span");
+        let ca = &spans_a[0];
+        let sb = &spans_b[0];
+        assert_eq!(ca.capture.tap_side, TapSide::ClientProcess);
+        assert_eq!(sb.capture.tap_side, TapSide::ServerProcess);
+        assert_eq!(ca.endpoint, "GET /reviews/7");
+        assert_eq!(sb.endpoint, "GET /reviews/7");
+        assert_eq!(ca.status_code, Some(200));
+        // THE key invariant: both spans carry the same request TCP sequence,
+        // captured on different machines (§3.3.2).
+        assert_eq!(ca.tcp_seq_req, sb.tcp_seq_req);
+        assert_eq!(ca.tcp_seq_resp, sb.tcp_seq_resp);
+        // Both oriented client→server.
+        assert_eq!(ca.five_tuple.src_ip, IP_A);
+        assert_eq!(sb.five_tuple.src_ip, IP_A);
+        // Phase-1 tags written.
+        assert_eq!(ca.tags.resource.vpc_id, Some(1));
+        assert_eq!(ca.tags.resource.ip, Some(u32::from(IP_A)));
+        assert_eq!(sb.tags.resource.ip, Some(u32::from(IP_B)));
+        // Process context captured in zero code.
+        assert_eq!(ca.process_name.as_deref(), Some("productpage"));
+        assert_eq!(sb.process_name.as_deref(), Some("reviews"));
+    }
+
+    #[test]
+    fn net_spans_from_taps_share_seq_with_sys_spans() {
+        use df_net::taps::{TapFilter, TapKind};
+        use df_net::topology::ElementId;
+        let mut w = world();
+        let n1 = w.ka.node();
+        let mut agent_a = Agent::new(AgentConfig::for_node(n1));
+        agent_a.install(&mut w.ka).unwrap();
+        // Tap the client node NIC.
+        w.fabric.taps.install(
+            ElementId::NodeNic(n1),
+            n1,
+            TapKind::NodeNic,
+            TapFilter::all(),
+        );
+        agent_a.register_tap(
+            "eth0",
+            TapContext {
+                kind: TapKind::NodeNic,
+                local_ips: [IP_A].into_iter().collect(),
+            },
+        );
+
+        // server without an agent
+        let (spid, stid) = w.kb.procs.spawn_process("backend");
+        let lfd = w.kb.socket(spid, TransportProtocol::Tcp).unwrap();
+        w.kb.bind(spid, lfd, IP_B, 80).unwrap();
+        w.kb.listen(spid, lfd, 16).unwrap();
+        w.kb.accept(stid, spid, lfd);
+        let (cpid, ctid) = w.ka.procs.spawn_process("curl");
+        let cfd = w.ka.socket(cpid, TransportProtocol::Tcp).unwrap();
+        w.ka.connect(ctid, cpid, cfd, IP_A, (IP_B, 80));
+        pump(&mut w, TimeNs(0));
+        let (sfd, _) = w.kb.accept(stid, spid, lfd).unwrap_complete();
+
+        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/", &[], b""), TimeNs(1000))
+            .unwrap_complete();
+        w.kb.sys_read(stid, spid, sfd, 4096, TimeNs(1000));
+        pump(&mut w, TimeNs(1000));
+        w.kb.sys_read(stid, spid, sfd, 4096, TimeNs(2000)).unwrap_complete();
+        w.kb.sys_write(stid, spid, sfd, http1::response(200, &[], b"hi"), TimeNs(3000))
+            .unwrap_complete();
+        w.ka.sys_read(ctid, cpid, cfd, 4096, TimeNs(3000));
+        pump(&mut w, TimeNs(3000));
+        w.ka.sys_read(ctid, cpid, cfd, 4096, TimeNs(4000)).unwrap_complete();
+
+        let spans = agent_a.poll(&mut w.ka, &mut w.fabric, TimeNs::from_millis(10));
+        let sys: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Sys).collect();
+        let net: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Net).collect();
+        assert_eq!(sys.len(), 1);
+        assert_eq!(net.len(), 1, "node NIC tap yields a net span");
+        assert_eq!(net[0].capture.tap_side, TapSide::ClientNodeNic);
+        assert_eq!(
+            sys[0].tcp_seq_req, net[0].tcp_seq_req,
+            "sys and net spans of one exchange share the request seq"
+        );
+        assert!(net[0].flow_metrics.is_some(), "net span carries flow metrics");
+        assert_eq!(agent_a.stats().net_spans, 1);
+    }
+
+    #[test]
+    fn unresponsive_server_yields_incomplete_span() {
+        let mut w = world();
+        let mut agent_a = Agent::new(AgentConfig::for_node(w.ka.node()));
+        agent_a.install(&mut w.ka).unwrap();
+
+        let (spid, stid) = w.kb.procs.spawn_process("hangs");
+        let lfd = w.kb.socket(spid, TransportProtocol::Tcp).unwrap();
+        w.kb.bind(spid, lfd, IP_B, 80).unwrap();
+        w.kb.listen(spid, lfd, 16).unwrap();
+        w.kb.accept(stid, spid, lfd);
+        let (cpid, ctid) = w.ka.procs.spawn_process("client");
+        let cfd = w.ka.socket(cpid, TransportProtocol::Tcp).unwrap();
+        w.ka.connect(ctid, cpid, cfd, IP_A, (IP_B, 80));
+        pump(&mut w, TimeNs(0));
+
+        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/hang", &[], b""), TimeNs(0))
+            .unwrap_complete();
+        // server never responds; poll 5 minutes later
+        let spans = agent_a.poll(&mut w.ka, &mut w.fabric, TimeNs::from_secs(300));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].status, SpanStatus::Incomplete);
+        assert_eq!(spans[0].endpoint, "GET /hang");
+        assert_eq!(agent_a.stats().incomplete_spans, 1);
+    }
+
+    #[test]
+    fn install_is_idempotent_per_agent_and_verified() {
+        let mut w = world();
+        let agent = Agent::new(AgentConfig::for_node(w.ka.node()));
+        agent.install(&mut w.ka).unwrap();
+        // 10 ABIs × 2 + 2 uprobe symbols × 2
+        assert_eq!(w.ka.hooks.attachment_count(), 24);
+    }
+}

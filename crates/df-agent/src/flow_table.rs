@@ -1,0 +1,277 @@
+//! L4 flow metrics from packet observations.
+//!
+//! DeepFlow's differentiator (§1, §4.1.3): network metrics are collected
+//! alongside traces and correlated with them, so "queue backlog of RabbitMQ
+//! was causing the TCP connection resets" falls out of one view. This table
+//! accumulates [`FlowMetrics`] per (interface, flow) from the frames a
+//! capture tap sees.
+
+use df_types::net::TcpFlags;
+use df_types::packet::{ArpOp, Frame, Segment};
+use df_types::{DurationNs, FiveTuple, FlowMetrics, TimeNs};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct FlowState {
+    metrics: FlowMetrics,
+    syn_seen: u32,
+    syn_ts: Option<TimeNs>,
+    client: Option<(std::net::Ipv4Addr, u16)>,
+}
+
+/// Per-interface, per-flow metric accumulation. One table per agent.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: HashMap<(String, FiveTuple), FlowState>,
+    /// ARP requests observed per interface (the §4.1.2 signal).
+    pub arp_requests: HashMap<String, u64>,
+    /// ARP replies observed per interface.
+    pub arp_replies: HashMap<String, u64>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Account one captured frame.
+    pub fn observe(&mut self, interface: &str, frame: &Frame, ts: TimeNs) {
+        match frame {
+            Frame::Arp { op, .. } => {
+                let counter = match op {
+                    ArpOp::Request => &mut self.arp_requests,
+                    ArpOp::Reply => &mut self.arp_replies,
+                };
+                *counter.entry(interface.to_string()).or_default() += 1;
+            }
+            Frame::Segment(seg) => self.observe_segment(interface, seg, ts),
+        }
+    }
+
+    fn observe_segment(&mut self, interface: &str, seg: &Segment, ts: TimeNs) {
+        let key = (interface.to_string(), seg.five_tuple.canonical());
+        let st = self.flows.entry(key).or_default();
+        // Client = whoever sent the SYN (or, failing that, the first frame).
+        if st.client.is_none() && (seg.flags.syn && !seg.flags.ack || !seg.flags.syn) {
+            st.client = Some((seg.five_tuple.src_ip, seg.five_tuple.src_port));
+        }
+        let from_client =
+            st.client == Some((seg.five_tuple.src_ip, seg.five_tuple.src_port));
+        if from_client {
+            st.metrics.packets_tx += 1;
+            st.metrics.bytes_tx += seg.payload.len() as u64;
+        } else {
+            st.metrics.packets_rx += 1;
+            st.metrics.bytes_rx += seg.payload.len() as u64;
+        }
+        if seg.is_retransmission {
+            st.metrics.retransmissions += 1;
+        }
+        if seg.flags.rst {
+            st.metrics.resets += 1;
+        }
+        if seg.flags == TcpFlags::SYN {
+            st.syn_seen += 1;
+            if st.syn_seen > 1 {
+                st.metrics.syn_retries += 1;
+            }
+            st.syn_ts = Some(ts);
+        }
+        if seg.flags == TcpFlags::SYN_ACK {
+            st.metrics.established = true;
+            if let Some(syn_ts) = st.syn_ts {
+                let rtt = ts.saturating_since(syn_ts);
+                if st.metrics.rtt == DurationNs::ZERO || rtt < st.metrics.rtt {
+                    st.metrics.rtt = rtt;
+                }
+            }
+        }
+        // Zero-window advertisement: pure ACK with window 0.
+        if seg.window == 0 && seg.flags.ack && !seg.flags.rst && !seg.flags.syn
+            && seg.payload.is_empty()
+        {
+            st.metrics.zero_windows += 1;
+        }
+    }
+
+    /// Metrics snapshot for a flow on an interface.
+    pub fn metrics(&self, interface: &str, tuple: &FiveTuple) -> Option<FlowMetrics> {
+        self.flows
+            .get(&(interface.to_string(), tuple.canonical()))
+            .map(|s| s.metrics)
+    }
+
+    /// Merged metrics for a flow across every interface this agent taps.
+    pub fn metrics_any_interface(&self, tuple: &FiveTuple) -> Option<FlowMetrics> {
+        let canon = tuple.canonical();
+        let mut out: Option<FlowMetrics> = None;
+        for ((_, t), st) in &self.flows {
+            if *t == canon {
+                match &mut out {
+                    Some(m) => m.merge(&st.metrics),
+                    None => out = Some(st.metrics),
+                }
+            }
+        }
+        out
+    }
+
+    /// Flows tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total ARP requests on one interface.
+    pub fn arp_requests_on(&self, interface: &str) -> u64 {
+        self.arp_requests.get(interface).copied().unwrap_or(0)
+    }
+
+    /// Aggregate metrics across every tracked flow (troubleshooting
+    /// dashboards sum per-flow counters exactly like this).
+    pub fn totals(&self) -> FlowMetrics {
+        let mut out = FlowMetrics::default();
+        for st in self.flows.values() {
+            out.merge(&st.metrics);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::Ipv4Addr;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn seg(src_c: bool, flags: TcpFlags, payload: &'static [u8], window: u16) -> Segment {
+        let ft = if src_c {
+            FiveTuple::tcp(C, 40000, S, 80)
+        } else {
+            FiveTuple::tcp(S, 80, C, 40000)
+        };
+        Segment {
+            five_tuple: ft,
+            seq: 1,
+            ack: 0,
+            flags,
+            window,
+            payload: Bytes::from_static(payload),
+            is_retransmission: false,
+        }
+    }
+
+    #[test]
+    fn handshake_yields_rtt_and_direction_split() {
+        let mut ft = FlowTable::new();
+        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)), TimeNs(0));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::SYN_ACK, b"", 100)),
+            TimeNs(500_000),
+        );
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"req", 100)),
+            TimeNs(600_000),
+        );
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::PSH_ACK, b"response", 100)),
+            TimeNs(900_000),
+        );
+        let m = ft
+            .metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80))
+            .unwrap();
+        assert_eq!(m.rtt, DurationNs(500_000));
+        assert!(m.established);
+        assert_eq!(m.packets_tx, 2); // SYN + req
+        assert_eq!(m.packets_rx, 2); // SYN_ACK + resp
+        assert_eq!(m.bytes_tx, 3);
+        assert_eq!(m.bytes_rx, 8);
+        assert!(!m.is_anomalous());
+    }
+
+    #[test]
+    fn retransmissions_and_resets_counted() {
+        let mut ft = FlowTable::new();
+        let mut retx = seg(true, TcpFlags::PSH_ACK, b"data", 100);
+        retx.is_retransmission = true;
+        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"data", 100)), TimeNs(0));
+        ft.observe("eth0", &Frame::Segment(retx), TimeNs(1));
+        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::RST, b"", 0)), TimeNs(2));
+        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        assert_eq!(m.retransmissions, 1);
+        assert_eq!(m.resets, 1);
+        assert!(m.is_anomalous());
+    }
+
+    #[test]
+    fn syn_retries_counted() {
+        let mut ft = FlowTable::new();
+        for t in [0u64, 1_000_000, 3_000_000] {
+            ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)), TimeNs(t));
+        }
+        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        assert_eq!(m.syn_retries, 2);
+    }
+
+    #[test]
+    fn zero_window_advertisements_counted() {
+        let mut ft = FlowTable::new();
+        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"x", 100)), TimeNs(0));
+        // Receiver advertises zero window (backlogged consumer).
+        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)), TimeNs(1));
+        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)), TimeNs(2));
+        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        assert_eq!(m.zero_windows, 2);
+        assert!(m.is_anomalous());
+    }
+
+    #[test]
+    fn arp_counters_per_interface() {
+        let mut ft = FlowTable::new();
+        let req = Frame::Arp {
+            op: ArpOp::Request,
+            sender: C,
+            target: S,
+        };
+        ft.observe("phys0", &req, TimeNs(0));
+        ft.observe("phys0", &req, TimeNs(1));
+        ft.observe("eth0", &req, TimeNs(2));
+        assert_eq!(ft.arp_requests_on("phys0"), 2);
+        assert_eq!(ft.arp_requests_on("eth0"), 1);
+        assert_eq!(ft.arp_requests_on("veth-x"), 0);
+    }
+
+    #[test]
+    fn interfaces_keep_separate_flow_entries_but_merge_on_demand() {
+        let mut ft = FlowTable::new();
+        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)), TimeNs(0));
+        ft.observe("phys0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)), TimeNs(1));
+        assert_eq!(ft.len(), 2);
+        let merged = ft
+            .metrics_any_interface(&FiveTuple::tcp(C, 40000, S, 80))
+            .unwrap();
+        assert_eq!(merged.packets_tx, 2);
+    }
+
+    #[test]
+    fn both_orientations_hit_the_same_flow() {
+        let mut ft = FlowTable::new();
+        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"req", 100)), TimeNs(0));
+        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::PSH_ACK, b"resp", 100)), TimeNs(1));
+        assert_eq!(ft.len(), 1);
+        // Query with the server-side orientation: same flow.
+        let m = ft.metrics("eth0", &FiveTuple::tcp(S, 80, C, 40000)).unwrap();
+        assert_eq!(m.packets_tx + m.packets_rx, 2);
+    }
+}

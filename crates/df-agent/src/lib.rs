@@ -1,0 +1,40 @@
+//! # df-agent — the DeepFlow Agent
+//!
+//! One agent runs per node. It implements the paper's §3.2 tracing plane and
+//! §3.3 phase (i) — turning raw kernel/packet observations into [`Span`]s:
+//!
+//! * [`ebpf`] — the eBPF program attached to every Table 3 ABI: stashes
+//!   *enter* contexts in a per-(pid,tid) map and emits a combined
+//!   [`MessageData`] at *exit* (Figure 6 phase 1);
+//! * [`systrace`] — implicit intra-component association (Figure 7): two
+//!   consecutive messages of different direction on different sockets within
+//!   one thread share a `systrace_id`; thread reuse partitions naturally;
+//! * [`pseudo_thread`] — coroutine-chain tracking ("pseudo-thread
+//!   structure", §3.3.1) from coroutine-creation events;
+//! * [`session`] — session aggregation with the 60-second time-window array:
+//!   pipelined protocols match by order, multiplexed ones by embedded id;
+//! * [`net_spans`] — net spans from cBPF/AF_PACKET captures at every
+//!   infrastructure hop, with tap-side resolution;
+//! * [`flow_table`] — L4 flow metrics (retransmissions, RTT, resets,
+//!   zero-windows) attached to spans for cross-layer correlation (§3.4);
+//! * [`agent`] — the facade: install hooks, poll, ship spans.
+//!
+//! [`Span`]: df_types::Span
+//! [`MessageData`]: df_types::MessageData
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod ebpf;
+pub mod flow_table;
+pub mod net_spans;
+pub mod pseudo_thread;
+pub mod session;
+pub mod systrace;
+
+pub use agent::{Agent, AgentConfig, AgentStats};
+pub use ebpf::DeepFlowSyscallProgram;
+pub use flow_table::FlowTable;
+pub use session::{SessionAggregator, SessionOutcome};
+pub use systrace::SystraceTracker;

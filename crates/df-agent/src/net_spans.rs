@@ -1,0 +1,477 @@
+//! Net spans from cBPF / AF_PACKET captures (paper §3.2.1 instrumentation
+//! extensions + Appendix A).
+//!
+//! Each tapped interface yields frames; this builder runs the same protocol
+//! inference and session aggregation over them as the syscall path runs
+//! over messages, producing one span per request/response pair *per capture
+//! point* — the hop-by-hop spans that let Fig. 11's operators see exactly
+//! which infrastructure element misbehaved.
+
+use crate::session::{SessionAggregator, SessionOutcome};
+use df_protocols::inference::InferenceEngine;
+use df_protocols::ParsedMessage;
+use df_types::packet::Frame;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::{
+    AgentId, DurationNs, FiveTuple, FlowId, L7Protocol, NodeId, SpanId, TimeNs,
+};
+use df_net::taps::TapKind;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
+
+/// One captured L7 message (request or response) at a tap.
+#[derive(Debug, Clone)]
+pub struct NetMsg {
+    ts: TimeNs,
+    tuple: FiveTuple,
+    tcp_seq: u32,
+    byte_len: usize,
+    parse: ParsedMessage,
+}
+
+/// Per-interface capture context: what kind of tap, and which IPs are local
+/// to it (a veth knows its pod; a node NIC knows the node's pods).
+#[derive(Debug, Clone)]
+pub struct TapContext {
+    /// The tap kind.
+    pub kind: TapKind,
+    /// IPs local to the tapped element.
+    pub local_ips: HashSet<Ipv4Addr>,
+}
+
+/// Builds net spans for one agent.
+pub struct NetSpanBuilder {
+    node: NodeId,
+    agent: AgentId,
+    inference: InferenceEngine,
+    sessions: SessionAggregator<NetMsg>,
+    taps: HashMap<String, TapContext>,
+    /// Flow → client endpoint (set by SYN or first request).
+    flow_client: HashMap<FiveTuple, (Ipv4Addr, u16)>,
+    /// Frames whose payload could not be classified (continuations etc.).
+    pub unparsed_frames: u64,
+    /// Spans produced.
+    pub spans_built: u64,
+}
+
+impl NetSpanBuilder {
+    /// Builder for `node`'s agent.
+    pub fn new(node: NodeId, agent: AgentId, slot: DurationNs) -> Self {
+        NetSpanBuilder {
+            node,
+            agent,
+            inference: InferenceEngine::default(),
+            sessions: SessionAggregator::new(slot),
+            taps: HashMap::new(),
+            flow_client: HashMap::new(),
+            unparsed_frames: 0,
+            spans_built: 0,
+        }
+    }
+
+    /// Register the context for an interface this agent taps.
+    pub fn register_tap(&mut self, interface: &str, ctx: TapContext) {
+        self.taps.insert(interface.to_string(), ctx);
+    }
+
+    /// Register a user-supplied protocol specification for packet parsing.
+    pub fn register_custom_protocol(
+        &mut self,
+        proto: df_protocols::inference::CustomProtocol,
+    ) -> df_types::L7Protocol {
+        self.inference.register_custom(proto)
+    }
+
+    /// Offer one captured frame; may complete a span.
+    pub fn offer(&mut self, interface: &str, frame: &Frame, ts: TimeNs) -> Option<Span> {
+        let Frame::Segment(seg) = frame else {
+            return None; // ARP handled by the flow table
+        };
+        let canon = seg.five_tuple.canonical();
+        // Establish the client endpoint from the SYN.
+        if seg.flags.syn && !seg.flags.ack {
+            self.flow_client
+                .entry(canon)
+                .or_insert((seg.five_tuple.src_ip, seg.five_tuple.src_port));
+        }
+        if seg.payload.is_empty() {
+            return None;
+        }
+        let flow_key = hash2(interface, &canon);
+        let Some(parse) = self.inference.parse_for(flow_key, &seg.payload) else {
+            self.unparsed_frames += 1;
+            return None;
+        };
+        // First request also pins the client if no SYN was seen (taps can
+        // start mid-connection).
+        if parse.msg_type == df_types::MessageType::Request {
+            self.flow_client
+                .entry(canon)
+                .or_insert((seg.five_tuple.src_ip, seg.five_tuple.src_port));
+        }
+        let msg = NetMsg {
+            ts,
+            tuple: seg.five_tuple,
+            tcp_seq: seg.seq,
+            byte_len: seg.payload.len(),
+            parse: parse.clone(),
+        };
+        match self.sessions.offer(
+            flow_key,
+            parse.session_key,
+            parse.msg_type,
+            ts,
+            msg,
+        ) {
+            SessionOutcome::Matched { request, response }
+            | SessionOutcome::OutOfWindow { request, response } => {
+                Some(self.build_span(interface, request, response))
+            }
+            _ => None,
+        }
+    }
+
+    fn build_span(&mut self, interface: &str, req: NetMsg, resp: NetMsg) -> Span {
+        self.spans_built += 1;
+        let client_tuple = req.tuple; // the request's sender is the client
+        let canon = client_tuple.canonical();
+        let client = self
+            .flow_client
+            .get(&canon)
+            .copied()
+            .unwrap_or((client_tuple.src_ip, client_tuple.src_port));
+        let tap_side = self.resolve_tap_side(interface, client.0, &client_tuple);
+        let status = status_of(&resp.parse);
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Net,
+            capture: CapturePoint {
+                node: self.node,
+                tap_side,
+                interface: Some(interface.to_string()),
+            },
+            agent: self.agent,
+            flow_id: FlowId(hash2("flow", &canon)),
+            five_tuple: client_tuple,
+            l7_protocol: req.parse.protocol,
+            endpoint: req.parse.endpoint.clone(),
+            req_time: req.ts,
+            resp_time: resp.ts,
+            status,
+            status_code: resp.parse.status_code,
+            req_bytes: req.byte_len as u64,
+            resp_bytes: resp.byte_len as u64,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: req.parse.headers.x_request_id,
+            x_request_id_resp: resp.parse.headers.x_request_id,
+            tcp_seq_req: tcp_seq_or_none(req.parse.protocol, req.tcp_seq),
+            tcp_seq_resp: tcp_seq_or_none(resp.parse.protocol, resp.tcp_seq),
+            otel_trace_id: req.parse.headers.trace_id,
+            otel_span_id: req.parse.headers.span_id,
+            otel_parent_span_id: req.parse.headers.parent_span_id,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
+    fn resolve_tap_side(
+        &self,
+        interface: &str,
+        client_ip: Ipv4Addr,
+        _tuple: &FiveTuple,
+    ) -> TapSide {
+        let Some(ctx) = self.taps.get(interface) else {
+            return TapSide::Gateway; // unregistered tap: mid-path observer
+        };
+        let client_local = ctx.local_ips.contains(&client_ip);
+        match ctx.kind {
+            TapKind::PodVeth => {
+                if client_local {
+                    TapSide::ClientPodNic
+                } else {
+                    TapSide::ServerPodNic
+                }
+            }
+            TapKind::NodeNic => {
+                if client_local {
+                    TapSide::ClientNodeNic
+                } else {
+                    TapSide::ServerNodeNic
+                }
+            }
+            TapKind::PhysNic => {
+                if client_local {
+                    TapSide::ClientHypervisor
+                } else {
+                    TapSide::ServerHypervisor
+                }
+            }
+            TapKind::TorMirror | TapKind::Gateway => TapSide::Gateway,
+        }
+    }
+
+    /// Expire stale pending requests into incomplete net spans.
+    pub fn expire(&mut self, now: TimeNs) -> Vec<Span> {
+        let stale = self.sessions.expire(now);
+        stale
+            .into_iter()
+            .map(|req| {
+                self.spans_built += 1;
+                let canon = req.tuple.canonical();
+                let client = self
+                    .flow_client
+                    .get(&canon)
+                    .copied()
+                    .unwrap_or((req.tuple.src_ip, req.tuple.src_port));
+                let mut span = Span {
+                    span_id: SpanId(0),
+                    kind: SpanKind::Net,
+                    capture: CapturePoint {
+                        node: self.node,
+                        tap_side: TapSide::Gateway,
+                        interface: None,
+                    },
+                    agent: self.agent,
+                    flow_id: FlowId(hash2("flow", &canon)),
+                    five_tuple: req.tuple,
+                    l7_protocol: req.parse.protocol,
+                    endpoint: req.parse.endpoint.clone(),
+                    req_time: req.ts,
+                    resp_time: req.ts,
+                    status: SpanStatus::Incomplete,
+                    status_code: None,
+                    req_bytes: req.byte_len as u64,
+                    resp_bytes: 0,
+                    pid: None,
+                    tid: None,
+                    process_name: None,
+                    systrace_id_req: None,
+                    systrace_id_resp: None,
+                    pseudo_thread_id: None,
+                    x_request_id_req: req.parse.headers.x_request_id,
+                    x_request_id_resp: None,
+                    tcp_seq_req: tcp_seq_or_none(req.parse.protocol, req.tcp_seq),
+                    tcp_seq_resp: None,
+                    otel_trace_id: req.parse.headers.trace_id,
+                    otel_span_id: req.parse.headers.span_id,
+                    otel_parent_span_id: req.parse.headers.parent_span_id,
+                    tags: TagSet::default(),
+                    flow_metrics: None,
+                };
+                span.capture.tap_side = self.resolve_tap_side("", client.0, &req.tuple);
+                span
+            })
+            .collect()
+    }
+}
+
+fn status_of(parse: &ParsedMessage) -> SpanStatus {
+    if parse.server_error {
+        SpanStatus::ServerError
+    } else if parse.client_error {
+        SpanStatus::ClientError
+    } else {
+        SpanStatus::Ok
+    }
+}
+
+/// UDP has no sequence numbers; a 0 seq would spuriously associate every
+/// UDP span (paper's inter-component association is a TCP property).
+fn tcp_seq_or_none(proto: L7Protocol, seq: u32) -> Option<u32> {
+    if proto == L7Protocol::Dns {
+        None
+    } else {
+        Some(seq)
+    }
+}
+
+/// Stable hash of (label, tuple) — flow keys and flow ids.
+pub fn hash2<A: Hash, B: Hash>(a: A, b: B) -> u64 {
+    let mut h = DefaultHasher::new();
+    a.hash(&mut h);
+    b.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use df_protocols::http1;
+    use df_types::net::TcpFlags;
+    use df_types::packet::Segment;
+    use df_types::MessageType;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 1, 1, 1);
+
+    fn seg(from_client: bool, seq: u32, payload: Bytes) -> Frame {
+        let ft = if from_client {
+            FiveTuple::tcp(C, 40000, S, 80)
+        } else {
+            FiveTuple::tcp(S, 80, C, 40000)
+        };
+        Frame::Segment(Segment {
+            five_tuple: ft,
+            seq,
+            ack: 0,
+            flags: TcpFlags::PSH_ACK,
+            window: 100,
+            payload,
+            is_retransmission: false,
+        })
+    }
+
+    fn builder() -> NetSpanBuilder {
+        let mut b = NetSpanBuilder::new(NodeId(1), AgentId(1), DurationNs::from_secs(60));
+        b.register_tap(
+            "eth0",
+            TapContext {
+                kind: TapKind::NodeNic,
+                local_ips: [C].into_iter().collect(),
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn request_response_pair_builds_a_net_span() {
+        let mut b = builder();
+        let req = http1::request("GET", "/reviews/1", &[], b"");
+        let resp = http1::response(200, &[], b"ok");
+        assert!(b.offer("eth0", &seg(true, 1000, req), TimeNs(100)).is_none());
+        let span = b
+            .offer("eth0", &seg(false, 2000, resp), TimeNs(900))
+            .expect("span completed");
+        assert_eq!(span.kind, SpanKind::Net);
+        assert_eq!(span.capture.tap_side, TapSide::ClientNodeNic);
+        assert_eq!(span.endpoint, "GET /reviews/1");
+        assert_eq!(span.tcp_seq_req, Some(1000));
+        assert_eq!(span.tcp_seq_resp, Some(2000));
+        assert_eq!(span.duration(), DurationNs(800));
+        assert_eq!(span.five_tuple.src_ip, C, "client→server orientation");
+        assert_eq!(span.status, SpanStatus::Ok);
+    }
+
+    #[test]
+    fn server_side_tap_resolves_server_tap_side() {
+        let mut b = NetSpanBuilder::new(NodeId(2), AgentId(2), DurationNs::from_secs(60));
+        b.register_tap(
+            "eth0",
+            TapContext {
+                kind: TapKind::NodeNic,
+                local_ips: [S].into_iter().collect(), // server's node
+            },
+        );
+        b.offer(
+            "eth0",
+            &seg(true, 1, http1::request("GET", "/", &[], b"")),
+            TimeNs(0),
+        );
+        let span = b
+            .offer("eth0", &seg(false, 2, http1::response(200, &[], b"")), TimeNs(10))
+            .unwrap();
+        assert_eq!(span.capture.tap_side, TapSide::ServerNodeNic);
+    }
+
+    #[test]
+    fn error_response_sets_span_status() {
+        let mut b = builder();
+        b.offer(
+            "eth0",
+            &seg(true, 1, http1::request("GET", "/broken", &[], b"")),
+            TimeNs(0),
+        );
+        let span = b
+            .offer("eth0", &seg(false, 2, http1::response(404, &[], b"")), TimeNs(10))
+            .unwrap();
+        assert_eq!(span.status, SpanStatus::ClientError);
+        assert_eq!(span.status_code, Some(404));
+    }
+
+    #[test]
+    fn control_segments_and_unparseable_payloads_are_skipped() {
+        let mut b = builder();
+        // SYN (no payload)
+        let syn = Frame::Segment(Segment {
+            five_tuple: FiveTuple::tcp(C, 40000, S, 80),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 100,
+            payload: Bytes::new(),
+            is_retransmission: false,
+        });
+        assert!(b.offer("eth0", &syn, TimeNs(0)).is_none());
+        // junk payload
+        assert!(b
+            .offer("eth0", &seg(true, 1, Bytes::from_static(b"\x00\x01garbage")), TimeNs(1))
+            .is_none());
+        assert_eq!(b.unparsed_frames, 1);
+    }
+
+    #[test]
+    fn expire_produces_incomplete_net_spans() {
+        let mut b = builder();
+        b.offer(
+            "eth0",
+            &seg(true, 1, http1::request("GET", "/hang", &[], b"")),
+            TimeNs::from_secs(0),
+        );
+        let spans = b.expire(TimeNs::from_secs(300));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].status, SpanStatus::Incomplete);
+        assert_eq!(spans[0].endpoint, "GET /hang");
+    }
+
+    #[test]
+    fn x_request_id_headers_carried_onto_span() {
+        let mut b = builder();
+        let xid = df_types::XRequestId(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        let req = http1::request("GET", "/", &[("X-Request-ID".into(), xid.to_wire())], b"");
+        b.offer("eth0", &seg(true, 1, req), TimeNs(0));
+        let span = b
+            .offer("eth0", &seg(false, 2, http1::response(200, &[], b"")), TimeNs(1))
+            .unwrap();
+        assert_eq!(span.x_request_id_req, Some(xid));
+    }
+
+    #[test]
+    fn udp_dns_spans_have_no_tcp_seq() {
+        let mut b = builder();
+        let q = df_protocols::dns::query(9, "svc.local");
+        let a = df_protocols::dns::answer(9, "svc.local", df_protocols::dns::RCODE_OK);
+        let mk = |from_client: bool, payload: Bytes| {
+            let ft = if from_client {
+                FiveTuple::udp(C, 5353, S, 53)
+            } else {
+                FiveTuple::udp(S, 53, C, 5353)
+            };
+            Frame::Segment(Segment {
+                five_tuple: ft,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                window: 0,
+                payload,
+                is_retransmission: false,
+            })
+        };
+        assert!(b.offer("eth0", &mk(true, q), TimeNs(0)).is_none());
+        let span = b.offer("eth0", &mk(false, a), TimeNs(5)).unwrap();
+        assert_eq!(span.l7_protocol, L7Protocol::Dns);
+        assert_eq!(span.tcp_seq_req, None);
+        assert_eq!(span.tcp_seq_resp, None);
+        // sanity: parse typed them correctly
+        assert_eq!(span.endpoint, "A svc.local");
+        let _ = MessageType::Request;
+    }
+}

@@ -1,0 +1,21 @@
+//! # df-baselines — intrusive distributed-tracing baselines
+//!
+//! The Fig. 16 comparators: tracing SDKs "instrumented into" mesh services,
+//! doing **explicit context propagation** — generating trace/span ids,
+//! injecting them into request headers (W3C `traceparent` for the
+//! Jaeger-like tracer, Zipkin B3 for the Zipkin-like one) and emitting app
+//! spans (`SpanKind::App`). Everything the paper says is wrong with the
+//! approach is faithfully present:
+//!
+//! * only *instrumented* services produce spans — closed-source components
+//!   (the MySQL pod, the Envoy sidecars) and the network are blind spots;
+//! * context only propagates over protocols with header support — a call
+//!   over MySQL/Redis wire protocol drops the trace;
+//! * every operation costs SDK overhead on the service's critical path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod intrusive;
+
+pub use intrusive::{HeaderStyle, IntrusiveTracer, SharedReporter};

@@ -1,0 +1,111 @@
+//! Criterion microbench for Algorithm 1: assembly cost as the trace's span
+//! count grows (synthetic chains) and as the store grows (noise spans).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepflow::server::assemble::{assemble_trace, AssembleConfig};
+use deepflow::storage::SpanStore;
+use df_types::ids::*;
+use df_types::l7::L7Protocol;
+use df_types::net::FiveTuple;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::TimeNs;
+use std::net::Ipv4Addr;
+
+fn span(tap: TapSide, req: u64, resp: u64) -> Span {
+    Span {
+        span_id: SpanId(0),
+        kind: SpanKind::Sys,
+        capture: CapturePoint {
+            node: NodeId(1),
+            tap_side: tap,
+            interface: None,
+        },
+        agent: AgentId(1),
+        flow_id: FlowId(1),
+        five_tuple: FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        ),
+        l7_protocol: L7Protocol::Http1,
+        endpoint: "GET /".to_string(),
+        req_time: TimeNs(req),
+        resp_time: TimeNs(resp),
+        status: SpanStatus::Ok,
+        status_code: Some(200),
+        req_bytes: 1,
+        resp_bytes: 1,
+        pid: None,
+        tid: None,
+        process_name: None,
+        systrace_id_req: None,
+        systrace_id_resp: None,
+        pseudo_thread_id: None,
+        x_request_id_req: None,
+        x_request_id_resp: None,
+        tcp_seq_req: None,
+        tcp_seq_resp: None,
+        otel_trace_id: None,
+        otel_span_id: None,
+        otel_parent_span_id: None,
+        tags: TagSet::default(),
+        flow_metrics: None,
+    }
+}
+
+/// Build a store containing one `depth`-hop call chain (client+server span
+/// per hop, linked by systrace ids and TCP sequences) plus `noise`
+/// unrelated spans.
+fn build_store(depth: u64, noise: u64) -> (SpanStore, SpanId) {
+    let mut st = SpanStore::new();
+    let mut first = None;
+    for hop in 0..depth {
+        let base = hop * 100;
+        let mut server = span(TapSide::ServerProcess, base, base + 1000);
+        server.tcp_seq_req = Some(10_000 + hop as u32);
+        server.systrace_id_req = Some(SysTraceId(hop + 1));
+        server.systrace_id_resp = Some(SysTraceId(1_000_000 + hop));
+        let id = st.insert(server);
+        first.get_or_insert(id);
+        if hop + 1 < depth {
+            let mut client = span(TapSide::ClientProcess, base + 10, base + 990);
+            client.tcp_seq_req = Some(10_000 + hop as u32 + 1);
+            client.systrace_id_req = Some(SysTraceId(hop + 1)); // chains to server
+            client.systrace_id_resp = Some(SysTraceId(1_000_000 + hop));
+            st.insert(client);
+        }
+    }
+    for i in 0..noise {
+        let mut s = span(TapSide::ServerProcess, 1_000_000 + i, 1_000_500 + i);
+        s.tcp_seq_req = Some(2_000_000 + i as u32);
+        s.systrace_id_req = Some(SysTraceId(3_000_000 + i));
+        st.insert(s);
+    }
+    (st, first.unwrap())
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let cfg = AssembleConfig::default();
+    let mut group = c.benchmark_group("alg1_chain_depth");
+    for depth in [4u64, 16, 64, 256] {
+        let (st, start) = build_store(depth, 1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| assemble_trace(&st, start, &cfg))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("alg1_store_noise");
+    for noise in [1_000u64, 10_000, 100_000] {
+        let (st, start) = build_store(16, noise);
+        group.bench_with_input(BenchmarkId::from_parameter(noise), &noise, |b, _| {
+            b.iter(|| assemble_trace(&st, start, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

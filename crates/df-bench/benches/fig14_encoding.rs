@@ -1,0 +1,80 @@
+//! Criterion microbench for Fig. 14: tag-ingest throughput per encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_storage::{TagEncoding, TagTable};
+
+const WIDTH: usize = 16;
+const ROWS: usize = 10_000;
+const CARDS: [usize; WIDTH] = [
+    2, 4, 8, 8, 16, 16, 32, 64, 128, 1_000, 5_000, 10_000, ROWS, ROWS, ROWS, ROWS,
+];
+
+fn string_rows() -> Vec<Vec<String>> {
+    (0..ROWS)
+        .map(|i| {
+            (0..WIDTH)
+                .map(|c| format!("tag{c}-{:07}", (i * 31 + c) % CARDS[c]))
+                .collect()
+        })
+        .collect()
+}
+
+fn int_rows() -> Vec<Vec<u32>> {
+    (0..ROWS)
+        .map(|i| {
+            (0..WIDTH)
+                .map(|c| ((i * 31 + c) % CARDS[c]) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let srows = string_rows();
+    let irows = int_rows();
+    let mut group = c.benchmark_group("fig14_ingest");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function(BenchmarkId::new("ingest", "smart-encoding"), |b| {
+        b.iter(|| {
+            let mut t = TagTable::new(TagEncoding::SmartInt, WIDTH);
+            t.ingest_int_rows(irows.iter().map(|r| r.as_slice()));
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("ingest", "low-cardinality"), |b| {
+        b.iter(|| {
+            let mut t = TagTable::new(TagEncoding::LowCardinality, WIDTH);
+            t.ingest_string_rows(srows.iter().map(|r| r.as_slice()));
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("ingest", "direct"), |b| {
+        b.iter(|| {
+            let mut t = TagTable::new(TagEncoding::Plain, WIDTH);
+            t.ingest_string_rows(srows.iter().map(|r| r.as_slice()));
+            t
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig14_serialize");
+    for (enc, is_int) in [
+        (TagEncoding::SmartInt, true),
+        (TagEncoding::LowCardinality, false),
+        (TagEncoding::Plain, false),
+    ] {
+        let mut t = TagTable::new(enc, WIDTH);
+        if is_int {
+            t.ingest_int_rows(irows.iter().map(|r| r.as_slice()));
+        } else {
+            t.ingest_string_rows(srows.iter().map(|r| r.as_slice()));
+        }
+        group.bench_function(BenchmarkId::new("to_disk", enc.label()), |b| {
+            b.iter(|| t.to_disk())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbench for Fig. 15: span-list and trace queries against a
+//! populated server (Bookinfo-generated spans).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepflow::mesh::apps;
+use deepflow::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn populated_server() -> (Server, Vec<SpanId>) {
+    let mut make_tracer = || apps::no_tracer();
+    let (mut world, _h) = apps::bookinfo(40.0, DurationNs::from_secs(30), &mut make_tracer);
+    let mut df = Deployment::install(&mut world).expect("install");
+    df.run(&mut world, TimeNs::from_secs(31), DurationNs::from_secs(1));
+    let ids: Vec<SpanId> = df
+        .server
+        .span_list(&SpanQuery {
+            limit: 500,
+            ..SpanQuery::window(TimeNs::ZERO, TimeNs::from_secs(31))
+        })
+        .iter()
+        .map(|s| s.span_id)
+        .collect();
+    (std::mem::replace(&mut df.server, Server::new(&Default::default())), ids)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (mut server, ids) = populated_server();
+    let mut group = c.benchmark_group("fig15_query");
+    group.bench_function("span_list_1000_page", |b| {
+        let q = SpanQuery {
+            limit: 1000,
+            ..SpanQuery::window(TimeNs::ZERO, TimeNs::from_secs(31))
+        };
+        b.iter(|| server.span_list(&q))
+    });
+    group.bench_function("span_list_errors_scan", |b| {
+        let q = SpanQuery {
+            errors_only: true,
+            limit: usize::MAX,
+            ..SpanQuery::window(TimeNs::ZERO, TimeNs::from_secs(31))
+        };
+        b.iter(|| server.span_list(&q))
+    });
+    group.bench_function("trace_sequential", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let id = ids[i % ids.len()];
+            i += 1;
+            server.trace(id)
+        })
+    });
+    group.bench_function("trace_random", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let id = ids[rng.gen_range(0..ids.len())];
+            server.trace(id)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

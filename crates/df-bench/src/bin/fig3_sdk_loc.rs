@@ -1,0 +1,32 @@
+//! Fig. 3 — LOC of distributed-tracing SDK repositories, contrasted with
+//! this repository's single zero-code agent covering every language.
+
+use df_bench::{datasets, report};
+
+fn main() {
+    report::header("Fig. 3: LOC of intrusive tracing SDK repositories (paper)");
+    report::bars(
+        &datasets::FIG3_SDK_LOC
+            .iter()
+            .map(|(l, v)| (l.to_string(), *v as f64 / 1000.0))
+            .collect::<Vec<_>>(),
+        "kLOC",
+    );
+    let total: u64 = datasets::FIG3_SDK_LOC.iter().map(|(_, v)| v).sum();
+    println!(
+        "\n  total SDK maintenance surface: ~{} kLOC across {} per-language repos",
+        total / 1000,
+        datasets::FIG3_SDK_LOC.len()
+    );
+    println!("\n  DeepFlow's counterpoint (§3.2.1 Goal 2): ONE kernel-level agent serves");
+    println!("  every language and framework; no SDK per language, no redeployments.");
+    report::save_json(
+        "fig3_sdk_loc",
+        &serde_json::json!({
+            "sdk_loc": datasets::FIG3_SDK_LOC
+                .iter()
+                .map(|(l, v)| serde_json::json!({"repo": l, "loc": v}))
+                .collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,38 @@
+//! Tables 4 & 5 (Appendix C) — the unprocessed questionnaire data,
+//! rendered verbatim.
+
+use df_bench::{datasets, report};
+
+fn main() {
+    report::header("Table 4: multiple-choice questionnaire answers (10 customers)");
+    let cols: Vec<&str> = std::iter::once("question")
+        .chain((1..=10).map(|i| match i {
+            1 => "A1", 2 => "A2", 3 => "A3", 4 => "A4", 5 => "A5",
+            6 => "A6", 7 => "A7", 8 => "A8", 9 => "A9", _ => "A10",
+        }))
+        .collect();
+    let rows: Vec<Vec<String>> = datasets::TABLE4
+        .iter()
+        .map(|(q, answers)| {
+            std::iter::once(q.to_string())
+                .chain(answers.iter().map(|a| a.to_string()))
+                .collect()
+        })
+        .collect();
+    report::table(&cols, &rows);
+
+    report::header("Table 5: 'Where has DeepFlow helped you the most?'");
+    for a in datasets::TABLE5 {
+        println!("  {a}");
+    }
+
+    report::save_json(
+        "table4_questionnaire",
+        &serde_json::json!({
+            "table4": datasets::TABLE4.iter().map(|(q, a)| serde_json::json!({
+                "question": q, "answers": a.to_vec(),
+            })).collect::<Vec<_>>(),
+            "table5": datasets::TABLE5.to_vec(),
+        }),
+    );
+}

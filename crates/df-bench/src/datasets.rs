@@ -1,0 +1,150 @@
+//! The paper's survey datasets, transcribed from the published figures and
+//! the Appendix C raw questionnaire (Tables 4 and 5). These cannot be
+//! re-measured (they are interviews with DeepFlow's production customers);
+//! the harnesses print them as the paper-side of each comparison and, for
+//! Fig. 2, regenerate the *shape* with a fault-injection campaign.
+
+/// Fig. 2(a): sources of performance anomalies (fractions sum to 1).
+pub const FIG2A_SOURCES: [(&str, f64); 4] = [
+    ("network infrastructure", 0.473),
+    ("application", 0.327),
+    ("computing infrastructure", 0.127),
+    ("external traffic surge", 0.073),
+];
+
+/// Fig. 2(b): breakdown of the network slice (fractions of ALL anomalies).
+pub const FIG2B_NETWORK: [(&str, f64); 5] = [
+    ("virtual network", 0.308),
+    ("physical network", 0.055),
+    ("network middleware", 0.045),
+    ("cluster services (DNS/gateway)", 0.035),
+    ("node configuration", 0.030),
+];
+
+/// Fig. 3: lines of code of distributed-tracing SDK repositories
+/// (approximate, read off the paper's bar chart; the point is the
+/// maintenance burden of per-language SDKs).
+pub const FIG3_SDK_LOC: [(&str, u64); 8] = [
+    ("jaeger-client-java", 42_000),
+    ("jaeger-client-go", 31_000),
+    ("jaeger-client-python", 12_000),
+    ("zipkin-brave (java)", 88_000),
+    ("zipkin-js", 21_000),
+    ("skywalking-java", 220_000),
+    ("skywalking-python", 29_000),
+    ("opentelemetry-java", 260_000),
+];
+
+/// Table 4: the ten customers' multiple-choice questionnaire answers.
+/// Row = question, column = customer A1..A10, verbatim from Appendix C.
+pub const TABLE4: [(&str, [&str; 10]); 10] = [
+    ("Q1 framework (O=open-source, S=self-developed)",
+     ["O", "S", "O", "O", "O", "O", "S", "O", "O", "S"]),
+    ("Q2 kernel versions in production",
+     ["2-5", "5-10", "2-5", "2-5", "Unknown", "2-5", "2-5", "2-5", "2-5", "2-5"]),
+    ("Q3 programming languages",
+     ["2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5"]),
+    ("Q4 microservice components",
+     ["2-5", ">100", "5-10", ">100", "20-100", "10-20", "5-10", "10-20", "2-5", ">100"]),
+    ("Q5 LOC per component",
+     ["100-1k", "3k-5k", "3k-5k", "3k-5k", ">5k", ">5k", "100-1k", "1k-3k", "3k-5k", ">5k"]),
+    ("Q6 time to instrument one component",
+     ["Days", "Days", "Hrs", "1Hr", "Mins", "Hrs", "Hrs", "Mins", "Hrs", "1Hr"]),
+    ("Q7 LOC modified per component",
+     ["(20,100]", "(0,20]", ">100", "(0,20]", "0", ">100", ">100", "0", "(20,100]", "(20,100]"]),
+    ("Q8 workload reduction with DeepFlow",
+     ["20%-50%", "50%-80%", "20%-50%", "50%-80%", "50%-80%", "20%-50%", ">80%", "50%-80%", "20%-50%", "0%"]),
+    ("Q9 fault-to-fix time before DeepFlow",
+     ["1Hr", "Hrs", "Hrs", "Hrs", "Hrs", "Mins", "1Hr", "Mins", "Hrs", "1Hr"]),
+    ("Q10 fault-to-fix time with DeepFlow",
+     ["1Hr", "Hrs", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "1Hr"]),
+];
+
+/// Table 5: the free-form "where has DeepFlow helped you the most" answers.
+pub const TABLE5: [&str; 10] = [
+    "A1: It helps me to check network status and response latency between two microservices, making slow request troubleshooting easier.",
+    "A2: Its non-intrusive characteristic can help detect previous blind spots in the system, such as components written in Golang or Rust. But it is not very useful for Java components, since skywalking is already sufficient for us.",
+    "A3: Locating problems with network data non-intrusively.",
+    "A4: Microservice Network Fault Location.",
+    "A5: Network problem diagnosis.",
+    "A6: It complements existing observability tools by providing more detailed traces and enriching the set of metrics.",
+    "A7: It can capture the time consumption of services and middleware at the network level. Besides, a lot of work is reduced by its non-intrusive characteristic.",
+    "A8: Non-intrusive, low-cost deployment.",
+    "A9: (Empty)",
+    "A10: It can help us find some problems in the system, but we haven't found a way to locate the problem precisely.",
+];
+
+/// Fig. 9 buckets: instrumentation time per component, share of customers
+/// (derived from Table 4 Q6).
+pub fn fig9_time_buckets() -> Vec<(&'static str, usize)> {
+    bucketize(5, &["Mins", "1Hr", "Hrs", "Days"])
+}
+
+/// Fig. 10(a) buckets: troubleshooting time before vs with DeepFlow
+/// (Table 4 Q9/Q10). Returns (bucket, before, with).
+pub fn fig10a_buckets() -> Vec<(&'static str, usize, usize)> {
+    let before = bucketize(8, &["Mins", "1Hr", "Hrs"]);
+    let with = bucketize(9, &["Mins", "1Hr", "Hrs"]);
+    before
+        .into_iter()
+        .zip(with)
+        .map(|((b, n1), (_, n2))| (b, n1, n2))
+        .collect()
+}
+
+/// Fig. 10(b): primary advantages named by customers (from §4: 5 name
+/// network coverage, 4 non-intrusive instrumentation, 3 closed-source
+/// tracing).
+pub const FIG10B_BENEFITS: [(&str, u32); 3] = [
+    ("network coverage", 5),
+    ("non-intrusive instrumentation", 4),
+    ("closed-source component tracing", 3),
+];
+
+fn bucketize(row: usize, order: &[&'static str]) -> Vec<(&'static str, usize)> {
+    let answers = TABLE4[row].1;
+    order
+        .iter()
+        .map(|b| (*b, answers.iter().filter(|a| *a == b).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shares_are_consistent() {
+        let total: f64 = FIG2A_SOURCES.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let net_breakdown: f64 = FIG2B_NETWORK.iter().map(|(_, v)| v).sum();
+        assert!((net_breakdown - 0.473).abs() < 1e-9, "network slices sum to 47.3%");
+    }
+
+    #[test]
+    fn table4_has_ten_customers_everywhere() {
+        for (q, answers) in TABLE4 {
+            assert_eq!(answers.len(), 10, "{q}");
+        }
+    }
+
+    #[test]
+    fn fig9_buckets_cover_all_customers() {
+        let total: usize = fig9_time_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn fig10a_shows_improvement() {
+        let rows = fig10a_buckets();
+        let before_hrs = rows.iter().find(|(b, _, _)| *b == "Hrs").unwrap().1;
+        let with_hrs = rows.iter().find(|(b, _, _)| *b == "Hrs").unwrap().2;
+        assert!(
+            with_hrs < before_hrs,
+            "fewer customers stuck at hours after DeepFlow"
+        );
+        let before_mins = rows.iter().find(|(b, _, _)| *b == "Mins").unwrap().1;
+        let with_mins = rows.iter().find(|(b, _, _)| *b == "Mins").unwrap().2;
+        assert!(with_mins >= before_mins);
+    }
+}

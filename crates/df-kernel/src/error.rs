@@ -1,0 +1,52 @@
+//! Kernel error type (errno-shaped).
+
+use std::fmt;
+
+/// Errors returned by kernel operations, mirroring the errnos a real kernel
+/// would produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Bad file descriptor (`EBADF`).
+    BadFd,
+    /// The operation would block (`EAGAIN`) — the caller should park the
+    /// thread and retry on wake-up.
+    WouldBlock,
+    /// The socket is not connected (`ENOTCONN`).
+    NotConnected,
+    /// Connection reset by peer (`ECONNRESET`).
+    ConnectionReset,
+    /// Broken pipe — writing to a closed connection (`EPIPE`).
+    BrokenPipe,
+    /// No such process/thread (`ESRCH`).
+    NoSuchThread,
+    /// No such process (`ESRCH`).
+    NoSuchProcess,
+    /// Address already in use (`EADDRINUSE`).
+    AddrInUse,
+    /// Nothing is listening at the destination (`ECONNREFUSED`).
+    ConnectionRefused,
+    /// The socket is already connected (`EISCONN`).
+    AlreadyConnected,
+    /// Invalid argument (`EINVAL`).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadFd => write!(f, "bad file descriptor"),
+            KernelError::WouldBlock => write!(f, "operation would block"),
+            KernelError::NotConnected => write!(f, "socket not connected"),
+            KernelError::ConnectionReset => write!(f, "connection reset by peer"),
+            KernelError::BrokenPipe => write!(f, "broken pipe"),
+            KernelError::NoSuchThread => write!(f, "no such thread"),
+            KernelError::NoSuchProcess => write!(f, "no such process"),
+            KernelError::AddrInUse => write!(f, "address already in use"),
+            KernelError::ConnectionRefused => write!(f, "connection refused"),
+            KernelError::AlreadyConnected => write!(f, "socket already connected"),
+            KernelError::Invalid(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

@@ -1,0 +1,112 @@
+//! Bounded perf-style ring buffer carrying hook events to user space.
+//!
+//! Real eBPF programs publish into a perf/ring buffer that the agent mmaps;
+//! when the consumer lags, the kernel *drops* events and counts the drops.
+//! Reproducing the drop behaviour matters: the agent's session aggregation
+//! must tolerate missing halves (paper §3.3.1 treats missing responses as
+//! unexpected terminations).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with drop accounting.
+#[derive(Debug)]
+pub struct PerfRingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    pushed: u64,
+}
+
+impl<T> PerfRingBuffer<T> {
+    /// Create a ring with the given capacity (entries, not bytes).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        PerfRingBuffer {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Publish an event. Returns `false` (and counts a drop) when full —
+    /// like the kernel, we drop the *new* event rather than overwrite, so
+    /// the consumer sees a contiguous prefix.
+    pub fn push(&mut self, event: T) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.buf.push_back(event);
+            self.pushed += 1;
+            true
+        }
+    }
+
+    /// Drain up to `max` events.
+    pub fn drain(&mut self, max: usize) -> Vec<T> {
+        let n = max.min(self.buf.len());
+        self.buf.drain(..n).collect()
+    }
+
+    /// Drain everything.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events successfully published.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_fifo_order() {
+        let mut rb = PerfRingBuffer::new(8);
+        for i in 0..5 {
+            assert!(rb.push(i));
+        }
+        assert_eq!(rb.drain(3), vec![0, 1, 2]);
+        assert_eq!(rb.drain_all(), vec![3, 4]);
+        assert!(rb.is_empty());
+        assert_eq!(rb.pushed(), 5);
+    }
+
+    #[test]
+    fn full_ring_drops_new_events() {
+        let mut rb = PerfRingBuffer::new(2);
+        assert!(rb.push(1));
+        assert!(rb.push(2));
+        assert!(!rb.push(3));
+        assert_eq!(rb.dropped(), 1);
+        assert_eq!(rb.drain_all(), vec![1, 2]);
+        // after draining, pushes succeed again
+        assert!(rb.push(4));
+        assert_eq!(rb.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PerfRingBuffer::<u8>::new(0);
+    }
+}

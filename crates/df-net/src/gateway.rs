@@ -1,0 +1,191 @@
+//! L4 gateways (server load balancers).
+//!
+//! Paper Appendix A: "since the majority of the L4 gateways do not modify
+//! the TCP sequence, we can utilize it to trace the requests that traverse
+//! the gateway". The gateway here DNATs a VIP to a backend (and SNATs the
+//! reply), *never touching sequence numbers* — so the same `tcp_seq` is
+//! observable on the client-side leg and the backend-side leg, and
+//! DeepFlow's inter-component association stitches across it.
+
+use df_types::net::FiveTuple;
+use df_types::packet::Segment;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A virtual-IP L4 load balancer with per-connection affinity (conntrack).
+#[derive(Debug)]
+pub struct L4Gateway {
+    /// Gateway name (element id / tap label).
+    pub name: String,
+    /// The virtual IP clients connect to.
+    pub vip: Ipv4Addr,
+    /// The VIP port (0 = any port).
+    pub port: u16,
+    /// Backend real-server IPs.
+    pub backends: Vec<Ipv4Addr>,
+    /// Established connection → chosen backend.
+    conntrack: HashMap<FiveTuple, Ipv4Addr>,
+    rr_next: usize,
+}
+
+/// The result of passing a segment through the gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayAction {
+    /// Not for this gateway; forward untouched.
+    Pass,
+    /// Rewritten (DNAT or reverse SNAT); forward the new segment.
+    Rewritten(Segment),
+    /// VIP hit but no backends — drop (connection will time out / RST).
+    NoBackend,
+}
+
+impl L4Gateway {
+    /// Create a gateway.
+    pub fn new(name: &str, vip: Ipv4Addr, port: u16, backends: Vec<Ipv4Addr>) -> Self {
+        L4Gateway {
+            name: name.to_string(),
+            vip,
+            port,
+            backends,
+            conntrack: HashMap::new(),
+            rr_next: 0,
+        }
+    }
+
+    fn port_matches(&self, port: u16) -> bool {
+        self.port == 0 || self.port == port
+    }
+
+    /// Process one segment. Sequence numbers and payload are never modified —
+    /// only the address fields (the Appendix A invariant).
+    pub fn process(&mut self, seg: &Segment) -> GatewayAction {
+        // Forward direction: client → VIP.
+        if seg.five_tuple.dst_ip == self.vip && self.port_matches(seg.five_tuple.dst_port) {
+            let key = seg.five_tuple;
+            let backend = match self.conntrack.get(&key) {
+                Some(b) => *b,
+                None => {
+                    if self.backends.is_empty() {
+                        return GatewayAction::NoBackend;
+                    }
+                    let b = self.backends[self.rr_next % self.backends.len()];
+                    self.rr_next += 1;
+                    self.conntrack.insert(key, b);
+                    b
+                }
+            };
+            let mut out = seg.clone();
+            out.five_tuple.dst_ip = backend;
+            return GatewayAction::Rewritten(out);
+        }
+        // Reverse direction: backend → client; restore the VIP as source so
+        // the client recognises the flow.
+        if self.port_matches(seg.five_tuple.src_port)
+            && self.backends.contains(&seg.five_tuple.src_ip)
+        {
+            // Find the conntrack entry whose reply this is.
+            let reply_of = FiveTuple {
+                src_ip: seg.five_tuple.dst_ip,
+                src_port: seg.five_tuple.dst_port,
+                dst_ip: self.vip,
+                dst_port: seg.five_tuple.src_port,
+                protocol: seg.five_tuple.protocol,
+            };
+            if let Some(backend) = self.conntrack.get(&reply_of) {
+                if *backend == seg.five_tuple.src_ip {
+                    let mut out = seg.clone();
+                    out.five_tuple.src_ip = self.vip;
+                    return GatewayAction::Rewritten(out);
+                }
+            }
+        }
+        GatewayAction::Pass
+    }
+
+    /// Active conntrack entries.
+    pub fn conntrack_len(&self) -> usize {
+        self.conntrack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use df_types::net::TcpFlags;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 9, 9, 9);
+    const B1: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1);
+    const B2: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
+
+    fn seg(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, seq: u32) -> Segment {
+        Segment {
+            five_tuple: FiveTuple::tcp(src, sport, dst, dport),
+            seq,
+            ack: 0,
+            flags: TcpFlags::PSH_ACK,
+            window: 65535,
+            payload: Bytes::from_static(b"req"),
+            is_retransmission: false,
+        }
+    }
+
+    #[test]
+    fn dnat_preserves_tcp_seq_and_sticks_to_backend() {
+        let mut gw = L4Gateway::new("slb", VIP, 80, vec![B1, B2]);
+        let s = seg(CLIENT, 40000, VIP, 80, 777);
+        let GatewayAction::Rewritten(fwd) = gw.process(&s) else {
+            panic!("expected DNAT");
+        };
+        assert_eq!(fwd.five_tuple.dst_ip, B1);
+        assert_eq!(fwd.seq, 777, "seq preserved through L4 gateway");
+        // Same connection keeps its backend.
+        let s2 = seg(CLIENT, 40000, VIP, 80, 900);
+        let GatewayAction::Rewritten(fwd2) = gw.process(&s2) else {
+            panic!()
+        };
+        assert_eq!(fwd2.five_tuple.dst_ip, B1);
+        assert_eq!(gw.conntrack_len(), 1);
+    }
+
+    #[test]
+    fn round_robin_across_connections() {
+        let mut gw = L4Gateway::new("slb", VIP, 80, vec![B1, B2]);
+        let GatewayAction::Rewritten(f1) = gw.process(&seg(CLIENT, 40000, VIP, 80, 1)) else {
+            panic!()
+        };
+        let GatewayAction::Rewritten(f2) = gw.process(&seg(CLIENT, 40001, VIP, 80, 1)) else {
+            panic!()
+        };
+        assert_ne!(f1.five_tuple.dst_ip, f2.five_tuple.dst_ip);
+    }
+
+    #[test]
+    fn reply_is_snatted_back_to_vip() {
+        let mut gw = L4Gateway::new("slb", VIP, 80, vec![B1]);
+        gw.process(&seg(CLIENT, 40000, VIP, 80, 1));
+        let reply = seg(B1, 80, CLIENT, 40000, 5000);
+        let GatewayAction::Rewritten(r) = gw.process(&reply) else {
+            panic!("expected SNAT")
+        };
+        assert_eq!(r.five_tuple.src_ip, VIP);
+        assert_eq!(r.seq, 5000);
+    }
+
+    #[test]
+    fn unrelated_traffic_passes() {
+        let mut gw = L4Gateway::new("slb", VIP, 80, vec![B1]);
+        let other = seg(CLIENT, 40000, Ipv4Addr::new(10, 5, 5, 5), 443, 1);
+        assert_eq!(gw.process(&other), GatewayAction::Pass);
+    }
+
+    #[test]
+    fn empty_backend_pool_drops() {
+        let mut gw = L4Gateway::new("slb", VIP, 80, vec![]);
+        assert_eq!(
+            gw.process(&seg(CLIENT, 40000, VIP, 80, 1)),
+            GatewayAction::NoBackend
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # df-net — the virtual datacenter network
+//!
+//! DeepFlow's pitch is *network-side coverage*: 47.3% of the performance
+//! anomalies its customers hit live in the network infrastructure
+//! (paper Fig. 2), and application-level tracers are blind there. This crate
+//! is the substitution for that infrastructure (DESIGN.md §1): a virtual
+//! L2–L4 datacenter through which the simulated kernels' segments travel,
+//! with
+//!
+//! * a **topology** ([`topology`]) of pods (veth), nodes (NICs), hypervisors
+//!   / physical NICs, top-of-rack switches and gateways — every element a
+//!   potential capture point, reproducing Appendix A's end-host→gateway
+//!   path;
+//! * **capture taps** ([`taps`]) — the cBPF / AF_PACKET analogue: any hop
+//!   can record [`CapturedFrame`]s for an agent to turn into net spans;
+//! * **L4 gateways** ([`gateway`]) that DNAT a VIP to backends while
+//!   *preserving TCP sequence numbers* — the invariant DeepFlow exploits to
+//!   trace across them (Appendix A, Fig. 18);
+//! * **fault injection** ([`faults`]) covering the paper's anomaly taxonomy
+//!   (Fig. 2): latency, loss (→ observable retransmissions), ARP storms
+//!   from a faulty physical NIC (§4.1.2), resets, and receiver backlog;
+//! * the **fabric** ([`fabric`]) tying it together: a synchronous
+//!   `transmit(segment, now) → deliveries` function that walks the route,
+//!   applies faults, resolves ARP, runs gateway NAT, feeds every tap, and
+//!   returns time-stamped deliveries for the caller's event loop.
+//!
+//! [`CapturedFrame`]: df_types::CapturedFrame
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod faults;
+pub mod gateway;
+pub mod taps;
+pub mod topology;
+
+pub use fabric::{Delivery, Fabric, FabricConfig};
+pub use faults::{AnomalySource, Fault, FaultTable};
+pub use gateway::L4Gateway;
+pub use taps::{TapFilter, TapKind, TapRegistry};
+pub use topology::{ElementId, Hop, HopKind, Topology};

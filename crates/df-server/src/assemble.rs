@@ -1,0 +1,652 @@
+//! Algorithm 1 — iterative trace assembling (paper §3.3.2).
+//!
+//! Phase 1 (lines 1–16): starting from a user-chosen span, repeatedly
+//! expand the span set through the store's implicit-context indexes
+//! (systrace ids, pseudo-thread ids, X-Request-IDs, TCP sequences,
+//! third-party trace ids) until a fixed point or the iteration cap
+//! (default 30, like the paper).
+//!
+//! Phase 2 (lines 17–24): set each span's parent under **16 rules** keyed on
+//! collection location, start/finish time, span type and message type:
+//!
+//! * **Rules 1–8 — the capture ladder.** Spans of the *same exchange*
+//!   (same request TCP sequence; UDP falls back to flow+endpoint+time) are
+//!   chained along the client→server capture path:
+//!   `c-app → c → c-pod → c-nd → c-hv → gw → s-hv → s-nd → s-pod → s`.
+//!   Each capture point's span is the parent of the next one down the path.
+//!   (The paper's prose states the client/server parent direction the other
+//!   way round for its example; we nest along the request path so traces
+//!   render as Fig. 1 — outermost span first. The association content is
+//!   identical.)
+//! * **Rule 9** — request-chain systrace: a server-process span whose
+//!   *request* systrace id equals an exchange's client-process request
+//!   systrace id is that exchange's parent (the handler made the call).
+//! * **Rule 10** — response-chain systrace: same, via response systrace ids.
+//! * **Rule 11** — pseudo-thread: shared pseudo-thread id plus time
+//!   containment (coroutine runtimes).
+//! * **Rule 12** — X-Request-ID: shared proxy request id plus containment
+//!   (cross-thread proxies, L7 gateways).
+//! * **Rule 13** — third-party client span: an app span is the parent of
+//!   the exchange whose messages carried that span's id in their headers.
+//! * **Rule 14** — third-party server span: a server-process span is the
+//!   parent of an app span it contains with the same trace id.
+//! * **Rule 15** — third-party ancestry: app span A is the child of app
+//!   span B when `A.parent_span_id == B.span_id`.
+//! * **Rule 16** — fallback: same third-party trace id, tightest time
+//!   containment.
+//!
+//! Phase 3 (line 25): sort parents-first, siblings by request time.
+
+use df_storage::SpanStore;
+use df_types::span::{Span, SpanKind, TapSide};
+use df_types::trace::{AssembledSpan, Trace};
+use df_types::{DurationNs, SpanId};
+use std::collections::{HashMap, HashSet};
+
+/// Assembly tunables.
+#[derive(Debug, Clone)]
+pub struct AssembleConfig {
+    /// Iteration cap for the search phase (paper default: 30).
+    pub iterations: usize,
+    /// Hard cap on trace size (defensive).
+    pub max_spans: usize,
+    /// Clock tolerance for containment checks.
+    pub time_tolerance: DurationNs,
+}
+
+impl Default for AssembleConfig {
+    fn default() -> Self {
+        AssembleConfig {
+            iterations: 30,
+            max_spans: 10_000,
+            time_tolerance: DurationNs::from_micros(100),
+        }
+    }
+}
+
+/// Run Algorithm 1 from `start`.
+pub fn assemble_trace(store: &SpanStore, start: SpanId, cfg: &AssembleConfig) -> Trace {
+    let Some(_) = store.get(start) else {
+        return Trace::default();
+    };
+    // ---- Phase 1: iterative span search (lines 1–16) ----
+    let mut set: HashSet<SpanId> = HashSet::new();
+    set.insert(start);
+    for _iter in 0..cfg.iterations {
+        let mut found: HashSet<SpanId> = HashSet::new();
+        for id in &set {
+            let Some(s) = store.get(*id) else { continue };
+            for v in [s.systrace_id_req, s.systrace_id_resp].into_iter().flatten() {
+                found.extend(store.find_by_systrace(v.raw()));
+            }
+            if let Some(p) = s.pseudo_thread_id {
+                found.extend(store.find_by_pseudo_thread(p.raw()));
+            }
+            for v in [s.x_request_id_req, s.x_request_id_resp].into_iter().flatten() {
+                found.extend(store.find_by_x_request(v.0));
+            }
+            for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+                found.extend(store.find_by_tcp_seq(v));
+            }
+            if let Some(t) = s.otel_trace_id {
+                found.extend(store.find_by_otel_trace(t.0));
+            }
+        }
+        let before = set.len();
+        set.extend(found);
+        if set.len() == before || set.len() >= cfg.max_spans {
+            break; // fixed point (lines 13–14) or cap
+        }
+    }
+    let mut spans: Vec<Span> = set
+        .iter()
+        .filter_map(|id| store.get(*id).cloned())
+        .take(cfg.max_spans)
+        .collect();
+    spans.sort_by_key(|s| (s.req_time, s.span_id));
+
+    // ---- Phase 2: parent assignment (lines 17–24) ----
+    let parents = set_parents(&spans, cfg);
+
+    // ---- Phase 3: sort by time and parent relationship (line 25) ----
+    sort_trace(spans, parents)
+}
+
+/// Exchange identity: the unit one request/response pair forms across all
+/// its capture points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExchangeKey {
+    /// TCP: the request sequence number (preserved across every L2/3/4 hop
+    /// and across L4 gateways — Appendix A).
+    Tcp(u32),
+    /// UDP / sequence-less: flow + endpoint + coarse time bucket.
+    Loose(u64, String, u64),
+}
+
+fn exchange_key(s: &Span) -> ExchangeKey {
+    match s.tcp_seq_req {
+        Some(seq) => ExchangeKey::Tcp(seq),
+        None => ExchangeKey::Loose(
+            s.flow_id.raw(),
+            s.endpoint.clone(),
+            s.req_time.as_nanos() / 100_000_000, // 100 ms bucket
+        ),
+    }
+}
+
+fn contains(parent: &Span, child: &Span, tol: DurationNs) -> bool {
+    parent.req_time.as_nanos() <= child.req_time.as_nanos() + tol.as_nanos()
+        && parent.resp_time.as_nanos() + tol.as_nanos() >= child.resp_time.as_nanos()
+}
+
+fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
+    let mut parent: HashMap<SpanId, SpanId> = HashMap::new();
+
+    // Group into exchanges.
+    let mut exchanges: HashMap<ExchangeKey, Vec<usize>> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.kind == SpanKind::App {
+            continue; // app spans join via rules 13–15
+        }
+        exchanges.entry(exchange_key(s)).or_default().push(i);
+    }
+
+    // Rules 1–8: chain each exchange along the capture ladder.
+    let mut exchange_heads: Vec<usize> = Vec::new();
+    let mut exchange_members: HashMap<SpanId, usize> = HashMap::new(); // span → head index
+    for members in exchanges.values() {
+        let mut order: Vec<usize> = members.clone();
+        order.sort_by_key(|&i| {
+            (
+                spans[i].capture.tap_side.path_rank(),
+                spans[i].req_time,
+                spans[i].span_id,
+            )
+        });
+        for w in order.windows(2) {
+            parent.insert(spans[w[1]].span_id, spans[w[0]].span_id);
+        }
+        let head = order[0];
+        exchange_heads.push(head);
+        for &i in &order {
+            exchange_members.insert(spans[i].span_id, head);
+        }
+    }
+
+    // Rules 9–12 + 16: find a cross-exchange parent for each exchange head.
+    for &head in &exchange_heads {
+        // Probe span: the exchange's client-process span if present, else
+        // the head itself (it carries the systrace/x-request context).
+        let head_id = spans[head].span_id;
+        let probe = exchanges
+            .get(&exchange_key(&spans[head]))
+            .and_then(|members| {
+                members
+                    .iter()
+                    .find(|&&i| spans[i].capture.tap_side == TapSide::ClientProcess)
+                    .copied()
+            })
+            .unwrap_or(head);
+        let probe_span = &spans[probe];
+        let mut best: Option<usize> = None;
+        for (j, cand) in spans.iter().enumerate() {
+            // A parent candidate is a server-side process/app observation of
+            // a DIFFERENT exchange.
+            if exchange_members.get(&cand.span_id) == Some(&head) {
+                continue;
+            }
+            if !matches!(
+                cand.capture.tap_side,
+                TapSide::ServerProcess | TapSide::ServerApp
+            ) {
+                continue;
+            }
+            let m = |a: Option<df_types::SysTraceId>, b: Option<df_types::SysTraceId>| {
+                matches!((a, b), (Some(x), Some(y)) if x == y)
+            };
+            let mx = |a: Option<df_types::XRequestId>, b: Option<df_types::XRequestId>| {
+                matches!((a, b), (Some(x), Some(y)) if x == y)
+            };
+            let rule9 = m(cand.systrace_id_req, probe_span.systrace_id_req);
+            let rule10 = m(cand.systrace_id_resp, probe_span.systrace_id_resp);
+            let rule11 = cand.pseudo_thread_id.is_some()
+                && cand.pseudo_thread_id == probe_span.pseudo_thread_id
+                && contains(cand, probe_span, cfg.time_tolerance);
+            let rule12 = (mx(cand.x_request_id_req, probe_span.x_request_id_req)
+                || mx(cand.x_request_id_resp, probe_span.x_request_id_resp)
+                || mx(cand.x_request_id_req, probe_span.x_request_id_resp)
+                || mx(cand.x_request_id_resp, probe_span.x_request_id_req))
+                && contains(cand, probe_span, cfg.time_tolerance);
+            let rule16 = cand.otel_trace_id.is_some()
+                && cand.otel_trace_id == probe_span.otel_trace_id
+                && contains(cand, probe_span, cfg.time_tolerance);
+            if rule9 || rule10 || rule11 || rule12 || rule16 {
+                // Tightest container wins.
+                best = match best {
+                    Some(b) if spans[b].req_time >= cand.req_time => Some(b),
+                    _ => Some(j),
+                };
+            }
+        }
+        if let Some(b) = best {
+            parent.insert(head_id, spans[b].span_id);
+        }
+    }
+
+    // Rules 13–15: third-party (app) spans.
+    let by_otel_span: HashMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == SpanKind::App)
+        .filter_map(|(i, s)| s.otel_span_id.map(|id| (id.0, i)))
+        .collect();
+    for &head in &exchange_heads {
+        // Rule 13: the exchange carried an app span's id in its headers →
+        // that app span is the (tighter) parent of the exchange head.
+        let head_span = &spans[head];
+        if let Some(sid) = head_span.otel_span_id {
+            if let Some(&app) = by_otel_span.get(&sid.0) {
+                parent.insert(head_span.span_id, spans[app].span_id);
+            }
+        }
+    }
+    for (i, s) in spans.iter().enumerate() {
+        if s.kind != SpanKind::App {
+            continue;
+        }
+        // Rule 15: app ancestry by explicit parent span id.
+        if let Some(pid) = s.otel_parent_span_id {
+            if let Some(&p) = by_otel_span.get(&pid.0) {
+                if p != i {
+                    parent.insert(s.span_id, spans[p].span_id);
+                    continue;
+                }
+            }
+        }
+        // Rule 14: a server-process span containing this app span with the
+        // same trace id adopts it.
+        let mut best: Option<usize> = None;
+        for (j, cand) in spans.iter().enumerate() {
+            if j == i || cand.kind == SpanKind::App {
+                continue;
+            }
+            if cand.capture.tap_side == TapSide::ServerProcess
+                && cand.otel_trace_id.is_some()
+                && cand.otel_trace_id == s.otel_trace_id
+                && contains(cand, s, cfg.time_tolerance)
+            {
+                best = match best {
+                    Some(b) if spans[b].req_time >= cand.req_time => Some(b),
+                    _ => Some(j),
+                };
+            }
+        }
+        if let Some(b) = best {
+            parent.insert(s.span_id, spans[b].span_id);
+        }
+    }
+
+    // Cycle guard: drop any edge that closes a loop.
+    let mut acyclic: HashMap<SpanId, SpanId> = HashMap::new();
+    for (&child, &p) in &parent {
+        let mut cur = Some(p);
+        let mut ok = true;
+        let mut hops = 0;
+        while let Some(c) = cur {
+            if c == child {
+                ok = false;
+                break;
+            }
+            hops += 1;
+            if hops > spans.len() {
+                break;
+            }
+            cur = parent.get(&c).copied();
+        }
+        if ok {
+            acyclic.insert(child, p);
+        }
+    }
+    acyclic
+}
+
+fn sort_trace(spans: Vec<Span>, parents: HashMap<SpanId, SpanId>) -> Trace {
+    let index: HashMap<SpanId, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.span_id, i))
+        .collect();
+    let mut children: HashMap<Option<SpanId>, Vec<usize>> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        // A parent outside the assembled set degrades to root.
+        let p = parents
+            .get(&s.span_id)
+            .copied()
+            .filter(|p| index.contains_key(p));
+        children.entry(p).or_default().push(i);
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|&i| (spans[i].req_time, spans[i].span_id));
+    }
+    // DFS parents-first.
+    let mut order = Vec::with_capacity(spans.len());
+    let mut stack: Vec<usize> = children
+        .get(&None)
+        .cloned()
+        .unwrap_or_default()
+        .into_iter()
+        .rev()
+        .collect();
+    let mut visited = vec![false; spans.len()];
+    while let Some(i) = stack.pop() {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        order.push(i);
+        if let Some(kids) = children.get(&Some(spans[i].span_id)) {
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        }
+    }
+    // Any unvisited spans (shouldn't happen post cycle-guard) appended.
+    for i in 0..spans.len() {
+        if !visited[i] {
+            order.push(i);
+        }
+    }
+    let id_of = |i: usize| spans[i].span_id;
+    let assembled: Vec<AssembledSpan> = order
+        .iter()
+        .map(|&i| AssembledSpan {
+            parent: parents
+                .get(&id_of(i))
+                .copied()
+                .filter(|p| index.contains_key(p)),
+            span: spans[i].clone(),
+        })
+        .collect();
+    Trace { spans: assembled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::ids::*;
+    use df_types::l7::L7Protocol;
+    use df_types::net::FiveTuple;
+    use df_types::span::{CapturePoint, SpanStatus};
+    use df_types::tags::TagSet;
+    use df_types::TimeNs;
+    use std::net::Ipv4Addr;
+
+    fn base_span(tap: TapSide, req: u64, resp: u64) -> Span {
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side: tap,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                40000,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".to_string(),
+            req_time: TimeNs(req),
+            resp_time: TimeNs(resp),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 1,
+            resp_bytes: 1,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: None,
+            tcp_seq_resp: None,
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
+    /// Figure-1-shaped scenario over two exchanges:
+    /// user → A (exchange 1, seq 100), A → B (exchange 2, seq 200),
+    /// each observed at client and server process plus a node NIC.
+    fn figure1_store() -> (SpanStore, SpanId) {
+        let mut st = SpanStore::new();
+        // Exchange 1: user → A. Only A's server span (user is external).
+        let mut a_server = base_span(TapSide::ServerProcess, 0, 100);
+        a_server.tcp_seq_req = Some(100);
+        a_server.tcp_seq_resp = Some(150);
+        a_server.systrace_id_req = Some(SysTraceId(1));
+        a_server.systrace_id_resp = Some(SysTraceId(2));
+        let a_id = st.insert(a_server);
+
+        // Exchange 2: A → B.
+        let mut a_client = base_span(TapSide::ClientProcess, 10, 80);
+        a_client.tcp_seq_req = Some(200);
+        a_client.tcp_seq_resp = Some(250);
+        a_client.systrace_id_req = Some(SysTraceId(1)); // chained from A's ingress
+        a_client.systrace_id_resp = Some(SysTraceId(2));
+        let ac_id = st.insert(a_client);
+
+        let mut nic = base_span(TapSide::ClientNodeNic, 12, 78);
+        nic.kind = SpanKind::Net;
+        nic.tcp_seq_req = Some(200);
+        nic.tcp_seq_resp = Some(250);
+        let nic_id = st.insert(nic);
+
+        let mut b_server = base_span(TapSide::ServerProcess, 20, 70);
+        b_server.tcp_seq_req = Some(200);
+        b_server.tcp_seq_resp = Some(250);
+        b_server.systrace_id_req = Some(SysTraceId(10));
+        b_server.systrace_id_resp = Some(SysTraceId(11));
+        let bs_id = st.insert(b_server);
+
+        let _ = (ac_id, nic_id, bs_id);
+        (st, a_id)
+    }
+
+    #[test]
+    fn search_reaches_every_related_span_from_any_start() {
+        let (st, a_id) = figure1_store();
+        let trace = assemble_trace(&st, a_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 4, "all four spans joined: {trace:#?}");
+        assert!(trace.is_well_formed());
+        // Starting from a different span reaches the same set.
+        let trace2 = assemble_trace(&st, SpanId(4), &AssembleConfig::default());
+        assert_eq!(trace2.len(), 4);
+    }
+
+    #[test]
+    fn parents_follow_capture_ladder_and_systrace() {
+        let (st, a_id) = figure1_store();
+        let trace = assemble_trace(&st, a_id, &AssembleConfig::default());
+        let parent_of = |id: u64| {
+            trace
+                .spans
+                .iter()
+                .find(|s| s.span.span_id == SpanId(id))
+                .unwrap()
+                .parent
+        };
+        // A's server span is the root.
+        assert_eq!(parent_of(1), None);
+        // Rule 9: A's client span hangs off A's server span via systrace.
+        assert_eq!(parent_of(2), Some(SpanId(1)));
+        // Rules 1–8: NIC net span chains under the client process span...
+        assert_eq!(parent_of(3), Some(SpanId(2)));
+        // ...and B's server span chains under the NIC span.
+        assert_eq!(parent_of(4), Some(SpanId(3)));
+        // Sorted parents-first.
+        assert_eq!(trace.spans[0].span.span_id, SpanId(1));
+    }
+
+    #[test]
+    fn unrelated_spans_stay_out_of_the_trace() {
+        let (mut st, a_id) = figure1_store();
+        let mut noise = base_span(TapSide::ServerProcess, 1000, 2000);
+        noise.tcp_seq_req = Some(999);
+        noise.systrace_id_req = Some(SysTraceId(77));
+        st.insert(noise);
+        let trace = assemble_trace(&st, a_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn iteration_cap_bounds_the_search() {
+        // A long chain: exchange i links to i+1 by systrace. With a cap of
+        // 2 iterations only a prefix is found.
+        let mut st = SpanStore::new();
+        let mut first = None;
+        for i in 0..20u64 {
+            let mut s = base_span(TapSide::ServerProcess, i * 10, i * 10 + 200);
+            s.tcp_seq_req = Some(1000 + i as u32);
+            s.systrace_id_req = Some(SysTraceId(i + 1));
+            s.systrace_id_resp = Some(SysTraceId(i + 2)); // overlaps next span's req
+            let id = st.insert(s);
+            first.get_or_insert(id);
+        }
+        let small = assemble_trace(
+            &st,
+            first.unwrap(),
+            &AssembleConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+        );
+        let full = assemble_trace(&st, first.unwrap(), &AssembleConfig::default());
+        assert!(small.len() < full.len());
+        assert_eq!(full.len(), 20);
+    }
+
+    #[test]
+    fn x_request_id_links_across_l7_proxy() {
+        // Proxy terminates TCP: two exchanges with different seqs, linked
+        // only by X-Request-ID (rule 12).
+        let mut st = SpanStore::new();
+        let xid = XRequestId(0xabc);
+        let mut downstream = base_span(TapSide::ServerProcess, 0, 100);
+        downstream.tcp_seq_req = Some(1);
+        downstream.x_request_id_resp = Some(xid);
+        let d_id = st.insert(downstream);
+        let mut upstream = base_span(TapSide::ClientProcess, 10, 90);
+        upstream.tcp_seq_req = Some(500);
+        upstream.x_request_id_req = Some(xid);
+        st.insert(upstream);
+        let trace = assemble_trace(&st, d_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 2);
+        let up = trace
+            .spans
+            .iter()
+            .find(|s| s.span.capture.tap_side == TapSide::ClientProcess)
+            .unwrap();
+        assert_eq!(up.parent, Some(d_id));
+    }
+
+    #[test]
+    fn pseudo_thread_links_coroutine_exchanges() {
+        let mut st = SpanStore::new();
+        let pth = PseudoThreadId(5);
+        let mut server = base_span(TapSide::ServerProcess, 0, 100);
+        server.tcp_seq_req = Some(1);
+        server.pseudo_thread_id = Some(pth);
+        let s_id = st.insert(server);
+        let mut client = base_span(TapSide::ClientProcess, 20, 60);
+        client.tcp_seq_req = Some(2);
+        client.pseudo_thread_id = Some(pth);
+        st.insert(client);
+        let trace = assemble_trace(&st, s_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 2);
+        let c = trace
+            .spans
+            .iter()
+            .find(|s| s.span.capture.tap_side == TapSide::ClientProcess)
+            .unwrap();
+        assert_eq!(c.parent, Some(s_id), "rule 11");
+    }
+
+    #[test]
+    fn otel_app_spans_interleave_with_sys_spans() {
+        // App span (client side) → its id travels in headers → sys exchange
+        // carries otel_span_id → rule 13 makes the app span the parent.
+        let mut st = SpanStore::new();
+        let tid = OtelTraceId(0x11);
+        let app_sid = OtelSpanId(0x22);
+        let mut app = base_span(TapSide::ClientApp, 0, 100);
+        app.kind = SpanKind::App;
+        app.otel_trace_id = Some(tid);
+        app.otel_span_id = Some(app_sid);
+        let app_id = st.insert(app);
+        let mut sys = base_span(TapSide::ClientProcess, 10, 90);
+        sys.tcp_seq_req = Some(5);
+        sys.otel_trace_id = Some(tid);
+        sys.otel_span_id = Some(app_sid);
+        st.insert(sys);
+        let trace = assemble_trace(&st, app_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 2);
+        let sys_assembled = trace
+            .spans
+            .iter()
+            .find(|s| s.span.kind == SpanKind::Sys)
+            .unwrap();
+        assert_eq!(sys_assembled.parent, Some(app_id), "rule 13");
+    }
+
+    #[test]
+    fn app_span_ancestry_rule15() {
+        let mut st = SpanStore::new();
+        let tid = OtelTraceId(0x99);
+        let mut parent_app = base_span(TapSide::ServerApp, 0, 100);
+        parent_app.kind = SpanKind::App;
+        parent_app.otel_trace_id = Some(tid);
+        parent_app.otel_span_id = Some(OtelSpanId(1));
+        let p_id = st.insert(parent_app);
+        let mut child_app = base_span(TapSide::ClientApp, 10, 90);
+        child_app.kind = SpanKind::App;
+        child_app.otel_trace_id = Some(tid);
+        child_app.otel_span_id = Some(OtelSpanId(2));
+        child_app.otel_parent_span_id = Some(OtelSpanId(1));
+        st.insert(child_app);
+        let trace = assemble_trace(&st, p_id, &AssembleConfig::default());
+        assert_eq!(trace.len(), 2);
+        let child = trace
+            .spans
+            .iter()
+            .find(|s| s.span.otel_span_id == Some(OtelSpanId(2)))
+            .unwrap();
+        assert_eq!(child.parent, Some(p_id));
+    }
+
+    #[test]
+    fn missing_start_span_yields_empty_trace() {
+        let st = SpanStore::new();
+        let t = assemble_trace(&st, SpanId(42), &AssembleConfig::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn assembled_traces_are_always_well_formed() {
+        let (st, a_id) = figure1_store();
+        for start in 1..=4u64 {
+            let t = assemble_trace(&st, SpanId(start), &AssembleConfig::default());
+            assert!(t.is_well_formed(), "start {start}");
+        }
+        let _ = a_id;
+    }
+}

@@ -1,0 +1,27 @@
+//! # df-server — the DeepFlow Server
+//!
+//! Cluster-level process (paper Fig. 4): "responsible for storing spans in
+//! the database and assembling them into traces when users query". Three
+//! pieces:
+//!
+//! * [`dictionary`] — the resource-tag dictionary built from the
+//!   orchestrator inventory (Fig. 8 ①–③). Implements smart-encoding
+//!   **phase 2**: resolving each span's agent-written `(vpc, ip)` ints into
+//!   the full integer resource-tag block (step ⑦), and **phase 3**: joining
+//!   self-defined string labels at query time (step ⑧);
+//! * [`assemble`] — **Algorithm 1**: iterative span search over the store's
+//!   implicit-context indexes, then parent assignment under the 16 rules,
+//!   then time/parent sorting;
+//! * [`server`] — the facade: ingest (phase-2 enrichment + store insert),
+//!   span-list queries, trace queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod dictionary;
+pub mod server;
+
+pub use assemble::{assemble_trace, AssembleConfig};
+pub use dictionary::TagDictionary;
+pub use server::{Server, ServerStats};

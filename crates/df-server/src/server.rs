@@ -1,0 +1,364 @@
+//! The server facade: ingest spans, answer queries.
+
+use crate::assemble::{assemble_trace, AssembleConfig};
+use crate::dictionary::TagDictionary;
+use df_storage::{SpanQuery, SpanStore};
+use df_types::tags::ResourceInventory;
+use df_types::trace::Trace;
+use df_types::{Span, SpanId, TimeNs};
+
+/// Re-aggregation matching key: the capture point + flow + protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ReaggKey {
+    agent: df_types::AgentId,
+    tap_side: df_types::TapSide,
+    flow: df_types::FlowId,
+    protocol: df_types::L7Protocol,
+}
+
+/// Server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Spans ingested.
+    pub ingested: u64,
+    /// Spans whose tags were phase-2 enriched.
+    pub enriched: u64,
+    /// Trace queries served.
+    pub trace_queries: u64,
+    /// Span-list queries served.
+    pub list_queries: u64,
+    /// Sessions reunited by server-side re-aggregation.
+    pub re_aggregated: u64,
+}
+
+/// The DeepFlow Server.
+pub struct Server {
+    store: SpanStore,
+    dict: TagDictionary,
+    assemble_cfg: AssembleConfig,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// Server over a resource inventory (Fig. 8 ①–③ already collected).
+    pub fn new(inventory: &ResourceInventory) -> Self {
+        Server {
+            store: SpanStore::new(),
+            dict: TagDictionary::build(inventory),
+            assemble_cfg: AssembleConfig::default(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Override assembly tunables (the Alg. 1 iteration-cap ablation).
+    pub fn set_assemble_config(&mut self, cfg: AssembleConfig) {
+        self.assemble_cfg = cfg;
+    }
+
+    /// The tag dictionary (display lookups).
+    pub fn dictionary(&self) -> &TagDictionary {
+        &self.dict
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Spans stored.
+    pub fn span_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Direct store access (benches).
+    pub fn store(&self) -> &SpanStore {
+        &self.store
+    }
+
+    /// Ingest one span: smart-encoding phase 2 (Fig. 8 ⑦) then insert.
+    pub fn ingest(&mut self, mut span: Span) -> SpanId {
+        self.dict.enrich(&mut span.tags.resource);
+        if span.tags.resource.is_enriched() {
+            self.stats.enriched += 1;
+        }
+        self.stats.ingested += 1;
+        self.store.insert(span)
+    }
+
+    /// Ingest a batch (what an agent ships per flush).
+    pub fn ingest_batch(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
+        spans.into_iter().map(|s| self.ingest(s)).collect()
+    }
+
+    /// Span-list query (Fig. 15's "span list"), with phase-3 label join
+    /// (Fig. 8 ⑧) applied to the results.
+    pub fn span_list(&mut self, query: &SpanQuery) -> Vec<Span> {
+        self.stats.list_queries += 1;
+        let dict = &self.dict;
+        let results: Vec<Span> = self
+            .store
+            .query(query)
+            .into_iter()
+            .cloned()
+            .map(|mut s| {
+                join_labels(dict, &mut s);
+                s
+            })
+            .collect();
+        results
+    }
+
+    /// Trace query: Algorithm 1 from a user-chosen span (Fig. 15's
+    /// "trace"), with phase-3 label join on every span.
+    pub fn trace(&mut self, start: SpanId) -> Trace {
+        self.stats.trace_queries += 1;
+        let mut trace = assemble_trace(&self.store, start, &self.assemble_cfg);
+        for s in &mut trace.spans {
+            join_labels(&self.dict, &mut s.span);
+        }
+        trace
+    }
+
+    /// Convenience: the slowest span in a window — the typical "start
+    /// point" a troubleshooting user picks ("users can select spans that
+    /// they are interested in, such as time-consuming invocations").
+    pub fn slowest_span(&mut self, from: TimeNs, to: TimeNs) -> Option<SpanId> {
+        let q = SpanQuery::window(from, to);
+        self.stats.list_queries += 1;
+        self.store
+            .query(&q)
+            .into_iter()
+            .max_by_key(|s| s.duration())
+            .map(|s| s.span_id)
+    }
+
+    /// Server-side re-aggregation (§3.3.1): pair Incomplete spans (requests
+    /// whose responses missed the agent's time window) with the
+    /// ResponseOnly fragments agents shipped later. Matching mirrors the
+    /// agent's own technique — same capture point, same flow, FIFO order —
+    /// and consumed fragments are tombstoned. Returns how many sessions
+    /// were reunited.
+    pub fn re_aggregate(&mut self) -> usize {
+        use df_types::span::SpanStatus;
+        use std::collections::HashMap;
+        // Collect candidates (ids only; the store stays borrowable).
+        let mut incomplete: HashMap<ReaggKey, Vec<(df_types::TimeNs, SpanId)>> = HashMap::new();
+        let mut fragments: HashMap<ReaggKey, Vec<(df_types::TimeNs, SpanId)>> = HashMap::new();
+        for span in self.store.iter() {
+            if self.store.is_tombstoned(span.span_id) {
+                continue;
+            }
+            let key = ReaggKey {
+                agent: span.agent,
+                tap_side: span.capture.tap_side,
+                flow: span.flow_id,
+                protocol: span.l7_protocol,
+            };
+            match span.status {
+                SpanStatus::Incomplete => {
+                    incomplete.entry(key).or_default().push((span.req_time, span.span_id))
+                }
+                SpanStatus::ResponseOnly => {
+                    fragments.entry(key).or_default().push((span.resp_time, span.span_id))
+                }
+                _ => {}
+            }
+        }
+        let mut merged = 0usize;
+        for (key, mut reqs) in incomplete {
+            let Some(mut resps) = fragments.remove(&key) else {
+                continue;
+            };
+            reqs.sort_unstable();
+            resps.sort_unstable();
+            let mut ri = 0usize;
+            for (req_ts, req_id) in reqs {
+                // FIFO: the earliest fragment at or after the request.
+                while ri < resps.len() && resps[ri].0 < req_ts {
+                    ri += 1;
+                }
+                if ri >= resps.len() {
+                    break;
+                }
+                let (_, frag_id) = resps[ri];
+                ri += 1;
+                let frag = self.store.get(frag_id).cloned().expect("fragment exists");
+                if self.store.complete_span(req_id, &frag) {
+                    self.store.tombstone(frag_id);
+                    merged += 1;
+                }
+            }
+        }
+        self.stats.re_aggregated += merged as u64;
+        merged
+    }
+
+    /// Convenience: error spans in a window.
+    pub fn error_spans(&mut self, from: TimeNs, to: TimeNs) -> Vec<Span> {
+        let q = SpanQuery {
+            errors_only: true,
+            ..SpanQuery::window(from, to)
+        };
+        self.span_list(&q)
+    }
+}
+
+fn join_labels(dict: &TagDictionary, span: &mut Span) {
+    if let Some(ip) = span.tags.resource.ip {
+        for (k, v) in dict.labels_for_ip(ip) {
+            if span.tags.label(k).is_none() {
+                span.tags.custom.push((k.clone(), v.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::ids::*;
+    use df_types::l7::L7Protocol;
+    use df_types::net::FiveTuple;
+    use df_types::span::{CapturePoint, SpanKind, SpanStatus, TapSide};
+    use df_types::tags::{NodeResource, PodResource, TagSet};
+    use std::net::Ipv4Addr;
+
+    fn inventory() -> ResourceInventory {
+        ResourceInventory {
+            pods: vec![PodResource {
+                name: "web-0".into(),
+                ip: u32::from(Ipv4Addr::new(10, 1, 0, 1)),
+                node: "node-1".into(),
+                namespace: "default".into(),
+                workload: "web".into(),
+                service: "web-svc".into(),
+                labels: vec![("version".into(), "v3".into())],
+            }],
+            nodes: vec![NodeResource {
+                name: "node-1".into(),
+                ip: u32::from(Ipv4Addr::new(192, 168, 0, 1)),
+                region: "r1".into(),
+                az: "az1".into(),
+                vpc: "vpc1".into(),
+                subnet: "s1".into(),
+                cluster: "c1".into(),
+            }],
+        }
+    }
+
+    fn span(req_ns: u64, duration: u64) -> Span {
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side: TapSide::ClientProcess,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 1, 0, 1),
+                40000,
+                Ipv4Addr::new(10, 1, 1, 1),
+                80,
+            ),
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".to_string(),
+            req_time: TimeNs(req_ns),
+            resp_time: TimeNs(req_ns + duration),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 1,
+            resp_bytes: 1,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: Some(1),
+            tcp_seq_resp: Some(2),
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet {
+                resource: df_types::tags::ResourceTags {
+                    vpc_id: Some(1),
+                    ip: Some(u32::from(Ipv4Addr::new(10, 1, 0, 1))),
+                    ..Default::default()
+                },
+                custom: vec![],
+            },
+            flow_metrics: None,
+        }
+    }
+
+    #[test]
+    fn ingest_enriches_phase2_tags() {
+        let mut srv = Server::new(&inventory());
+        let id = srv.ingest(span(100, 50));
+        let stored = srv.store().get(id).unwrap();
+        assert!(stored.tags.resource.is_enriched());
+        assert_eq!(
+            srv.dictionary()
+                .pod_name(stored.tags.resource.pod_id.unwrap()),
+            Some("web-0")
+        );
+        assert_eq!(srv.stats().enriched, 1);
+        // Labels are NOT materialised at ingest (phase 3 is query-time).
+        assert!(stored.tags.custom.is_empty());
+    }
+
+    #[test]
+    fn span_list_joins_labels_at_query_time() {
+        let mut srv = Server::new(&inventory());
+        srv.ingest(span(100, 50));
+        let got = srv.span_list(&SpanQuery::window(TimeNs(0), TimeNs(1000)));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tags.label("version"), Some("v3"));
+    }
+
+    #[test]
+    fn slowest_span_and_errors() {
+        let mut srv = Server::new(&inventory());
+        srv.ingest(span(100, 50));
+        let slow = srv.ingest(span(200, 5000));
+        let mut err = span(300, 10);
+        err.status = SpanStatus::ServerError;
+        srv.ingest(err);
+        assert_eq!(srv.slowest_span(TimeNs(0), TimeNs(10_000)), Some(slow));
+        let errors = srv.error_spans(TimeNs(0), TimeNs(10_000));
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].status, SpanStatus::ServerError);
+    }
+
+    #[test]
+    fn trace_query_assembles_and_labels() {
+        let mut srv = Server::new(&inventory());
+        let a = srv.ingest(span(100, 500)); // seq 1
+        let mut child = span(150, 100);
+        child.capture.tap_side = TapSide::ClientNodeNic;
+        child.kind = SpanKind::Net;
+        srv.ingest(child); // same seq → same exchange
+        let trace = srv.trace(a);
+        assert_eq!(trace.len(), 2);
+        assert!(trace.is_well_formed());
+        assert!(trace
+            .spans
+            .iter()
+            .all(|s| s.span.tags.label("version") == Some("v3")));
+        assert_eq!(srv.stats().trace_queries, 1);
+    }
+
+    #[test]
+    fn ingest_batch_counts() {
+        let mut srv = Server::new(&inventory());
+        let ids = srv.ingest_batch(vec![span(1, 1), span(2, 1), span(3, 1)]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(srv.span_count(), 3);
+        assert_eq!(srv.stats().ingested, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! # df-storage — embedded columnar span store
+//!
+//! The paper stores traces in ClickHouse and evaluates three ways of storing
+//! the up-to-100 tags a trace carries (§5.2, Fig. 14):
+//!
+//! * **direct** — tags as plain strings ("storing a tag as a string requires
+//!   more bytes (one char per digit) and thus more calculation and hardware
+//!   resources");
+//! * **low-cardinality** — ClickHouse's per-column dictionary encoding;
+//! * **smart-encoding** — DeepFlow's scheme: tags arrive already as global
+//!   dictionary integers (the string→int mapping happened *once*, at tag
+//!   collection time — §3.4), so the store just writes fixed-width ints.
+//!
+//! This crate reproduces the comparison with an honest implementation of all
+//! three ([`tagtable`]), plus the span store the server runs Algorithm 1
+//! against ([`store`]): a row store with hash indexes over every
+//! implicit-context attribute and a time index for span-list queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod persist;
+pub mod store;
+pub mod tagtable;
+
+pub use column::{Column, ColumnStats};
+pub use store::{SpanQuery, SpanStore, StoreStats};
+pub use tagtable::{TagEncoding, TagTable};

@@ -1,0 +1,464 @@
+//! The span store the server runs Algorithm 1 against.
+//!
+//! Row-oriented storage of [`Span`]s plus hash indexes over every
+//! implicit-context attribute (systrace ids, pseudo-thread ids,
+//! X-Request-IDs, TCP sequences, third-party trace ids) and a time index
+//! for span-list queries. Algorithm 1's `search_database(filter)` (line 12)
+//! resolves to one index probe per attribute value — which is what makes
+//! the iterative search terminate in interactive time (Fig. 15).
+
+use df_types::{Span, SpanId, TimeNs};
+use std::collections::HashMap;
+
+/// A span-list query (the Fig. 15 "span list" request).
+#[derive(Debug, Clone, Default)]
+pub struct SpanQuery {
+    /// Inclusive start of the time window.
+    pub from: Option<TimeNs>,
+    /// Exclusive end of the time window.
+    pub to: Option<TimeNs>,
+    /// Only error spans.
+    pub errors_only: bool,
+    /// Only spans of this endpoint.
+    pub endpoint: Option<String>,
+    /// Only spans observed by this pod (smart-encoded pod id).
+    pub pod_id: Option<u32>,
+    /// Result cap.
+    pub limit: usize,
+}
+
+impl SpanQuery {
+    /// Query a `[from, to)` window.
+    pub fn window(from: TimeNs, to: TimeNs) -> Self {
+        SpanQuery {
+            from: Some(from),
+            to: Some(to),
+            limit: usize::MAX,
+            ..Default::default()
+        }
+    }
+
+    fn matches(&self, span: &Span) -> bool {
+        if let Some(f) = self.from {
+            if span.req_time < f {
+                return false;
+            }
+        }
+        if let Some(t) = self.to {
+            if span.req_time >= t {
+                return false;
+            }
+        }
+        if self.errors_only && !span.status.is_error() {
+            return false;
+        }
+        if let Some(ep) = &self.endpoint {
+            if &span.endpoint != ep {
+                return false;
+            }
+        }
+        if let Some(pod) = self.pod_id {
+            if span.tags.resource.pod_id != Some(pod) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Spans stored.
+    pub spans: usize,
+    /// Total index entries.
+    pub index_entries: usize,
+}
+
+/// The span store.
+#[derive(Debug, Default)]
+pub struct SpanStore {
+    rows: Vec<Span>,
+    by_systrace: HashMap<u64, Vec<u32>>,
+    by_pseudo_thread: HashMap<u64, Vec<u32>>,
+    by_x_request: HashMap<u128, Vec<u32>>,
+    by_tcp_seq: HashMap<u32, Vec<u32>>,
+    by_otel_trace: HashMap<u128, Vec<u32>>,
+    /// `(req_time_ns, row)` pairs, kept sorted; appended mostly in order.
+    time_index: Vec<(u64, u32)>,
+    time_sorted: bool,
+    /// Spans consumed by server-side re-aggregation; hidden from queries.
+    tombstones: std::collections::HashSet<SpanId>,
+}
+
+impl SpanStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SpanStore {
+            time_sorted: true,
+            ..Default::default()
+        }
+    }
+
+    /// Merge a late response's attributes into an incomplete span —
+    /// server-side re-aggregation (§3.3.1). Updates the association
+    /// indexes for the newly known response-side attributes.
+    pub fn complete_span(&mut self, id: SpanId, resp: &Span) -> bool {
+        let Some(row) = id.raw().checked_sub(1) else {
+            return false;
+        };
+        let row = row as u32;
+        let Some(span) = self.rows.get_mut(row as usize) else {
+            return false;
+        };
+        if span.status != df_types::span::SpanStatus::Incomplete {
+            return false;
+        }
+        span.resp_time = resp.resp_time;
+        span.status = match resp.status_code {
+            Some(code) if (400..500).contains(&code) => {
+                df_types::span::SpanStatus::ClientError
+            }
+            Some(code) if code >= 500 => df_types::span::SpanStatus::ServerError,
+            _ => df_types::span::SpanStatus::Ok,
+        };
+        span.status_code = resp.status_code;
+        span.resp_bytes = resp.resp_bytes;
+        span.systrace_id_resp = resp.systrace_id_resp;
+        span.x_request_id_resp = resp.x_request_id_resp;
+        span.tcp_seq_resp = resp.tcp_seq_resp;
+        // Index the new response-side attributes.
+        if let Some(v) = resp.systrace_id_resp {
+            self.by_systrace.entry(v.raw()).or_default().push(row);
+        }
+        if let Some(v) = resp.x_request_id_resp {
+            self.by_x_request.entry(v.0).or_default().push(row);
+        }
+        if let Some(v) = resp.tcp_seq_resp {
+            self.by_tcp_seq.entry(v).or_default().push(row);
+        }
+        true
+    }
+
+    /// Hide a span from queries (its content was merged elsewhere).
+    pub fn tombstone(&mut self, id: SpanId) {
+        self.tombstones.insert(id);
+    }
+
+    /// Whether a span is tombstoned.
+    pub fn is_tombstoned(&self, id: SpanId) -> bool {
+        self.tombstones.contains(&id)
+    }
+
+    /// Insert a span, assigning its id. Returns the id.
+    pub fn insert(&mut self, mut span: Span) -> SpanId {
+        let row = self.rows.len() as u32;
+        let id = SpanId(u64::from(row) + 1);
+        span.span_id = id;
+        if let Some(s) = span.systrace_id_req {
+            self.by_systrace.entry(s.raw()).or_default().push(row);
+        }
+        if let Some(s) = span.systrace_id_resp {
+            if Some(s) != span.systrace_id_req {
+                self.by_systrace.entry(s.raw()).or_default().push(row);
+            }
+        }
+        if let Some(p) = span.pseudo_thread_id {
+            self.by_pseudo_thread.entry(p.raw()).or_default().push(row);
+        }
+        if let Some(x) = span.x_request_id_req {
+            self.by_x_request.entry(x.0).or_default().push(row);
+        }
+        if let Some(x) = span.x_request_id_resp {
+            if Some(x) != span.x_request_id_req {
+                self.by_x_request.entry(x.0).or_default().push(row);
+            }
+        }
+        if let Some(t) = span.tcp_seq_req {
+            self.by_tcp_seq.entry(t).or_default().push(row);
+        }
+        if let Some(t) = span.tcp_seq_resp {
+            if Some(t) != span.tcp_seq_req {
+                self.by_tcp_seq.entry(t).or_default().push(row);
+            }
+        }
+        if let Some(t) = span.otel_trace_id {
+            self.by_otel_trace.entry(t.0).or_default().push(row);
+        }
+        let ts = span.req_time.as_nanos();
+        if let Some((last, _)) = self.time_index.last() {
+            if *last > ts {
+                self.time_sorted = false;
+            }
+        }
+        self.time_index.push((ts, row));
+        self.rows.push(span);
+        id
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        let row = id.raw().checked_sub(1)? as usize;
+        self.rows.get(row)
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Span-list query (time window + filters).
+    pub fn query(&mut self, q: &SpanQuery) -> Vec<&Span> {
+        if !self.time_sorted {
+            self.time_index.sort_unstable();
+            self.time_sorted = true;
+        }
+        let start = match q.from {
+            Some(f) => self
+                .time_index
+                .partition_point(|(ts, _)| *ts < f.as_nanos()),
+            None => 0,
+        };
+        let mut out = Vec::new();
+        for &(ts, row) in &self.time_index[start..] {
+            if let Some(t) = q.to {
+                if ts >= t.as_nanos() {
+                    break;
+                }
+            }
+            let span = &self.rows[row as usize];
+            if self.tombstones.contains(&span.span_id) {
+                continue;
+            }
+            if q.matches(span) {
+                out.push(span);
+                if out.len() >= q.limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index probes — Algorithm 1's `search_database` primitives. Each
+    /// returns span ids sharing the given attribute value.
+    pub fn find_by_systrace(&self, v: u64) -> Vec<SpanId> {
+        Self::ids(self.by_systrace.get(&v))
+    }
+
+    /// Spans sharing a pseudo-thread id.
+    pub fn find_by_pseudo_thread(&self, v: u64) -> Vec<SpanId> {
+        Self::ids(self.by_pseudo_thread.get(&v))
+    }
+
+    /// Spans sharing an X-Request-ID.
+    pub fn find_by_x_request(&self, v: u128) -> Vec<SpanId> {
+        Self::ids(self.by_x_request.get(&v))
+    }
+
+    /// Spans sharing a TCP sequence number.
+    pub fn find_by_tcp_seq(&self, v: u32) -> Vec<SpanId> {
+        Self::ids(self.by_tcp_seq.get(&v))
+    }
+
+    /// Spans sharing a third-party trace id.
+    pub fn find_by_otel_trace(&self, v: u128) -> Vec<SpanId> {
+        Self::ids(self.by_otel_trace.get(&v))
+    }
+
+    fn ids(rows: Option<&Vec<u32>>) -> Vec<SpanId> {
+        rows.map(|v| v.iter().map(|r| SpanId(u64::from(*r) + 1)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            spans: self.rows.len(),
+            index_entries: self.by_systrace.values().map(Vec::len).sum::<usize>()
+                + self.by_pseudo_thread.values().map(Vec::len).sum::<usize>()
+                + self.by_x_request.values().map(Vec::len).sum::<usize>()
+                + self.by_tcp_seq.values().map(Vec::len).sum::<usize>()
+                + self.by_otel_trace.values().map(Vec::len).sum::<usize>(),
+        }
+    }
+
+    /// Iterate all spans (diagnostics / persistence).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::ids::*;
+    use df_types::l7::L7Protocol;
+    use df_types::net::FiveTuple;
+    use df_types::span::{CapturePoint, SpanKind, SpanStatus, TapSide};
+    use df_types::tags::TagSet;
+    use std::net::Ipv4Addr;
+
+    fn span(req_ns: u64) -> Span {
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side: TapSide::ClientProcess,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                40000,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".to_string(),
+            req_time: TimeNs(req_ns),
+            resp_time: TimeNs(req_ns + 1000),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 10,
+            resp_bytes: 20,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: None,
+            tcp_seq_resp: None,
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids_and_get_works() {
+        let mut st = SpanStore::new();
+        let a = st.insert(span(100));
+        let b = st.insert(span(200));
+        assert_eq!(a, SpanId(1));
+        assert_eq!(b, SpanId(2));
+        assert_eq!(st.get(a).unwrap().req_time, TimeNs(100));
+        assert!(st.get(SpanId(99)).is_none());
+        assert!(st.get(SpanId(0)).is_none());
+    }
+
+    #[test]
+    fn time_window_query() {
+        let mut st = SpanStore::new();
+        for t in [100u64, 200, 300, 400, 500] {
+            st.insert(span(t));
+        }
+        let got = st.query(&SpanQuery::window(TimeNs(200), TimeNs(401)));
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|s| s.req_time >= TimeNs(200)));
+    }
+
+    #[test]
+    fn out_of_order_insert_still_queries_correctly() {
+        let mut st = SpanStore::new();
+        for t in [500u64, 100, 300, 200, 400] {
+            st.insert(span(t));
+        }
+        let got = st.query(&SpanQuery::window(TimeNs(150), TimeNs(450)));
+        let times: Vec<u64> = got.iter().map(|s| s.req_time.as_nanos()).collect();
+        assert_eq!(times, vec![200, 300, 400]);
+    }
+
+    #[test]
+    fn filters_compose() {
+        let mut st = SpanStore::new();
+        let mut err = span(100);
+        err.status = SpanStatus::ServerError;
+        err.endpoint = "GET /broken".to_string();
+        st.insert(err);
+        st.insert(span(110));
+        let q = SpanQuery {
+            errors_only: true,
+            limit: usize::MAX,
+            ..Default::default()
+        };
+        let mut st_q = st;
+        let got = st_q.query(&q);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].endpoint, "GET /broken");
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let mut st = SpanStore::new();
+        for t in 0..100u64 {
+            st.insert(span(t));
+        }
+        let q = SpanQuery {
+            limit: 7,
+            ..Default::default()
+        };
+        assert_eq!(st.query(&q).len(), 7);
+    }
+
+    #[test]
+    fn association_indexes_resolve() {
+        let mut st = SpanStore::new();
+        let mut a = span(100);
+        a.systrace_id_req = Some(SysTraceId(7));
+        a.tcp_seq_req = Some(4242);
+        let mut b = span(120);
+        b.systrace_id_resp = Some(SysTraceId(7));
+        b.x_request_id_req = Some(XRequestId(99));
+        let mut c = span(140);
+        c.otel_trace_id = Some(OtelTraceId(1234));
+        c.tcp_seq_resp = Some(4242);
+        let ia = st.insert(a);
+        let ib = st.insert(b);
+        let ic = st.insert(c);
+
+        assert_eq!(st.find_by_systrace(7), vec![ia, ib]);
+        assert_eq!(st.find_by_tcp_seq(4242), vec![ia, ic]);
+        assert_eq!(st.find_by_x_request(99), vec![ib]);
+        assert_eq!(st.find_by_otel_trace(1234), vec![ic]);
+        assert!(st.find_by_systrace(999).is_empty());
+        assert!(st.stats().index_entries >= 6);
+    }
+
+    #[test]
+    fn same_value_req_and_resp_not_double_indexed() {
+        let mut st = SpanStore::new();
+        let mut a = span(100);
+        a.tcp_seq_req = Some(5);
+        a.tcp_seq_resp = Some(5);
+        let id = st.insert(a);
+        assert_eq!(st.find_by_tcp_seq(5), vec![id]);
+    }
+
+    #[test]
+    fn pod_filter_uses_smart_encoded_tag() {
+        let mut st = SpanStore::new();
+        let mut a = span(100);
+        a.tags.resource.pod_id = Some(42);
+        st.insert(a);
+        st.insert(span(100));
+        let q = SpanQuery {
+            pod_id: Some(42),
+            limit: usize::MAX,
+            ..Default::default()
+        };
+        assert_eq!(st.query(&q).len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Network-layer vocabulary: addresses, five-tuples, directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportProtocol {
+    /// Reliable byte stream with sequence numbers (what most microservice
+    /// traffic uses, and what inter-component association relies on).
+    Tcp,
+    /// Datagram transport (DNS and friends).
+    Udp,
+}
+
+impl fmt::Display for TransportProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportProtocol::Tcp => write!(f, "TCP"),
+            TransportProtocol::Udp => write!(f, "UDP"),
+        }
+    }
+}
+
+/// Direction of a captured message relative to the observed component
+/// (paper Table 3: ingress vs egress system calls).
+///
+/// Note the paper's caveat: neither direction maps 1:1 onto
+/// request/response — a client's egress is a request while a server's egress
+/// is a response. Request/response typing happens later, during protocol
+/// inference (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Data received by the component (read/recv* family).
+    Ingress,
+    /// Data sent by the component (write/send* family).
+    Egress,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Ingress => Direction::Egress,
+            Direction::Egress => Direction::Ingress,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Ingress => write!(f, "ingress"),
+            Direction::Egress => write!(f, "egress"),
+        }
+    }
+}
+
+/// The classic five-tuple identifying a flow.
+///
+/// Stored from the *client's* canonical orientation when used as a flow key
+/// (see [`FiveTuple::canonical`]), or from the capture point's local
+/// perspective when attached to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: TransportProtocol,
+}
+
+impl FiveTuple {
+    /// Construct a TCP five-tuple.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: TransportProtocol::Tcp,
+        }
+    }
+
+    /// Construct a UDP five-tuple.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: TransportProtocol::Udp,
+        }
+    }
+
+    /// The same connection viewed from the other endpoint.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-independent key: the lexicographically smaller of
+    /// `(self, reversed)`. Two captures of the same connection from opposite
+    /// ends canonicalise to the same value, which is what flow tables key on.
+    pub fn canonical(&self) -> FiveTuple {
+        let rev = self.reversed();
+        let a = (self.src_ip, self.src_port, self.dst_ip, self.dst_port);
+        let b = (rev.src_ip, rev.src_port, rev.dst_ip, rev.dst_port);
+        if a <= b {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// Whether `other` is the same connection (either orientation).
+    pub fn same_flow(&self, other: &FiveTuple) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// TCP header flags we model (enough for flow-state tracking and the reset /
+/// retransmission metrics DeepFlow reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// SYN flag.
+    pub syn: bool,
+    /// ACK flag.
+    pub ack: bool,
+    /// FIN flag.
+    pub fin: bool,
+    /// RST flag.
+    pub rst: bool,
+    /// PSH flag.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A bare SYN (connection open).
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN+ACK (connection accept).
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// Pure ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// PSH+ACK (data segment).
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: true,
+    };
+    /// FIN+ACK (orderly close).
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
+    /// RST (abort).
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if self.psh {
+            parts.push("PSH");
+        }
+        if parts.is_empty() {
+            write!(f, "-")
+        } else {
+            write!(f, "{}", parts.join("|"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft() -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            43210,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = ft();
+        let r = t.reversed();
+        assert_eq!(r.src_ip, t.dst_ip);
+        assert_eq!(r.dst_port, t.src_port);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn canonical_is_orientation_independent() {
+        let t = ft();
+        assert_eq!(t.canonical(), t.reversed().canonical());
+        assert!(t.same_flow(&t.reversed()));
+    }
+
+    #[test]
+    fn different_flows_do_not_match() {
+        let t = ft();
+        let mut other = t;
+        other.src_port = 9999;
+        assert!(!t.same_flow(&other));
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Ingress.flip(), Direction::Egress);
+        assert_eq!(Direction::Egress.flip(), Direction::Ingress);
+    }
+
+    #[test]
+    fn tcp_flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+        assert_eq!(TcpFlags::RST.to_string(), "RST");
+    }
+}

@@ -1,0 +1,385 @@
+//! [`Span`] — one request/response session observed at one capture point.
+//!
+//! Paper §3.3.1: a span "always begins with a request and ends with a
+//! response". Because DeepFlow is network-centric, the *same* logical
+//! exchange produces multiple spans — one per capture point along the path
+//! (client process, client pod NIC, node NIC, gateway, server side...). The
+//! assembly step (§3.3.2, Algorithm 1) stitches them together using the
+//! implicit-context attributes carried here.
+
+use crate::ids::{
+    AgentId, FlowId, NodeId, OtelSpanId, OtelTraceId, Pid, PseudoThreadId, SpanId, SysTraceId,
+    Tid, XRequestId,
+};
+use crate::l7::L7Protocol;
+use crate::metrics::FlowMetrics;
+use crate::net::FiveTuple;
+use crate::tags::TagSet;
+use crate::time::{DurationNs, TimeNs};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What produced the span (paper Figure 5 and §3.2.1 extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// System span from eBPF syscall hooks ("sys span").
+    Sys,
+    /// Network span from cBPF / AF_PACKET captures on an interface
+    /// ("net span").
+    Net,
+    /// Application span integrated from a third-party tracing framework
+    /// (OpenTelemetry et al., §3.3.2 third-party span integration).
+    App,
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanKind::Sys => write!(f, "sys"),
+            SpanKind::Net => write!(f, "net"),
+            SpanKind::App => write!(f, "app"),
+        }
+    }
+}
+
+/// Which side of the exchange, and at which layer of the infrastructure, the
+/// span was observed. Ordered roughly client→server along the Appendix A
+/// datacenter path (Figure 17/18); [`TapSide::path_rank`] exposes that order
+/// for parent-rule evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TapSide {
+    /// Client application span from a third-party tracer.
+    ClientApp,
+    /// Client process (eBPF syscall capture).
+    ClientProcess,
+    /// Client pod interface (veth).
+    ClientPodNic,
+    /// Client node / VM interface.
+    ClientNodeNic,
+    /// Client-side hypervisor / physical NIC.
+    ClientHypervisor,
+    /// A gateway traversed by the flow (L4 or L7; see [`Span::is_l7_gateway`]).
+    Gateway,
+    /// Server-side hypervisor / physical NIC.
+    ServerHypervisor,
+    /// Server node / VM interface.
+    ServerNodeNic,
+    /// Server pod interface (veth).
+    ServerPodNic,
+    /// Server process (eBPF syscall capture).
+    ServerProcess,
+    /// Server application span from a third-party tracer.
+    ServerApp,
+}
+
+impl TapSide {
+    /// Position along the client→server capture path. Smaller = closer to
+    /// the client application. Used by the 16 parent rules: on the request
+    /// path, a capture point earlier in the path is the parent of the next.
+    pub fn path_rank(self) -> u8 {
+        match self {
+            TapSide::ClientApp => 0,
+            TapSide::ClientProcess => 1,
+            TapSide::ClientPodNic => 2,
+            TapSide::ClientNodeNic => 3,
+            TapSide::ClientHypervisor => 4,
+            TapSide::Gateway => 5,
+            TapSide::ServerHypervisor => 6,
+            TapSide::ServerNodeNic => 7,
+            TapSide::ServerPodNic => 8,
+            TapSide::ServerProcess => 9,
+            TapSide::ServerApp => 10,
+        }
+    }
+
+    /// Whether this observation point is on the client side of the flow.
+    pub fn is_client_side(self) -> bool {
+        self.path_rank() <= TapSide::ClientHypervisor.path_rank()
+    }
+
+    /// Whether the span was captured in the network (between processes).
+    pub fn is_network(self) -> bool {
+        !matches!(
+            self,
+            TapSide::ClientApp
+                | TapSide::ClientProcess
+                | TapSide::ServerProcess
+                | TapSide::ServerApp
+        )
+    }
+}
+
+impl fmt::Display for TapSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TapSide::ClientApp => "c-app",
+            TapSide::ClientProcess => "c",
+            TapSide::ClientPodNic => "c-pod",
+            TapSide::ClientNodeNic => "c-nd",
+            TapSide::ClientHypervisor => "c-hv",
+            TapSide::Gateway => "gw",
+            TapSide::ServerHypervisor => "s-hv",
+            TapSide::ServerNodeNic => "s-nd",
+            TapSide::ServerPodNic => "s-pod",
+            TapSide::ServerProcess => "s",
+            TapSide::ServerApp => "s-app",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Identifies the exact capture point: node + tap side (+ optional interface
+/// name for network taps).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CapturePoint {
+    /// The node whose agent produced the span.
+    pub node: NodeId,
+    /// The side/layer of the capture.
+    pub tap_side: TapSide,
+    /// Interface name for net spans (`"eth0"`, `"veth-ab12"`, ...).
+    pub interface: Option<String>,
+}
+
+/// Outcome of the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanStatus {
+    /// Completed with a success response.
+    Ok,
+    /// Completed with a client-error response (e.g. HTTP 4xx).
+    ClientError,
+    /// Completed with a server-error response (e.g. HTTP 5xx).
+    ServerError,
+    /// No response observed — "unexpected execution termination" (§3.3.1),
+    /// or not yet: the response may still be waiting server-side
+    /// re-aggregation against a late [`SpanStatus::ResponseOnly`] fragment.
+    Incomplete,
+    /// A response whose request expired out of the agent's time window
+    /// before it arrived. Shipped to the server so re-aggregation can
+    /// reunite the pair (§3.3.1: "Messages received outside of the time
+    /// period are uploaded to the DeepFlow Server, where they can be
+    /// aggregated again using the same technique").
+    ResponseOnly,
+}
+
+impl SpanStatus {
+    /// Whether the exchange failed (any non-Ok outcome). Response-only
+    /// fragments are bookkeeping, not failures.
+    pub fn is_error(self) -> bool {
+        !matches!(self, SpanStatus::Ok | SpanStatus::ResponseOnly)
+    }
+}
+
+/// One observed request/response session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Storage-assigned id (0 until persisted).
+    pub span_id: SpanId,
+    /// What produced the span.
+    pub kind: SpanKind,
+    /// Where it was observed.
+    pub capture: CapturePoint,
+    /// Agent that reported it.
+    pub agent: AgentId,
+    /// Flow the session belongs to.
+    pub flow_id: FlowId,
+    /// Five-tuple, oriented client→server.
+    pub five_tuple: FiveTuple,
+    /// Inferred L7 protocol.
+    pub l7_protocol: L7Protocol,
+    /// Operation label, e.g. `"GET /api/v1/products"` or `"SELECT"`.
+    pub endpoint: String,
+    /// Capture time of the request message.
+    pub req_time: TimeNs,
+    /// Capture time of the response message ([`Span::req_time`] +
+    /// [`Span::duration`]). Equal to `req_time` for incomplete spans.
+    pub resp_time: TimeNs,
+    /// Outcome.
+    pub status: SpanStatus,
+    /// Protocol status code if any (HTTP status, MySQL error code...).
+    pub status_code: Option<u16>,
+    /// Request body length in bytes.
+    pub req_bytes: u64,
+    /// Response body length in bytes.
+    pub resp_bytes: u64,
+
+    // ---- process context (sys spans only) ----
+    /// Observed process id.
+    pub pid: Option<Pid>,
+    /// Observed thread id.
+    pub tid: Option<Tid>,
+    /// Observed process name.
+    pub process_name: Option<String>,
+
+    // ---- implicit-context association attributes (Algorithm 1 joins) ----
+    /// Systrace id carried by the request message.
+    pub systrace_id_req: Option<SysTraceId>,
+    /// Systrace id carried by the response message.
+    pub systrace_id_resp: Option<SysTraceId>,
+    /// Pseudo-thread id (coroutine chain).
+    pub pseudo_thread_id: Option<PseudoThreadId>,
+    /// X-Request-ID seen on the request.
+    pub x_request_id_req: Option<XRequestId>,
+    /// X-Request-ID seen on the response.
+    pub x_request_id_resp: Option<XRequestId>,
+    /// TCP sequence of the first byte of the request message.
+    pub tcp_seq_req: Option<u32>,
+    /// TCP sequence of the first byte of the response message.
+    pub tcp_seq_resp: Option<u32>,
+    /// Third-party trace id (W3C/B3), if present in headers.
+    pub otel_trace_id: Option<OtelTraceId>,
+    /// Third-party span id.
+    pub otel_span_id: Option<OtelSpanId>,
+    /// Third-party parent span id.
+    pub otel_parent_span_id: Option<OtelSpanId>,
+
+    // ---- correlation payloads (§3.4) ----
+    /// Resource / custom tags (smart-encoded server-side).
+    pub tags: TagSet,
+    /// Flow metrics snapshot for the session's flow, when the capture point
+    /// tracks them (net spans and sys spans with a flow table entry).
+    pub flow_metrics: Option<FlowMetrics>,
+}
+
+impl Span {
+    /// Session duration (response capture − request capture).
+    pub fn duration(&self) -> DurationNs {
+        self.resp_time.saturating_since(self.req_time)
+    }
+
+    /// Whether this span was captured at an L7 gateway (which terminates TCP
+    /// and therefore does *not* preserve sequence numbers; association must
+    /// go through X-Request-ID — paper Appendix A).
+    pub fn is_l7_gateway(&self) -> bool {
+        self.capture.tap_side == TapSide::Gateway && self.kind == SpanKind::Sys
+    }
+
+    /// True if the two spans share at least one association attribute —
+    /// the candidate test used during Algorithm 1's iterative search.
+    pub fn shares_context_with(&self, other: &Span) -> bool {
+        fn m<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+            matches!((a, b), (Some(x), Some(y)) if x == y)
+        }
+        // systrace ids may match req-to-req, resp-to-resp, or cross
+        // (the egress of one message is the ingress of the next).
+        let sys = m(self.systrace_id_req, other.systrace_id_req)
+            || m(self.systrace_id_resp, other.systrace_id_resp)
+            || m(self.systrace_id_req, other.systrace_id_resp)
+            || m(self.systrace_id_resp, other.systrace_id_req);
+        let pth = m(self.pseudo_thread_id, other.pseudo_thread_id);
+        let xreq = m(self.x_request_id_req, other.x_request_id_req)
+            || m(self.x_request_id_resp, other.x_request_id_resp)
+            || m(self.x_request_id_req, other.x_request_id_resp)
+            || m(self.x_request_id_resp, other.x_request_id_req);
+        let tcp = m(self.tcp_seq_req, other.tcp_seq_req)
+            || m(self.tcp_seq_resp, other.tcp_seq_resp);
+        let otel = m(self.otel_trace_id, other.otel_trace_id);
+        sys || pth || xreq || tcp || otel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    pub(crate) fn blank_span() -> Span {
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side: TapSide::ClientProcess,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                40000,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".into(),
+            req_time: TimeNs(1000),
+            resp_time: TimeNs(5000),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 100,
+            resp_bytes: 900,
+            pid: Some(Pid(10)),
+            tid: Some(Tid(11)),
+            process_name: Some("client".into()),
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: None,
+            tcp_seq_resp: None,
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
+    #[test]
+    fn duration_is_resp_minus_req() {
+        let s = blank_span();
+        assert_eq!(s.duration().as_nanos(), 4000);
+    }
+
+    #[test]
+    fn tap_side_path_order_is_client_to_server() {
+        let order = [
+            TapSide::ClientApp,
+            TapSide::ClientProcess,
+            TapSide::ClientPodNic,
+            TapSide::ClientNodeNic,
+            TapSide::ClientHypervisor,
+            TapSide::Gateway,
+            TapSide::ServerHypervisor,
+            TapSide::ServerNodeNic,
+            TapSide::ServerPodNic,
+            TapSide::ServerProcess,
+            TapSide::ServerApp,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].path_rank() < w[1].path_rank());
+        }
+        assert!(TapSide::ClientPodNic.is_network());
+        assert!(!TapSide::ServerProcess.is_network());
+        assert!(TapSide::ClientHypervisor.is_client_side());
+        assert!(!TapSide::ServerHypervisor.is_client_side());
+    }
+
+    #[test]
+    fn shares_context_matches_tcp_seq() {
+        let mut a = blank_span();
+        let mut b = blank_span();
+        assert!(!a.shares_context_with(&b));
+        a.tcp_seq_req = Some(777);
+        b.tcp_seq_req = Some(777);
+        assert!(a.shares_context_with(&b));
+    }
+
+    #[test]
+    fn shares_context_matches_crossed_systrace_ids() {
+        let mut a = blank_span();
+        let mut b = blank_span();
+        // server span's request systrace equals client span's request systrace
+        // (the ingress→egress chain), and also test the crossed direction.
+        a.systrace_id_resp = Some(SysTraceId(9));
+        b.systrace_id_req = Some(SysTraceId(9));
+        assert!(a.shares_context_with(&b));
+    }
+
+    #[test]
+    fn status_error_classification() {
+        assert!(!SpanStatus::Ok.is_error());
+        assert!(SpanStatus::ServerError.is_error());
+        assert!(SpanStatus::Incomplete.is_error());
+    }
+}

@@ -1,0 +1,71 @@
+//! The Fig. 12 / §4.1.3 case study: "frequent service latency increases
+//! and connection terminations". Six hours with app-level tools; one
+//! minute with DeepFlow's cross-layer correlation: the broker's queue
+//! backlog (zero-window advertisements) is causing the TCP resets.
+//!
+//! ```sh
+//! cargo run --release --example rabbitmq_backlog
+//! ```
+
+use deepflow::mesh::apps;
+use deepflow::prelude::*;
+
+fn main() {
+    println!("== Case study: cooperative debugging via metrics + traces (Fig. 12) ==\n");
+    println!("An order producer publishes to a RabbitMQ-style broker whose consumer");
+    println!("has silently wedged.\n");
+
+    let (mut world, handles) = apps::amqp_backlog(800.0, DurationNs::from_secs(3));
+    let mut df = Deployment::install(&mut world).expect("install");
+    // Run long enough for the 60s session windows to expire unanswered
+    // publishes into Incomplete spans.
+    df.run(&mut world, TimeNs::from_secs(200), DurationNs::from_secs(10));
+
+    let client = &world.clients[handles.client];
+    println!(
+        "Symptom (application view): {} publishes fired, {} acked, {} failed/terminated.",
+        client.fired, client.completed, client.failed
+    );
+    println!("App-level tracing alone would stop here: 'the spans are affected'.\n");
+
+    // Step 1 (tracing): the affected spans.
+    let all = df.server.span_list(&SpanQuery {
+        limit: usize::MAX,
+        ..Default::default()
+    });
+    let incomplete: Vec<&Span> = all
+        .iter()
+        .filter(|s| s.status == SpanStatus::Incomplete && s.l7_protocol == L7Protocol::Amqp)
+        .collect();
+    println!(
+        "DeepFlow step 1 — traces: {} AMQP publish sessions never got a response",
+        incomplete.len()
+    );
+
+    // Step 2 (correlation): the network metrics attached to those very spans.
+    let mut zero_windows = 0u64;
+    let mut resets = 0u64;
+    let mut retx = 0u64;
+    for s in &incomplete {
+        if let Some(m) = s.flow_metrics {
+            zero_windows = zero_windows.max(m.zero_windows);
+            resets = resets.max(m.resets);
+            retx = retx.max(m.retransmissions);
+        }
+    }
+    println!("DeepFlow step 2 — correlated flow metrics on the affected flow:");
+    println!("    zero-window advertisements : {zero_windows}");
+    println!("    TCP resets                 : {resets}");
+    println!("    retransmissions            : {retx}\n");
+
+    // The agents' flow tables agree (metric-by-metric analysis, Fig. 12).
+    let mut totals = deepflow::types::FlowMetrics::default();
+    for agent in df.agents.values() {
+        totals.merge(&agent.flows.totals());
+    }
+    println!("Cluster-wide flow metrics: {} zero-windows, {} resets.", totals.zero_windows, totals.resets);
+    println!();
+    println!("Diagnosis in one view: the broker's receive queue backlogged (zero windows),");
+    println!("escalating to connection resets — the broker's consumer, not the network,");
+    println!("is the root cause. (\"found in one minute\", §4.1.3.)");
+}

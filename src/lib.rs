@@ -1,0 +1,79 @@
+//! # deepflow — reproduction of *Network-Centric Distributed Tracing with
+//! DeepFlow* (SIGCOMM 2023)
+//!
+//! Zero-code distributed tracing for microservices: an eBPF-style agent
+//! hooks the ten socket syscalls of the paper's Table 3, reconstructs
+//! request/response **spans** without any application instrumentation, and
+//! a server assembles them into **traces** using *implicit context* —
+//! thread ids, coroutine pseudo-threads, proxy X-Request-IDs and TCP
+//! sequence numbers — plus smart-encoded resource tags for correlation.
+//!
+//! Because real kernels/eBPF are unavailable here, the substrate is a
+//! deterministic discrete-event simulation (see `DESIGN.md`): simulated
+//! kernels with honest TCP sequence accounting, a virtual datacenter
+//! network with capture taps and fault injection, and a microservice
+//! simulator. All of DeepFlow's own logic — hook programs, protocol
+//! inference, session aggregation, systrace chaining, Algorithm 1, smart
+//! encoding — is implemented in full and runs over that substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepflow::prelude::*;
+//!
+//! // A three-node cluster running the Istio Bookinfo demo at 50 RPS.
+//! let mut make_tracer = || deepflow::mesh::apps::no_tracer();
+//! let (mut world, handles) =
+//!     deepflow::mesh::apps::bookinfo(50.0, DurationNs::from_secs(1), &mut make_tracer);
+//!
+//! // Deploy DeepFlow: one agent per node, hooks + taps, a cluster server.
+//! let mut df = Deployment::install(&mut world).expect("verifier admits the programs");
+//!
+//! // Run the workload, polling agents as it goes.
+//! df.run(&mut world, TimeNs::from_secs(2), DurationNs::from_millis(100));
+//!
+//! // Query: pick the slowest span in the window and assemble its trace.
+//! let slowest = df.server.slowest_span(TimeNs::ZERO, TimeNs::from_secs(2)).unwrap();
+//! let trace = df.server.trace(slowest);
+//! assert!(trace.len() > 1, "a multi-span distributed trace, in zero code");
+//! # let _ = handles;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+
+/// Shared data model (ids, spans, traces, tags, metrics).
+pub use df_types as types;
+/// The simulated kernel substrate.
+pub use df_kernel as kernel;
+/// The virtual datacenter network.
+pub use df_net as net;
+/// L7 protocol codecs and inference.
+pub use df_protocols as protocols;
+/// The microservice simulator.
+pub use df_mesh as mesh;
+/// The DeepFlow agent.
+pub use df_agent as agent;
+/// The DeepFlow server.
+pub use df_server as server;
+/// The columnar span store.
+pub use df_storage as storage;
+/// Intrusive tracing baselines.
+pub use df_baselines as baselines;
+
+pub use deploy::Deployment;
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::deploy::Deployment;
+    pub use df_agent::{Agent, AgentConfig};
+    pub use df_mesh::{ClientSpec, ServiceSpec, World};
+    pub use df_server::Server;
+    pub use df_storage::SpanQuery;
+    pub use df_types::{
+        DurationNs, L7Protocol, NodeId, Span, SpanId, SpanKind, SpanStatus, TapSide, TimeNs,
+        Trace,
+    };
+}

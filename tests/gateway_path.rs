@@ -1,0 +1,141 @@
+//! Integration: Appendix A — tracing requests across L4/L7 gateways and to
+//! the ToR switch, "the full coverage of a request in the data center".
+
+use deepflow::agent::net_spans::TapContext;
+use deepflow::mesh::apps;
+use deepflow::net::taps::{TapFilter, TapKind};
+use deepflow::net::topology::ElementId;
+use deepflow::prelude::*;
+use deepflow::types::DurationNs as D;
+
+#[test]
+fn l4_gateway_crossing_joins_by_preserved_tcp_seq() {
+    let (mut world, _handles, vip) = apps::nginx_ingress_cluster(40.0, D::from_secs(2), 1);
+    let mut df = Deployment::install(&mut world).unwrap();
+    // Also tap the gateway itself (Fig. 18's dedicated capture point).
+    let n1 = world.fabric.topology.node_ids()[0];
+    world.fabric.taps.install(
+        ElementId::L4Gw("ingress-vip".into()),
+        n1,
+        TapKind::Gateway,
+        TapFilter::all(),
+    );
+    df.agents.get_mut(&n1).unwrap().register_tap(
+        "gw-ingress-vip",
+        TapContext {
+            kind: TapKind::Gateway,
+            local_ips: Default::default(),
+        },
+    );
+    df.run(&mut world, TimeNs::from_secs(4), D::from_millis(200));
+
+    // Client-side spans dial the VIP; server-side spans see the DNATed
+    // backend — yet the same trace contains both, joined by the preserved
+    // TCP sequence (Appendix A, Fig. 18).
+    let all = df.server.span_list(&SpanQuery {
+        limit: usize::MAX,
+        ..Default::default()
+    });
+    let client_leg = all
+        .iter()
+        .find(|s| {
+            s.capture.tap_side == TapSide::ClientProcess
+                && s.five_tuple.dst_ip == vip
+                && s.kind == SpanKind::Sys
+        })
+        .expect("client span dialing the VIP");
+    let trace = df.server.trace(client_leg.span_id);
+    assert!(trace.is_well_formed());
+    let has_backend_side = trace.spans.iter().any(|s| {
+        s.span.capture.tap_side == TapSide::ServerProcess && s.span.five_tuple.dst_ip != vip
+    });
+    assert!(
+        has_backend_side,
+        "trace crosses the L4 gateway: VIP leg + backend leg:\n{}",
+        trace.render_text()
+    );
+    // The gateway capture point appears inside the trace.
+    let has_gw_span = trace
+        .spans
+        .iter()
+        .any(|s| s.span.capture.tap_side == TapSide::Gateway);
+    assert!(has_gw_span, "gateway tap produced a span in the trace");
+    // Client and backend legs share the request seq.
+    let backend = trace
+        .spans
+        .iter()
+        .find(|s| s.span.capture.tap_side == TapSide::ServerProcess && s.span.five_tuple.dst_ip != vip)
+        .unwrap();
+    assert_eq!(client_leg.tcp_seq_req, backend.span.tcp_seq_req);
+}
+
+#[test]
+fn l7_proxy_crossing_joins_by_x_request_id() {
+    // The ingress pods are L7 proxies terminating TCP: sequence numbers do
+    // NOT survive them; the trace still crosses via X-Request-ID (rule 12).
+    let (mut world, _handles, _vip) = apps::nginx_ingress_cluster(40.0, D::from_secs(2), 1);
+    let mut df = Deployment::install(&mut world).unwrap();
+    df.run(&mut world, TimeNs::from_secs(4), D::from_millis(200));
+
+    let all = df.server.span_list(&SpanQuery {
+        limit: usize::MAX,
+        ..Default::default()
+    });
+    // Find a checkout (backend) server span reached through a healthy proxy.
+    let backend_span = all
+        .iter()
+        .find(|s| {
+            s.process_name.as_deref() == Some("checkout")
+                && s.capture.tap_side == TapSide::ServerProcess
+        })
+        .expect("backend server span");
+    let trace = df.server.trace(backend_span.span_id);
+    // The trace reaches back through the proxy to the client leg, whose
+    // five-tuple has a different connection (proxy terminated it).
+    let legs: std::collections::HashSet<(u32, u32)> = trace
+        .spans
+        .iter()
+        .filter(|s| s.span.kind == SpanKind::Sys)
+        .map(|s| (u32::from(s.span.five_tuple.src_ip), u32::from(s.span.five_tuple.dst_ip)))
+        .collect();
+    assert!(
+        legs.len() >= 2,
+        "trace spans two TCP connections (downstream + upstream of the proxy):\n{}",
+        trace.render_text()
+    );
+}
+
+#[test]
+fn tor_mirror_extends_coverage_to_the_switch() {
+    // Fig. 18: "mirror the traffic on the top-of-rack switch to a physical
+    // machine dedicated to DeepFlow Agent".
+    let mut make_tracer = || apps::no_tracer();
+    let (mut world, _h) = apps::springboot_demo(30.0, D::from_secs(2), &mut make_tracer);
+    let capture_node = world.fabric.topology.node_ids()[0];
+    world.fabric.topology.set_tor_mirror("rack-1", capture_node);
+    let mut df = Deployment::install(&mut world).unwrap();
+    world.fabric.taps.install(
+        ElementId::Tor("rack-1".into()),
+        capture_node,
+        TapKind::TorMirror,
+        TapFilter::all(),
+    );
+    df.agents.get_mut(&capture_node).unwrap().register_tap(
+        "tor-rack-1",
+        TapContext {
+            kind: TapKind::TorMirror,
+            local_ips: Default::default(),
+        },
+    );
+    df.run(&mut world, TimeNs::from_secs(3), D::from_millis(200));
+
+    let all = df.server.span_list(&SpanQuery {
+        limit: usize::MAX,
+        ..Default::default()
+    });
+    let tor_spans = all
+        .iter()
+        .filter(|s| s.capture.interface.as_deref() == Some("tor-rack-1"))
+        .count();
+    assert!(tor_spans > 0, "ToR mirror produced spans: {tor_spans}");
+}
