@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate for this repo. Run from the workspace root:
+#
+#   ./ci.sh
+#
+# Everything builds against the vendored stand-in crates in vendor/ (see
+# vendor/README.md), so no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> alg1 assembly bench (smoke, release, --test mode)"
+cargo bench -p df-bench --bench alg1_assembly -- --test
+
+echo "ci.sh: all gates passed"

@@ -331,7 +331,7 @@ impl Agent {
                 interface: None,
             },
             agent: self.id,
-            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            flow_id: FlowId(hash2("flow", five_tuple.canonical())),
             five_tuple,
             l7_protocol: parse.protocol,
             endpoint: parse.endpoint.clone(),
@@ -350,7 +350,11 @@ impl Agent {
             x_request_id_req: None,
             x_request_id_resp: resp.context.x_request_id,
             tcp_seq_req: None,
-            tcp_seq_resp: if udp { None } else { Some(resp.network.tcp_seq) },
+            tcp_seq_resp: if udp {
+                None
+            } else {
+                Some(resp.network.tcp_seq)
+            },
             otel_trace_id: resp.context.otel_trace_id,
             otel_span_id: resp.context.otel_span_id,
             otel_parent_span_id: None,
@@ -395,7 +399,7 @@ impl Agent {
                 interface: None,
             },
             agent: self.id,
-            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            flow_id: FlowId(hash2("flow", five_tuple.canonical())),
             five_tuple,
             l7_protocol: req_parse.protocol,
             endpoint: req_parse.endpoint.clone(),
@@ -410,11 +414,18 @@ impl Agent {
             process_name: Some(req.program.process_name.clone()),
             systrace_id_req: req.context.systrace_id,
             systrace_id_resp: resp.context.systrace_id,
-            pseudo_thread_id: req.context.pseudo_thread_id.or(resp.context.pseudo_thread_id),
+            pseudo_thread_id: req
+                .context
+                .pseudo_thread_id
+                .or(resp.context.pseudo_thread_id),
             x_request_id_req: req.context.x_request_id,
             x_request_id_resp: resp.context.x_request_id,
             tcp_seq_req: if udp { None } else { Some(req.network.tcp_seq) },
-            tcp_seq_resp: if udp { None } else { Some(resp.network.tcp_seq) },
+            tcp_seq_resp: if udp {
+                None
+            } else {
+                Some(resp.network.tcp_seq)
+            },
             otel_trace_id: req.context.otel_trace_id,
             otel_span_id: req.context.otel_span_id,
             otel_parent_span_id: None,
@@ -458,7 +469,7 @@ impl Agent {
                 interface: None,
             },
             agent: self.id,
-            flow_id: FlowId(hash2("flow", &five_tuple.canonical())),
+            flow_id: FlowId(hash2("flow", five_tuple.canonical())),
             five_tuple,
             l7_protocol: parse.protocol,
             endpoint: parse.endpoint.clone(),
@@ -602,16 +613,28 @@ mod tests {
 
         // request
         let t1 = TimeNs::from_millis(1);
-        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/reviews/7", &[], b""), t1)
-            .unwrap_complete();
+        w.ka.sys_write(
+            ctid,
+            cpid,
+            cfd,
+            http1::request("GET", "/reviews/7", &[], b""),
+            t1,
+        )
+        .unwrap_complete();
         w.kb.sys_read(stid, spid, sfd, 4096, t1); // parks
         pump(&mut w, t1);
         let t2 = TimeNs::from_millis(2);
         let (_req, _) = w.kb.sys_read(stid, spid, sfd, 4096, t2).unwrap_complete();
         // response
         let t3 = TimeNs::from_millis(3);
-        w.kb.sys_write(stid, spid, sfd, http1::response(200, &[], b"five stars"), t3)
-            .unwrap_complete();
+        w.kb.sys_write(
+            stid,
+            spid,
+            sfd,
+            http1::response(200, &[], b"five stars"),
+            t3,
+        )
+        .unwrap_complete();
         w.ka.sys_read(ctid, cpid, cfd, 4096, t3);
         pump(&mut w, t3);
         let t4 = TimeNs::from_millis(4);
@@ -680,16 +703,30 @@ mod tests {
         pump(&mut w, TimeNs(0));
         let (sfd, _) = w.kb.accept(stid, spid, lfd).unwrap_complete();
 
-        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/", &[], b""), TimeNs(1000))
-            .unwrap_complete();
+        w.ka.sys_write(
+            ctid,
+            cpid,
+            cfd,
+            http1::request("GET", "/", &[], b""),
+            TimeNs(1000),
+        )
+        .unwrap_complete();
         w.kb.sys_read(stid, spid, sfd, 4096, TimeNs(1000));
         pump(&mut w, TimeNs(1000));
-        w.kb.sys_read(stid, spid, sfd, 4096, TimeNs(2000)).unwrap_complete();
-        w.kb.sys_write(stid, spid, sfd, http1::response(200, &[], b"hi"), TimeNs(3000))
+        w.kb.sys_read(stid, spid, sfd, 4096, TimeNs(2000))
             .unwrap_complete();
+        w.kb.sys_write(
+            stid,
+            spid,
+            sfd,
+            http1::response(200, &[], b"hi"),
+            TimeNs(3000),
+        )
+        .unwrap_complete();
         w.ka.sys_read(ctid, cpid, cfd, 4096, TimeNs(3000));
         pump(&mut w, TimeNs(3000));
-        w.ka.sys_read(ctid, cpid, cfd, 4096, TimeNs(4000)).unwrap_complete();
+        w.ka.sys_read(ctid, cpid, cfd, 4096, TimeNs(4000))
+            .unwrap_complete();
 
         let spans = agent_a.poll(&mut w.ka, &mut w.fabric, TimeNs::from_millis(10));
         let sys: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Sys).collect();
@@ -701,7 +738,10 @@ mod tests {
             sys[0].tcp_seq_req, net[0].tcp_seq_req,
             "sys and net spans of one exchange share the request seq"
         );
-        assert!(net[0].flow_metrics.is_some(), "net span carries flow metrics");
+        assert!(
+            net[0].flow_metrics.is_some(),
+            "net span carries flow metrics"
+        );
         assert_eq!(agent_a.stats().net_spans, 1);
     }
 
@@ -721,8 +761,14 @@ mod tests {
         w.ka.connect(ctid, cpid, cfd, IP_A, (IP_B, 80));
         pump(&mut w, TimeNs(0));
 
-        w.ka.sys_write(ctid, cpid, cfd, http1::request("GET", "/hang", &[], b""), TimeNs(0))
-            .unwrap_complete();
+        w.ka.sys_write(
+            ctid,
+            cpid,
+            cfd,
+            http1::request("GET", "/hang", &[], b""),
+            TimeNs(0),
+        )
+        .unwrap_complete();
         // server never responds; poll 5 minutes later
         let spans = agent_a.poll(&mut w.ka, &mut w.fabric, TimeNs::from_secs(300));
         assert_eq!(spans.len(), 1);

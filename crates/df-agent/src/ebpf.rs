@@ -242,8 +242,7 @@ impl BpfProgram for DeepFlowTlsProgram {
                     Some("ssl_write") => Direction::Egress,
                     _ => return,
                 };
-                let (Some(socket_id), Some(five_tuple)) = (ctx.socket_id, ctx.five_tuple)
-                else {
+                let (Some(socket_id), Some(five_tuple)) = (ctx.socket_id, ctx.five_tuple) else {
                     return;
                 };
                 if ctx.byte_len == 0 {
@@ -420,7 +419,9 @@ mod tests {
         assert_eq!(prog.orphan_exits, 1);
         let events = ring.drain_all();
         assert_eq!(events.len(), 1);
-        let KernelEvent::Message(m) = &events[0] else { panic!() };
+        let KernelEvent::Message(m) = &events[0] else {
+            panic!()
+        };
         assert_eq!(m.tracing.enter_ns, m.tracing.exit_ns);
         assert_eq!(&m.syscall.payload[..], b"x");
     }

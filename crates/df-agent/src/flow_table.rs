@@ -53,11 +53,10 @@ impl FlowTable {
         let key = (interface.to_string(), seg.five_tuple.canonical());
         let st = self.flows.entry(key).or_default();
         // Client = whoever sent the SYN (or, failing that, the first frame).
-        if st.client.is_none() && (seg.flags.syn && !seg.flags.ack || !seg.flags.syn) {
+        if st.client.is_none() && !(seg.flags.syn && seg.flags.ack) {
             st.client = Some((seg.five_tuple.src_ip, seg.five_tuple.src_port));
         }
-        let from_client =
-            st.client == Some((seg.five_tuple.src_ip, seg.five_tuple.src_port));
+        let from_client = st.client == Some((seg.five_tuple.src_ip, seg.five_tuple.src_port));
         if from_client {
             st.metrics.packets_tx += 1;
             st.metrics.bytes_tx += seg.payload.len() as u64;
@@ -88,7 +87,10 @@ impl FlowTable {
             }
         }
         // Zero-window advertisement: pure ACK with window 0.
-        if seg.window == 0 && seg.flags.ack && !seg.flags.rst && !seg.flags.syn
+        if seg.window == 0
+            && seg.flags.ack
+            && !seg.flags.rst
+            && !seg.flags.syn
             && seg.payload.is_empty()
         {
             st.metrics.zero_windows += 1;
@@ -172,7 +174,11 @@ mod tests {
     #[test]
     fn handshake_yields_rtt_and_direction_split() {
         let mut ft = FlowTable::new();
-        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)), TimeNs(0));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)),
+            TimeNs(0),
+        );
         ft.observe(
             "eth0",
             &Frame::Segment(seg(false, TcpFlags::SYN_ACK, b"", 100)),
@@ -205,10 +211,20 @@ mod tests {
         let mut ft = FlowTable::new();
         let mut retx = seg(true, TcpFlags::PSH_ACK, b"data", 100);
         retx.is_retransmission = true;
-        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"data", 100)), TimeNs(0));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"data", 100)),
+            TimeNs(0),
+        );
         ft.observe("eth0", &Frame::Segment(retx), TimeNs(1));
-        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::RST, b"", 0)), TimeNs(2));
-        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::RST, b"", 0)),
+            TimeNs(2),
+        );
+        let m = ft
+            .metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80))
+            .unwrap();
         assert_eq!(m.retransmissions, 1);
         assert_eq!(m.resets, 1);
         assert!(m.is_anomalous());
@@ -218,20 +234,40 @@ mod tests {
     fn syn_retries_counted() {
         let mut ft = FlowTable::new();
         for t in [0u64, 1_000_000, 3_000_000] {
-            ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)), TimeNs(t));
+            ft.observe(
+                "eth0",
+                &Frame::Segment(seg(true, TcpFlags::SYN, b"", 100)),
+                TimeNs(t),
+            );
         }
-        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        let m = ft
+            .metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80))
+            .unwrap();
         assert_eq!(m.syn_retries, 2);
     }
 
     #[test]
     fn zero_window_advertisements_counted() {
         let mut ft = FlowTable::new();
-        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"x", 100)), TimeNs(0));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"x", 100)),
+            TimeNs(0),
+        );
         // Receiver advertises zero window (backlogged consumer).
-        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)), TimeNs(1));
-        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)), TimeNs(2));
-        let m = ft.metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80)).unwrap();
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)),
+            TimeNs(1),
+        );
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::ACK, b"", 0)),
+            TimeNs(2),
+        );
+        let m = ft
+            .metrics("eth0", &FiveTuple::tcp(C, 40000, S, 80))
+            .unwrap();
         assert_eq!(m.zero_windows, 2);
         assert!(m.is_anomalous());
     }
@@ -255,8 +291,16 @@ mod tests {
     #[test]
     fn interfaces_keep_separate_flow_entries_but_merge_on_demand() {
         let mut ft = FlowTable::new();
-        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)), TimeNs(0));
-        ft.observe("phys0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)), TimeNs(1));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)),
+            TimeNs(0),
+        );
+        ft.observe(
+            "phys0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"ab", 100)),
+            TimeNs(1),
+        );
         assert_eq!(ft.len(), 2);
         let merged = ft
             .metrics_any_interface(&FiveTuple::tcp(C, 40000, S, 80))
@@ -267,11 +311,21 @@ mod tests {
     #[test]
     fn both_orientations_hit_the_same_flow() {
         let mut ft = FlowTable::new();
-        ft.observe("eth0", &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"req", 100)), TimeNs(0));
-        ft.observe("eth0", &Frame::Segment(seg(false, TcpFlags::PSH_ACK, b"resp", 100)), TimeNs(1));
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(true, TcpFlags::PSH_ACK, b"req", 100)),
+            TimeNs(0),
+        );
+        ft.observe(
+            "eth0",
+            &Frame::Segment(seg(false, TcpFlags::PSH_ACK, b"resp", 100)),
+            TimeNs(1),
+        );
         assert_eq!(ft.len(), 1);
         // Query with the server-side orientation: same flow.
-        let m = ft.metrics("eth0", &FiveTuple::tcp(S, 80, C, 40000)).unwrap();
+        let m = ft
+            .metrics("eth0", &FiveTuple::tcp(S, 80, C, 40000))
+            .unwrap();
         assert_eq!(m.packets_tx + m.packets_rx, 2);
     }
 }

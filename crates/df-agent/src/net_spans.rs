@@ -8,15 +8,13 @@
 //! which infrastructure element misbehaved.
 
 use crate::session::{SessionAggregator, SessionOutcome};
+use df_net::taps::TapKind;
 use df_protocols::inference::InferenceEngine;
 use df_protocols::ParsedMessage;
 use df_types::packet::Frame;
 use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
 use df_types::tags::TagSet;
-use df_types::{
-    AgentId, DurationNs, FiveTuple, FlowId, L7Protocol, NodeId, SpanId, TimeNs,
-};
-use df_net::taps::TapKind;
+use df_types::{AgentId, DurationNs, FiveTuple, FlowId, L7Protocol, NodeId, SpanId, TimeNs};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -100,7 +98,7 @@ impl NetSpanBuilder {
         if seg.payload.is_empty() {
             return None;
         }
-        let flow_key = hash2(interface, &canon);
+        let flow_key = hash2(interface, canon);
         let Some(parse) = self.inference.parse_for(flow_key, &seg.payload) else {
             self.unparsed_frames += 1;
             return None;
@@ -119,13 +117,10 @@ impl NetSpanBuilder {
             byte_len: seg.payload.len(),
             parse: parse.clone(),
         };
-        match self.sessions.offer(
-            flow_key,
-            parse.session_key,
-            parse.msg_type,
-            ts,
-            msg,
-        ) {
+        match self
+            .sessions
+            .offer(flow_key, parse.session_key, parse.msg_type, ts, msg)
+        {
             SessionOutcome::Matched { request, response }
             | SessionOutcome::OutOfWindow { request, response } => {
                 Some(self.build_span(interface, request, response))
@@ -154,7 +149,7 @@ impl NetSpanBuilder {
                 interface: Some(interface.to_string()),
             },
             agent: self.agent,
-            flow_id: FlowId(hash2("flow", &canon)),
+            flow_id: FlowId(hash2("flow", canon)),
             five_tuple: client_tuple,
             l7_protocol: req.parse.protocol,
             endpoint: req.parse.endpoint.clone(),
@@ -240,7 +235,7 @@ impl NetSpanBuilder {
                         interface: None,
                     },
                     agent: self.agent,
-                    flow_id: FlowId(hash2("flow", &canon)),
+                    flow_id: FlowId(hash2("flow", canon)),
                     five_tuple: req.tuple,
                     l7_protocol: req.parse.protocol,
                     endpoint: req.parse.endpoint.clone(),
@@ -347,7 +342,9 @@ mod tests {
         let mut b = builder();
         let req = http1::request("GET", "/reviews/1", &[], b"");
         let resp = http1::response(200, &[], b"ok");
-        assert!(b.offer("eth0", &seg(true, 1000, req), TimeNs(100)).is_none());
+        assert!(b
+            .offer("eth0", &seg(true, 1000, req), TimeNs(100))
+            .is_none());
         let span = b
             .offer("eth0", &seg(false, 2000, resp), TimeNs(900))
             .expect("span completed");
@@ -377,7 +374,11 @@ mod tests {
             TimeNs(0),
         );
         let span = b
-            .offer("eth0", &seg(false, 2, http1::response(200, &[], b"")), TimeNs(10))
+            .offer(
+                "eth0",
+                &seg(false, 2, http1::response(200, &[], b"")),
+                TimeNs(10),
+            )
             .unwrap();
         assert_eq!(span.capture.tap_side, TapSide::ServerNodeNic);
     }
@@ -391,7 +392,11 @@ mod tests {
             TimeNs(0),
         );
         let span = b
-            .offer("eth0", &seg(false, 2, http1::response(404, &[], b"")), TimeNs(10))
+            .offer(
+                "eth0",
+                &seg(false, 2, http1::response(404, &[], b"")),
+                TimeNs(10),
+            )
             .unwrap();
         assert_eq!(span.status, SpanStatus::ClientError);
         assert_eq!(span.status_code, Some(404));
@@ -413,7 +418,11 @@ mod tests {
         assert!(b.offer("eth0", &syn, TimeNs(0)).is_none());
         // junk payload
         assert!(b
-            .offer("eth0", &seg(true, 1, Bytes::from_static(b"\x00\x01garbage")), TimeNs(1))
+            .offer(
+                "eth0",
+                &seg(true, 1, Bytes::from_static(b"\x00\x01garbage")),
+                TimeNs(1)
+            )
             .is_none());
         assert_eq!(b.unparsed_frames, 1);
     }
@@ -439,7 +448,11 @@ mod tests {
         let req = http1::request("GET", "/", &[("X-Request-ID".into(), xid.to_wire())], b"");
         b.offer("eth0", &seg(true, 1, req), TimeNs(0));
         let span = b
-            .offer("eth0", &seg(false, 2, http1::response(200, &[], b"")), TimeNs(1))
+            .offer(
+                "eth0",
+                &seg(false, 2, http1::response(200, &[], b"")),
+                TimeNs(1),
+            )
             .unwrap();
         assert_eq!(span.x_request_id_req, Some(xid));
     }

@@ -118,7 +118,10 @@ mod tests {
     fn independent_roots_get_distinct_ids() {
         let mut t = PseudoThreadTracker::new();
         t.observe(&[created(1, None), created(2, None)]);
-        assert_ne!(t.pseudo_thread(P, CoroutineId(1)), t.pseudo_thread(P, CoroutineId(2)));
+        assert_ne!(
+            t.pseudo_thread(P, CoroutineId(1)),
+            t.pseudo_thread(P, CoroutineId(2))
+        );
     }
 
     #[test]

@@ -233,7 +233,13 @@ mod tests {
         a.offer(1, SessionKey::Multiplexed(100), Request, TimeNs(10), "reqA");
         a.offer(1, SessionKey::Multiplexed(200), Request, TimeNs(11), "reqB");
         // Responses arrive in reverse order — ids still pair correctly.
-        let mb = a.offer(1, SessionKey::Multiplexed(200), Response, TimeNs(20), "respB");
+        let mb = a.offer(
+            1,
+            SessionKey::Multiplexed(200),
+            Response,
+            TimeNs(20),
+            "respB",
+        );
         assert_eq!(
             mb,
             SessionOutcome::Matched {
@@ -241,7 +247,13 @@ mod tests {
                 response: "respB"
             }
         );
-        let ma = a.offer(1, SessionKey::Multiplexed(100), Response, TimeNs(21), "respA");
+        let ma = a.offer(
+            1,
+            SessionKey::Multiplexed(100),
+            Response,
+            TimeNs(21),
+            "respA",
+        );
         assert_eq!(
             ma,
             SessionOutcome::Matched {

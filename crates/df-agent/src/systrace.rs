@@ -169,13 +169,7 @@ mod tests {
         let m1 = t.assign(P, T, Direction::Ingress, SOCK_A, TimeNs(0));
         // Two seconds later — beyond the gap — even a chain-shaped message
         // starts fresh.
-        let m2 = t.assign(
-            P,
-            T,
-            Direction::Egress,
-            SOCK_B,
-            TimeNs::from_secs(2),
-        );
+        let m2 = t.assign(P, T, Direction::Egress, SOCK_B, TimeNs::from_secs(2));
         assert_ne!(m1, m2);
     }
 

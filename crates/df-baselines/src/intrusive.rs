@@ -115,7 +115,11 @@ impl IntrusiveTracer {
             endpoint: format!("{}: {}", open.service, open.endpoint),
             req_time: open.start,
             resp_time: end,
-            status: if ok { SpanStatus::Ok } else { SpanStatus::ServerError },
+            status: if ok {
+                SpanStatus::Ok
+            } else {
+                SpanStatus::ServerError
+            },
             status_code: None,
             req_bytes: 0,
             resp_bytes: 0,
@@ -241,15 +245,26 @@ mod tests {
     fn server_and_call_spans_link_by_explicit_ids() {
         let rep = reporter();
         let mut t = IntrusiveTracer::jaeger_like(rep.clone(), 7);
-        let st = t.on_request("productpage", "GET /productpage", &TraceHeaders::default(), TimeNs(0));
+        let st = t.on_request(
+            "productpage",
+            "GET /productpage",
+            &TraceHeaders::default(),
+            TimeNs(0),
+        );
         let (ct, headers) = t.on_call(st, "reviews", TimeNs(10));
         assert_eq!(headers[0].0, "traceparent");
         t.on_call_done(ct, TimeNs(50), true);
         t.on_response(st, TimeNs(100), true);
         let spans = t.drain_spans();
         assert_eq!(spans.len(), 2);
-        let call = spans.iter().find(|s| s.capture.tap_side == TapSide::ClientApp).unwrap();
-        let server = spans.iter().find(|s| s.capture.tap_side == TapSide::ServerApp).unwrap();
+        let call = spans
+            .iter()
+            .find(|s| s.capture.tap_side == TapSide::ClientApp)
+            .unwrap();
+        let server = spans
+            .iter()
+            .find(|s| s.capture.tap_side == TapSide::ServerApp)
+            .unwrap();
         assert_eq!(call.otel_trace_id, server.otel_trace_id);
         assert_eq!(call.otel_parent_span_id, server.otel_span_id);
         assert_eq!(server.otel_parent_span_id, None, "root span");

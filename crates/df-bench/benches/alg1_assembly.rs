@@ -1,8 +1,14 @@
 //! Criterion microbench for Algorithm 1: assembly cost as the trace's span
-//! count grows (synthetic chains) and as the store grows (noise spans).
+//! count grows (synthetic chains) and as the store grows (noise spans), plus
+//! production-scale traces (1k/10k/100k spans) built from capture-ladder
+//! exchanges arranged as fan-out trees and deep call chains.
+//!
+//! The `*_scale` groups bench the frontier implementation (`new`) against the
+//! full-rescan reference oracle (`reference`) on identical stores, so the
+//! speedup of the indexed path can be read straight off one run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use deepflow::server::assemble::{assemble_trace, AssembleConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deepflow::server::assemble::{assemble_trace, assemble_trace_reference, AssembleConfig};
 use deepflow::storage::SpanStore;
 use df_types::ids::*;
 use df_types::l7::L7Protocol;
@@ -10,6 +16,7 @@ use df_types::net::FiveTuple;
 use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
 use df_types::tags::TagSet;
 use df_types::TimeNs;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 fn span(tap: TapSide, req: u64, resp: u64) -> Span {
@@ -86,6 +93,173 @@ fn build_store(depth: u64, noise: u64) -> (SpanStore, SpanId) {
     (st, first.unwrap())
 }
 
+/// The nine network/process capture points of one request-response exchange,
+/// outermost (client process) first.
+const LADDER: [TapSide; 9] = [
+    TapSide::ClientProcess,
+    TapSide::ClientPodNic,
+    TapSide::ClientNodeNic,
+    TapSide::ClientHypervisor,
+    TapSide::Gateway,
+    TapSide::ServerHypervisor,
+    TapSide::ServerNodeNic,
+    TapSide::ServerPodNic,
+    TapSide::ServerProcess,
+];
+
+/// Append one capture-ladder exchange: nine sys spans sharing `seq`, linked
+/// upstream via `link_in` (client side) and downstream via `link_out`
+/// (server side), plus one app span tied in through `otel`.
+fn push_exchange(spans: &mut Vec<Span>, seq: u32, link_in: u64, link_out: u64, otel: u128) {
+    let base = u64::from(seq) * 1_000_000; // unique, monotone per exchange
+    for (rank, tap) in LADDER.iter().enumerate() {
+        let r = rank as u64;
+        let mut s = span(*tap, base + r * 10, base + 900_000 - r * 10);
+        s.tcp_seq_req = Some(seq);
+        if *tap == TapSide::ClientProcess {
+            s.systrace_id_req = Some(SysTraceId(link_in));
+        }
+        if *tap == TapSide::ServerProcess {
+            s.systrace_id_req = Some(SysTraceId(link_out));
+            s.otel_trace_id = Some(OtelTraceId(otel));
+        }
+        spans.push(s);
+    }
+    let mut app = span(TapSide::ServerApp, base + 1_000, base + 800_000);
+    app.kind = SpanKind::App;
+    app.otel_trace_id = Some(OtelTraceId(otel));
+    app.otel_span_id = Some(OtelSpanId(u64::from(seq)));
+    spans.push(app);
+}
+
+/// Build one trace shaped as a `branching`-ary tree of exchanges, `levels`
+/// deep (10 spans per exchange). `branching == 1` yields a deep call chain;
+/// larger factors yield wide fan-outs. Returns the store, the root span to
+/// start assembly from, and the total span count.
+fn build_exchange_tree(branching: usize, levels: usize) -> (SpanStore, SpanId, usize) {
+    let mut spans = Vec::new();
+    let mut next_seq = 1u32;
+    let mut next_key = 1u64;
+    let mut queue = VecDeque::new();
+    queue.push_back((next_key, 0usize));
+    next_key += 1;
+    while let Some((link_in, level)) = queue.pop_front() {
+        let link_out = next_key;
+        next_key += 1;
+        let seq = next_seq;
+        next_seq += 1;
+        push_exchange(&mut spans, seq, link_in, link_out, u128::from(seq));
+        if level + 1 < levels {
+            for _ in 0..branching {
+                queue.push_back((link_out, level + 1));
+            }
+        }
+    }
+    let total = spans.len();
+    let mut st = SpanStore::new();
+    let ids = st.insert_batch(spans);
+    (st, ids[0], total)
+}
+
+/// Config for the scale benchmarks: deep chains need more search iterations
+/// than the paper's default 30, and the 100k traces exceed the default span
+/// cap. Applied to both implementations, so the comparison stays fair.
+fn scale_cfg() -> AssembleConfig {
+    AssembleConfig {
+        iterations: 50_000,
+        max_spans: 200_000,
+        ..AssembleConfig::default()
+    }
+}
+
+/// Fan-out trees (branching 10): ~1k, ~10k and ~100k spans per trace.
+fn bench_trace_scale_fanout(c: &mut Criterion) {
+    let cfg = scale_cfg();
+    let mut group = c.benchmark_group("alg1_scale_fanout");
+    for (label, levels) in [("1k", 3), ("10k", 4), ("100k", 5)] {
+        let (st, start, total) = build_exchange_tree(10, levels);
+        assert_eq!(
+            assemble_trace(&st, start, &cfg).len(),
+            total,
+            "scale bench trace must cover the whole store"
+        );
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("new", label), &levels, |b, _| {
+            b.iter(|| assemble_trace(&st, start, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &levels, |b, _| {
+            b.iter(|| assemble_trace_reference(&st, start, &cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Deep call chains (branching 1): 100, 1k and 10k exchanges end to end.
+/// The reference oracle is omitted at 100k spans — its re-scan Phase 1
+/// revisits the whole growing set on each of ~20k iterations and takes
+/// minutes, which is exactly the pathology the frontier rewrite removes.
+fn bench_trace_scale_chain(c: &mut Criterion) {
+    let cfg = scale_cfg();
+    let mut group = c.benchmark_group("alg1_scale_chain");
+    for (label, levels, run_reference) in [
+        ("1k", 100, true),
+        ("10k", 1_000, true),
+        ("100k", 10_000, false),
+    ] {
+        let (st, start, total) = build_exchange_tree(1, levels);
+        assert_eq!(
+            assemble_trace(&st, start, &cfg).len(),
+            total,
+            "scale bench trace must cover the whole store"
+        );
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("new", label), &levels, |b, _| {
+            b.iter(|| assemble_trace(&st, start, &cfg))
+        });
+        if run_reference {
+            group.bench_with_input(BenchmarkId::new("reference", label), &levels, |b, _| {
+                b.iter(|| assemble_trace_reference(&st, start, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Ingest path: per-span `insert` vs the deferred-sort `insert_batch`.
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_ingest");
+    for (label, levels) in [("10k", 4), ("100k", 5)] {
+        let mut template = Vec::new();
+        let mut key = 1u64;
+        let mut seq = 1u32;
+        for level in 0..levels {
+            for _ in 0..10usize.pow(level as u32) {
+                push_exchange(&mut template, seq, key, key + 1, u128::from(seq));
+                key += 2;
+                seq += 1;
+            }
+        }
+        group.throughput(Throughput::Elements(template.len() as u64));
+        group.bench_with_input(BenchmarkId::new("insert", label), &levels, |b, _| {
+            b.iter(|| {
+                let mut st = SpanStore::new();
+                for s in template.clone() {
+                    st.insert(s);
+                }
+                st.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert_batch", label), &levels, |b, _| {
+            b.iter(|| {
+                let mut st = SpanStore::new();
+                st.insert_batch(template.clone());
+                st.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_assembly(c: &mut Criterion) {
     let cfg = AssembleConfig::default();
     let mut group = c.benchmark_group("alg1_chain_depth");
@@ -107,5 +281,11 @@ fn bench_assembly(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assembly);
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_trace_scale_fanout,
+    bench_trace_scale_chain,
+    bench_ingest
+);
 criterion_main!(benches);

@@ -71,7 +71,12 @@ fn bench_hooks(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_hook_pair");
     // The full 10-ABI matrix runs in the fig13_report binary; criterion
     // tracks a representative subset for regression purposes.
-    for abi in [SyscallAbi::Read, SyscallAbi::Write, SyscallAbi::Recvmsg, SyscallAbi::Sendmmsg] {
+    for abi in [
+        SyscallAbi::Read,
+        SyscallAbi::Write,
+        SyscallAbi::Recvmsg,
+        SyscallAbi::Sendmmsg,
+    ] {
         for (label, deepflow) in [("empty", false), ("deepflow", true)] {
             group.bench_with_input(
                 BenchmarkId::new(format!("kprobe_{label}"), abi.name()),

@@ -21,11 +21,14 @@ fn populated_server() -> (Server, Vec<SpanId>) {
         .iter()
         .map(|s| s.span_id)
         .collect();
-    (std::mem::replace(&mut df.server, Server::new(&Default::default())), ids)
+    (
+        std::mem::replace(&mut df.server, Server::new(&Default::default())),
+        ids,
+    )
 }
 
 fn bench_queries(c: &mut Criterion) {
-    let (mut server, ids) = populated_server();
+    let (server, ids) = populated_server();
     let mut group = c.benchmark_group("fig15_query");
     group.bench_function("span_list_1000_page", |b| {
         let q = SpanQuery {

@@ -13,7 +13,11 @@ fn main() {
     let mut make_tracer = || apps::no_tracer();
     let (mut world, _h) = apps::bookinfo(40.0, DurationNs::from_secs(3), &mut make_tracer);
     let mut df = Deployment::install(&mut world).expect("install");
-    df.run(&mut world, TimeNs::from_secs(4), DurationNs::from_millis(200));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(4),
+        DurationNs::from_millis(200),
+    );
     println!("  corpus: {} spans from Bookinfo\n", df.server.span_count());
 
     // Start points: productpage server-side spans (the user's entry).
@@ -67,7 +71,12 @@ fn main() {
         }));
     }
     report::table(
-        &["iteration cap", "mean spans/trace", "completeness", "assembly time"],
+        &[
+            "iteration cap",
+            "mean spans/trace",
+            "completeness",
+            "assembly time",
+        ],
         &rows,
     );
     println!("\n  Reading: the search reaches a fixed point after a handful of iterations");

@@ -36,8 +36,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for slot_s in [1u64, 5, 15, 30, 60, 120, 300] {
-        let mut agg: SessionAggregator<u64> =
-            SessionAggregator::new(DurationNs::from_secs(slot_s));
+        let mut agg: SessionAggregator<u64> = SessionAggregator::new(DurationNs::from_secs(slot_s));
         let mut matched = 0u64;
         let mut out_of_window = 0u64;
         let mut orphans = 0u64;
@@ -63,7 +62,10 @@ fn main() {
             out_of_window.to_string(),
             expired.to_string(),
             orphans.to_string(),
-            format!("{:.2}%", 100.0 * (out_of_window + orphans) as f64 / 50_000.0),
+            format!(
+                "{:.2}%",
+                100.0 * (out_of_window + orphans) as f64 / 50_000.0
+            ),
         ]);
         json.push(serde_json::json!({
             "slot_s": slot_s, "matched": matched, "out_of_window": out_of_window,
@@ -71,7 +73,14 @@ fn main() {
         }));
     }
     report::table(
-        &["slot", "matched in-window", "out-of-window", "expired", "late orphans", "server re-agg load"],
+        &[
+            "slot",
+            "matched in-window",
+            "out-of-window",
+            "expired",
+            "late orphans",
+            "server re-agg load",
+        ],
         &rows,
     );
     println!("\n  Reading: small slots expire long-tail requests before their responses");
@@ -79,5 +88,8 @@ fn main() {
     println!("  very large slots hold per-slot state longer for no accuracy gain. 60 s");
     println!("  sits where the tail is covered and the re-aggregation load is negligible —");
     println!("  consistent with the paper's production choice.");
-    report::save_json("ablation_time_window", &serde_json::json!({ "sweep": json }));
+    report::save_json(
+        "ablation_time_window",
+        &serde_json::json!({ "sweep": json }),
+    );
 }

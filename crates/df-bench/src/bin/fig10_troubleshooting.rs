@@ -11,9 +11,7 @@ fn main() {
     report::header("Fig. 10(a): fault-to-fix time, before vs with DeepFlow (survey)");
     let rows: Vec<Vec<String>> = datasets::fig10a_buckets()
         .iter()
-        .map(|(b, before, with)| {
-            vec![b.to_string(), before.to_string(), with.to_string()]
-        })
+        .map(|(b, before, with)| vec![b.to_string(), before.to_string(), with.to_string()])
         .collect();
     report::table(&["bucket", "before (customers)", "with DeepFlow"], &rows);
 
@@ -31,7 +29,11 @@ fn main() {
     let (mut world, _handles, _vip) =
         apps::nginx_ingress_cluster(150.0, DurationNs::from_secs(2), 2);
     let mut df = Deployment::install(&mut world).expect("install");
-    df.run(&mut world, TimeNs::from_secs(3), DurationNs::from_millis(200));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(3),
+        DurationNs::from_millis(200),
+    );
 
     // Query 1: error spans. Query 2: group by pod tag. Done.
     let errors = df.server.error_spans(TimeNs::ZERO, TimeNs::from_secs(3));

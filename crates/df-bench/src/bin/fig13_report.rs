@@ -9,7 +9,9 @@
 use bytes::Bytes;
 use df_agent::ebpf::{EmptyProgram, SharedSyscallProgram};
 use df_bench::report;
-use df_kernel::hooks::{AttachPoint, HookContext, HookEngine, HookOverheadModel, HookPhase, ProbeKind};
+use df_kernel::hooks::{
+    AttachPoint, HookContext, HookEngine, HookOverheadModel, HookPhase, ProbeKind,
+};
 use df_types::{FiveTuple, NodeId, Pid, SocketId, SyscallAbi, Tid, TimeNs};
 use std::net::Ipv4Addr;
 use std::time::Instant;
@@ -108,7 +110,13 @@ fn main() {
         }
     }
     report::table(
-        &["ABI", "probe", "empty ns/pair", "deepflow ns/pair", "added ns/pair"],
+        &[
+            "ABI",
+            "probe",
+            "empty ns/pair",
+            "deepflow ns/pair",
+            "added ns/pair",
+        ],
         &rows,
     );
 
@@ -146,8 +154,10 @@ fn main() {
     let uprobe_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
     println!("  ssl_read uprobe+uretprobe pair: {uprobe_ns:.0} ns/event (machinery only —");
     println!("  the paper's 6153 ns includes the real kernel's user->kernel trap, which the");
-    println!("  virtual-time model charges separately: {} per uprobe firing)\n",
-        df_kernel::HookOverheadModel::default().uprobe_ns);
+    println!(
+        "  virtual-time model charges separately: {} per uprobe firing)\n",
+        df_kernel::HookOverheadModel::default().uprobe_ns
+    );
 
     // Shape checks vs the paper.
     let added_vals: Vec<f64> = results
@@ -155,7 +165,12 @@ fn main() {
         .map(|r| r["added_ns"].as_f64().unwrap())
         .collect();
     let mean_added = added_vals.iter().sum::<f64>() / added_vals.len() as f64;
-    report::compare("mean added ns per hook pair (paper <=588)", 588.0, mean_added, 8.0);
+    report::compare(
+        "mean added ns per hook pair (paper <=588)",
+        588.0,
+        mean_added,
+        8.0,
+    );
     println!("\n  Shape: every ABI's added cost is sub-microsecond — negligible against");
     println!("  syscall I/O costs, the paper's §5.1 conclusion.");
 

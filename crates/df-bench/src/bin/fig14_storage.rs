@@ -19,12 +19,30 @@ use std::path::PathBuf;
 /// trace in a churning cluster) — see DESIGN.md §6. `usize::MAX` marks
 /// identity columns whose cardinality tracks the row count.
 const CARDINALITIES: [usize; 16] = [
-    2, 4, 8, 8, 16, 16, 32, 64, 128, 1_000, 5_000, 20_000,
-    usize::MAX, usize::MAX, usize::MAX, usize::MAX,
+    2,
+    4,
+    8,
+    8,
+    16,
+    16,
+    32,
+    64,
+    128,
+    1_000,
+    5_000,
+    20_000,
+    usize::MAX,
+    usize::MAX,
+    usize::MAX,
+    usize::MAX,
 ];
 
 fn card(c: usize, n: usize) -> usize {
-    if CARDINALITIES[c] == usize::MAX { n } else { CARDINALITIES[c] }
+    if CARDINALITIES[c] == usize::MAX {
+        n
+    } else {
+        CARDINALITIES[c]
+    }
 }
 
 fn rows() -> usize {
@@ -57,11 +75,7 @@ fn main() {
                 // Smart-encoding: the string→int mapping happened once at
                 // tag-collection time; ingest receives ints.
                 let batch: Vec<Vec<u32>> = (0..n)
-                    .map(|i| {
-                        (0..w)
-                            .map(|c| ((i * 31 + c) % card(c, n)) as u32)
-                            .collect()
-                    })
+                    .map(|i| (0..w).map(|c| ((i * 31 + c) % card(c, n)) as u32).collect())
                     .collect();
                 table.ingest_int_rows(batch.iter().map(|r| r.as_slice()));
             }
@@ -85,7 +99,12 @@ fn main() {
         ));
         let disk = write_segment(&table, &path).unwrap_or(rep.disk_bytes as u64);
         let _ = std::fs::remove_file(&path);
-        measurements.push((encoding, rep.cpu_seconds, rep.memory_bytes as f64, disk as f64));
+        measurements.push((
+            encoding,
+            rep.cpu_seconds,
+            rep.memory_bytes as f64,
+            disk as f64,
+        ));
     }
 
     let (_, s_cpu, s_mem, s_disk) = measurements[0];

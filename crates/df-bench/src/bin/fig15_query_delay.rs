@@ -16,14 +16,9 @@ fn main() {
     report::header("Fig. 15 setup: generating spans with the Bookinfo workload");
     let mut make_tracer = || apps::no_tracer();
     // 15 virtual minutes of traffic (the paper's span-list window).
-    let (mut world, _handles) =
-        apps::bookinfo(30.0, DurationNs::from_secs(900), &mut make_tracer);
+    let (mut world, _handles) = apps::bookinfo(30.0, DurationNs::from_secs(900), &mut make_tracer);
     let mut df = Deployment::install(&mut world).expect("install");
-    df.run(
-        &mut world,
-        TimeNs::from_secs(905),
-        DurationNs::from_secs(5),
-    );
+    df.run(&mut world, TimeNs::from_secs(905), DurationNs::from_secs(5));
     println!("  spans stored: {}", df.server.span_count());
 
     // --- span list queries (15-minute window, one UI page) ---
@@ -92,7 +87,12 @@ fn main() {
     let mean_iters = 5.0; // observed fixpoint depth on Bookinfo traces
     let modeled_trace_s = seq_s + (mean_iters * FILTER_FAMILIES + 1.0) * DB_ROUND_TRIP_S;
     report::table(
-        &["query", "paper", "measured (in-process)", "modeled w/ remote DB"],
+        &[
+            "query",
+            "paper",
+            "measured (in-process)",
+            "modeled w/ remote DB",
+        ],
         &[
             vec![
                 "span list (15-min window)".into(),

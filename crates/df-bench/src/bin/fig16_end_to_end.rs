@@ -16,7 +16,14 @@ fn sweep(app: App, sdk: Variant, paper: (f64, f64, f64, f64, f64)) -> serde_json
     let secs = 4;
     let base = max_throughput(app, Variant::Baseline, 4000.0, secs);
     let sdk_pt = max_throughput(app, sdk, 4000.0, secs);
-    let df_pt = max_throughput(app, Variant::DeepFlow { cpu_share: DF_SHARE }, 4000.0, secs);
+    let df_pt = max_throughput(
+        app,
+        Variant::DeepFlow {
+            cpu_share: DF_SHARE,
+        },
+        4000.0,
+        secs,
+    );
 
     let rows = vec![
         vec![
@@ -45,7 +52,14 @@ fn sweep(app: App, sdk: Variant, paper: (f64, f64, f64, f64, f64)) -> serde_json
         ],
     ];
     report::table(
-        &["variant", "max RPS", "overhead", "p50", "p99", "spans/trace"],
+        &[
+            "variant",
+            "max RPS",
+            "overhead",
+            "p50",
+            "p99",
+            "spans/trace",
+        ],
         &rows,
     );
 
@@ -56,7 +70,14 @@ fn sweep(app: App, sdk: Variant, paper: (f64, f64, f64, f64, f64)) -> serde_json
         let rps = base.achieved * frac;
         let b = run_point(app, Variant::Baseline, rps, 3);
         let s = run_point(app, sdk, rps, 3);
-        let d = run_point(app, Variant::DeepFlow { cpu_share: DF_SHARE }, rps, 3);
+        let d = run_point(
+            app,
+            Variant::DeepFlow {
+                cpu_share: DF_SHARE,
+            },
+            rps,
+            3,
+        );
         curve_rows.push(vec![
             format!("{:.0}", rps),
             format!("{}", b.p50),
@@ -67,7 +88,14 @@ fn sweep(app: App, sdk: Variant, paper: (f64, f64, f64, f64, f64)) -> serde_json
         ]);
     }
     report::table(
-        &["offered RPS", "base p50", "sdk p50", "df p50", "base p99", "df p99"],
+        &[
+            "offered RPS",
+            "base p50",
+            "sdk p50",
+            "df p50",
+            "base p99",
+            "df p99",
+        ],
         &curve_rows,
     );
 
@@ -87,7 +115,12 @@ fn sweep(app: App, sdk: Variant, paper: (f64, f64, f64, f64, f64)) -> serde_json
         2.5,
     );
     report::compare("SDK spans/trace", p_sdk_spans, sdk_pt.spans_per_trace, 1.5);
-    report::compare("DeepFlow spans/trace", p_df_spans, df_pt.spans_per_trace, 1.5);
+    report::compare(
+        "DeepFlow spans/trace",
+        p_df_spans,
+        df_pt.spans_per_trace,
+        1.5,
+    );
 
     serde_json::json!({
         "baseline_rps": base.achieved,

@@ -92,7 +92,7 @@ fn run(mode: Mode, rps: f64, secs: u64) -> (f64, D, D) {
             while TimeNs::ZERO + t < horizon {
                 world.run_until(TimeNs::ZERO + t);
                 std::hint::black_box(df.poll_collect(&mut world, TimeNs::ZERO + t));
-                t = t + D::from_millis(250);
+                t += D::from_millis(250);
             }
             world.run_until(horizon);
             std::hint::black_box(df.poll_collect(&mut world, horizon));
@@ -121,7 +121,10 @@ fn main() {
         ]);
         max_rps.push((mode, rps));
     }
-    report::table(&["mode", "max RPS", "p50 (saturated)", "p90 (saturated)"], &rows);
+    report::table(
+        &["mode", "max RPS", "p50 (saturated)", "p90 (saturated)"],
+        &rows,
+    );
 
     report::header("Fig. 19(a)/(b): p50 / p90 latency vs offered throughput");
     let base_max = max_rps[0].1;
@@ -142,7 +145,15 @@ fn main() {
         ]);
     }
     report::table(
-        &["offered RPS", "base p50", "eBPF p50", "agent p50", "base p90", "eBPF p90", "agent p90"],
+        &[
+            "offered RPS",
+            "base p50",
+            "eBPF p50",
+            "agent p50",
+            "base p90",
+            "eBPF p90",
+            "agent p90",
+        ],
         &curve,
     );
 

@@ -99,9 +99,14 @@ fn observe(inject: impl FnOnce(&mut World)) -> Observation {
         fired += cl.fired;
     }
     Observation {
-        error_spans: all.iter().filter(|s| s.status == SpanStatus::ServerError
-            || s.status == SpanStatus::ClientError).count(),
-        incomplete_spans: all.iter().filter(|s| s.status == SpanStatus::Incomplete).count(),
+        error_spans: all
+            .iter()
+            .filter(|s| s.status == SpanStatus::ServerError || s.status == SpanStatus::ClientError)
+            .count(),
+        incomplete_spans: all
+            .iter()
+            .filter(|s| s.status == SpanStatus::Incomplete)
+            .count(),
         retransmissions: retx,
         zero_windows: zw,
         p99: hist.p99(),
@@ -132,7 +137,7 @@ fn main() {
     // Fault-injection campaign: draw 1000 anomalies from the survey
     // distribution and verify the injected taxonomy is recovered.
     report::header("Shape regeneration: 1000-fault injection campaign");
-    let mut rng = SmallRng::seed_from_u64(0xf16_2);
+    let mut rng = SmallRng::seed_from_u64(0xf162);
     let mut counts = std::collections::HashMap::new();
     let n = 1000;
     for _ in 0..n {
@@ -194,7 +199,10 @@ fn main() {
 
     // Application: a bug in the backend.
     let o = observe(|w| {
-        w.services[0].spec.error_endpoints.push(("/data".into(), 500));
+        w.services[0]
+            .spec
+            .error_endpoints
+            .push(("/data".into(), 500));
     });
     drill("application", "5xx error spans", o.error_spans > 10);
 
@@ -205,21 +213,35 @@ fn main() {
             Fault::ExtraLatency(DD::from_millis(20)),
         );
     });
-    drill("virtual network", "latency jump at one pod veth", o.p99 >= p99_floor);
+    drill(
+        "virtual network",
+        "latency jump at one pod veth",
+        o.p99 >= p99_floor,
+    );
 
     // Physical network: a lossy NIC.
     let o = observe(|w| {
         let n2 = w.fabric.topology.node_ids()[1];
-        w.fabric.faults.inject(ElementId::PhysNic(n2), Fault::Loss { p: 0.3 });
+        w.fabric
+            .faults
+            .inject(ElementId::PhysNic(n2), Fault::Loss { p: 0.3 });
     });
-    drill("physical network", "retransmissions on flows", o.retransmissions > 10);
+    drill(
+        "physical network",
+        "retransmissions on flows",
+        o.retransmissions > 10,
+    );
 
     // Network middleware: a backlogged broker (consumer wedged) flooded by
     // a pipelining producer.
     let o = observe(|w| {
         let svc = &w.services[0];
         let (pid, node, fd) = (svc.pid, svc.spec.node, svc.listen_fd());
-        w.kernels.get_mut(&node).unwrap().set_recv_capacity(pid, fd, 2048).unwrap();
+        w.kernels
+            .get_mut(&node)
+            .unwrap()
+            .set_recv_capacity(pid, fd, 2048)
+            .unwrap();
         w.services[0].spec.compute = DD::from_secs(30); // wedged consumer
         let producer = ClientSpec {
             rps: 500.0,
@@ -228,8 +250,12 @@ fn main() {
             pipeline_depth: 10_000,
             timeout: DD::from_secs(2),
             endpoints: vec![("GET /publish".to_string(), 1)],
-            ..ClientSpec::http("producer", w.fabric.topology.node_ids()[0],
-                Ipv4Addr::new(10, 1, 0, 100), "back")
+            ..ClientSpec::http(
+                "producer",
+                w.fabric.topology.node_ids()[0],
+                Ipv4Addr::new(10, 1, 0, 100),
+                "back",
+            )
         };
         let _ = w.add_client(producer);
     });
@@ -242,7 +268,9 @@ fn main() {
     // Cluster service / node configuration: a firewall black-holing a node.
     let o = observe(|w| {
         let n2 = w.fabric.topology.node_ids()[1];
-        w.fabric.faults.inject(ElementId::NodeNic(n2), Fault::BlackHole);
+        w.fabric
+            .faults
+            .inject(ElementId::NodeNic(n2), Fault::BlackHole);
     });
     drill(
         "cluster service / node config",
@@ -271,8 +299,12 @@ fn main() {
             connections: 4,
             timeout: DD::from_secs(120),
             endpoints: vec![("GET /api".to_string(), 1)],
-            ..ClientSpec::http("surge", w.fabric.topology.node_ids()[0],
-                Ipv4Addr::new(10, 1, 0, 100), "front")
+            ..ClientSpec::http(
+                "surge",
+                w.fabric.topology.node_ids()[0],
+                Ipv4Addr::new(10, 1, 0, 100),
+                "front",
+            )
         };
         let _ = w.add_client(spec);
     });
@@ -282,10 +314,17 @@ fn main() {
         o.p99 >= p99_floor && o.error_spans == 0,
     );
 
-    report::table(&["injected source", "DeepFlow symptom signature", "verdict"], &rows);
+    report::table(
+        &["injected source", "DeepFlow symptom signature", "verdict"],
+        &rows,
+    );
     let missed = rows.iter().filter(|r| r[2] == "MISSED").count();
-    println!("
-  {} / {} anomaly classes produce distinguishable signatures.", rows.len() - missed, rows.len());
+    println!(
+        "
+  {} / {} anomaly classes produce distinguishable signatures.",
+        rows.len() - missed,
+        rows.len()
+    );
     let _ = no_tracer;
 
     report::save_json(

@@ -35,10 +35,13 @@ fn main() {
     report::header("The zero-code counterpart, demonstrated");
     println!("  Deploying DeepFlow on a live, uninstrumented Bookinfo cluster...");
     let mut make_tracer = || apps::no_tracer();
-    let (mut world, handles) =
-        apps::bookinfo(50.0, DurationNs::from_secs(2), &mut make_tracer);
+    let (mut world, handles) = apps::bookinfo(50.0, DurationNs::from_secs(2), &mut make_tracer);
     let mut df = Deployment::install(&mut world).expect("verifier admits programs");
-    df.run(&mut world, TimeNs::from_secs(3), DurationNs::from_millis(200));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(3),
+        DurationNs::from_millis(200),
+    );
     let client = &world.clients[handles.client];
     let slowest = df
         .server

@@ -7,8 +7,16 @@ fn main() {
     report::header("Table 4: multiple-choice questionnaire answers (10 customers)");
     let cols: Vec<&str> = std::iter::once("question")
         .chain((1..=10).map(|i| match i {
-            1 => "A1", 2 => "A2", 3 => "A3", 4 => "A4", 5 => "A5",
-            6 => "A6", 7 => "A7", 8 => "A8", 9 => "A9", _ => "A10",
+            1 => "A1",
+            2 => "A2",
+            3 => "A3",
+            4 => "A4",
+            5 => "A5",
+            6 => "A6",
+            7 => "A7",
+            8 => "A8",
+            9 => "A9",
+            _ => "A10",
         }))
         .collect();
     let rows: Vec<Vec<String>> = datasets::TABLE4

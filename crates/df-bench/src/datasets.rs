@@ -38,26 +38,66 @@ pub const FIG3_SDK_LOC: [(&str, u64); 8] = [
 /// Table 4: the ten customers' multiple-choice questionnaire answers.
 /// Row = question, column = customer A1..A10, verbatim from Appendix C.
 pub const TABLE4: [(&str, [&str; 10]); 10] = [
-    ("Q1 framework (O=open-source, S=self-developed)",
-     ["O", "S", "O", "O", "O", "O", "S", "O", "O", "S"]),
-    ("Q2 kernel versions in production",
-     ["2-5", "5-10", "2-5", "2-5", "Unknown", "2-5", "2-5", "2-5", "2-5", "2-5"]),
-    ("Q3 programming languages",
-     ["2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5"]),
-    ("Q4 microservice components",
-     ["2-5", ">100", "5-10", ">100", "20-100", "10-20", "5-10", "10-20", "2-5", ">100"]),
-    ("Q5 LOC per component",
-     ["100-1k", "3k-5k", "3k-5k", "3k-5k", ">5k", ">5k", "100-1k", "1k-3k", "3k-5k", ">5k"]),
-    ("Q6 time to instrument one component",
-     ["Days", "Days", "Hrs", "1Hr", "Mins", "Hrs", "Hrs", "Mins", "Hrs", "1Hr"]),
-    ("Q7 LOC modified per component",
-     ["(20,100]", "(0,20]", ">100", "(0,20]", "0", ">100", ">100", "0", "(20,100]", "(20,100]"]),
-    ("Q8 workload reduction with DeepFlow",
-     ["20%-50%", "50%-80%", "20%-50%", "50%-80%", "50%-80%", "20%-50%", ">80%", "50%-80%", "20%-50%", "0%"]),
-    ("Q9 fault-to-fix time before DeepFlow",
-     ["1Hr", "Hrs", "Hrs", "Hrs", "Hrs", "Mins", "1Hr", "Mins", "Hrs", "1Hr"]),
-    ("Q10 fault-to-fix time with DeepFlow",
-     ["1Hr", "Hrs", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "1Hr"]),
+    (
+        "Q1 framework (O=open-source, S=self-developed)",
+        ["O", "S", "O", "O", "O", "O", "S", "O", "O", "S"],
+    ),
+    (
+        "Q2 kernel versions in production",
+        [
+            "2-5", "5-10", "2-5", "2-5", "Unknown", "2-5", "2-5", "2-5", "2-5", "2-5",
+        ],
+    ),
+    (
+        "Q3 programming languages",
+        [
+            "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5",
+        ],
+    ),
+    (
+        "Q4 microservice components",
+        [
+            "2-5", ">100", "5-10", ">100", "20-100", "10-20", "5-10", "10-20", "2-5", ">100",
+        ],
+    ),
+    (
+        "Q5 LOC per component",
+        [
+            "100-1k", "3k-5k", "3k-5k", "3k-5k", ">5k", ">5k", "100-1k", "1k-3k", "3k-5k", ">5k",
+        ],
+    ),
+    (
+        "Q6 time to instrument one component",
+        [
+            "Days", "Days", "Hrs", "1Hr", "Mins", "Hrs", "Hrs", "Mins", "Hrs", "1Hr",
+        ],
+    ),
+    (
+        "Q7 LOC modified per component",
+        [
+            "(20,100]", "(0,20]", ">100", "(0,20]", "0", ">100", ">100", "0", "(20,100]",
+            "(20,100]",
+        ],
+    ),
+    (
+        "Q8 workload reduction with DeepFlow",
+        [
+            "20%-50%", "50%-80%", "20%-50%", "50%-80%", "50%-80%", "20%-50%", ">80%", "50%-80%",
+            "20%-50%", "0%",
+        ],
+    ),
+    (
+        "Q9 fault-to-fix time before DeepFlow",
+        [
+            "1Hr", "Hrs", "Hrs", "Hrs", "Hrs", "Mins", "1Hr", "Mins", "Hrs", "1Hr",
+        ],
+    ),
+    (
+        "Q10 fault-to-fix time with DeepFlow",
+        [
+            "1Hr", "Hrs", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "1Hr",
+        ],
+    ),
 ];
 
 /// Table 5: the free-form "where has DeepFlow helped you the most" answers.
@@ -118,7 +158,10 @@ mod tests {
         let total: f64 = FIG2A_SOURCES.iter().map(|(_, v)| v).sum();
         assert!((total - 1.0).abs() < 1e-9);
         let net_breakdown: f64 = FIG2B_NETWORK.iter().map(|(_, v)| v).sum();
-        assert!((net_breakdown - 0.473).abs() < 1e-9, "network slices sum to 47.3%");
+        assert!(
+            (net_breakdown - 0.473).abs() < 1e-9,
+            "network slices sum to 47.3%"
+        );
     }
 
     #[test]

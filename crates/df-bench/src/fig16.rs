@@ -91,7 +91,12 @@ pub struct Point {
 
 const SDK_OP_COST: D = D::from_micros(30);
 
-fn build(app: App, variant: Variant, rps: f64, duration: D) -> (World, AppHandles, Option<SharedReporter>) {
+fn build(
+    app: App,
+    variant: Variant,
+    rps: f64,
+    duration: D,
+) -> (World, AppHandles, Option<SharedReporter>) {
     let rep = reporter();
     let mut seed = 1u64;
     let rep2 = rep.clone();
@@ -158,9 +163,7 @@ pub fn run_point(app: App, variant: Variant, rps: f64, secs: u64) -> Point {
             let s = df.agent_stats();
             (s.sys_spans + s.net_spans) as f64 / client.completed.max(1) as f64
         }
-        (None, Some(rep)) => {
-            rep.lock().unwrap().len() as f64 / client.completed.max(1) as f64
-        }
+        (None, Some(rep)) => rep.lock().unwrap().len() as f64 / client.completed.max(1) as f64,
         _ => 0.0,
     };
     Point {
@@ -199,7 +202,12 @@ mod tests {
     fn overhead_ordering_matches_fig16() {
         let base = max_throughput(App::SpringBoot, Variant::Baseline, 4000.0, 2);
         let jaeger = max_throughput(App::SpringBoot, Variant::JaegerLike, 4000.0, 2);
-        let df = max_throughput(App::SpringBoot, Variant::DeepFlow { cpu_share: 0.08 }, 4000.0, 2);
+        let df = max_throughput(
+            App::SpringBoot,
+            Variant::DeepFlow { cpu_share: 0.08 },
+            4000.0,
+            2,
+        );
         assert!(
             base.achieved > jaeger.achieved && jaeger.achieved > df.achieved,
             "ordering: base {} > jaeger {} > deepflow {}",

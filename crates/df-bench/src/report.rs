@@ -79,7 +79,11 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
 
 /// A paper-vs-measured comparison line with a shape verdict.
 pub fn compare(metric: &str, paper: f64, measured: f64, tolerance_factor: f64) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     let ok = ratio.is_finite() && ratio >= 1.0 / tolerance_factor && ratio <= tolerance_factor;
     println!(
         "  {metric:<46} paper {paper:>12.3}   measured {measured:>12.3}   ratio {ratio:>6.2}x  {}",
@@ -95,10 +99,7 @@ mod tests {
     fn table_and_bars_do_not_panic() {
         table(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         bars(&[("x".into(), 1.0), ("y".into(), 0.0)], "u");
         compare("m", 10.0, 12.0, 2.0);

@@ -281,7 +281,12 @@ impl Kernel {
         let base = DurationNs(self.cfg.base_syscall_ns);
         let sid = match self.sid(pid, fd) {
             Ok(s) => s,
-            Err(err) => return SyscallOutcome::Error { err, duration: base },
+            Err(err) => {
+                return SyscallOutcome::Error {
+                    err,
+                    duration: base,
+                }
+            }
         };
         let eph = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(32768);
@@ -332,7 +337,12 @@ impl Kernel {
         let base = DurationNs(self.cfg.base_syscall_ns);
         let sid = match self.sid(pid, fd) {
             Ok(s) => s,
-            Err(err) => return SyscallOutcome::Error { err, duration: base },
+            Err(err) => {
+                return SyscallOutcome::Error {
+                    err,
+                    duration: base,
+                }
+            }
         };
         let Some(listener) = self.sockets.get_mut(&sid) else {
             return SyscallOutcome::Error {
@@ -364,6 +374,9 @@ impl Kernel {
     /// segmentizes onto the outbox, returns bytes written.
     ///
     /// `dst` carries the explicit destination for unconnected `sendto`.
+    // Mirrors the syscall ABI surface; bundling into a struct would only
+    // move the argument list one call up.
+    #[allow(clippy::too_many_arguments)]
     pub fn syscall_send(
         &mut self,
         tid: Tid,
@@ -378,7 +391,12 @@ impl Kernel {
         let base = DurationNs(self.cfg.base_syscall_ns);
         let sid = match self.sid(pid, fd) {
             Ok(s) => s,
-            Err(err) => return SyscallOutcome::Error { err, duration: base },
+            Err(err) => {
+                return SyscallOutcome::Error {
+                    err,
+                    duration: base,
+                }
+            }
         };
         // Unconnected UDP sendto: the destination is per-datagram; it must
         // NOT bind the socket (a DNS server answers many peers through one
@@ -397,7 +415,11 @@ impl Kernel {
             };
             (tuple, sock.snd_nxt, sock.protocol)
         };
-        let tcp_seq = if proto == TransportProtocol::Udp { 0 } else { tcp_seq };
+        let tcp_seq = if proto == TransportProtocol::Udp {
+            0
+        } else {
+            tcp_seq
+        };
         // --- enter hook ---
         let enter_cost = self.fire_syscall_hook(
             HookPhase::Enter,
@@ -485,7 +507,12 @@ impl Kernel {
         let base = DurationNs(self.cfg.base_syscall_ns);
         let sid = match self.sid(pid, fd) {
             Ok(s) => s,
-            Err(err) => return SyscallOutcome::Error { err, duration: base },
+            Err(err) => {
+                return SyscallOutcome::Error {
+                    err,
+                    duration: base,
+                }
+            }
         };
         let tuple = self.sockets[&sid].five_tuple();
         // --- enter hook: once per logical syscall, not per retry ---
@@ -650,7 +677,10 @@ impl Kernel {
         }
         let sock = self.sockets.get_mut(&sid).ok_or(KernelError::BadFd)?;
         if sock.protocol == TransportProtocol::Tcp
-            && matches!(sock.state, SocketState::Established | SocketState::CloseWait)
+            && matches!(
+                sock.state,
+                SocketState::Established | SocketState::CloseWait
+            )
         {
             let tuple = sock.five_tuple().expect("established socket");
             let seg = Segment {
@@ -1020,7 +1050,12 @@ impl Kernel {
 
     /// Shrink/grow a socket's receive buffer (SO_RCVBUF). Listener children
     /// inherit it.
-    pub fn set_recv_capacity(&mut self, pid: Pid, fd: Fd, capacity: usize) -> Result<(), KernelError> {
+    pub fn set_recv_capacity(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        capacity: usize,
+    ) -> Result<(), KernelError> {
         let sid = self.sid(pid, fd)?;
         let sock = self.sockets.get_mut(&sid).ok_or(KernelError::BadFd)?;
         sock.recv_capacity = capacity.max(1);
@@ -1127,10 +1162,14 @@ mod tests {
     }
 
     fn two_kernels() -> (Kernel, Kernel) {
-        let mut ca = KernelConfig::default();
-        ca.node = NodeId(1);
-        let mut cb = KernelConfig::default();
-        cb.node = NodeId(2);
+        let ca = KernelConfig {
+            node: NodeId(1),
+            ..Default::default()
+        };
+        let cb = KernelConfig {
+            node: NodeId(2),
+            ..Default::default()
+        };
         (Kernel::new(ca), Kernel::new(cb))
     }
 
@@ -1325,7 +1364,8 @@ mod tests {
 
         let (cpid, ctid) = a.procs.spawn_process("client");
         let cfd = a.socket(cpid, TransportProtocol::Udp).unwrap();
-        a.connect(ctid, cpid, cfd, IP_A, (IP_B, 53)).unwrap_complete();
+        a.connect(ctid, cpid, cfd, IP_A, (IP_B, 53))
+            .unwrap_complete();
         a.syscall_send(
             ctid,
             cpid,

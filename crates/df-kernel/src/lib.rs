@@ -38,12 +38,10 @@ pub mod syscalls;
 pub mod verifier;
 
 pub use error::KernelError;
-pub use hooks::{
-    AttachPoint, BpfProgram, HookContext, HookEngine, HookOverheadModel, ProbeKind,
-};
+pub use hooks::{AttachPoint, BpfProgram, HookContext, HookEngine, HookOverheadModel, ProbeKind};
 pub use kernel::{Fd, Kernel, KernelConfig, RecvResult, SyscallOutcome, Wakeup, WakeupKind};
-pub use syscalls::SyscallSurface;
 pub use process::{CoroutineEvent, ProcessTable, ThreadState};
 pub use ringbuf::PerfRingBuffer;
 pub use socket::{ReadOutcome, RecvChunk, Socket, SocketState, MSS};
+pub use syscalls::SyscallSurface;
 pub use verifier::{ProgramSpec, VerifierError};

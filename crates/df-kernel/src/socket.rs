@@ -105,7 +105,12 @@ pub struct Socket {
 
 impl Socket {
     /// Create a fresh socket.
-    pub fn new(id: SocketId, protocol: TransportProtocol, local: (Ipv4Addr, u16), iss: u32) -> Self {
+    pub fn new(
+        id: SocketId,
+        protocol: TransportProtocol,
+        local: (Ipv4Addr, u16),
+        iss: u32,
+    ) -> Self {
         Socket {
             id,
             protocol,
@@ -144,7 +149,10 @@ impl Socket {
         match self.protocol {
             TransportProtocol::Udp => self.remote.is_some(),
             TransportProtocol::Tcp => {
-                matches!(self.state, SocketState::Established | SocketState::CloseWait)
+                matches!(
+                    self.state,
+                    SocketState::Established | SocketState::CloseWait
+                )
             }
         }
     }
@@ -175,7 +183,11 @@ impl Socket {
                 ack: self.rcv_nxt,
                 // PSH marks the end of the application write, like real TCP;
                 // the receiver derives message boundaries from it.
-                flags: if last { TcpFlags::PSH_ACK } else { TcpFlags::ACK },
+                flags: if last {
+                    TcpFlags::PSH_ACK
+                } else {
+                    TcpFlags::ACK
+                },
                 window: self.window(),
                 payload: chunk,
                 is_retransmission: false,
@@ -271,10 +283,7 @@ impl Socket {
     }
 
     fn flush_ooo(&mut self) {
-        loop {
-            let Some(pos) = self.ooo.iter().position(|(s, _, _)| *s == self.rcv_nxt) else {
-                break;
-            };
+        while let Some(pos) = self.ooo.iter().position(|(s, _, _)| *s == self.rcv_nxt) {
             let (seq, data, psh) = self.ooo.swap_remove(pos);
             // bytes were already counted when buffered out-of-order; move
             // them into the in-order queue without double counting.

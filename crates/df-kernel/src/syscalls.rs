@@ -16,8 +16,14 @@ use std::net::Ipv4Addr;
 /// The ten-ABI surface as an extension trait on [`Kernel`].
 pub trait SyscallSurface {
     /// `read(2)`.
-    fn sys_read(&mut self, tid: Tid, pid: Pid, fd: Fd, max: usize, now: TimeNs)
-        -> SyscallOutcome<RecvResult>;
+    fn sys_read(
+        &mut self,
+        tid: Tid,
+        pid: Pid,
+        fd: Fd,
+        max: usize,
+        now: TimeNs,
+    ) -> SyscallOutcome<RecvResult>;
     /// `readv(2)`: scatter read into `iov_sizes`-shaped buffers; the result
     /// is the concatenation (we return it whole, plus per-iov split points).
     fn sys_readv(
@@ -169,7 +175,7 @@ impl SyscallSurface for Kernel {
             match self.syscall_recv(tid, pid, fd, max_bytes_each, SyscallAbi::Recvmmsg, t) {
                 SyscallOutcome::Complete { value, duration: d } => {
                     duration += d;
-                    t = t + d;
+                    t += d;
                     let eof = value.data.is_empty();
                     out.push(value);
                     if eof {
@@ -224,7 +230,15 @@ impl SyscallSurface for Kernel {
         for iov in iovs {
             buf.extend_from_slice(iov);
         }
-        self.syscall_send(tid, pid, fd, Bytes::from(buf), SyscallAbi::Writev, None, now)
+        self.syscall_send(
+            tid,
+            pid,
+            fd,
+            Bytes::from(buf),
+            SyscallAbi::Writev,
+            None,
+            now,
+        )
     }
 
     fn sys_sendto(
@@ -266,7 +280,7 @@ impl SyscallSurface for Kernel {
                 SyscallOutcome::Complete { value, duration: d } => {
                     total += value;
                     duration += d;
-                    t = t + d;
+                    t += d;
                 }
                 SyscallOutcome::WouldBlock => return SyscallOutcome::WouldBlock,
                 SyscallOutcome::Error { err, duration: d } => {
@@ -315,7 +329,9 @@ mod tests {
         wk
     }
 
-    fn connected_pair() -> (Kernel, Kernel, (Pid, Tid, Fd), (Pid, Tid, Fd)) {
+    type Endpoint = (Pid, Tid, Fd);
+
+    fn connected_pair() -> (Kernel, Kernel, Endpoint, Endpoint) {
         let mut a = Kernel::new(KernelConfig {
             node: NodeId(1),
             ..Default::default()

@@ -107,7 +107,10 @@ impl fmt::Display for VerifierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifierError::TooManyInstructions { got } => {
-                write!(f, "program too large: {got} > {MAX_INSTRUCTIONS} instructions")
+                write!(
+                    f,
+                    "program too large: {got} > {MAX_INSTRUCTIONS} instructions"
+                )
             }
             VerifierError::UnboundedLoop => write!(f, "back-edge with unbounded trip count"),
             VerifierError::StackTooLarge { got } => {

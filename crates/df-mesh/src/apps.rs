@@ -183,8 +183,22 @@ pub fn springboot_demo(
     let app_ip = Ipv4Addr::new(10, 1, 0, 20);
     let db_ip = Ipv4Addr::new(10, 1, 0, 30);
     let client_ip = Ipv4Addr::new(10, 1, 0, 100);
-    topo.add_pod(n2, "api-gateway-0", gw_ip, "demo", "api-gateway", "api-gateway");
-    topo.add_pod(n2, "spring-svc-0", app_ip, "demo", "spring-svc", "spring-svc");
+    topo.add_pod(
+        n2,
+        "api-gateway-0",
+        gw_ip,
+        "demo",
+        "api-gateway",
+        "api-gateway",
+    );
+    topo.add_pod(
+        n2,
+        "spring-svc-0",
+        app_ip,
+        "demo",
+        "spring-svc",
+        "spring-svc",
+    );
     topo.add_pod(n3, "mysql-0", db_ip, "demo", "mysql", "mysql");
     topo.add_pod(n1, "wrk2-0", client_ip, "demo", "wrk2", "wrk2");
     let fabric = Fabric::new(topo, FabricConfig::default());
@@ -240,14 +254,70 @@ pub fn bookinfo(rps: f64, duration: DurationNs, tracers: TracerFactory<'_>) -> (
     let (mut topo, [n1, n2, n3]) = three_node_cluster();
     let ips = BookinfoIps::default();
     topo.add_pod(n1, "wrk2-0", ips.client, "default", "wrk2", "wrk2");
-    topo.add_pod(n2, "productpage-v1-0", ips.productpage, "default", "productpage-v1", "productpage");
-    topo.add_pod(n2, "productpage-envoy", ips.pp_sidecar, "default", "productpage-v1", "productpage");
-    topo.add_pod(n2, "details-v1-0", ips.details, "default", "details-v1", "details");
-    topo.add_pod(n2, "details-envoy", ips.details_sidecar, "default", "details-v1", "details");
-    topo.add_pod(n3, "reviews-v2-0", ips.reviews, "default", "reviews-v2", "reviews");
-    topo.add_pod(n3, "reviews-envoy", ips.reviews_sidecar, "default", "reviews-v2", "reviews");
-    topo.add_pod(n3, "ratings-v1-0", ips.ratings, "default", "ratings-v1", "ratings");
-    topo.add_pod(n3, "ratings-envoy", ips.ratings_sidecar, "default", "ratings-v1", "ratings");
+    topo.add_pod(
+        n2,
+        "productpage-v1-0",
+        ips.productpage,
+        "default",
+        "productpage-v1",
+        "productpage",
+    );
+    topo.add_pod(
+        n2,
+        "productpage-envoy",
+        ips.pp_sidecar,
+        "default",
+        "productpage-v1",
+        "productpage",
+    );
+    topo.add_pod(
+        n2,
+        "details-v1-0",
+        ips.details,
+        "default",
+        "details-v1",
+        "details",
+    );
+    topo.add_pod(
+        n2,
+        "details-envoy",
+        ips.details_sidecar,
+        "default",
+        "details-v1",
+        "details",
+    );
+    topo.add_pod(
+        n3,
+        "reviews-v2-0",
+        ips.reviews,
+        "default",
+        "reviews-v2",
+        "reviews",
+    );
+    topo.add_pod(
+        n3,
+        "reviews-envoy",
+        ips.reviews_sidecar,
+        "default",
+        "reviews-v2",
+        "reviews",
+    );
+    topo.add_pod(
+        n3,
+        "ratings-v1-0",
+        ips.ratings,
+        "default",
+        "ratings-v1",
+        "ratings",
+    );
+    topo.add_pod(
+        n3,
+        "ratings-envoy",
+        ips.ratings_sidecar,
+        "default",
+        "ratings-v1",
+        "ratings",
+    );
     topo.add_pod_label(ips.reviews, "version", "v2");
     let fabric = Fabric::new(topo, FabricConfig::default());
     let mut world = World::new(fabric, 0xb00c);
@@ -383,10 +453,38 @@ pub fn nginx_ingress_cluster(
     ];
     let vip = Ipv4Addr::new(10, 96, 0, 1);
     topo.add_pod(n1, "wrk2-0", client_ip, "default", "wrk2", "wrk2");
-    topo.add_pod(n2, "nginx-ingress-0", nginx_ips[0], "ingress", "nginx-ingress", "ingress");
-    topo.add_pod(n2, "nginx-ingress-1", nginx_ips[1], "ingress", "nginx-ingress", "ingress");
-    topo.add_pod(n3, "nginx-ingress-2", nginx_ips[2], "ingress", "nginx-ingress", "ingress");
-    topo.add_pod(n3, "checkout-0", backend_ip, "default", "checkout", "checkout");
+    topo.add_pod(
+        n2,
+        "nginx-ingress-0",
+        nginx_ips[0],
+        "ingress",
+        "nginx-ingress",
+        "ingress",
+    );
+    topo.add_pod(
+        n2,
+        "nginx-ingress-1",
+        nginx_ips[1],
+        "ingress",
+        "nginx-ingress",
+        "ingress",
+    );
+    topo.add_pod(
+        n3,
+        "nginx-ingress-2",
+        nginx_ips[2],
+        "ingress",
+        "nginx-ingress",
+        "ingress",
+    );
+    topo.add_pod(
+        n3,
+        "checkout-0",
+        backend_ip,
+        "default",
+        "checkout",
+        "checkout",
+    );
     let mut fabric = Fabric::new(topo, FabricConfig::default());
     fabric.add_l4_gateway(L4Gateway::new("ingress-vip", vip, 80, nginx_ips.to_vec()));
     let mut world = World::new(fabric, 0x9913);
@@ -447,7 +545,14 @@ pub fn amqp_backlog(rps: f64, duration: DurationNs) -> (World, AppHandles) {
     let (mut topo, [n1, n2, _n3]) = three_node_cluster();
     let producer_ip = Ipv4Addr::new(10, 1, 0, 100);
     let broker_ip = Ipv4Addr::new(10, 1, 0, 60);
-    topo.add_pod(n1, "order-producer-0", producer_ip, "default", "order-producer", "producer");
+    topo.add_pod(
+        n1,
+        "order-producer-0",
+        producer_ip,
+        "default",
+        "order-producer",
+        "producer",
+    );
     topo.add_pod(n2, "rabbitmq-0", broker_ip, "mq", "rabbitmq", "rabbitmq");
     let fabric = Fabric::new(topo, FabricConfig::default());
     let mut world = World::new(fabric, 0xab1e);
@@ -504,8 +609,7 @@ mod tests {
     #[test]
     fn springboot_demo_serves_requests_end_to_end() {
         let mut f = no_tracer_factory();
-        let (mut world, handles) =
-            springboot_demo(200.0, DurationNs::from_secs(2), &mut f);
+        let (mut world, handles) = springboot_demo(200.0, DurationNs::from_secs(2), &mut f);
         world.run_until(TimeNs::from_secs(4));
         let client = &world.clients[handles.client];
         assert!(client.fired >= 390, "fired {}", client.fired);
@@ -550,8 +654,7 @@ mod tests {
 
     #[test]
     fn nginx_cluster_mixes_ok_and_404_depending_on_pod() {
-        let (mut world, handles, _vip) =
-            nginx_ingress_cluster(150.0, DurationNs::from_secs(2), 1);
+        let (mut world, handles, _vip) = nginx_ingress_cluster(150.0, DurationNs::from_secs(2), 1);
         world.run_until(TimeNs::from_secs(5));
         let client = &world.clients[handles.client];
         assert!(client.completed > 0);
@@ -591,8 +694,14 @@ mod tests {
         let (world, _) = springboot_demo(10.0, DurationNs::from_secs(1), &mut f);
         let taps = standard_taps(&world);
         // 3 node NICs + 4 pod veths
-        let nics = taps.iter().filter(|(_, _, k, _)| *k == TapKind::NodeNic).count();
-        let veths = taps.iter().filter(|(_, _, k, _)| *k == TapKind::PodVeth).count();
+        let nics = taps
+            .iter()
+            .filter(|(_, _, k, _)| *k == TapKind::NodeNic)
+            .count();
+        let veths = taps
+            .iter()
+            .filter(|(_, _, k, _)| *k == TapKind::PodVeth)
+            .count();
         assert_eq!(nics, 3);
         assert_eq!(veths, 4);
     }

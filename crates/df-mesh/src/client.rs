@@ -11,9 +11,7 @@ use crate::service::{build_request, tls_unwrap, tls_wrap};
 use crate::sim::{Ctx, Event, Owner};
 use df_kernel::{Fd, Kernel, SyscallOutcome, SyscallSurface};
 use df_protocols::inference;
-use df_types::{
-    DurationNs, L7Protocol, NodeId, Pid, Tid, TimeNs, TransportProtocol,
-};
+use df_types::{DurationNs, L7Protocol, NodeId, Pid, Tid, TimeNs, TransportProtocol};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
@@ -140,7 +138,13 @@ impl Client {
             } else {
                 kernel.procs.spawn_thread(pid).expect("client thread")
             };
-            owners.insert((spec.node, tid), Owner::Client { idx: my_index, conn: c });
+            owners.insert(
+                (spec.node, tid),
+                Owner::Client {
+                    idx: my_index,
+                    conn: c,
+                },
+            );
             conns.push(Conn {
                 tid,
                 fd: None,
@@ -208,7 +212,10 @@ impl Client {
 pub fn fire(cl: &mut Client, ctx: &mut Ctx<'_>, scheduled: TimeNs, now: TimeNs) {
     cl.fired += 1;
     let endpoint = cl.pick_endpoint(ctx.rng);
-    let pending = PendingReq { scheduled, endpoint };
+    let pending = PendingReq {
+        scheduled,
+        endpoint,
+    };
     // Open the whole pool first (wrk pre-opens all connections — and
     // per-connection L4 load balancers need the spread), then rotate
     // across connections with pipeline capacity; else backlog.
@@ -283,13 +290,17 @@ fn send(cl: &mut Client, ctx: &mut Ctx<'_>, c: usize, pending: PendingReq, now: 
     cl.mux += 1;
     let mux = cl.mux;
     let payload = build_request(cl.spec.protocol, &pending.endpoint, &cl.spec.headers, mux);
-    let payload = if cl.spec.tls { tls_wrap(&payload) } else { payload };
+    let payload = if cl.spec.tls {
+        tls_wrap(&payload)
+    } else {
+        payload
+    };
     cl.req_seq += 1;
     let seq = cl.req_seq;
     let mut t = now;
     match ctx.kernel(node).sys_write(tid, cl.pid, fd, payload, t) {
         SyscallOutcome::Complete { duration, .. } => {
-            t = t + duration;
+            t += duration;
         }
         _ => {
             fail_conn(cl, ctx, c, t);
@@ -335,7 +346,7 @@ fn try_read(cl: &mut Client, ctx: &mut Ctx<'_>, c: usize, now: TimeNs) {
         let Some(fd) = cl.conns[c].fd else { return };
         match ctx.kernel(node).sys_read(tid, cl.pid, fd, 65536, t) {
             SyscallOutcome::Complete { value, duration } => {
-                t = t + duration;
+                t += duration;
                 if value.data.is_empty() {
                     // Peer closed with requests in flight.
                     fail_conn(cl, ctx, c, t);
@@ -540,10 +551,7 @@ mod tests {
             rps: 500.0,
             duration: DurationNs::from_secs(2),
             connections: 8,
-            endpoints: vec![
-                ("GET /hot".to_string(), 9),
-                ("GET /cold".to_string(), 1),
-            ],
+            endpoints: vec![("GET /hot".to_string(), 9), ("GET /cold".to_string(), 1)],
             ..ClientSpec::http("wrk", n1, client_ip, "svc")
         });
         // Sample through the client's own picker for determinism.

@@ -109,11 +109,9 @@ impl LatencyHistogram {
 
     /// Mean.
     pub fn mean(&self) -> DurationNs {
-        if self.total == 0 {
-            DurationNs::ZERO
-        } else {
-            DurationNs(self.sum / self.total)
-        }
+        self.sum
+            .checked_div(self.total)
+            .map_or(DurationNs::ZERO, DurationNs)
     }
 
     /// Maximum recorded value.

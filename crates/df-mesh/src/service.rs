@@ -192,13 +192,33 @@ struct ProxyJob {
 #[derive(Debug)]
 enum WState {
     AwaitAccept,
-    AwaitRequest { conn: Fd },
-    Computing { conn: Fd, req: ReqCtx },
-    Connecting { conn: Fd, req: ReqCtx, call: usize },
-    AwaitCallResponse { conn: Fd, req: ReqCtx, call: usize, up_fd: Fd, tok: crate::tracer::CallToken },
+    AwaitRequest {
+        conn: Fd,
+    },
+    Computing {
+        conn: Fd,
+        req: ReqCtx,
+    },
+    Connecting {
+        conn: Fd,
+        req: ReqCtx,
+        call: usize,
+    },
+    AwaitCallResponse {
+        conn: Fd,
+        req: ReqCtx,
+        call: usize,
+        up_fd: Fd,
+        tok: crate::tracer::CallToken,
+    },
     AwaitInternal,
-    ForwardConnecting { job: ProxyJob },
-    ForwardAwaitResponse { job: ProxyJob, up_fd: Fd },
+    ForwardConnecting {
+        job: ProxyJob,
+    },
+    ForwardAwaitResponse {
+        job: ProxyJob,
+        up_fd: Fd,
+    },
 }
 
 struct Worker {
@@ -244,7 +264,9 @@ impl Service {
             TransportProtocol::Tcp
         };
         let listen_fd = kernel.socket(pid, transport).expect("socket");
-        kernel.bind(pid, listen_fd, spec.ip, spec.port).expect("bind");
+        kernel
+            .bind(pid, listen_fd, spec.ip, spec.port)
+            .expect("bind");
         if transport == TransportProtocol::Tcp {
             kernel.listen(pid, listen_fd, 1024).expect("listen");
         }
@@ -358,23 +380,24 @@ fn advance(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, state: WState, t: &mu
     let pid = svc.pid;
     let tid = svc.workers[w].tid;
     match state {
-        WState::AwaitAccept => {
-            match ctx.kernel(node).accept(tid, pid, svc.listen_fd) {
-                SyscallOutcome::Complete { value: conn, duration } => {
-                    *t = *t + duration;
-                    svc.workers[w].state = WState::AwaitRequest { conn };
-                    Flow::Continue
-                }
-                SyscallOutcome::WouldBlock => {
-                    svc.workers[w].state = WState::AwaitAccept;
-                    Flow::Blocked
-                }
-                SyscallOutcome::Error { .. } => {
-                    svc.workers[w].state = WState::AwaitAccept;
-                    Flow::Blocked
-                }
+        WState::AwaitAccept => match ctx.kernel(node).accept(tid, pid, svc.listen_fd) {
+            SyscallOutcome::Complete {
+                value: conn,
+                duration,
+            } => {
+                *t += duration;
+                svc.workers[w].state = WState::AwaitRequest { conn };
+                Flow::Continue
             }
-        }
+            SyscallOutcome::WouldBlock => {
+                svc.workers[w].state = WState::AwaitAccept;
+                Flow::Blocked
+            }
+            SyscallOutcome::Error { .. } => {
+                svc.workers[w].state = WState::AwaitAccept;
+                Flow::Blocked
+            }
+        },
         WState::AwaitRequest { conn } => read_request(svc, ctx, w, conn, t),
         WState::Computing { conn, req } => start_behavior(svc, ctx, w, conn, req, t),
         WState::Connecting { conn, req, call } => {
@@ -382,9 +405,13 @@ fn advance(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, state: WState, t: &mu
             // parking. Re-send through the call path.
             do_call(svc, ctx, w, conn, req, call, t)
         }
-        WState::AwaitCallResponse { conn, req, call, up_fd, tok } => {
-            read_call_response(svc, ctx, w, conn, req, call, up_fd, tok, t)
-        }
+        WState::AwaitCallResponse {
+            conn,
+            req,
+            call,
+            up_fd,
+            tok,
+        } => read_call_response(svc, ctx, w, conn, req, call, up_fd, tok, t),
         WState::AwaitInternal => {
             if let Some(job) = svc.handoff.pop_front() {
                 forward(svc, ctx, w, job, t)
@@ -412,7 +439,7 @@ fn read_request(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, conn: Fd, t: &mu
     };
     match result {
         SyscallOutcome::Complete { value, duration } => {
-            *t = *t + duration;
+            *t += duration;
             if value.data.is_empty() {
                 // EOF: connection closed by peer.
                 let _ = ctx.kernel(node).close(pid, conn);
@@ -429,15 +456,14 @@ fn read_request(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, conn: Fd, t: &mu
                 let overhead =
                     ctx.kernel(node)
                         .invoke_user_fn(tid, pid, "ssl_read", &inner, Some(conn), *t);
-                *t = *t + overhead;
+                *t += overhead;
                 inner
             } else {
                 value.data.clone()
             };
-            let Some(parse) = inference::parse_message(
-                infer_or(svc.spec.protocol, &plaintext),
-                &plaintext,
-            ) else {
+            let Some(parse) =
+                inference::parse_message(infer_or(svc.spec.protocol, &plaintext), &plaintext)
+            else {
                 svc.workers[w].state = WState::AwaitRequest { conn };
                 return Flow::Continue;
             };
@@ -586,14 +612,18 @@ fn do_call(
                 .connect(tid, pid, fd, ip, (endpoint.ip, endpoint.port))
             {
                 SyscallOutcome::Complete { duration, .. } => {
-                    *t = *t + duration;
+                    *t += duration;
                     svc.workers[w].conn_cache.insert(call.target.clone(), fd);
                     fd
                 }
                 SyscallOutcome::WouldBlock => {
                     ctx.flush(node, *t);
                     svc.workers[w].conn_cache.insert(call.target.clone(), fd);
-                    svc.workers[w].state = WState::Connecting { conn, req, call: idx };
+                    svc.workers[w].state = WState::Connecting {
+                        conn,
+                        req,
+                        call: idx,
+                    };
                     return Flow::Blocked;
                 }
                 SyscallOutcome::Error { .. } => {
@@ -606,16 +636,21 @@ fn do_call(
     };
     // Intrusive tracer: client span + headers for explicit propagation.
     let (call_token, headers) = svc.spec.tracer.on_call(req.server_token, &call.target, *t);
-    *t = *t + svc.spec.tracer.overhead_per_op();
+    *t += svc.spec.tracer.overhead_per_op();
     req.inject = headers.clone();
     let mux = svc.next_mux();
     let payload = build_request(call.protocol, &call.endpoint, &headers, mux);
     let send = ctx.kernel(node).sys_write(tid, pid, up_fd, payload, *t);
     match send {
         SyscallOutcome::Complete { duration, .. } => {
-            *t = *t + duration;
-            svc.workers[w].state =
-                WState::AwaitCallResponse { conn, req, call: idx, up_fd, tok: call_token };
+            *t += duration;
+            svc.workers[w].state = WState::AwaitCallResponse {
+                conn,
+                req,
+                call: idx,
+                up_fd,
+                tok: call_token,
+            };
             Flow::Continue
         }
         SyscallOutcome::WouldBlock => unreachable!("sends never block in the sim"),
@@ -645,11 +680,11 @@ fn read_call_response(
     let tid = svc.workers[w].tid;
     match ctx.kernel(node).sys_read(tid, pid, up_fd, 65536, *t) {
         SyscallOutcome::Complete { value, duration } => {
-            *t = *t + duration;
+            *t += duration;
             let ok = !value.data.is_empty();
             let failed = value.data.is_empty();
             svc.spec.tracer.on_call_done(tok, *t, ok);
-            *t = *t + svc.spec.tracer.overhead_per_op();
+            *t += svc.spec.tracer.overhead_per_op();
             if failed {
                 // upstream closed on us
                 req.status = 502;
@@ -674,8 +709,13 @@ fn read_call_response(
             do_call(svc, ctx, w, conn, req, idx + 1, t)
         }
         SyscallOutcome::WouldBlock => {
-            svc.workers[w].state =
-                WState::AwaitCallResponse { conn, req, call: idx, up_fd, tok };
+            svc.workers[w].state = WState::AwaitCallResponse {
+                conn,
+                req,
+                call: idx,
+                up_fd,
+                tok,
+            };
             Flow::Blocked
         }
         SyscallOutcome::Error { .. } => {
@@ -713,7 +753,7 @@ fn forward(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, job: ProxyJob, t: &mu
                 .connect(tid, pid, fd, ip, (endpoint.ip, endpoint.port))
             {
                 SyscallOutcome::Complete { duration, .. } => {
-                    *t = *t + duration;
+                    *t += duration;
                     svc.workers[w].conn_cache.insert(upstream.clone(), fd);
                     fd
                 }
@@ -739,7 +779,7 @@ fn forward(svc: &mut Service, ctx: &mut Ctx<'_>, w: usize, job: ProxyJob, t: &mu
     let payload = build_request(L7Protocol::Http1, &job.req.endpoint, &headers, 0);
     match ctx.kernel(node).sys_write(tid, pid, up_fd, payload, *t) {
         SyscallOutcome::Complete { duration, .. } => {
-            *t = *t + duration;
+            *t += duration;
             svc.workers[w].state = WState::ForwardAwaitResponse { job, up_fd };
             Flow::Continue
         }
@@ -760,7 +800,7 @@ fn read_forward_response(
     let tid = svc.workers[w].tid;
     match ctx.kernel(node).sys_read(tid, pid, up_fd, 65536, *t) {
         SyscallOutcome::Complete { value, duration } => {
-            *t = *t + duration;
+            *t += duration;
             if value.data.is_empty() {
                 if let Behavior::Proxy { upstream, .. } = &svc.spec.behavior {
                     svc.workers[w].conn_cache.remove(upstream.as_str());
@@ -775,9 +815,7 @@ fn read_forward_response(
                 .unwrap_or(200);
             let headers = vec![("X-Request-ID".to_string(), job.xid.to_wire())];
             let resp = http1::response(status, &headers, &vec![b'p'; svc.spec.resp_bytes]);
-            let _ = ctx
-                .kernel(node)
-                .sys_write(tid, pid, job.down_fd, resp, *t);
+            let _ = ctx.kernel(node).sys_write(tid, pid, job.down_fd, resp, *t);
             svc.served += 1;
             if status >= 400 {
                 svc.errors += 1;
@@ -812,7 +850,9 @@ fn respond_proxy_error(
     svc.served += 1;
     let headers = vec![("X-Request-ID".to_string(), job.xid.to_wire())];
     let resp = http1::response(502, &headers, b"bad gateway");
-    let _ = ctx.kernel(node).sys_write(tid, svc.pid, job.down_fd, resp, *t);
+    let _ = ctx
+        .kernel(node)
+        .sys_write(tid, svc.pid, job.down_fd, resp, *t);
     finish_forwarder(svc, w, job.down_fd);
     Flow::Continue
 }
@@ -865,13 +905,13 @@ fn respond(
         let overhead =
             ctx.kernel(node)
                 .invoke_user_fn(tid, pid, "ssl_write", &payload, Some(conn), *t);
-        *t = *t + overhead;
+        *t += overhead;
         tls_wrap(&payload)
     } else {
         payload
     };
     svc.spec.tracer.on_response(req.server_token, *t, ok);
-    *t = *t + svc.spec.tracer.overhead_per_op();
+    *t += svc.spec.tracer.overhead_per_op();
     if let Some(c) = req.coroutine {
         let kernel = ctx.kernel(node);
         kernel.procs.finish_coroutine(pid, c);
@@ -887,7 +927,7 @@ fn respond(
     };
     match result {
         SyscallOutcome::Complete { duration, .. } => {
-            *t = *t + duration;
+            *t += duration;
         }
         _ => {
             // Peer went away; nothing to do.
@@ -960,9 +1000,7 @@ pub fn build_request(
             dubbo::request(mux, svc, method)
         }
         L7Protocol::Amqp => {
-            let queue = endpoint
-                .strip_prefix("basic.publish ")
-                .unwrap_or(endpoint);
+            let queue = endpoint.strip_prefix("basic.publish ").unwrap_or(endpoint);
             amqp::publish(mux as u16, queue, b"{}")
         }
         L7Protocol::Custom(_) | L7Protocol::Tls | L7Protocol::Unknown => {
@@ -1116,10 +1154,19 @@ mod tests {
 
     #[test]
     fn error_statuses_translate_per_protocol() {
-        let r = build_response(L7Protocol::Redis, SessionKey::Ordered, "GET k", 500, &[], b"");
-        assert!(inference::parse_message(L7Protocol::Redis, &r)
-            .unwrap()
-            .server_error);
+        let r = build_response(
+            L7Protocol::Redis,
+            SessionKey::Ordered,
+            "GET k",
+            500,
+            &[],
+            b"",
+        );
+        assert!(
+            inference::parse_message(L7Protocol::Redis, &r)
+                .unwrap()
+                .server_error
+        );
         let d = build_response(
             L7Protocol::Dns,
             SessionKey::Multiplexed(1),
@@ -1128,12 +1175,23 @@ mod tests {
             &[],
             b"",
         );
-        assert!(inference::parse_message(L7Protocol::Dns, &d)
-            .unwrap()
-            .client_error);
-        let m = build_response(L7Protocol::Mysql, SessionKey::Ordered, "SELECT 1", 500, &[], b"");
-        assert!(inference::parse_message(L7Protocol::Mysql, &m)
-            .unwrap()
-            .server_error);
+        assert!(
+            inference::parse_message(L7Protocol::Dns, &d)
+                .unwrap()
+                .client_error
+        );
+        let m = build_response(
+            L7Protocol::Mysql,
+            SessionKey::Ordered,
+            "SELECT 1",
+            500,
+            &[],
+            b"",
+        );
+        assert!(
+            inference::parse_message(L7Protocol::Mysql, &m)
+                .unwrap()
+                .server_error
+        );
     }
 }

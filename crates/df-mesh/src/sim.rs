@@ -20,7 +20,7 @@ use df_types::{L7Protocol, NodeId, Tid, TimeNs};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Simulator events.
@@ -290,13 +290,7 @@ impl World {
                 protocol: spec.protocol,
             },
         );
-        let svc = service::Service::start(
-            spec,
-            idx,
-            &mut self.kernels,
-            &mut self.owners,
-            self.now,
-        );
+        let svc = service::Service::start(spec, idx, &mut self.kernels, &mut self.owners, self.now);
         self.services.push(svc);
         idx
     }
@@ -374,7 +368,11 @@ impl World {
             Event::ClientFire { client, scheduled } => {
                 client::fire(&mut clients[client], &mut ctx, scheduled, *now);
             }
-            Event::ClientTimeout { client, conn, req_seq } => {
+            Event::ClientTimeout {
+                client,
+                conn,
+                req_seq,
+            } => {
                 client::timeout(&mut clients[client], &mut ctx, conn, req_seq, *now);
             }
             Event::Internal { service } => {
@@ -392,7 +390,9 @@ impl World {
             }
             self.step();
         }
-        self.now = self.now.max(until.min(self.now + df_types::DurationNs::ZERO));
+        self.now = self
+            .now
+            .max(until.min(self.now + df_types::DurationNs::ZERO));
         if self.queue.is_empty() || self.peek_time().map(|t| t > until).unwrap_or(true) {
             self.now = until;
         }
@@ -428,10 +428,7 @@ mod tests {
     #[test]
     fn queue_orders_by_time_then_fifo() {
         let mut q = EventQueue::default();
-        q.schedule(
-            TimeNs(30),
-            Event::Internal { service: 3 },
-        );
+        q.schedule(TimeNs(30), Event::Internal { service: 3 });
         q.schedule(TimeNs(10), Event::Internal { service: 1 });
         q.schedule(TimeNs(10), Event::Internal { service: 2 });
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())

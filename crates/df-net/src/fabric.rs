@@ -165,7 +165,7 @@ impl Fabric {
         // ARP on first contact between this IP pair.
         let mut start = now;
         if !self.arp_resolved.contains(&arp_key(src, dst)) {
-            start = start + self.resolve_arp(src, dst, &hops, now);
+            start += self.resolve_arp(src, dst, &hops, now);
             self.arp_resolved.insert(arp_key(src, dst));
         }
 
@@ -192,7 +192,7 @@ impl Fabric {
                 }
                 match self.faults.get(&hop.element).cloned() {
                     Some(Fault::ExtraLatency(d)) => {
-                        t = t + d;
+                        t += d;
                     }
                     Some(Fault::BlackHole) => {
                         self.stats.dropped += 1;
@@ -208,7 +208,7 @@ impl Fabric {
                                     // already traversed (reverse order).
                                     let mut rt = t;
                                     for back in hops.iter().take_while(|h| h != &hop) {
-                                        rt = rt + Topology::default_hop_latency(back.kind);
+                                        rt += Topology::default_hop_latency(back.kind);
                                         self.taps.observe(
                                             &back.element,
                                             &back.interface,
@@ -235,13 +235,13 @@ impl Fabric {
                                 return deliveries;
                             }
                             attempt += 1;
-                            t = t + self.cfg.rto;
+                            t += self.cfg.rto;
                             continue 'attempts;
                         }
                     }
                     Some(Fault::ArpStorm { .. }) | None => {}
                 }
-                t = t + Topology::default_hop_latency(hop.kind);
+                t += Topology::default_hop_latency(hop.kind);
             }
             // Traversed every hop: delivered.
             self.stats.delivered += 1;
@@ -257,7 +257,13 @@ impl Fabric {
     /// Run ARP resolution, emitting request/reply frames at the src-side
     /// taps and honouring any [`Fault::ArpStorm`] on the path (§4.1.2).
     /// Returns the added latency.
-    fn resolve_arp(&mut self, src: Ipv4Addr, dst: Ipv4Addr, hops: &[Hop], now: TimeNs) -> DurationNs {
+    fn resolve_arp(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        hops: &[Hop],
+        now: TimeNs,
+    ) -> DurationNs {
         self.stats.arp_resolutions += 1;
         let mut extra_requests = 0u32;
         let mut extra_delay = DurationNs::ZERO;
@@ -313,13 +319,14 @@ impl Fabric {
             }
             // Storm duplicates are spaced a little apart.
             if i + 1 < total_requests {
-                t = t + DurationNs::from_micros(50);
+                t += DurationNs::from_micros(50);
             }
         }
         let resolution = self.cfg.arp_rtt + extra_delay;
         let reply_t = now + resolution;
         for hop in l2_hops.iter().rev() {
-            self.taps.observe(&hop.element, &hop.interface, &reply, reply_t);
+            self.taps
+                .observe(&hop.element, &hop.interface, &reply, reply_t);
         }
         resolution
     }
@@ -517,17 +524,13 @@ mod tests {
         let added = slow.saturating_since(base);
         // `base` paid one-time ARP (~100us) that `slow` did not, so the
         // observable delta is just under the injected 30ms.
-        assert!(
-            added >= DurationNs::from_millis(29),
-            "added {added} < 29ms"
-        );
+        assert!(added >= DurationNs::from_millis(29), "added {added} < 29ms");
     }
 
     #[test]
     fn blackhole_drops_silently() {
         let (mut f, _n1, n2) = fabric();
-        f.faults
-            .inject(ElementId::NodeNic(n2), Fault::BlackHole);
+        f.faults.inject(ElementId::NodeNic(n2), Fault::BlackHole);
         let d = f.transmit(data_seg(1), TimeNs(0));
         assert!(d.is_empty());
         assert_eq!(f.stats().dropped, 1);

@@ -153,7 +153,14 @@ impl Topology {
     /// Convenience: a node with default locality names.
     pub fn add_simple_node(&mut self, name: &str, ip: Ipv4Addr) -> NodeId {
         self.add_node(
-            name, ip, "rack-1", "region-1", "az-1", "vpc-1", "subnet-1", "cluster-1",
+            name,
+            ip,
+            "rack-1",
+            "region-1",
+            "az-1",
+            "vpc-1",
+            "subnet-1",
+            "cluster-1",
         )
     }
 
@@ -337,7 +344,7 @@ impl Topology {
                 labels: p.labels.clone(),
             })
             .collect();
-        pods.sort_by(|a, b| a.ip.cmp(&b.ip));
+        pods.sort_by_key(|a| a.ip);
         let mut nodes: Vec<NodeResource> = self
             .nodes
             .values()
@@ -351,7 +358,7 @@ impl Topology {
                 cluster: n.cluster.clone(),
             })
             .collect();
-        nodes.sort_by(|a, b| a.ip.cmp(&b.ip));
+        nodes.sort_by_key(|a| a.ip);
         ResourceInventory { pods, nodes }
     }
 
@@ -385,10 +392,38 @@ mod tests {
             "subnet-2",
             "cluster-1",
         );
-        t.add_pod(n1, "web-0", Ipv4Addr::new(10, 1, 0, 1), "default", "web", "web-svc");
-        t.add_pod(n1, "web-1", Ipv4Addr::new(10, 1, 0, 2), "default", "web", "web-svc");
-        t.add_pod(n2, "db-0", Ipv4Addr::new(10, 1, 1, 1), "default", "db", "db-svc");
-        t.add_pod(n3, "cache-0", Ipv4Addr::new(10, 1, 2, 1), "default", "cache", "cache-svc");
+        t.add_pod(
+            n1,
+            "web-0",
+            Ipv4Addr::new(10, 1, 0, 1),
+            "default",
+            "web",
+            "web-svc",
+        );
+        t.add_pod(
+            n1,
+            "web-1",
+            Ipv4Addr::new(10, 1, 0, 2),
+            "default",
+            "web",
+            "web-svc",
+        );
+        t.add_pod(
+            n2,
+            "db-0",
+            Ipv4Addr::new(10, 1, 1, 1),
+            "default",
+            "db",
+            "db-svc",
+        );
+        t.add_pod(
+            n3,
+            "cache-0",
+            Ipv4Addr::new(10, 1, 2, 1),
+            "default",
+            "cache",
+            "cache-svc",
+        );
         (t, n1, n2, n3)
     }
 
@@ -442,10 +477,9 @@ mod tests {
         let hops = t
             .route(Ipv4Addr::new(192, 168, 0, 1), Ipv4Addr::new(192, 168, 0, 2))
             .unwrap();
-        assert!(hops.iter().all(|h| !matches!(
-            h.kind,
-            HopKind::SrcPodVeth | HopKind::DstPodVeth
-        )));
+        assert!(hops
+            .iter()
+            .all(|h| !matches!(h.kind, HopKind::SrcPodVeth | HopKind::DstPodVeth)));
     }
 
     #[test]

@@ -53,13 +53,10 @@ pub fn get_empty(channel: u16) -> Bytes {
 
 /// Does the payload look like an AMQP method frame?
 pub fn sniff(payload: &[u8]) -> bool {
-    payload.len() >= 9
-        && payload[0] == FRAME_METHOD
-        && payload[payload.len() - 1] == FRAME_END
-        && {
-            let size = u32::from_be_bytes([payload[3], payload[4], payload[5], payload[6]]) as usize;
-            size + 8 == payload.len() && payload[7..].starts_with(b"basic.")
-        }
+    payload.len() >= 9 && payload[0] == FRAME_METHOD && payload[payload.len() - 1] == FRAME_END && {
+        let size = u32::from_be_bytes([payload[3], payload[4], payload[5], payload[6]]) as usize;
+        size + 8 == payload.len() && payload[7..].starts_with(b"basic.")
+    }
 }
 
 /// Parse an AMQP method frame.

@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn sniff_rejects_http_and_garbage() {
         assert!(!sniff(b"GET / HTTP/1.1\r\n\r\n lots of padding"));
-        assert!(!sniff(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"));
+        assert!(!sniff(
+            b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"
+        ));
         assert!(!sniff(b"short"));
     }
 }

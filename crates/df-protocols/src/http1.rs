@@ -53,9 +53,7 @@ pub fn sniff(payload: &[u8]) -> bool {
         return true;
     }
     METHODS.iter().any(|m| {
-        payload.len() > m.len()
-            && payload.starts_with(m.as_bytes())
-            && payload[m.len()] == b' '
+        payload.len() > m.len() && payload.starts_with(m.as_bytes()) && payload[m.len()] == b' '
     })
 }
 
@@ -165,7 +163,11 @@ mod tests {
 
     #[test]
     fn response_parsing_classifies_errors() {
-        for (code, ce, se) in [(200u16, false, false), (404, true, false), (503, false, true)] {
+        for (code, ce, se) in [
+            (200u16, false, false),
+            (404, true, false),
+            (503, false, true),
+        ] {
             let resp = response(code, &[], b"body");
             let p = parse(&resp).unwrap();
             assert_eq!(p.msg_type, MessageType::Response);

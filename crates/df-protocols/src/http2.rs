@@ -56,7 +56,8 @@ pub fn with_preface(frame: Bytes) -> Bytes {
 
 /// Does the payload look like HTTP/2?
 pub fn sniff(payload: &[u8]) -> bool {
-    payload.starts_with(PREFACE) || (payload.len() >= 12 && payload[0] == MAGIC && (payload[1] == 1 || payload[1] == 2))
+    payload.starts_with(PREFACE)
+        || (payload.len() >= 12 && payload[0] == MAGIC && (payload[1] == 1 || payload[1] == 2))
 }
 
 /// Parse an HTTP/2 message.

@@ -19,21 +19,28 @@ use std::collections::HashMap;
 /// Re-export: a fully parsed message.
 pub type ParsedMessage = MessageSummary;
 
+/// A payload classifier for a custom protocol.
+pub type SniffFn = Box<dyn Fn(&[u8]) -> bool + Send>;
+/// A payload parser for a custom protocol.
+pub type ParseFn = Box<dyn Fn(&[u8]) -> Option<MessageSummary> + Send>;
+
 /// A user-supplied protocol specification (paper §3.3.1: the agent also
 /// iterates "the optional user-supplied protocol specifications").
 pub struct CustomProtocol {
     /// Display name.
     pub name: String,
     /// Does a payload belong to this protocol?
-    pub sniff: Box<dyn Fn(&[u8]) -> bool + Send>,
+    pub sniff: SniffFn,
     /// Parse a payload. The returned summary's `protocol` field is
     /// overwritten with the registered `L7Protocol::Custom` slot.
-    pub parse: Box<dyn Fn(&[u8]) -> Option<MessageSummary> + Send>,
+    pub parse: ParseFn,
 }
 
 impl std::fmt::Debug for CustomProtocol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CustomProtocol").field("name", &self.name).finish()
+        f.debug_struct("CustomProtocol")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -307,7 +314,11 @@ mod tests {
                 let id = u64::from(*p.get(2)?);
                 Some(MessageSummary::basic(
                     df_types::L7Protocol::Unknown, // overwritten by the engine
-                    if kind == 1 { MessageType::Request } else { MessageType::Response },
+                    if kind == 1 {
+                        MessageType::Request
+                    } else {
+                        MessageType::Response
+                    },
                     SessionKey::Multiplexed(id),
                     "acme.call",
                 ))
@@ -323,7 +334,9 @@ mod tests {
         let resp = eng.parse_for(1, &[0xCA, 2, 42]).expect("response parses");
         assert_eq!(resp.msg_type, MessageType::Response);
         // Built-ins still work on other flows.
-        let p = eng.parse_for(2, &http1::request("GET", "/", &[], b"")).unwrap();
+        let p = eng
+            .parse_for(2, &http1::request("GET", "/", &[], b""))
+            .unwrap();
         assert_eq!(p.protocol, df_types::L7Protocol::Http1);
     }
 

@@ -52,7 +52,8 @@ pub fn sniff(payload: &[u8]) -> bool {
         return false;
     }
     let size = i32::from_be_bytes(payload[..4].try_into().unwrap());
-    size > 0 && (size as usize) + 4 == payload.len()
+    size > 0
+        && (size as usize) + 4 == payload.len()
         && is_request_shape(payload) | is_response_shape(payload)
 }
 

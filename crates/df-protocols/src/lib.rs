@@ -54,7 +54,7 @@ pub struct TraceHeaders {
 /// Classification helpers shared by the codecs.
 pub(crate) fn status_class(code: u16) -> (bool, bool) {
     // (client_error, server_error)
-    (code >= 400 && code < 500, code >= 500)
+    ((400..500).contains(&code), code >= 500)
 }
 
 /// Re-exported for codec implementations.

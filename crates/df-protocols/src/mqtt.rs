@@ -90,8 +90,7 @@ pub fn sniff(payload: &[u8]) -> bool {
         return false;
     }
     let remaining = payload[1] as usize;
-    remaining + 2 == payload.len()
-        && (ptype != CONNECT || payload.get(4..8) == Some(b"MQTT"))
+    remaining + 2 == payload.len() && (ptype != CONNECT || payload.get(4..8) == Some(b"MQTT"))
 }
 
 /// Parse an MQTT message.
@@ -102,7 +101,12 @@ pub fn parse(payload: &[u8]) -> Option<MessageSummary> {
     let ptype = payload[0] >> 4;
     let body = &payload[2..];
     let (msg_type, key, endpoint, err) = match ptype {
-        CONNECT => (MessageType::Request, Key::Ordered, "CONNECT".to_string(), false),
+        CONNECT => (
+            MessageType::Request,
+            Key::Ordered,
+            "CONNECT".to_string(),
+            false,
+        ),
         CONNACK => {
             let code = body.get(1).copied().unwrap_or(0);
             (
@@ -150,14 +154,24 @@ pub fn parse(payload: &[u8]) -> Option<MessageSummary> {
                 false,
             )
         }
-        PINGREQ => (MessageType::Request, Key::Ordered, "PINGREQ".to_string(), false),
+        PINGREQ => (
+            MessageType::Request,
+            Key::Ordered,
+            "PINGREQ".to_string(),
+            false,
+        ),
         PINGRESP => (
             MessageType::Response,
             Key::Ordered,
             "PINGRESP".to_string(),
             false,
         ),
-        _ => (MessageType::Unknown, Key::Ordered, format!("T{ptype}"), false),
+        _ => (
+            MessageType::Unknown,
+            Key::Ordered,
+            format!("T{ptype}"),
+            false,
+        ),
     };
     let mut s = MessageSummary::basic(L7Protocol::Mqtt, msg_type, key, endpoint);
     s.server_error = err;

@@ -156,7 +156,7 @@ mod tests {
     fn sniff_checks_length_field() {
         assert!(!sniff(b"GET / HTTP/1.1\r\n"));
         assert!(!sniff(b"\x01\x00\x00")); // truncated
-        // wrong length prefix
+                                          // wrong length prefix
         assert!(!sniff(&[9, 0, 0, 0, 3, b'S']));
     }
 }

@@ -82,12 +82,8 @@ pub fn parse(payload: &[u8]) -> Option<MessageSummary> {
             Some(s)
         }
         _ => {
-            let mut s = MessageSummary::basic(
-                L7Protocol::Redis,
-                MessageType::Response,
-                Key::Ordered,
-                "OK",
-            );
+            let mut s =
+                MessageSummary::basic(L7Protocol::Redis, MessageType::Response, Key::Ordered, "OK");
             s.status_code = Some(200);
             Some(s)
         }

@@ -1,10 +1,18 @@
 //! Algorithm 1 — iterative trace assembling (paper §3.3.2).
 //!
-//! Phase 1 (lines 1–16): starting from a user-chosen span, repeatedly
-//! expand the span set through the store's implicit-context indexes
-//! (systrace ids, pseudo-thread ids, X-Request-IDs, TCP sequences,
-//! third-party trace ids) until a fixed point or the iteration cap
-//! (default 30, like the paper).
+//! Phase 1 (lines 1–16): starting from a user-chosen span, expand the span
+//! set through the store's implicit-context indexes (systrace ids,
+//! pseudo-thread ids, X-Request-IDs, TCP sequences, third-party trace ids)
+//! until a fixed point or the iteration cap (default 30, like the paper).
+//! The search is frontier-based: each iteration probes only the spans
+//! discovered in the previous iteration, and each index *key* is expanded
+//! at most once, so the total Phase-1 cost is bounded by the touched index
+//! entries rather than `iterations × |set| × bucket`. Probes borrow row
+//! slices straight from the store (no per-probe allocation), tombstoned
+//! spans (consumed by server-side re-aggregation, §3.3.1) are filtered at
+//! discovery time, and when the set exceeds `max_spans` it is truncated
+//! deterministically by `(req_time, span_id)`, always keeping the start
+//! span.
 //!
 //! Phase 2 (lines 17–24): set each span's parent under **16 rules** keyed on
 //! collection location, start/finish time, span type and message type:
@@ -35,7 +43,18 @@
 //! * **Rule 16** — fallback: same third-party trace id, tightest time
 //!   containment.
 //!
+//! Rules 9–12 and 16 resolve through per-trace side indexes over the
+//! parent candidates (server-process / server-app spans keyed by systrace
+//! id, pseudo-thread id, X-Request-ID and trace id), and rule 14 through a
+//! server-process-by-trace-id index, so parent assignment is hash lookups
+//! instead of a scan of the whole span set per exchange.
+//!
 //! Phase 3 (line 25): sort parents-first, siblings by request time.
+//!
+//! [`assemble_trace_reference`] keeps the original full-rescan / full-scan
+//! formulation (with the same tombstone, dedup and truncation semantics)
+//! as a differential-testing oracle and benchmark baseline; the property
+//! tests assert both implementations produce identical traces.
 
 use df_storage::SpanStore;
 use df_types::span::{Span, SpanKind, TapSide};
@@ -66,50 +85,178 @@ impl Default for AssembleConfig {
 
 /// Run Algorithm 1 from `start`.
 pub fn assemble_trace(store: &SpanStore, start: SpanId, cfg: &AssembleConfig) -> Trace {
-    let Some(_) = store.get(start) else {
+    if store.get(start).is_none() || store.is_tombstoned(start) {
         return Trace::default();
-    };
-    // ---- Phase 1: iterative span search (lines 1–16) ----
-    let mut set: HashSet<SpanId> = HashSet::new();
-    set.insert(start);
-    for _iter in 0..cfg.iterations {
-        let mut found: HashSet<SpanId> = HashSet::new();
-        for id in &set {
-            let Some(s) = store.get(*id) else { continue };
-            for v in [s.systrace_id_req, s.systrace_id_resp].into_iter().flatten() {
-                found.extend(store.find_by_systrace(v.raw()));
-            }
-            if let Some(p) = s.pseudo_thread_id {
-                found.extend(store.find_by_pseudo_thread(p.raw()));
-            }
-            for v in [s.x_request_id_req, s.x_request_id_resp].into_iter().flatten() {
-                found.extend(store.find_by_x_request(v.0));
-            }
-            for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
-                found.extend(store.find_by_tcp_seq(v));
-            }
-            if let Some(t) = s.otel_trace_id {
-                found.extend(store.find_by_otel_trace(t.0));
-            }
-        }
-        let before = set.len();
-        set.extend(found);
-        if set.len() == before || set.len() >= cfg.max_spans {
-            break; // fixed point (lines 13–14) or cap
-        }
     }
-    let mut spans: Vec<Span> = set
-        .iter()
-        .filter_map(|id| store.get(*id).cloned())
-        .take(cfg.max_spans)
-        .collect();
-    spans.sort_by_key(|s| (s.req_time, s.span_id));
+    let start_row = (start.raw() - 1) as u32;
+
+    // ---- Phase 1: frontier span search (lines 1–16) ----
+    // `seen` is membership only; `members`/`frontier` are Vecs so discovery
+    // order (and therefore the whole phase) is deterministic. Each index
+    // key is expanded at most once: after a bucket has been walked every
+    // row in it is in `seen`, so re-probing it could add nothing.
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(start_row);
+    let mut members: Vec<u32> = vec![start_row];
+    let mut frontier: Vec<u32> = vec![start_row];
+    let mut keys_systrace: HashSet<u64> = HashSet::new();
+    let mut keys_pseudo_thread: HashSet<u64> = HashSet::new();
+    let mut keys_x_request: HashSet<u128> = HashSet::new();
+    let mut keys_tcp_seq: HashSet<u32> = HashSet::new();
+    let mut keys_otel_trace: HashSet<u128> = HashSet::new();
+    for _iter in 0..cfg.iterations {
+        if members.len() >= cfg.max_spans {
+            break; // cap crossed; truncated below
+        }
+        let mut next: Vec<u32> = Vec::new();
+        {
+            let mut grow = |rows: &[u32]| {
+                for &r in rows {
+                    if seen.insert(r) {
+                        if store.is_tombstoned(SpanStore::id_at(r)) {
+                            continue; // consumed by re-aggregation
+                        }
+                        next.push(r);
+                    }
+                }
+            };
+            for &row in &frontier {
+                let s = store.get_row(row).expect("frontier rows exist");
+                for v in [s.systrace_id_req, s.systrace_id_resp]
+                    .into_iter()
+                    .flatten()
+                {
+                    if keys_systrace.insert(v.raw()) {
+                        grow(store.find_by_systrace(v.raw()));
+                    }
+                }
+                if let Some(p) = s.pseudo_thread_id {
+                    if keys_pseudo_thread.insert(p.raw()) {
+                        grow(store.find_by_pseudo_thread(p.raw()));
+                    }
+                }
+                for v in [s.x_request_id_req, s.x_request_id_resp]
+                    .into_iter()
+                    .flatten()
+                {
+                    if keys_x_request.insert(v.0) {
+                        grow(store.find_by_x_request(v.0));
+                    }
+                }
+                for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+                    if keys_tcp_seq.insert(v) {
+                        grow(store.find_by_tcp_seq(v));
+                    }
+                }
+                if let Some(t) = s.otel_trace_id {
+                    if keys_otel_trace.insert(t.0) {
+                        grow(store.find_by_otel_trace(t.0));
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break; // fixed point (lines 13–14)
+        }
+        members.extend_from_slice(&next);
+        frontier = next;
+    }
+    let spans = collect_members(store, &members, start, cfg.max_spans);
 
     // ---- Phase 2: parent assignment (lines 17–24) ----
-    let parents = set_parents(&spans, cfg);
+    let parents = set_parents_indexed(&spans, cfg);
 
     // ---- Phase 3: sort by time and parent relationship (line 25) ----
     sort_trace(spans, parents)
+}
+
+/// Reference formulation of Algorithm 1: Phase 1 re-probes the *entire*
+/// span set every iteration and Phase 2 scans all spans for each exchange
+/// (rule 14: for each app span). Semantically identical to
+/// [`assemble_trace`] — the property tests assert it — but
+/// `O(iterations × set × bucket)` / `O(n²)`, so it serves as the
+/// differential oracle and the "before" benchmark baseline.
+pub fn assemble_trace_reference(store: &SpanStore, start: SpanId, cfg: &AssembleConfig) -> Trace {
+    if store.get(start).is_none() || store.is_tombstoned(start) {
+        return Trace::default();
+    }
+    let start_row = (start.raw() - 1) as u32;
+    let mut set: HashSet<u32> = HashSet::new();
+    set.insert(start_row);
+    for _iter in 0..cfg.iterations {
+        if set.len() >= cfg.max_spans {
+            break;
+        }
+        let mut found: Vec<u32> = Vec::new();
+        for &row in &set {
+            let s = store.get_row(row).expect("set rows exist");
+            for v in [s.systrace_id_req, s.systrace_id_resp]
+                .into_iter()
+                .flatten()
+            {
+                found.extend_from_slice(store.find_by_systrace(v.raw()));
+            }
+            if let Some(p) = s.pseudo_thread_id {
+                found.extend_from_slice(store.find_by_pseudo_thread(p.raw()));
+            }
+            for v in [s.x_request_id_req, s.x_request_id_resp]
+                .into_iter()
+                .flatten()
+            {
+                found.extend_from_slice(store.find_by_x_request(v.0));
+            }
+            for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+                found.extend_from_slice(store.find_by_tcp_seq(v));
+            }
+            if let Some(t) = s.otel_trace_id {
+                found.extend_from_slice(store.find_by_otel_trace(t.0));
+            }
+        }
+        let before = set.len();
+        set.extend(
+            found
+                .into_iter()
+                .filter(|&r| !store.is_tombstoned(SpanStore::id_at(r))),
+        );
+        if set.len() == before {
+            break; // fixed point
+        }
+    }
+    let members: Vec<u32> = set.into_iter().collect();
+    let spans = collect_members(store, &members, start, cfg.max_spans);
+    let parents = set_parents_reference(&spans, cfg);
+    sort_trace(spans, parents)
+}
+
+/// Materialise the found rows, sorted by `(req_time, span_id)`, truncated
+/// deterministically to `max_spans` with the start span always retained.
+fn collect_members(
+    store: &SpanStore,
+    members: &[u32],
+    start: SpanId,
+    max_spans: usize,
+) -> Vec<Span> {
+    let mut spans: Vec<Span> = members
+        .iter()
+        .filter_map(|&row| store.get_row(row).cloned())
+        .collect();
+    spans.sort_by_key(|s| (s.req_time, s.span_id));
+    if spans.len() > max_spans {
+        let start_pos = spans
+            .iter()
+            .position(|s| s.span_id == start)
+            .expect("start span is a member");
+        if start_pos >= max_spans {
+            // The start span sorts after the cut: keep it anyway (it is the
+            // span the user asked about), dropping one other tail span.
+            let start_span = spans.remove(start_pos);
+            spans.truncate(max_spans.saturating_sub(1));
+            spans.push(start_span);
+        } else {
+            spans.truncate(max_spans);
+        }
+    }
+    spans
 }
 
 /// Exchange identity: the unit one request/response pair forms across all
@@ -139,23 +286,52 @@ fn contains(parent: &Span, child: &Span, tol: DurationNs) -> bool {
         && parent.resp_time.as_nanos() + tol.as_nanos() >= child.resp_time.as_nanos()
 }
 
-fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
-    let mut parent: HashMap<SpanId, SpanId> = HashMap::new();
+/// Parent-candidate preference: the tightest container wins — latest
+/// `req_time`, ties broken towards the smallest span id. Explicit (rather
+/// than scan-order-dependent) so the indexed and reference rule
+/// implementations provably agree.
+fn better_candidate(spans: &[Span], best: Option<usize>, j: usize) -> Option<usize> {
+    match best {
+        None => Some(j),
+        Some(b) => {
+            let (sb, sj) = (&spans[b], &spans[j]);
+            if sj.req_time > sb.req_time || (sj.req_time == sb.req_time && sj.span_id < sb.span_id)
+            {
+                Some(j)
+            } else {
+                Some(b)
+            }
+        }
+    }
+}
 
-    // Group into exchanges.
-    let mut exchanges: HashMap<ExchangeKey, Vec<usize>> = HashMap::new();
+/// Exchange grouping shared by both Phase-2 implementations: rules 1–8
+/// (the capture ladder) plus the head/member bookkeeping rules 9–12+16
+/// need.
+struct Exchanges {
+    /// Parent edges from the capture ladder.
+    parent: HashMap<SpanId, SpanId>,
+    /// Ladder-top span index of each exchange.
+    heads: Vec<usize>,
+    /// Span id → its exchange's head index.
+    members: HashMap<SpanId, usize>,
+    /// Exchange key → member span indexes.
+    by_key: HashMap<ExchangeKey, Vec<usize>>,
+}
+
+fn group_exchanges(spans: &[Span]) -> Exchanges {
+    let mut by_key: HashMap<ExchangeKey, Vec<usize>> = HashMap::new();
     for (i, s) in spans.iter().enumerate() {
         if s.kind == SpanKind::App {
             continue; // app spans join via rules 13–15
         }
-        exchanges.entry(exchange_key(s)).or_default().push(i);
+        by_key.entry(exchange_key(s)).or_default().push(i);
     }
-
-    // Rules 1–8: chain each exchange along the capture ladder.
-    let mut exchange_heads: Vec<usize> = Vec::new();
-    let mut exchange_members: HashMap<SpanId, usize> = HashMap::new(); // span → head index
-    for members in exchanges.values() {
-        let mut order: Vec<usize> = members.clone();
+    let mut parent: HashMap<SpanId, SpanId> = HashMap::new();
+    let mut heads: Vec<usize> = Vec::new();
+    let mut members: HashMap<SpanId, usize> = HashMap::new();
+    for ex in by_key.values() {
+        let mut order: Vec<usize> = ex.clone();
         order.sort_by_key(|&i| {
             (
                 spans[i].capture.tap_side.path_rank(),
@@ -167,32 +343,206 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
             parent.insert(spans[w[1]].span_id, spans[w[0]].span_id);
         }
         let head = order[0];
-        exchange_heads.push(head);
+        heads.push(head);
         for &i in &order {
-            exchange_members.insert(spans[i].span_id, head);
+            members.insert(spans[i].span_id, head);
+        }
+    }
+    // Deterministic head order regardless of hash-map iteration.
+    heads.sort_unstable();
+    Exchanges {
+        parent,
+        heads,
+        members,
+        by_key,
+    }
+}
+
+/// The probe span for an exchange: its client-process observation if
+/// present (it carries the caller's systrace/x-request context), else the
+/// ladder head itself.
+fn probe_index(spans: &[Span], ex: &Exchanges, head: usize) -> usize {
+    ex.by_key
+        .get(&exchange_key(&spans[head]))
+        .and_then(|members| {
+            members
+                .iter()
+                .find(|&&i| spans[i].capture.tap_side == TapSide::ClientProcess)
+                .copied()
+        })
+        .unwrap_or(head)
+}
+
+/// Side indexes over the parent candidates (server-side process/app spans)
+/// so rules 9–12, 14 and 16 are hash lookups.
+#[derive(Default)]
+struct CandidateIndex {
+    by_systrace_req: HashMap<u64, Vec<usize>>,
+    by_systrace_resp: HashMap<u64, Vec<usize>>,
+    by_pseudo_thread: HashMap<u64, Vec<usize>>,
+    /// Both request- and response-side X-Request-IDs, deduped per span.
+    by_x_request: HashMap<u128, Vec<usize>>,
+    by_otel_trace: HashMap<u128, Vec<usize>>,
+    /// Rule 14: server-process (non-app) spans by third-party trace id.
+    server_process_by_otel_trace: HashMap<u128, Vec<usize>>,
+}
+
+fn build_candidate_index(spans: &[Span]) -> CandidateIndex {
+    let mut idx = CandidateIndex::default();
+    for (j, s) in spans.iter().enumerate() {
+        if s.kind != SpanKind::App && s.capture.tap_side == TapSide::ServerProcess {
+            if let Some(t) = s.otel_trace_id {
+                idx.server_process_by_otel_trace
+                    .entry(t.0)
+                    .or_default()
+                    .push(j);
+            }
+        }
+        if !matches!(
+            s.capture.tap_side,
+            TapSide::ServerProcess | TapSide::ServerApp
+        ) {
+            continue;
+        }
+        if let Some(v) = s.systrace_id_req {
+            idx.by_systrace_req.entry(v.raw()).or_default().push(j);
+        }
+        if let Some(v) = s.systrace_id_resp {
+            idx.by_systrace_resp.entry(v.raw()).or_default().push(j);
+        }
+        if let Some(v) = s.pseudo_thread_id {
+            idx.by_pseudo_thread.entry(v.raw()).or_default().push(j);
+        }
+        if let Some(v) = s.x_request_id_req {
+            idx.by_x_request.entry(v.0).or_default().push(j);
+        }
+        if let Some(v) = s.x_request_id_resp {
+            if Some(v) != s.x_request_id_req {
+                idx.by_x_request.entry(v.0).or_default().push(j);
+            }
+        }
+        if let Some(t) = s.otel_trace_id {
+            idx.by_otel_trace.entry(t.0).or_default().push(j);
+        }
+    }
+    idx
+}
+
+/// Phase 2 via side indexes: rules 9–12 and 16 probe [`CandidateIndex`]
+/// with the exchange's own context values; rule 14 probes the
+/// server-process index. Hash lookups replace the full-set scans of
+/// [`set_parents_reference`].
+fn set_parents_indexed(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
+    let ex = group_exchanges(spans);
+    let mut parent = ex.parent.clone();
+    let cand = build_candidate_index(spans);
+
+    // Rules 9–12 + 16: find a cross-exchange parent for each exchange head.
+    for &head in &ex.heads {
+        let head_id = spans[head].span_id;
+        let probe_span = &spans[probe_index(spans, &ex, head)];
+        let mut best: Option<usize> = None;
+        let consider = |j: usize, best: &mut Option<usize>| {
+            if ex.members.get(&spans[j].span_id) == Some(&head) {
+                return; // same exchange
+            }
+            *best = better_candidate(spans, *best, j);
+        };
+        // Rule 9: request-chain systrace.
+        if let Some(v) = probe_span.systrace_id_req {
+            for &j in cand.by_systrace_req.get(&v.raw()).into_iter().flatten() {
+                consider(j, &mut best);
+            }
+        }
+        // Rule 10: response-chain systrace.
+        if let Some(v) = probe_span.systrace_id_resp {
+            for &j in cand.by_systrace_resp.get(&v.raw()).into_iter().flatten() {
+                consider(j, &mut best);
+            }
+        }
+        // Rule 11: pseudo-thread + containment.
+        if let Some(v) = probe_span.pseudo_thread_id {
+            for &j in cand.by_pseudo_thread.get(&v.raw()).into_iter().flatten() {
+                if contains(&spans[j], probe_span, cfg.time_tolerance) {
+                    consider(j, &mut best);
+                }
+            }
+        }
+        // Rule 12: X-Request-ID (either side, cross-matched) + containment.
+        let mut xkeys = [None, None];
+        if let Some(v) = probe_span.x_request_id_req {
+            xkeys[0] = Some(v.0);
+        }
+        if let Some(v) = probe_span.x_request_id_resp {
+            if xkeys[0] != Some(v.0) {
+                xkeys[1] = Some(v.0);
+            }
+        }
+        for v in xkeys.into_iter().flatten() {
+            for &j in cand.by_x_request.get(&v).into_iter().flatten() {
+                if contains(&spans[j], probe_span, cfg.time_tolerance) {
+                    consider(j, &mut best);
+                }
+            }
+        }
+        // Rule 16: shared third-party trace id + containment.
+        if let Some(t) = probe_span.otel_trace_id {
+            for &j in cand.by_otel_trace.get(&t.0).into_iter().flatten() {
+                if contains(&spans[j], probe_span, cfg.time_tolerance) {
+                    consider(j, &mut best);
+                }
+            }
+        }
+        if let Some(b) = best {
+            parent.insert(head_id, spans[b].span_id);
         }
     }
 
-    // Rules 9–12 + 16: find a cross-exchange parent for each exchange head.
-    for &head in &exchange_heads {
-        // Probe span: the exchange's client-process span if present, else
-        // the head itself (it carries the systrace/x-request context).
+    // Rules 13 + 15 (app-span maps) shared with the reference.
+    let by_otel_span = app_spans_by_otel_id(spans);
+    apply_rule13(spans, &ex.heads, &by_otel_span, &mut parent);
+    for (i, s) in spans.iter().enumerate() {
+        if s.kind != SpanKind::App {
+            continue;
+        }
+        if apply_rule15(spans, i, &by_otel_span, &mut parent) {
+            continue;
+        }
+        // Rule 14 via the server-process index.
+        let mut best: Option<usize> = None;
+        if let Some(t) = s.otel_trace_id {
+            for &j in cand
+                .server_process_by_otel_trace
+                .get(&t.0)
+                .into_iter()
+                .flatten()
+            {
+                if j != i && contains(&spans[j], s, cfg.time_tolerance) {
+                    best = better_candidate(spans, best, j);
+                }
+            }
+        }
+        if let Some(b) = best {
+            parent.insert(s.span_id, spans[b].span_id);
+        }
+    }
+
+    drop_cycles(spans, parent)
+}
+
+/// Phase 2 as originally formulated: a scan over all spans per exchange
+/// head (rules 9–12, 16) and per app span (rule 14). Kept as the
+/// differential oracle for [`set_parents_indexed`].
+fn set_parents_reference(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
+    let ex = group_exchanges(spans);
+    let mut parent = ex.parent.clone();
+
+    for &head in &ex.heads {
         let head_id = spans[head].span_id;
-        let probe = exchanges
-            .get(&exchange_key(&spans[head]))
-            .and_then(|members| {
-                members
-                    .iter()
-                    .find(|&&i| spans[i].capture.tap_side == TapSide::ClientProcess)
-                    .copied()
-            })
-            .unwrap_or(head);
-        let probe_span = &spans[probe];
+        let probe_span = &spans[probe_index(spans, &ex, head)];
         let mut best: Option<usize> = None;
         for (j, cand) in spans.iter().enumerate() {
-            // A parent candidate is a server-side process/app observation of
-            // a DIFFERENT exchange.
-            if exchange_members.get(&cand.span_id) == Some(&head) {
+            if ex.members.get(&cand.span_id) == Some(&head) {
                 continue;
             }
             if !matches!(
@@ -201,12 +551,8 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
             ) {
                 continue;
             }
-            let m = |a: Option<df_types::SysTraceId>, b: Option<df_types::SysTraceId>| {
-                matches!((a, b), (Some(x), Some(y)) if x == y)
-            };
-            let mx = |a: Option<df_types::XRequestId>, b: Option<df_types::XRequestId>| {
-                matches!((a, b), (Some(x), Some(y)) if x == y)
-            };
+            let m = |a: Option<df_types::SysTraceId>, b: Option<df_types::SysTraceId>| matches!((a, b), (Some(x), Some(y)) if x == y);
+            let mx = |a: Option<df_types::XRequestId>, b: Option<df_types::XRequestId>| matches!((a, b), (Some(x), Some(y)) if x == y);
             let rule9 = m(cand.systrace_id_req, probe_span.systrace_id_req);
             let rule10 = m(cand.systrace_id_resp, probe_span.systrace_id_resp);
             let rule11 = cand.pseudo_thread_id.is_some()
@@ -221,11 +567,7 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
                 && cand.otel_trace_id == probe_span.otel_trace_id
                 && contains(cand, probe_span, cfg.time_tolerance);
             if rule9 || rule10 || rule11 || rule12 || rule16 {
-                // Tightest container wins.
-                best = match best {
-                    Some(b) if spans[b].req_time >= cand.req_time => Some(b),
-                    _ => Some(j),
-                };
+                best = better_candidate(spans, best, j);
             }
         }
         if let Some(b) = best {
@@ -233,38 +575,16 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
         }
     }
 
-    // Rules 13–15: third-party (app) spans.
-    let by_otel_span: HashMap<u64, usize> = spans
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.kind == SpanKind::App)
-        .filter_map(|(i, s)| s.otel_span_id.map(|id| (id.0, i)))
-        .collect();
-    for &head in &exchange_heads {
-        // Rule 13: the exchange carried an app span's id in its headers →
-        // that app span is the (tighter) parent of the exchange head.
-        let head_span = &spans[head];
-        if let Some(sid) = head_span.otel_span_id {
-            if let Some(&app) = by_otel_span.get(&sid.0) {
-                parent.insert(head_span.span_id, spans[app].span_id);
-            }
-        }
-    }
+    let by_otel_span = app_spans_by_otel_id(spans);
+    apply_rule13(spans, &ex.heads, &by_otel_span, &mut parent);
     for (i, s) in spans.iter().enumerate() {
         if s.kind != SpanKind::App {
             continue;
         }
-        // Rule 15: app ancestry by explicit parent span id.
-        if let Some(pid) = s.otel_parent_span_id {
-            if let Some(&p) = by_otel_span.get(&pid.0) {
-                if p != i {
-                    parent.insert(s.span_id, spans[p].span_id);
-                    continue;
-                }
-            }
+        if apply_rule15(spans, i, &by_otel_span, &mut parent) {
+            continue;
         }
-        // Rule 14: a server-process span containing this app span with the
-        // same trace id adopts it.
+        // Rule 14: scan for a containing server-process span.
         let mut best: Option<usize> = None;
         for (j, cand) in spans.iter().enumerate() {
             if j == i || cand.kind == SpanKind::App {
@@ -275,10 +595,7 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
                 && cand.otel_trace_id == s.otel_trace_id
                 && contains(cand, s, cfg.time_tolerance)
             {
-                best = match best {
-                    Some(b) if spans[b].req_time >= cand.req_time => Some(b),
-                    _ => Some(j),
-                };
+                best = better_candidate(spans, best, j);
             }
         }
         if let Some(b) = best {
@@ -286,28 +603,95 @@ fn set_parents(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> 
         }
     }
 
-    // Cycle guard: drop any edge that closes a loop.
-    let mut acyclic: HashMap<SpanId, SpanId> = HashMap::new();
-    for (&child, &p) in &parent {
-        let mut cur = Some(p);
-        let mut ok = true;
-        let mut hops = 0;
-        while let Some(c) = cur {
-            if c == child {
-                ok = false;
-                break;
+    drop_cycles(spans, parent)
+}
+
+fn app_spans_by_otel_id(spans: &[Span]) -> HashMap<u64, usize> {
+    spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == SpanKind::App)
+        .filter_map(|(i, s)| s.otel_span_id.map(|id| (id.0, i)))
+        .collect()
+}
+
+/// Rule 13: the exchange carried an app span's id in its headers → that
+/// app span is the (tighter) parent of the exchange head.
+fn apply_rule13(
+    spans: &[Span],
+    heads: &[usize],
+    by_otel_span: &HashMap<u64, usize>,
+    parent: &mut HashMap<SpanId, SpanId>,
+) {
+    for &head in heads {
+        let head_span = &spans[head];
+        if let Some(sid) = head_span.otel_span_id {
+            if let Some(&app) = by_otel_span.get(&sid.0) {
+                parent.insert(head_span.span_id, spans[app].span_id);
             }
-            hops += 1;
-            if hops > spans.len() {
-                break;
-            }
-            cur = parent.get(&c).copied();
-        }
-        if ok {
-            acyclic.insert(child, p);
         }
     }
-    acyclic
+}
+
+/// Rule 15: app ancestry by explicit parent span id. Returns whether the
+/// rule fired (later rules are then skipped for this span).
+fn apply_rule15(
+    spans: &[Span],
+    i: usize,
+    by_otel_span: &HashMap<u64, usize>,
+    parent: &mut HashMap<SpanId, SpanId>,
+) -> bool {
+    if let Some(pid) = spans[i].otel_parent_span_id {
+        if let Some(&p) = by_otel_span.get(&pid.0) {
+            if p != i {
+                parent.insert(spans[i].span_id, spans[p].span_id);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Cycle guard: drop any edge that closes a loop.
+/// Drop every parent edge whose child lies on a cycle. Each span has at most
+/// one parent, so the edges form a functional graph: one colouring walk per
+/// unvisited node resolves all cycles in O(n) total, instead of re-walking
+/// the full ancestor chain per edge (quadratic on deep call chains).
+fn drop_cycles(_spans: &[Span], parent: HashMap<SpanId, SpanId>) -> HashMap<SpanId, SpanId> {
+    // 0 = unvisited, 1 = on the current walk, 2 = resolved.
+    let mut color: HashMap<SpanId, u8> = HashMap::with_capacity(parent.len());
+    let mut cyclic: HashSet<SpanId> = HashSet::new();
+    for &start in parent.keys() {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = Some(start);
+        while let Some(c) = cur {
+            match color.get(&c).copied().unwrap_or(0) {
+                0 => {
+                    color.insert(c, 1);
+                    path.push(c);
+                    cur = parent.get(&c).copied();
+                }
+                1 => {
+                    // Closed a new cycle: everything from `c` onward is on it.
+                    let pos = path.iter().position(|&p| p == c).unwrap();
+                    cyclic.extend(&path[pos..]);
+                    break;
+                }
+                // Joined an already-resolved walk: no new cycle here.
+                _ => break,
+            }
+        }
+        for p in path {
+            color.insert(p, 2);
+        }
+    }
+    parent
+        .into_iter()
+        .filter(|(child, _)| !cyclic.contains(child))
+        .collect()
 }
 
 fn sort_trace(spans: Vec<Span>, parents: HashMap<SpanId, SpanId>) -> Trace {
@@ -351,8 +735,8 @@ fn sort_trace(spans: Vec<Span>, parents: HashMap<SpanId, SpanId>) -> Trace {
         }
     }
     // Any unvisited spans (shouldn't happen post cycle-guard) appended.
-    for i in 0..spans.len() {
-        if !visited[i] {
+    for (i, seen) in visited.iter().enumerate() {
+        if !seen {
             order.push(i);
         }
     }
@@ -648,5 +1032,90 @@ mod tests {
             assert!(t.is_well_formed(), "start {start}");
         }
         let _ = a_id;
+    }
+
+    #[test]
+    fn tombstoned_spans_never_reappear_in_traces() {
+        // Re-aggregation consumed a ResponseOnly fragment: it is
+        // tombstoned, and even though its index entries still resolve, the
+        // assembled trace must not contain it.
+        let (mut st, a_id) = figure1_store();
+        let mut fragment = base_span(TapSide::ServerProcess, 30, 60);
+        fragment.status = SpanStatus::ResponseOnly;
+        fragment.tcp_seq_resp = Some(200); // links into exchange 2
+        let frag_id = st.insert(fragment);
+        // Before tombstoning it is discoverable.
+        let before = assemble_trace(&st, a_id, &AssembleConfig::default());
+        assert!(before.spans.iter().any(|s| s.span.span_id == frag_id));
+        st.tombstone(frag_id);
+        for impl_name in ["frontier", "reference"] {
+            let t = match impl_name {
+                "frontier" => assemble_trace(&st, a_id, &AssembleConfig::default()),
+                _ => assemble_trace_reference(&st, a_id, &AssembleConfig::default()),
+            };
+            assert_eq!(t.len(), 4, "{impl_name}");
+            assert!(
+                t.spans.iter().all(|s| s.span.span_id != frag_id),
+                "{impl_name}: tombstoned fragment reappeared"
+            );
+        }
+        // A tombstoned start span yields an empty trace.
+        let t = assemble_trace(&st, frag_id, &AssembleConfig::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_deterministic_and_keeps_start() {
+        // 50 spans all share one systrace id; cap at 10. The kept set must
+        // be the 10 earliest by (req_time, span_id) — regardless of hash
+        // iteration order — except the start span is always retained.
+        let mut st = SpanStore::new();
+        let mut ids = Vec::new();
+        for i in 0..50u64 {
+            let mut s = base_span(TapSide::ServerProcess, 1000 - i * 10, 2000);
+            s.tcp_seq_req = Some(100 + i as u32);
+            s.systrace_id_req = Some(SysTraceId(7));
+            ids.push(st.insert(s));
+        }
+        let cfg = AssembleConfig {
+            max_spans: 10,
+            ..Default::default()
+        };
+        // Start from the EARLIEST span (req_time 510 = id 50): it is inside
+        // the cut, so the trace is exactly the 10 earliest spans.
+        let start_early = ids[49];
+        let t = assemble_trace(&st, start_early, &cfg);
+        assert_eq!(t.len(), 10);
+        let mut got: Vec<SpanId> = t.spans.iter().map(|s| s.span.span_id).collect();
+        got.sort_unstable();
+        let want: Vec<SpanId> = (41..=50).map(SpanId).collect(); // latest ids = earliest times
+        assert_eq!(got, want);
+        // Re-running yields the identical set (determinism).
+        let t2 = assemble_trace(&st, start_early, &cfg);
+        let got2: Vec<SpanId> = t2.spans.iter().map(|s| s.span.span_id).collect();
+        let mut got2 = got2;
+        got2.sort_unstable();
+        assert_eq!(got, got2);
+        // Start from the LATEST span (req_time 1000 = id 1): it sorts after
+        // the cut but must still be in the trace.
+        let start_late = ids[0];
+        let t3 = assemble_trace(&st, start_late, &cfg);
+        assert_eq!(t3.len(), 10);
+        assert!(t3.spans.iter().any(|s| s.span.span_id == start_late));
+    }
+
+    #[test]
+    fn frontier_and_reference_agree_on_figure1() {
+        let (st, _) = figure1_store();
+        for start in 1..=4u64 {
+            let a = assemble_trace(&st, SpanId(start), &AssembleConfig::default());
+            let b = assemble_trace_reference(&st, SpanId(start), &AssembleConfig::default());
+            let edges = |t: &Trace| -> Vec<(SpanId, Option<SpanId>)> {
+                let mut e: Vec<_> = t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+                e.sort_unstable();
+                e
+            };
+            assert_eq!(edges(&a), edges(&b), "start {start}");
+        }
     }
 }

@@ -29,7 +29,9 @@ impl Interner {
 
     /// Resolve an id back to the name.
     pub fn name(&self, id: u32) -> Option<&str> {
-        self.names.get(id.checked_sub(1)? as usize).map(String::as_str)
+        self.names
+            .get(id.checked_sub(1)? as usize)
+            .map(String::as_str)
     }
 
     /// Look up an existing name.
@@ -113,10 +115,7 @@ impl TagDictionary {
             d.by_ip.insert(n.ip, entry);
         }
         for p in &inventory.pods {
-            let mut entry = node_locality
-                .get(&p.node)
-                .cloned()
-                .unwrap_or_default();
+            let mut entry = node_locality.get(&p.node).cloned().unwrap_or_default();
             entry.pod_id = Some(d.pods.intern(&p.name));
             entry.namespace_id = Some(d.namespaces.intern(&p.namespace));
             entry.workload_id = Some(d.workloads.intern(&p.workload));

@@ -6,6 +6,7 @@ use df_storage::{SpanQuery, SpanStore};
 use df_types::tags::ResourceInventory;
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Re-aggregation matching key: the capture point + flow + protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,7 +17,7 @@ struct ReaggKey {
     protocol: df_types::L7Protocol,
 }
 
-/// Server counters.
+/// Server counters (a point-in-time snapshot of the atomic cells).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Spans ingested.
@@ -31,12 +32,23 @@ pub struct ServerStats {
     pub re_aggregated: u64,
 }
 
+/// Internal counters as atomics, so query paths (`span_list`, `trace`,
+/// `slowest_span`) can count through `&self`.
+#[derive(Debug, Default)]
+struct StatsCells {
+    ingested: AtomicU64,
+    enriched: AtomicU64,
+    trace_queries: AtomicU64,
+    list_queries: AtomicU64,
+    re_aggregated: AtomicU64,
+}
+
 /// The DeepFlow Server.
 pub struct Server {
     store: SpanStore,
     dict: TagDictionary,
     assemble_cfg: AssembleConfig,
-    stats: ServerStats,
+    stats: StatsCells,
 }
 
 impl Server {
@@ -46,7 +58,7 @@ impl Server {
             store: SpanStore::new(),
             dict: TagDictionary::build(inventory),
             assemble_cfg: AssembleConfig::default(),
-            stats: ServerStats::default(),
+            stats: StatsCells::default(),
         }
     }
 
@@ -62,7 +74,13 @@ impl Server {
 
     /// Counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        ServerStats {
+            ingested: self.stats.ingested.load(Ordering::Relaxed),
+            enriched: self.stats.enriched.load(Ordering::Relaxed),
+            trace_queries: self.stats.trace_queries.load(Ordering::Relaxed),
+            list_queries: self.stats.list_queries.load(Ordering::Relaxed),
+            re_aggregated: self.stats.re_aggregated.load(Ordering::Relaxed),
+        }
     }
 
     /// Spans stored.
@@ -79,21 +97,32 @@ impl Server {
     pub fn ingest(&mut self, mut span: Span) -> SpanId {
         self.dict.enrich(&mut span.tags.resource);
         if span.tags.resource.is_enriched() {
-            self.stats.enriched += 1;
+            self.stats.enriched.fetch_add(1, Ordering::Relaxed);
         }
-        self.stats.ingested += 1;
+        self.stats.ingested.fetch_add(1, Ordering::Relaxed);
         self.store.insert(span)
     }
 
-    /// Ingest a batch (what an agent ships per flush).
-    pub fn ingest_batch(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
-        spans.into_iter().map(|s| self.ingest(s)).collect()
+    /// Ingest a batch (what an agent ships per flush): enrich every span,
+    /// then insert through the store's batched path, which defers
+    /// time-index ordering to the next query.
+    pub fn ingest_batch(&mut self, mut spans: Vec<Span>) -> Vec<SpanId> {
+        for span in &mut spans {
+            self.dict.enrich(&mut span.tags.resource);
+            if span.tags.resource.is_enriched() {
+                self.stats.enriched.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats
+            .ingested
+            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        self.store.insert_batch(spans)
     }
 
     /// Span-list query (Fig. 15's "span list"), with phase-3 label join
     /// (Fig. 8 ⑧) applied to the results.
-    pub fn span_list(&mut self, query: &SpanQuery) -> Vec<Span> {
-        self.stats.list_queries += 1;
+    pub fn span_list(&self, query: &SpanQuery) -> Vec<Span> {
+        self.stats.list_queries.fetch_add(1, Ordering::Relaxed);
         let dict = &self.dict;
         let results: Vec<Span> = self
             .store
@@ -110,8 +139,8 @@ impl Server {
 
     /// Trace query: Algorithm 1 from a user-chosen span (Fig. 15's
     /// "trace"), with phase-3 label join on every span.
-    pub fn trace(&mut self, start: SpanId) -> Trace {
-        self.stats.trace_queries += 1;
+    pub fn trace(&self, start: SpanId) -> Trace {
+        self.stats.trace_queries.fetch_add(1, Ordering::Relaxed);
         let mut trace = assemble_trace(&self.store, start, &self.assemble_cfg);
         for s in &mut trace.spans {
             join_labels(&self.dict, &mut s.span);
@@ -122,9 +151,9 @@ impl Server {
     /// Convenience: the slowest span in a window — the typical "start
     /// point" a troubleshooting user picks ("users can select spans that
     /// they are interested in, such as time-consuming invocations").
-    pub fn slowest_span(&mut self, from: TimeNs, to: TimeNs) -> Option<SpanId> {
+    pub fn slowest_span(&self, from: TimeNs, to: TimeNs) -> Option<SpanId> {
         let q = SpanQuery::window(from, to);
-        self.stats.list_queries += 1;
+        self.stats.list_queries.fetch_add(1, Ordering::Relaxed);
         self.store
             .query(&q)
             .into_iter()
@@ -155,12 +184,14 @@ impl Server {
                 protocol: span.l7_protocol,
             };
             match span.status {
-                SpanStatus::Incomplete => {
-                    incomplete.entry(key).or_default().push((span.req_time, span.span_id))
-                }
-                SpanStatus::ResponseOnly => {
-                    fragments.entry(key).or_default().push((span.resp_time, span.span_id))
-                }
+                SpanStatus::Incomplete => incomplete
+                    .entry(key)
+                    .or_default()
+                    .push((span.req_time, span.span_id)),
+                SpanStatus::ResponseOnly => fragments
+                    .entry(key)
+                    .or_default()
+                    .push((span.resp_time, span.span_id)),
                 _ => {}
             }
         }
@@ -189,12 +220,14 @@ impl Server {
                 }
             }
         }
-        self.stats.re_aggregated += merged as u64;
+        self.stats
+            .re_aggregated
+            .fetch_add(merged as u64, Ordering::Relaxed);
         merged
     }
 
     /// Convenience: error spans in a window.
-    pub fn error_spans(&mut self, from: TimeNs, to: TimeNs) -> Vec<Span> {
+    pub fn error_spans(&self, from: TimeNs, to: TimeNs) -> Vec<Span> {
         let q = SpanQuery {
             errors_only: true,
             ..SpanQuery::window(from, to)

@@ -198,8 +198,7 @@ impl Column {
                 let n = read_u64(buf, &mut off)? as usize;
                 let mut c = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let len =
-                        u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?) as usize;
+                    let len = u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?) as usize;
                     off += 4;
                     let s = std::str::from_utf8(buf.get(off..off + len)?).ok()?;
                     off += len;
@@ -211,8 +210,7 @@ impl Column {
                 let dn = read_u64(buf, &mut off)? as usize;
                 let mut dict = Vec::with_capacity(dn);
                 for _ in 0..dn {
-                    let len =
-                        u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?) as usize;
+                    let len = u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?) as usize;
                     off += 4;
                     let s = std::str::from_utf8(buf.get(off..off + len)?).ok()?;
                     off += len;
@@ -237,8 +235,7 @@ impl Column {
                             v
                         }
                         _ => {
-                            let v =
-                                u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?);
+                            let v = u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?);
                             off += 4;
                             v
                         }

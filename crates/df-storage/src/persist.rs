@@ -65,9 +65,7 @@ pub fn import_spans_json(path: &Path) -> io::Result<Vec<Span>> {
     let data = fs::read_to_string(path)?;
     data.lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| {
-            serde_json::from_str(l).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-        })
+        .map(|l| serde_json::from_str(l).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)))
         .collect()
 }
 

@@ -6,9 +6,17 @@
 //! for span-list queries. Algorithm 1's `search_database(filter)` (line 12)
 //! resolves to one index probe per attribute value — which is what makes
 //! the iterative search terminate in interactive time (Fig. 15).
+//!
+//! Probes return borrowed row slices (`&[u32]`) so the assembly hot loop
+//! never allocates per probe. The time index lives behind a mutex and is
+//! sorted lazily, so `query` works through a shared reference: read paths
+//! (span list, trace assembly) never need `&mut SpanStore`, and batch
+//! ingest ([`SpanStore::insert_batch`]) defers the sort cost to the next
+//! query instead of paying it per span.
 
 use df_types::{Span, SpanId, TimeNs};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A span-list query (the Fig. 15 "span list" request).
 #[derive(Debug, Clone, Default)]
@@ -75,6 +83,23 @@ pub struct StoreStats {
     pub index_entries: usize,
 }
 
+/// `(req_time_ns, row)` pairs, appended on ingest and sorted lazily at the
+/// next query. Lives behind a mutex so queries can sort through `&self`.
+#[derive(Debug)]
+struct TimeIndex {
+    entries: Vec<(u64, u32)>,
+    sorted: bool,
+}
+
+impl Default for TimeIndex {
+    fn default() -> Self {
+        TimeIndex {
+            entries: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
 /// The span store.
 #[derive(Debug, Default)]
 pub struct SpanStore {
@@ -84,25 +109,34 @@ pub struct SpanStore {
     by_x_request: HashMap<u128, Vec<u32>>,
     by_tcp_seq: HashMap<u32, Vec<u32>>,
     by_otel_trace: HashMap<u128, Vec<u32>>,
-    /// `(req_time_ns, row)` pairs, kept sorted; appended mostly in order.
-    time_index: Vec<(u64, u32)>,
-    time_sorted: bool,
+    time_index: Mutex<TimeIndex>,
     /// Spans consumed by server-side re-aggregation; hidden from queries.
     tombstones: std::collections::HashSet<SpanId>,
 }
 
+const EMPTY_ROWS: &[u32] = &[];
+
 impl SpanStore {
     /// Empty store.
     pub fn new() -> Self {
-        SpanStore {
-            time_sorted: true,
-            ..Default::default()
-        }
+        SpanStore::default()
+    }
+
+    /// The span id stored at a given row.
+    pub fn id_at(row: u32) -> SpanId {
+        SpanId(u64::from(row) + 1)
+    }
+
+    /// Fetch by row index (what the `find_by_*` probes return).
+    pub fn get_row(&self, row: u32) -> Option<&Span> {
+        self.rows.get(row as usize)
     }
 
     /// Merge a late response's attributes into an incomplete span —
     /// server-side re-aggregation (§3.3.1). Updates the association
-    /// indexes for the newly known response-side attributes.
+    /// indexes for the newly known response-side attributes, skipping
+    /// values the request side already indexed (same dedup `insert`
+    /// applies, so a span never appears twice in one index bucket).
     pub fn complete_span(&mut self, id: SpanId, resp: &Span) -> bool {
         let Some(row) = id.raw().checked_sub(1) else {
             return false;
@@ -116,9 +150,7 @@ impl SpanStore {
         }
         span.resp_time = resp.resp_time;
         span.status = match resp.status_code {
-            Some(code) if (400..500).contains(&code) => {
-                df_types::span::SpanStatus::ClientError
-            }
+            Some(code) if (400..500).contains(&code) => df_types::span::SpanStatus::ClientError,
             Some(code) if code >= 500 => df_types::span::SpanStatus::ServerError,
             _ => df_types::span::SpanStatus::Ok,
         };
@@ -127,15 +159,25 @@ impl SpanStore {
         span.systrace_id_resp = resp.systrace_id_resp;
         span.x_request_id_resp = resp.x_request_id_resp;
         span.tcp_seq_resp = resp.tcp_seq_resp;
-        // Index the new response-side attributes.
+        // Index the new response-side attributes, deduplicated against the
+        // request-side values this row is already indexed under.
+        let systrace_req = span.systrace_id_req;
+        let x_request_req = span.x_request_id_req;
+        let tcp_seq_req = span.tcp_seq_req;
         if let Some(v) = resp.systrace_id_resp {
-            self.by_systrace.entry(v.raw()).or_default().push(row);
+            if Some(v) != systrace_req {
+                self.by_systrace.entry(v.raw()).or_default().push(row);
+            }
         }
         if let Some(v) = resp.x_request_id_resp {
-            self.by_x_request.entry(v.0).or_default().push(row);
+            if Some(v) != x_request_req {
+                self.by_x_request.entry(v.0).or_default().push(row);
+            }
         }
         if let Some(v) = resp.tcp_seq_resp {
-            self.by_tcp_seq.entry(v).or_default().push(row);
+            if Some(v) != tcp_seq_req {
+                self.by_tcp_seq.entry(v).or_default().push(row);
+            }
         }
         true
     }
@@ -151,9 +193,30 @@ impl SpanStore {
     }
 
     /// Insert a span, assigning its id. Returns the id.
-    pub fn insert(&mut self, mut span: Span) -> SpanId {
+    pub fn insert(&mut self, span: Span) -> SpanId {
+        self.insert_unsynced(span)
+    }
+
+    /// Insert a batch (what an agent ships per flush). Index maintenance is
+    /// append-only here; the time index is re-sorted lazily by the next
+    /// query, so ingest cost doesn't scale with query-side ordering.
+    pub fn insert_batch(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
+        let mut ids = Vec::with_capacity(spans.len());
+        self.rows.reserve(spans.len());
+        self.time_index
+            .get_mut()
+            .expect("time index lock poisoned")
+            .entries
+            .reserve(spans.len());
+        for span in spans {
+            ids.push(self.insert_unsynced(span));
+        }
+        ids
+    }
+
+    fn insert_unsynced(&mut self, mut span: Span) -> SpanId {
         let row = self.rows.len() as u32;
-        let id = SpanId(u64::from(row) + 1);
+        let id = Self::id_at(row);
         span.span_id = id;
         if let Some(s) = span.systrace_id_req {
             self.by_systrace.entry(s.raw()).or_default().push(row);
@@ -186,12 +249,13 @@ impl SpanStore {
             self.by_otel_trace.entry(t.0).or_default().push(row);
         }
         let ts = span.req_time.as_nanos();
-        if let Some((last, _)) = self.time_index.last() {
+        let idx = self.time_index.get_mut().expect("time index lock poisoned");
+        if let Some((last, _)) = idx.entries.last() {
             if *last > ts {
-                self.time_sorted = false;
+                idx.sorted = false;
             }
         }
-        self.time_index.push((ts, row));
+        idx.entries.push((ts, row));
         self.rows.push(span);
         id
     }
@@ -212,20 +276,20 @@ impl SpanStore {
         self.rows.is_empty()
     }
 
-    /// Span-list query (time window + filters).
-    pub fn query(&mut self, q: &SpanQuery) -> Vec<&Span> {
-        if !self.time_sorted {
-            self.time_index.sort_unstable();
-            self.time_sorted = true;
+    /// Span-list query (time window + filters). Sorts the time index
+    /// lazily under its lock, so concurrent readers share one sort.
+    pub fn query(&self, q: &SpanQuery) -> Vec<&Span> {
+        let mut idx = self.time_index.lock().expect("time index lock poisoned");
+        if !idx.sorted {
+            idx.entries.sort_unstable();
+            idx.sorted = true;
         }
         let start = match q.from {
-            Some(f) => self
-                .time_index
-                .partition_point(|(ts, _)| *ts < f.as_nanos()),
+            Some(f) => idx.entries.partition_point(|(ts, _)| *ts < f.as_nanos()),
             None => 0,
         };
         let mut out = Vec::new();
-        for &(ts, row) in &self.time_index[start..] {
+        for &(ts, row) in &idx.entries[start..] {
             if let Some(t) = q.to {
                 if ts >= t.as_nanos() {
                     break;
@@ -246,34 +310,35 @@ impl SpanStore {
     }
 
     /// Index probes — Algorithm 1's `search_database` primitives. Each
-    /// returns span ids sharing the given attribute value.
-    pub fn find_by_systrace(&self, v: u64) -> Vec<SpanId> {
-        Self::ids(self.by_systrace.get(&v))
+    /// returns the rows sharing the given attribute value, borrowed
+    /// straight from the index (no per-probe allocation); map a row to its
+    /// span with [`SpanStore::get_row`] / [`SpanStore::id_at`].
+    pub fn find_by_systrace(&self, v: u64) -> &[u32] {
+        Self::rows_of(self.by_systrace.get(&v))
     }
 
     /// Spans sharing a pseudo-thread id.
-    pub fn find_by_pseudo_thread(&self, v: u64) -> Vec<SpanId> {
-        Self::ids(self.by_pseudo_thread.get(&v))
+    pub fn find_by_pseudo_thread(&self, v: u64) -> &[u32] {
+        Self::rows_of(self.by_pseudo_thread.get(&v))
     }
 
     /// Spans sharing an X-Request-ID.
-    pub fn find_by_x_request(&self, v: u128) -> Vec<SpanId> {
-        Self::ids(self.by_x_request.get(&v))
+    pub fn find_by_x_request(&self, v: u128) -> &[u32] {
+        Self::rows_of(self.by_x_request.get(&v))
     }
 
     /// Spans sharing a TCP sequence number.
-    pub fn find_by_tcp_seq(&self, v: u32) -> Vec<SpanId> {
-        Self::ids(self.by_tcp_seq.get(&v))
+    pub fn find_by_tcp_seq(&self, v: u32) -> &[u32] {
+        Self::rows_of(self.by_tcp_seq.get(&v))
     }
 
     /// Spans sharing a third-party trace id.
-    pub fn find_by_otel_trace(&self, v: u128) -> Vec<SpanId> {
-        Self::ids(self.by_otel_trace.get(&v))
+    pub fn find_by_otel_trace(&self, v: u128) -> &[u32] {
+        Self::rows_of(self.by_otel_trace.get(&v))
     }
 
-    fn ids(rows: Option<&Vec<u32>>) -> Vec<SpanId> {
-        rows.map(|v| v.iter().map(|r| SpanId(u64::from(*r) + 1)).collect())
-            .unwrap_or_default()
+    fn rows_of(rows: Option<&Vec<u32>>) -> &[u32] {
+        rows.map(Vec::as_slice).unwrap_or(EMPTY_ROWS)
     }
 
     /// Statistics.
@@ -360,6 +425,22 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let mut a = SpanStore::new();
+        let mut b = SpanStore::new();
+        let spans: Vec<Span> = [500u64, 100, 300].iter().map(|&t| span(t)).collect();
+        let batch_ids = a.insert_batch(spans.clone());
+        let one_ids: Vec<SpanId> = spans.into_iter().map(|s| b.insert(s)).collect();
+        assert_eq!(batch_ids, one_ids);
+        assert_eq!(a.len(), b.len());
+        let q = SpanQuery::window(TimeNs(0), TimeNs(1000));
+        let ta: Vec<u64> = a.query(&q).iter().map(|s| s.req_time.as_nanos()).collect();
+        let tb: Vec<u64> = b.query(&q).iter().map(|s| s.req_time.as_nanos()).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(ta, vec![100, 300, 500]);
+    }
+
+    #[test]
     fn time_window_query() {
         let mut st = SpanStore::new();
         for t in [100u64, 200, 300, 400, 500] {
@@ -376,6 +457,8 @@ mod tests {
         for t in [500u64, 100, 300, 200, 400] {
             st.insert(span(t));
         }
+        // Query through a shared reference: lazy sort happens internally.
+        let st = &st;
         let got = st.query(&SpanQuery::window(TimeNs(150), TimeNs(450)));
         let times: Vec<u64> = got.iter().map(|s| s.req_time.as_nanos()).collect();
         assert_eq!(times, vec![200, 300, 400]);
@@ -394,8 +477,7 @@ mod tests {
             limit: usize::MAX,
             ..Default::default()
         };
-        let mut st_q = st;
-        let got = st_q.query(&q);
+        let got = st.query(&q);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].endpoint, "GET /broken");
     }
@@ -429,10 +511,12 @@ mod tests {
         let ib = st.insert(b);
         let ic = st.insert(c);
 
-        assert_eq!(st.find_by_systrace(7), vec![ia, ib]);
-        assert_eq!(st.find_by_tcp_seq(4242), vec![ia, ic]);
-        assert_eq!(st.find_by_x_request(99), vec![ib]);
-        assert_eq!(st.find_by_otel_trace(1234), vec![ic]);
+        let ids =
+            |rows: &[u32]| -> Vec<SpanId> { rows.iter().map(|&r| SpanStore::id_at(r)).collect() };
+        assert_eq!(ids(st.find_by_systrace(7)), vec![ia, ib]);
+        assert_eq!(ids(st.find_by_tcp_seq(4242)), vec![ia, ic]);
+        assert_eq!(ids(st.find_by_x_request(99)), vec![ib]);
+        assert_eq!(ids(st.find_by_otel_trace(1234)), vec![ic]);
         assert!(st.find_by_systrace(999).is_empty());
         assert!(st.stats().index_entries >= 6);
     }
@@ -444,7 +528,32 @@ mod tests {
         a.tcp_seq_req = Some(5);
         a.tcp_seq_resp = Some(5);
         let id = st.insert(a);
-        assert_eq!(st.find_by_tcp_seq(5), vec![id]);
+        assert_eq!(st.find_by_tcp_seq(5), &[0]);
+
+        // The re-aggregation path gets the same dedup: completing an
+        // Incomplete span with a response that repeats the request-side
+        // values must not index the row a second time.
+        let mut req_half = span(200);
+        req_half.status = SpanStatus::Incomplete;
+        req_half.tcp_seq_req = Some(9);
+        req_half.systrace_id_req = Some(SysTraceId(31));
+        let inc = st.insert(req_half);
+        let mut resp_half = span(250);
+        resp_half.status = SpanStatus::ResponseOnly;
+        resp_half.tcp_seq_resp = Some(9);
+        resp_half.systrace_id_resp = Some(SysTraceId(31));
+        resp_half.x_request_id_resp = Some(XRequestId(77));
+        assert!(st.complete_span(inc, &resp_half));
+        let inc_row = (inc.raw() - 1) as u32;
+        assert_eq!(st.find_by_tcp_seq(9), &[inc_row], "resp seq == req seq");
+        assert_eq!(
+            st.find_by_systrace(31),
+            &[inc_row],
+            "resp systrace == req systrace"
+        );
+        // A genuinely new response-side value still gets indexed once.
+        assert_eq!(st.find_by_x_request(77), &[inc_row]);
+        let _ = id;
     }
 
     #[test]

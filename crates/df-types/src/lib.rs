@@ -42,11 +42,13 @@ pub mod trace;
 pub use ids::*;
 pub use l7::{L7Protocol, MessageType, SessionKey};
 pub use message::MessageData;
-pub use metrics::{FlowMetrics, L7Metrics};
 pub use message::{CaptureSource, SyscallAbi};
+pub use metrics::{FlowMetrics, L7Metrics};
 pub use net::{Direction, FiveTuple, TcpFlags, TransportProtocol};
 pub use packet::{ArpOp, CapturedFrame, Frame, Segment};
 pub use span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
-pub use tags::{NodeResource, PodResource, ResourceInventory, ResourceTags, TagKey, TagSet, TagValue};
+pub use tags::{
+    NodeResource, PodResource, ResourceInventory, ResourceTags, TagKey, TagSet, TagValue,
+};
 pub use time::{DurationNs, TimeNs};
 pub use trace::{AssembledSpan, Trace};

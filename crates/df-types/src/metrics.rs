@@ -106,11 +106,10 @@ impl L7Metrics {
 
     /// Mean latency over completed sessions.
     pub fn latency_mean(&self) -> DurationNs {
-        if self.response_count == 0 {
-            DurationNs::ZERO
-        } else {
-            DurationNs(self.latency_sum.as_nanos() / self.response_count)
-        }
+        self.latency_sum
+            .as_nanos()
+            .checked_div(self.response_count)
+            .map_or(DurationNs::ZERO, DurationNs)
     }
 
     /// Error ratio over all requests.

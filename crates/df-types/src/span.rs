@@ -8,8 +8,8 @@
 //! implicit-context attributes carried here.
 
 use crate::ids::{
-    AgentId, FlowId, NodeId, OtelSpanId, OtelTraceId, Pid, PseudoThreadId, SpanId, SysTraceId,
-    Tid, XRequestId,
+    AgentId, FlowId, NodeId, OtelSpanId, OtelTraceId, Pid, PseudoThreadId, SpanId, SysTraceId, Tid,
+    XRequestId,
 };
 use crate::l7::L7Protocol;
 use crate::metrics::FlowMetrics;
@@ -270,8 +270,8 @@ impl Span {
             || m(self.x_request_id_resp, other.x_request_id_resp)
             || m(self.x_request_id_req, other.x_request_id_resp)
             || m(self.x_request_id_resp, other.x_request_id_req);
-        let tcp = m(self.tcp_seq_req, other.tcp_seq_req)
-            || m(self.tcp_seq_resp, other.tcp_seq_resp);
+        let tcp =
+            m(self.tcp_seq_req, other.tcp_seq_req) || m(self.tcp_seq_resp, other.tcp_seq_resp);
         let otel = m(self.otel_trace_id, other.otel_trace_id);
         sys || pth || xreq || tcp || otel
     }

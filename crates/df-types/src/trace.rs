@@ -140,7 +140,11 @@ impl Trace {
                 s.span.endpoint,
                 s.span.req_time.saturating_since(base),
                 s.span.duration(),
-                if s.span.status.is_error() { "ERROR" } else { "ok" },
+                if s.span.status.is_error() {
+                    "ERROR"
+                } else {
+                    "ok"
+                },
             ));
         }
         out

@@ -18,7 +18,8 @@ use deepflow::prelude::*;
 fn main() {
     println!("== Case study: accurate diagnosis of network infrastructure anomalies (§4.1.2) ==\n");
     let mut make_tracer = || apps::no_tracer();
-    let (mut world, handles) = apps::springboot_demo(40.0, DurationNs::from_secs(2), &mut make_tracer);
+    let (mut world, handles) =
+        apps::springboot_demo(40.0, DurationNs::from_secs(2), &mut make_tracer);
 
     // The hidden fault: node-1's physical NIC floods redundant ARP requests
     // and stalls resolution on every new connection.
@@ -48,7 +49,11 @@ fn main() {
             },
         );
     }
-    df.run(&mut world, TimeNs::from_secs(3), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(3),
+        DurationNs::from_millis(100),
+    );
 
     let client = &world.clients[handles.client];
     println!(
@@ -57,7 +62,10 @@ fn main() {
     );
 
     println!("DeepFlow view: ARP requests observed per interface, per node —\n");
-    println!("  {:<10} {:>16} {:>16} {:>16}", "node", "veth (pods)", "eth0 (node)", "phys0 (NIC)");
+    println!(
+        "  {:<10} {:>16} {:>16} {:>16}",
+        "node", "veth (pods)", "eth0 (node)", "phys0 (NIC)"
+    );
     for (node, agent) in &df.agents {
         let name = world
             .fabric

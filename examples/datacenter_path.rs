@@ -68,7 +68,11 @@ fn main() {
         },
     );
 
-    df.run(&mut world, TimeNs::from_secs(3), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(3),
+        DurationNs::from_millis(100),
+    );
 
     // Assemble one request's trace starting from the client process span.
     let all = df.server.span_list(&SpanQuery {

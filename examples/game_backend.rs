@@ -111,7 +111,10 @@ fn main() {
         .slowest_span(TimeNs::ZERO, TimeNs::from_secs(3))
         .unwrap();
     let trace = df.server.trace(slowest);
-    println!("\nSlowest lobby request, end to end ({} spans):\n", trace.len());
+    println!(
+        "\nSlowest lobby request, end to end ({} spans):\n",
+        trace.len()
+    );
     print!("{}", trace.render_text());
 
     // And the custom-protocol upgrade, demonstrated on captured frames of

@@ -24,7 +24,11 @@ fn main() {
     // "Without modifying a single line of code, operators deploy DeepFlow
     // while the service is active."
     let mut df = Deployment::install(&mut world).expect("verifier admits the programs");
-    df.run(&mut world, TimeNs::from_secs(4), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(4),
+        DurationNs::from_millis(100),
+    );
 
     let client = &world.clients[handles.client];
     println!(
@@ -77,7 +81,10 @@ fn main() {
         .map(|(p, _)| p.clone())
         .unwrap_or_default();
     println!("\nOne query pinpoints the failing pod: {culprit}.");
-    println!("({} error spans total; every one tagged with its pod in zero code.)", errors.len());
+    println!(
+        "({} error spans total; every one tagged with its pod in zero code.)",
+        errors.len()
+    );
 
     // Show one offending trace end to end.
     if let Some(err_span) = errors

@@ -14,14 +14,17 @@ fn main() {
     println!("with NO tracing instrumentation anywhere.\n");
 
     let mut make_tracer = || apps::no_tracer();
-    let (mut world, handles) =
-        apps::bookinfo(100.0, DurationNs::from_secs(3), &mut make_tracer);
+    let (mut world, handles) = apps::bookinfo(100.0, DurationNs::from_secs(3), &mut make_tracer);
 
     println!("Deploying DeepFlow while the services run: verified eBPF programs on all");
     println!("10 syscall ABIs of every node, capture taps on pod veths and node NICs...\n");
     let mut df = Deployment::install(&mut world).expect("verifier admits the programs");
 
-    df.run(&mut world, TimeNs::from_secs(4), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(4),
+        DurationNs::from_millis(100),
+    );
 
     let client = &world.clients[handles.client];
     println!(

@@ -19,7 +19,11 @@ fn main() {
     let mut df = Deployment::install(&mut world).expect("install");
     // Run long enough for the 60s session windows to expire unanswered
     // publishes into Incomplete spans.
-    df.run(&mut world, TimeNs::from_secs(200), DurationNs::from_secs(10));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(200),
+        DurationNs::from_secs(10),
+    );
 
     let client = &world.clients[handles.client];
     println!(
@@ -63,7 +67,10 @@ fn main() {
     for agent in df.agents.values() {
         totals.merge(&agent.flows.totals());
     }
-    println!("Cluster-wide flow metrics: {} zero-windows, {} resets.", totals.zero_windows, totals.resets);
+    println!(
+        "Cluster-wide flow metrics: {} zero-windows, {} resets.",
+        totals.zero_windows, totals.resets
+    );
     println!();
     println!("Diagnosis in one view: the broker's receive queue backlogged (zero windows),");
     println!("escalating to connection resets — the broker's consumer, not the network,");

@@ -32,7 +32,7 @@ impl Deployment {
     /// install standard taps (pod veths + node NICs), build the tag
     /// dictionary from the topology inventory.
     pub fn install(world: &mut World) -> Result<Deployment, VerifierError> {
-        Self::install_with(world, |node| AgentConfig::for_node(node))
+        Self::install_with(world, AgentConfig::for_node)
     }
 
     /// Deploy with a custom per-node agent configuration (e.g. tracepoints
@@ -105,7 +105,7 @@ impl Deployment {
         while next < until {
             world.run_until(next);
             self.poll(world, next);
-            next = next + interval;
+            next += interval;
         }
         world.run_until(until);
         self.poll(world, until);

@@ -44,24 +44,24 @@
 
 pub mod deploy;
 
-/// Shared data model (ids, spans, traces, tags, metrics).
-pub use df_types as types;
+/// The DeepFlow agent.
+pub use df_agent as agent;
+/// Intrusive tracing baselines.
+pub use df_baselines as baselines;
 /// The simulated kernel substrate.
 pub use df_kernel as kernel;
+/// The microservice simulator.
+pub use df_mesh as mesh;
 /// The virtual datacenter network.
 pub use df_net as net;
 /// L7 protocol codecs and inference.
 pub use df_protocols as protocols;
-/// The microservice simulator.
-pub use df_mesh as mesh;
-/// The DeepFlow agent.
-pub use df_agent as agent;
 /// The DeepFlow server.
 pub use df_server as server;
 /// The columnar span store.
 pub use df_storage as storage;
-/// Intrusive tracing baselines.
-pub use df_baselines as baselines;
+/// Shared data model (ids, spans, traces, tags, metrics).
+pub use df_types as types;
 
 pub use deploy::Deployment;
 
@@ -73,7 +73,6 @@ pub mod prelude {
     pub use df_server::Server;
     pub use df_storage::SpanQuery;
     pub use df_types::{
-        DurationNs, L7Protocol, NodeId, Span, SpanId, SpanKind, SpanStatus, TapSide, TimeNs,
-        Trace,
+        DurationNs, L7Protocol, NodeId, Span, SpanId, SpanKind, SpanStatus, TapSide, TimeNs, Trace,
     };
 }

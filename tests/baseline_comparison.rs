@@ -52,7 +52,11 @@ fn deepflow_traces_dwarf_intrusive_coverage_on_the_same_run() {
     let (mut world, handles) =
         apps::springboot_demo(30.0, DurationNs::from_secs(2), &mut make_tracer);
     let mut df = Deployment::install(&mut world).unwrap();
-    df.run(&mut world, TimeNs::from_secs(3), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(3),
+        DurationNs::from_millis(100),
+    );
 
     // Ship the SDK's app spans into the server too (OpenTelemetry-style
     // integration, §3.2.1 instrumentation extensions).
@@ -110,7 +114,11 @@ fn context_propagation_dies_at_headerless_protocols_but_deepflow_continues() {
     let (mut world, _handles) =
         apps::springboot_demo(20.0, DurationNs::from_secs(1), &mut make_tracer);
     let mut df = Deployment::install(&mut world).unwrap();
-    df.run(&mut world, TimeNs::from_secs(2), DurationNs::from_millis(100));
+    df.run(
+        &mut world,
+        TimeNs::from_secs(2),
+        DurationNs::from_millis(100),
+    );
 
     // No app span mentions MySQL serving (it is uninstrumented), and no
     // MySQL-side sys span carries a third-party trace id (the context

@@ -18,7 +18,14 @@ fn two_pod_world() -> (World, Ipv4Addr, Ipv4Addr) {
     let client_ip = Ipv4Addr::new(10, 1, 0, 100);
     let svc_ip = Ipv4Addr::new(10, 1, 1, 10);
     topo.add_pod(n1, "client", client_ip, "default", "client", "client");
-    topo.add_pod(n2, "secure-svc", svc_ip, "default", "secure-svc", "secure-svc");
+    topo.add_pod(
+        n2,
+        "secure-svc",
+        svc_ip,
+        "default",
+        "secure-svc",
+        "secure-svc",
+    );
     (
         World::new(Fabric::new(topo, FabricConfig::default()), 0xe57),
         client_ip,
@@ -130,7 +137,10 @@ fn user_supplied_protocol_specifications_extend_inference() {
     let mut topo = Topology::new();
     let n1 = topo.add_simple_node("a", Ipv4Addr::new(10, 0, 0, 1));
     let n2 = topo.add_simple_node("b", Ipv4Addr::new(10, 0, 0, 2));
-    assert_eq!((n1, n2), (deepflow::types::NodeId(1), deepflow::types::NodeId(2)));
+    assert_eq!(
+        (n1, n2),
+        (deepflow::types::NodeId(1), deepflow::types::NodeId(2))
+    );
     let mut fabric = Fabric::new(topo, FabricConfig::default());
 
     fn pump(ka: &mut Kernel, kb: &mut Kernel, fabric: &mut Fabric) {
@@ -156,23 +166,43 @@ fn user_supplied_protocol_specifications_extend_inference() {
     // Server listens; client speaks acme-rpc.
     let (spid, stid) = kb.procs.spawn_process("acme-server");
     let lfd = kb.socket(spid, TransportProtocol::Tcp).unwrap();
-    kb.bind(spid, lfd, Ipv4Addr::new(10, 0, 0, 2), 7000).unwrap();
+    kb.bind(spid, lfd, Ipv4Addr::new(10, 0, 0, 2), 7000)
+        .unwrap();
     kb.listen(spid, lfd, 16).unwrap();
     kb.accept(stid, spid, lfd);
     let (cpid, ctid) = ka.procs.spawn_process("acme-client");
     let cfd = ka.socket(cpid, TransportProtocol::Tcp).unwrap();
-    ka.connect(ctid, cpid, cfd, Ipv4Addr::new(10, 0, 0, 1), (Ipv4Addr::new(10, 0, 0, 2), 7000));
+    ka.connect(
+        ctid,
+        cpid,
+        cfd,
+        Ipv4Addr::new(10, 0, 0, 1),
+        (Ipv4Addr::new(10, 0, 0, 2), 7000),
+    );
     pump(&mut ka, &mut kb, &mut fabric);
     let (sfd, _) = kb.accept(stid, spid, lfd).unwrap_complete();
 
     // Request → server reads → server responds.
-    ka.sys_write(ctid, cpid, cfd, bytes::Bytes::from(vec![0xC9, b'Q', 7, b'p', b'i', b'n', b'g']), TimeNs(1000))
-        .unwrap_complete();
+    ka.sys_write(
+        ctid,
+        cpid,
+        cfd,
+        bytes::Bytes::from(vec![0xC9, b'Q', 7, b'p', b'i', b'n', b'g']),
+        TimeNs(1000),
+    )
+    .unwrap_complete();
     kb.sys_read(stid, spid, sfd, 4096, TimeNs(1000));
     pump(&mut ka, &mut kb, &mut fabric);
-    kb.sys_read(stid, spid, sfd, 4096, TimeNs(2000)).unwrap_complete();
-    kb.sys_write(stid, spid, sfd, bytes::Bytes::from(vec![0xC9, b'R', 7, b'o', b'k']), TimeNs(3000))
+    kb.sys_read(stid, spid, sfd, 4096, TimeNs(2000))
         .unwrap_complete();
+    kb.sys_write(
+        stid,
+        spid,
+        sfd,
+        bytes::Bytes::from(vec![0xC9, b'R', 7, b'o', b'k']),
+        TimeNs(3000),
+    )
+    .unwrap_complete();
     pump(&mut ka, &mut kb, &mut fabric);
 
     let spans = agent_b.poll(&mut kb, &mut fabric, TimeNs::from_secs(1));
@@ -331,10 +361,7 @@ fn agents_aggregate_l7_metrics_per_endpoint() {
         rps: 100.0,
         duration: D::from_secs(2),
         connections: 4,
-        endpoints: vec![
-            ("GET /ok".to_string(), 3),
-            ("GET /broken".to_string(), 1),
-        ],
+        endpoints: vec![("GET /ok".to_string(), 3), ("GET /broken".to_string(), 1)],
         ..ClientSpec::http("client", n1, client_ip, "secure-svc")
     });
     let mut df = Deployment::install(&mut world).unwrap();

@@ -64,7 +64,9 @@ fn l4_gateway_crossing_joins_by_preserved_tcp_seq() {
     let backend = trace
         .spans
         .iter()
-        .find(|s| s.span.capture.tap_side == TapSide::ServerProcess && s.span.five_tuple.dst_ip != vip)
+        .find(|s| {
+            s.span.capture.tap_side == TapSide::ServerProcess && s.span.five_tuple.dst_ip != vip
+        })
         .unwrap();
     assert_eq!(client_leg.tcp_seq_req, backend.span.tcp_seq_req);
 }
@@ -96,7 +98,12 @@ fn l7_proxy_crossing_joins_by_x_request_id() {
         .spans
         .iter()
         .filter(|s| s.span.kind == SpanKind::Sys)
-        .map(|s| (u32::from(s.span.five_tuple.src_ip), u32::from(s.span.five_tuple.dst_ip)))
+        .map(|s| {
+            (
+                u32::from(s.span.five_tuple.src_ip),
+                u32::from(s.span.five_tuple.dst_ip),
+            )
+        })
         .collect();
     assert!(
         legs.len() >= 2,

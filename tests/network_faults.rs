@@ -20,7 +20,10 @@ fn packet_loss_shows_up_as_retransmissions_on_spans() {
     let mut df = Deployment::install(&mut world).unwrap();
     df.run(&mut world, TimeNs::from_secs(4), D::from_millis(200));
 
-    assert!(world.fabric.stats().retransmissions > 0, "fabric retransmitted");
+    assert!(
+        world.fabric.stats().retransmissions > 0,
+        "fabric retransmitted"
+    );
     let all = df.server.span_list(&SpanQuery {
         limit: usize::MAX,
         ..Default::default()
@@ -91,7 +94,11 @@ fn amqp_backlog_yields_zero_windows_then_resets() {
     df.run(&mut world, TimeNs::from_secs(200), D::from_secs(20));
 
     let client = &world.clients[handles.client];
-    assert!(client.failed > 0, "producer saw failures: {}", client.failed);
+    assert!(
+        client.failed > 0,
+        "producer saw failures: {}",
+        client.failed
+    );
 
     // The agents' flow tables observed the kernel-level distress directly.
     let mut zero_windows = 0u64;
@@ -135,7 +142,10 @@ fn blackhole_produces_incomplete_spans_not_silence() {
     let mut df = Deployment::install(&mut world).unwrap();
     df.run(&mut world, TimeNs::from_millis(500), D::from_millis(100));
     let n3 = world.fabric.topology.node_ids()[2];
-    world.fabric.faults.inject(ElementId::NodeNic(n3), Fault::BlackHole);
+    world
+        .fabric
+        .faults
+        .inject(ElementId::NodeNic(n3), Fault::BlackHole);
     df.run(&mut world, TimeNs::from_secs(200), D::from_secs(30));
 
     // DeepFlow records the requests that vanished into the black hole as
@@ -148,7 +158,10 @@ fn blackhole_produces_incomplete_spans_not_silence() {
         .iter()
         .filter(|s| s.status == SpanStatus::Incomplete)
         .count();
-    assert!(incomplete > 0, "blackholed requests became Incomplete spans");
+    assert!(
+        incomplete > 0,
+        "blackholed requests became Incomplete spans"
+    );
     let client = &world.clients[handles.client];
     assert!(client.failed > 0, "client saw timeouts");
 }

@@ -197,6 +197,158 @@ proptest! {
     }
 }
 
+/// Build a span from the generated association-attribute pools used by the
+/// assembly properties.
+#[allow(clippy::too_many_arguments)]
+fn prop_span(
+    tap: u8,
+    t: u64,
+    d: u64,
+    seq_r: Option<u32>,
+    seq_p: Option<u32>,
+    sys_r: Option<u64>,
+    sys_p: Option<u64>,
+    xr: Option<u128>,
+    ot: Option<u128>,
+    pth: Option<u64>,
+) -> deepflow::types::Span {
+    use deepflow::types::ids::*;
+    use deepflow::types::span::{CapturePoint, SpanKind};
+    use deepflow::types::tags::TagSet;
+
+    let tap_sides = [
+        TapSide::ClientApp,
+        TapSide::ClientProcess,
+        TapSide::ClientPodNic,
+        TapSide::ClientNodeNic,
+        TapSide::ClientHypervisor,
+        TapSide::Gateway,
+        TapSide::ServerHypervisor,
+        TapSide::ServerNodeNic,
+        TapSide::ServerPodNic,
+        TapSide::ServerProcess,
+        TapSide::ServerApp,
+    ];
+    let req = t * 1_000_000;
+    deepflow::types::Span {
+        span_id: SpanId(0),
+        kind: if tap == 0 || tap == 10 {
+            SpanKind::App
+        } else {
+            SpanKind::Sys
+        },
+        capture: CapturePoint {
+            node: NodeId(1),
+            tap_side: tap_sides[tap as usize % 11],
+            interface: None,
+        },
+        agent: AgentId(1),
+        flow_id: FlowId(u64::from(seq_r.unwrap_or(99))),
+        five_tuple: FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+        l7_protocol: L7Protocol::Http1,
+        endpoint: "op".to_string(),
+        req_time: TimeNs(req),
+        resp_time: TimeNs(req + d * 1_000_000),
+        status: SpanStatus::Ok,
+        status_code: Some(200),
+        req_bytes: 0,
+        resp_bytes: 0,
+        pid: None,
+        tid: None,
+        process_name: None,
+        systrace_id_req: sys_r.map(SysTraceId),
+        systrace_id_resp: sys_p.map(SysTraceId),
+        pseudo_thread_id: pth.map(PseudoThreadId),
+        x_request_id_req: xr.map(XRequestId),
+        x_request_id_resp: None,
+        tcp_seq_req: seq_r,
+        tcp_seq_resp: seq_p,
+        otel_trace_id: ot.map(OtelTraceId),
+        otel_span_id: ot.map(|v| OtelSpanId(v as u64)),
+        otel_parent_span_id: None,
+        tags: TagSet::default(),
+        flow_metrics: None,
+    }
+}
+
+proptest! {
+    /// The frontier-based Algorithm 1 is extensionally identical to the
+    /// full-rescan reference formulation: same span set, same parent
+    /// edges, no tombstoned spans, no duplicates — for arbitrary corpora,
+    /// arbitrary tombstone subsets and arbitrary size caps.
+    #[test]
+    fn frontier_assembly_matches_reference(
+        specs in proptest::collection::vec(
+            (
+                0u8..11,          // tap side
+                0u64..20,         // req time bucket
+                1u64..30,         // duration bucket
+                proptest::option::of(0u32..8),   // tcp_seq_req pool
+                proptest::option::of(0u32..8),   // tcp_seq_resp pool
+                proptest::option::of(0u64..6),   // systrace_req pool
+                proptest::option::of(0u64..6),   // systrace_resp pool
+                proptest::option::of(0u128..4),  // x_request_id pool
+                proptest::option::of(0u128..3),  // otel trace pool
+                proptest::option::of(0u64..4),   // pseudo-thread pool
+            ),
+            1..60,
+        ),
+        start_idx in 0usize..60,
+        tombstone_mask in any::<u64>(),
+        max_spans in 1usize..80,
+    ) {
+        use deepflow::server::assemble::{
+            assemble_trace, assemble_trace_reference, AssembleConfig,
+        };
+        use deepflow::storage::SpanStore;
+        use deepflow::types::SpanId;
+
+        let mut store = SpanStore::new();
+        for (tap, t, d, seq_r, seq_p, sys_r, sys_p, xr, ot, pth) in &specs {
+            store.insert(prop_span(*tap, *t, *d, *seq_r, *seq_p, *sys_r, *sys_p, *xr, *ot, *pth));
+        }
+        let mut tombstoned = Vec::new();
+        for i in 0..specs.len().min(64) {
+            if tombstone_mask & (1 << i) != 0 {
+                let id = SpanId(i as u64 + 1);
+                store.tombstone(id);
+                tombstoned.push(id);
+            }
+        }
+        let start = SpanId((start_idx % specs.len()) as u64 + 1);
+        let cfg = AssembleConfig { max_spans, ..Default::default() };
+        let fast = assemble_trace(&store, start, &cfg);
+        let slow = assemble_trace_reference(&store, start, &cfg);
+
+        let edges = |t: &deepflow::types::trace::Trace| {
+            let mut e: Vec<(SpanId, Option<SpanId>)> =
+                t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+            e.sort_unstable();
+            e
+        };
+        prop_assert_eq!(edges(&fast), edges(&slow), "frontier vs reference diverged");
+        // No tombstoned span ever appears.
+        for t in [&fast, &slow] {
+            prop_assert!(
+                t.spans.iter().all(|s| !store.is_tombstoned(s.span.span_id)),
+                "tombstoned span in trace"
+            );
+        }
+        // No duplicate span ids.
+        let mut ids: Vec<SpanId> = fast.spans.iter().map(|s| s.span.span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), fast.spans.len(), "duplicate span in trace");
+        // The cap is honoured and the start span kept unless tombstoned.
+        prop_assert!(fast.len() <= max_spans);
+        if !store.is_tombstoned(start) {
+            prop_assert!(fast.spans.iter().any(|s| s.span.span_id == start));
+        } else {
+            prop_assert!(fast.is_empty());
+        }
+    }
+}
+
 proptest! {
     /// Algorithm 1 always terminates and yields a well-formed trace (no
     /// cycles, no dangling parents, no duplicates) for arbitrary span

@@ -19,14 +19,54 @@ struct Case {
 }
 
 const CASES: [Case; 8] = [
-    Case { protocol: L7Protocol::Http1, port: 80, endpoint: "GET /api", expect_endpoint: "GET /api" },
-    Case { protocol: L7Protocol::Http2, port: 8080, endpoint: "GET /grpc.Svc/Call", expect_endpoint: "GET /grpc.Svc/Call" },
-    Case { protocol: L7Protocol::Dns, port: 53, endpoint: "A reviews.default.svc.cluster.local", expect_endpoint: "A reviews.default.svc.cluster.local" },
-    Case { protocol: L7Protocol::Redis, port: 6379, endpoint: "GET product:42", expect_endpoint: "GET" },
-    Case { protocol: L7Protocol::Mysql, port: 3306, endpoint: "SELECT * FROM t", expect_endpoint: "SELECT" },
-    Case { protocol: L7Protocol::Kafka, port: 9092, endpoint: "Produce orders", expect_endpoint: "Produce" },
-    Case { protocol: L7Protocol::Dubbo, port: 20880, endpoint: "OrderSvc/place", expect_endpoint: "OrderSvc/place" },
-    Case { protocol: L7Protocol::Amqp, port: 5672, endpoint: "basic.publish orders", expect_endpoint: "basic.publish orders" },
+    Case {
+        protocol: L7Protocol::Http1,
+        port: 80,
+        endpoint: "GET /api",
+        expect_endpoint: "GET /api",
+    },
+    Case {
+        protocol: L7Protocol::Http2,
+        port: 8080,
+        endpoint: "GET /grpc.Svc/Call",
+        expect_endpoint: "GET /grpc.Svc/Call",
+    },
+    Case {
+        protocol: L7Protocol::Dns,
+        port: 53,
+        endpoint: "A reviews.default.svc.cluster.local",
+        expect_endpoint: "A reviews.default.svc.cluster.local",
+    },
+    Case {
+        protocol: L7Protocol::Redis,
+        port: 6379,
+        endpoint: "GET product:42",
+        expect_endpoint: "GET",
+    },
+    Case {
+        protocol: L7Protocol::Mysql,
+        port: 3306,
+        endpoint: "SELECT * FROM t",
+        expect_endpoint: "SELECT",
+    },
+    Case {
+        protocol: L7Protocol::Kafka,
+        port: 9092,
+        endpoint: "Produce orders",
+        expect_endpoint: "Produce",
+    },
+    Case {
+        protocol: L7Protocol::Dubbo,
+        port: 20880,
+        endpoint: "OrderSvc/place",
+        expect_endpoint: "OrderSvc/place",
+    },
+    Case {
+        protocol: L7Protocol::Amqp,
+        port: 5672,
+        endpoint: "basic.publish orders",
+        expect_endpoint: "basic.publish orders",
+    },
 ];
 
 fn run_case(case: &Case) -> (Vec<Span>, u64) {
@@ -66,7 +106,11 @@ fn run_case(case: &Case) -> (Vec<Span>, u64) {
 fn every_protocol_round_trips_through_the_full_pipeline() {
     for case in &CASES {
         let (spans, completed) = run_case(case);
-        assert!(completed >= 35, "{}: workload ran ({completed})", case.protocol);
+        assert!(
+            completed >= 35,
+            "{}: workload ran ({completed})",
+            case.protocol
+        );
         let proto_spans: Vec<&Span> = spans
             .iter()
             .filter(|s| s.l7_protocol == case.protocol && s.kind == SpanKind::Sys)
@@ -87,7 +131,9 @@ fn every_protocol_round_trips_through_the_full_pipeline() {
         );
         // Endpoints parsed with protocol-native semantics.
         assert!(
-            proto_spans.iter().any(|s| s.endpoint == case.expect_endpoint),
+            proto_spans
+                .iter()
+                .any(|s| s.endpoint == case.expect_endpoint),
             "{}: endpoint '{}' found; got e.g. {:?}",
             case.protocol,
             case.expect_endpoint,
@@ -162,6 +208,9 @@ fn multiplexed_protocols_match_out_of_order_responses() {
         .map(|s| s.duration())
         .max()
         .unwrap();
-    assert!(max_dur >= D::from_millis(100), "queueing visible: {max_dur}");
+    assert!(
+        max_dur >= D::from_millis(100),
+        "queueing visible: {max_dur}"
+    );
     let _ = no_tracer; // silence unused import on some cfgs
 }

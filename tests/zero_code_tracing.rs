@@ -20,7 +20,7 @@ fn run_bookinfo(seconds: u64) -> (deepflow::mesh::World, apps::AppHandles, Deplo
 
 #[test]
 fn bookinfo_traces_assemble_without_any_instrumentation() {
-    let (world, handles, mut df) = run_bookinfo(2);
+    let (world, handles, df) = run_bookinfo(2);
     let client = &world.clients[handles.client];
     assert!(client.completed > 50, "workload ran: {}", client.completed);
 
@@ -66,15 +66,23 @@ fn bookinfo_traces_assemble_without_any_instrumentation() {
 
     // Both sys spans (process side) and net spans (NIC side) participate —
     // the network blind spots are gone.
-    let sys = trace.spans.iter().filter(|s| s.span.kind == SpanKind::Sys).count();
-    let net = trace.spans.iter().filter(|s| s.span.kind == SpanKind::Net).count();
+    let sys = trace
+        .spans
+        .iter()
+        .filter(|s| s.span.kind == SpanKind::Sys)
+        .count();
+    let net = trace
+        .spans
+        .iter()
+        .filter(|s| s.span.kind == SpanKind::Net)
+        .count();
     assert!(sys >= 6, "sys spans: {sys}");
     assert!(net >= 6, "net spans: {net}");
 }
 
 #[test]
 fn sidecar_x_request_ids_stitch_proxy_legs() {
-    let (_world, _handles, mut df) = run_bookinfo(2);
+    let (_world, _handles, df) = run_bookinfo(2);
     // Proxy legs share X-Request-IDs: find a span pair (downstream /
     // upstream of one envoy) agreeing on the id.
     let all = df.server.span_list(&SpanQuery {
@@ -90,7 +98,7 @@ fn sidecar_x_request_ids_stitch_proxy_legs() {
 
 #[test]
 fn smart_encoded_tags_let_users_filter_by_pod() {
-    let (_world, _handles, mut df) = run_bookinfo(2);
+    let (_world, _handles, df) = run_bookinfo(2);
     let pod_id = df
         .server
         .dictionary()
@@ -113,7 +121,7 @@ fn smart_encoded_tags_let_users_filter_by_pod() {
 
 #[test]
 fn coroutine_service_spans_carry_pseudo_thread_ids() {
-    let (_world, _handles, mut df) = run_bookinfo(2);
+    let (_world, _handles, df) = run_bookinfo(2);
     let all = df.server.span_list(&SpanQuery {
         limit: usize::MAX,
         ..Default::default()
@@ -122,16 +130,14 @@ fn coroutine_service_spans_carry_pseudo_thread_ids() {
     // pseudo-thread ids (paper §3.3.1 pseudo-thread structure).
     let reviews_with_pth = all
         .iter()
-        .filter(|s| {
-            s.process_name.as_deref() == Some("reviews") && s.pseudo_thread_id.is_some()
-        })
+        .filter(|s| s.process_name.as_deref() == Some("reviews") && s.pseudo_thread_id.is_some())
         .count();
     assert!(reviews_with_pth > 0, "pseudo-thread ids on coroutine spans");
 }
 
 #[test]
 fn every_assembled_trace_is_well_formed() {
-    let (_world, _handles, mut df) = run_bookinfo(1);
+    let (_world, _handles, df) = run_bookinfo(1);
     let ids: Vec<SpanId> = df
         .server
         .span_list(&SpanQuery {
@@ -151,7 +157,7 @@ fn every_assembled_trace_is_well_formed() {
 
 #[test]
 fn agents_observe_flow_metrics_alongside_traces() {
-    let (_world, _handles, mut df) = run_bookinfo(2);
+    let (_world, _handles, df) = run_bookinfo(2);
     let all = df.server.span_list(&SpanQuery {
         limit: usize::MAX,
         ..Default::default()

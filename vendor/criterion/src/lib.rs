@@ -1,0 +1,273 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Same bench authoring surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, groups, `BenchmarkId`, `Throughput`, `Bencher::iter`), with
+//! a simple measurement loop: warm up for ~100 ms, then time batches for
+//! ~500 ms and report the mean ns/iter (plus throughput when declared).
+//! Passing `--test` (as `cargo bench -- --test` does) runs each benchmark
+//! body once without measuring, so CI can smoke-test benches cheaply. A
+//! positional argument is a substring filter on the full benchmark label,
+//! as with the real crate: `cargo bench -- alg1_scale` runs only matching
+//! benchmarks.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from just a parameter (group name provides the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Declared per-iteration work, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`, discarding its output via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up: run until ~100ms elapsed.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(100) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size that keeps timer overhead negligible.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((1_000_000.0 / per_iter.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        // Measure for ~500ms.
+        let measure_start = Instant::now();
+        let mut total_iters = 0u64;
+        while measure_start.elapsed() < Duration::from_millis(500) {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = measure_start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        // First non-flag argument is a substring filter on benchmark labels.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            None,
+            id.into(),
+            self.test_mode,
+            self.filter.as_deref(),
+            None,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            filter: self.filter.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            Some(&self.name),
+            id.into(),
+            self.test_mode,
+            self.filter.as_deref(),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            Some(&self.name),
+            id.into(),
+            self.test_mode,
+            self.filter.as_deref(),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    test_mode: bool,
+    filter: Option<&str>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.name),
+        None => id.name,
+    };
+    if let Some(needle) = filter {
+        if !label.contains(needle) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label:<48} ok (test mode)");
+        return;
+    }
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (b.mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (b.mean_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} time: {:>12}{tp}", fmt_time(b.mean_ns));
+}
+
+/// `std::hint::black_box` re-export matching the real crate's helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

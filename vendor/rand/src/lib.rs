@@ -1,0 +1,221 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides `SmallRng` (splitmix64-seeded xoshiro256**), the `Rng` /
+//! `SeedableRng` trait surface this workspace uses (`gen`, `gen_range`,
+//! `gen_bool`), and nothing else. Deterministic for a given seed, which is
+//! all the simulation substrate requires.
+
+/// Core entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample within a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+    {
+        T::sample_range(self, &range)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types uniformly sampleable over their whole domain (`[0, 1)` for floats).
+pub trait Standard {
+    /// Draw one sample.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                let hi = rng.next_u64() as u128;
+                if std::mem::size_of::<$t>() > 8 {
+                    let lo = rng.next_u64() as u128;
+                    ((hi << 64) | lo) as $t
+                } else {
+                    hi as $t
+                }
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        f64::sample(rng) as f32
+    }
+}
+
+/// Types sampleable uniformly within a range.
+pub trait SampleUniform: Sized {
+    /// Sample within `range`; panics when the range is empty.
+    fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(rng: &mut R, range: &B) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(
+                rng: &mut R,
+                range: &B,
+            ) -> Self {
+                use std::ops::Bound;
+                let lo: u128 = match range.start_bound() {
+                    Bound::Included(&v) => v as u128,
+                    Bound::Excluded(&v) => v as u128 + 1,
+                    Bound::Unbounded => 0,
+                };
+                // Inclusive upper bound, so a full-domain u128 range stays
+                // representable; a zero span below means "whole domain".
+                let hi_incl: u128 = match range.end_bound() {
+                    Bound::Included(&v) => v as u128,
+                    Bound::Excluded(&v) => {
+                        assert!(v as u128 > 0, "gen_range: empty range");
+                        v as u128 - 1
+                    }
+                    Bound::Unbounded => <$t>::MAX as u128,
+                };
+                assert!(lo <= hi_incl, "gen_range: empty range");
+                let span = hi_incl.wrapping_sub(lo).wrapping_add(1);
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                if span == 0 {
+                    raw as $t
+                } else {
+                    (lo + raw % span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, u128, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 1.0,
+        };
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// RNG namespaces mirroring the real crate's layout.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, non-cryptographic RNG (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as the reference xoshiro seeding does.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v: u64 = a.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = a.gen();
+            assert!((0.0..1.0).contains(&f));
+            let u: usize = a.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The container image cannot reach a crate registry, so the workspace
+//! vendors the external crates it uses. This crate keeps the parts the
+//! workspace relies on: `#[derive(Serialize, Deserialize)]` and JSON
+//! round-tripping through `serde_json`. Instead of serde's visitor-based
+//! data model it uses a simple JSON value tree ([`value::Value`]) that the
+//! sibling `serde_json` crate prints and parses; derives map structs and
+//! enums onto it with serde's default (externally tagged) conventions.
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization failure: what was expected vs. what the value held.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Error stating what the deserializer expected.
+    pub fn expected(what: &str) -> Self {
+        DeError {
+            msg: format!("expected {what}"),
+        }
+    }
+
+    /// Error with a pre-formatted message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a JSON value tree.
+pub trait Serialize {
+    /// Produce the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // The sign test is tautological for the unsigned instantiations.
+            #[allow(unused_comparisons)]
+            fn serialize(&self) -> Value {
+                if *self >= 0 {
+                    Value::U(*self as u128)
+                } else {
+                    Value::I(*self as i128)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t))),
+                    Value::I(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t))),
+                    Value::F(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F(f) => Ok(*f),
+            Value::U(n) => Ok(*n as f64),
+            Value::I(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array"))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("tuple array"))?;
+                Ok(($(
+                    $t::deserialize(
+                        items.get($n).ok_or_else(|| DeError::expected("tuple element"))?,
+                    )?,
+                )+))
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| DeError::expected("ipv4 address string"))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+/// Helpers the derive-generated code calls. Not part of the public contract.
+pub mod __private {
+    use super::{DeError, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Look up a field in an object, treating a missing key as `null` (so
+    /// `Option` fields tolerate older payloads).
+    pub fn field<'v>(obj: &'v [(String, Value)], name: &str) -> &'v Value {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+
+    /// The single `{variant: payload}` pair of an externally tagged enum.
+    pub fn variant(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), &NULL)),
+            Value::Object(o) if o.len() == 1 => Ok((o[0].0.as_str(), &o[0].1)),
+            _ => Err(DeError::expected("enum variant")),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The JSON value tree both `serde` derives and `serde_json` operate on.
+
+/// A JSON value. Numbers keep full integer fidelity (`u128`/`i128`) so that
+/// wide ids (e.g. 128-bit trace ids) round-trip exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    U(u128),
+    /// Negative integer.
+    I(i128),
+    /// Floating point.
+    F(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (lossy for very large integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U(n) => Some(*n as f64),
+            Value::I(n) => Some(*n as f64),
+            Value::F(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// `u64` view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `Null` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; `Null` for missing keys or non-objects.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Element access; `Null` out of bounds or for non-arrays.
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::U(v as u128) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::U(v as u128) } else { Value::I(v as i128) }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+
+from_uint!(u8, u16, u32, u64, u128, usize);
+from_int!(i8, i16, i32, i64, i128, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F(v)
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::F(*v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F(f64::from(v))
+    }
+}
+
+impl From<&f32> for Value {
+    fn from(v: &f32) -> Value {
+        Value::F(f64::from(*v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::Str((*v).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::Str(v.clone())
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl<T> From<std::collections::HashMap<String, T>> for Value
+where
+    Value: From<T>,
+{
+    /// Keys are sorted so the rendered object is deterministic.
+    fn from(m: std::collections::HashMap<String, T>) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            m.into_iter().map(|(k, v)| (k, Value::from(v))).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<T> From<std::collections::BTreeMap<String, T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(m: std::collections::BTreeMap<String, T>) -> Value {
+        Value::Object(m.into_iter().map(|(k, v)| (k, Value::from(v))).collect())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => Value::from(inner),
+            None => Value::Null,
+        }
+    }
+}

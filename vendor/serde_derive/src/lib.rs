@@ -1,0 +1,414 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The registry is unreachable from the build container, so `syn`/`quote`
+//! are unavailable; this macro parses the derive input by hand from the raw
+//! token stream and emits impl code as strings. It supports exactly the
+//! shapes this workspace uses: non-generic structs (named, tuple, unit) and
+//! enums (unit, tuple, struct variants), mapped onto the JSON value tree
+//! with serde's default externally-tagged conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match (self.peek(), self.toks.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the vendored serde");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Field names of a `{ a: T, b: U }` body. Types are skipped at top level
+/// (tracking `<`/`>` depth so generic arguments' commas don't split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        let Some(TokenTree::Ident(_)) = c.peek() else {
+            break;
+        };
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        angle += 1;
+                    } else if ch == '>' {
+                        angle -= 1;
+                    } else if ch == ',' && angle == 0 {
+                        c.pos += 1;
+                        break;
+                    }
+                    c.pos += 1;
+                }
+                Some(_) => c.pos += 1,
+            }
+        }
+    }
+    fields
+}
+
+/// Arity of a `(T, U, ...)` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_item_since_comma = true;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    saw_item_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !saw_item_since_comma {
+            count += 1;
+            saw_item_since_comma = true;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let Some(TokenTree::Ident(_)) = c.peek() else {
+            break;
+        };
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = VariantShape::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = VariantShape::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                s
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Object(::std::vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "::serde::value::Value::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::value::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {fields} }} => ::serde::value::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{v}\"), \
+                             ::serde::value::Value::Object(::std::vec![{pairs}]))]),",
+                            fields = fields.join(", "),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::__private::field(__o, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(__a.get({i}).ok_or_else(|| \
+                         ::serde::DeError::expected(\"tuple element\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => {
+                        format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(__a.get({i})\
+                                     .ok_or_else(|| ::serde::DeError::expected(\
+                                     \"tuple variant element\"))?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let __a = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     ::serde::__private::field(__o, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let __o = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }}) }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(__v)?;\n\
+                 match __tag {{\n{}\n__other => ::std::result::Result::Err(\
+                 ::serde::DeError::custom(::std::format!(\
+                 \"unknown variant {{__other}} for {name}\"))) }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,429 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Prints and parses the vendored serde crate's [`Value`] tree as JSON, and
+//! provides the `json!` construction macro. Integers keep `u128`/`i128`
+//! fidelity through a round trip; floats print with enough precision to
+//! round-trip `f64`.
+
+// The `json!` tt-muncher builds arrays/objects by pushing element by
+// element; a literal `vec![]` is not expressible in that expansion.
+#![allow(clippy::vec_init_then_push)]
+
+pub use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serialization / parse failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize any `Serialize` type to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U(n) => out.push_str(&n.to_string()),
+        Value::I(n) => out.push_str(&n.to_string()),
+        Value::F(f) => {
+            if f.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_value(out, &items[i], indent, depth + 1)
+            });
+        }
+        Value::Object(pairs) => {
+            write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_json_string(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &pairs[i].1, indent, depth + 1)
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat("]") {
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    if self.eat("]") {
+                        return Ok(Value::Array(items));
+                    }
+                    return Err(self.err("expected `,` or `]`"));
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.eat("}") {
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(":") {
+                        return Err(self.err("expected `:`"));
+                    }
+                    pairs.push((key, self.value()?));
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    if self.eat("}") {
+                        return Ok(Value::Object(pairs));
+                    }
+                    return Err(self.err("expected `,` or `}`"));
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        if !self.eat("\"") {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at this byte.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected number"));
+        }
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(n) = rest.parse::<u128>() {
+                    return Ok(Value::I(-(n as i128)));
+                }
+            } else if let Ok(n) = text.parse::<u128>() {
+                return Ok(Value::U(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Construct a [`Value`] from JSON-ish syntax. Supports object / array
+/// literals, `null`, and arbitrary Rust expressions in value position
+/// (anything with `Into<Value>`, including multi-token method chains).
+#[macro_export]
+macro_rules! json {
+    // -- object entry muncher: (@obj vec entries...) --
+    (@obj $vec:ident) => {};
+    (@obj $vec:ident $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push((::std::string::String::from($key), $crate::json!({ $($inner)* })));
+        $( $crate::json!(@obj $vec $($rest)*); )?
+    };
+    (@obj $vec:ident $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push((::std::string::String::from($key), $crate::json!([ $($inner)* ])));
+        $( $crate::json!(@obj $vec $($rest)*); )?
+    };
+    (@obj $vec:ident $key:tt : null $(, $($rest:tt)*)?) => {
+        $vec.push((::std::string::String::from($key), $crate::Value::Null));
+        $( $crate::json!(@obj $vec $($rest)*); )?
+    };
+    (@obj $vec:ident $key:tt : $val:expr $(, $($rest:tt)*)?) => {
+        $vec.push((::std::string::String::from($key), $crate::Value::from($val)));
+        $( $crate::json!(@obj $vec $($rest)*); )?
+    };
+    // -- array item muncher: (@arr vec items...) --
+    (@arr $vec:ident) => {};
+    (@arr $vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $( $crate::json!(@arr $vec $($rest)*); )?
+    };
+    (@arr $vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $( $crate::json!(@arr $vec $($rest)*); )?
+    };
+    (@arr $vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json!(@arr $vec $($rest)*); )?
+    };
+    (@arr $vec:ident $val:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::from($val));
+        $( $crate::json!(@arr $vec $($rest)*); )?
+    };
+    // -- entry points --
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        // The tt-muncher pushes element by element; a literal vec![] is not
+        // expressible here.
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr __items $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut __pairs: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json!(@obj __pairs $($tt)*);
+        $crate::Value::Object(__pairs)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars_and_structures() {
+        let v = json!({
+            "a": 1u64,
+            "b": [1, 2, 3],
+            "c": {"nested": true, "f": 1.5},
+            "s": "hé\"llo",
+            "n": null,
+            "big": 340282366920938463463374607431768211455u128,
+        });
+        let text = to_string(&v).unwrap();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+}
