@@ -17,6 +17,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Doc gates cover the first-party crates; the vendored stand-ins in
+# vendor/ are excluded (they are minimal API shims, not documentation
+# surface).
+FIRST_PARTY_EXCLUDES=(
+  --exclude bytes --exclude serde --exclude serde_derive
+  --exclude serde_json --exclude rand --exclude proptest --exclude criterion
+)
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace "${FIRST_PARTY_EXCLUDES[@]}"
+
+echo "==> cargo test --doc"
+cargo test --doc --workspace -q "${FIRST_PARTY_EXCLUDES[@]}"
+
 echo "==> alg1 assembly bench (smoke, release, --test mode)"
 cargo bench -p df-bench --bench alg1_assembly -- --test
 

@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use deepflow::server::assemble::{assemble_trace, assemble_trace_reference, AssembleConfig};
-use deepflow::storage::SpanStore;
+use deepflow::server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+use deepflow::server::trace_cache::{CacheOutcome, TraceCache};
+use deepflow::storage::{ShardPolicy, SpanStore};
 use df_types::ids::*;
 use df_types::l7::L7Protocol;
 use df_types::net::FiveTuple;
@@ -260,6 +262,125 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Spread a template's spans over distinct flows: each exchange (identified
+/// by its TCP sequence / otel span id) gets its own five-tuple, so
+/// [`ShardPolicy`] routing actually disperses the corpus instead of hashing
+/// every span to one shard.
+fn spread_flows(spans: &mut [Span]) {
+    for s in spans {
+        let key = s
+            .tcp_seq_req
+            .or(s.otel_span_id.map(|v| v.0 as u32))
+            .unwrap_or(0);
+        s.five_tuple = FiveTuple::tcp(
+            Ipv4Addr::new(10, (key >> 8) as u8, key as u8, 1),
+            40_000,
+            Ipv4Addr::new(10, 128, (key >> 16) as u8, 2),
+            80,
+        );
+    }
+}
+
+/// The ~10k-span fan-out template used by the sharded and cache groups.
+fn template_10k() -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut next_seq = 1u32;
+    let mut next_key = 1u64;
+    let mut queue = VecDeque::new();
+    queue.push_back((next_key, 0usize));
+    next_key += 1;
+    while let Some((link_in, level)) = queue.pop_front() {
+        let link_out = next_key;
+        next_key += 1;
+        let seq = next_seq;
+        next_seq += 1;
+        push_exchange(&mut spans, seq, link_in, link_out, u128::from(seq));
+        if level + 1 < 4 {
+            for _ in 0..10usize {
+                queue.push_back((link_out, level + 1));
+            }
+        }
+    }
+    spread_flows(&mut spans);
+    spans
+}
+
+/// Cross-shard assembly at 1, 4 and 16 shards over the same ~10k-span
+/// corpus (flows spread so routing disperses spans). The 1-shard run reads
+/// as the sharding overhead against `alg1_scale_fanout/new/10k`; the wider
+/// runs show the cost of probing every shard per frontier key.
+fn bench_sharded_assembly(c: &mut Criterion) {
+    let cfg = scale_cfg();
+    let template = template_10k();
+    let total = template.len();
+    let mut group = c.benchmark_group("alg1_sharded");
+    group.throughput(Throughput::Elements(total as u64));
+    for shards in [1usize, 4, 16] {
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(shards));
+        let ids = st.insert_batch(template.clone());
+        let start = ids[0];
+        assert_eq!(
+            assemble_trace_sharded(&st, start, &cfg).len(),
+            total,
+            "sharded bench trace must cover the whole corpus"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| assemble_trace_sharded(&st, start, &cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Warm-vs-cold trace cache over the 10k-span corpus: `cold` runs the full
+/// cross-shard Algorithm 1 every iteration; `warm` repeats the same query
+/// against a valid cache entry (an `Arc` clone after generation checks).
+/// The setup asserts the warm path is ≥10× faster — the cache's reason to
+/// exist — so a regression fails the bench smoke run, not just the charts.
+fn bench_trace_cache(c: &mut Criterion) {
+    let cfg = scale_cfg();
+    let template = template_10k();
+    let total = template.len();
+    let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+    let ids = st.insert_batch(template);
+    let start = ids[0];
+    let mut cache = TraceCache::new();
+    let trace = assemble_trace_sharded(&st, start, &cfg);
+    assert_eq!(trace.len(), total);
+    cache.store(start, trace, &st);
+
+    // Sanity: warm ≥10× cold (acceptance criterion), measured coarsely.
+    let t0 = std::time::Instant::now();
+    for _ in 0..5 {
+        std::hint::black_box(assemble_trace_sharded(&st, start, &cfg));
+    }
+    let cold = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    for _ in 0..5 {
+        match cache.lookup(start, &st) {
+            CacheOutcome::Hit(t) => std::hint::black_box(t.len()),
+            _ => panic!("cache entry must stay valid: store unmutated"),
+        };
+    }
+    let warm = t1.elapsed();
+    assert!(
+        warm * 10 <= cold,
+        "warm cache hit must be ≥10× faster than cold assembly: warm={warm:?} cold={cold:?}"
+    );
+
+    let mut group = c.benchmark_group("alg1_trace_cache");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("cold", |b| {
+        b.iter(|| assemble_trace_sharded(&st, start, &cfg))
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| match cache.lookup(start, &st) {
+            CacheOutcome::Hit(t) => t.len(),
+            _ => unreachable!("store unmutated"),
+        })
+    });
+    group.finish();
+}
+
 fn bench_assembly(c: &mut Criterion) {
     let cfg = AssembleConfig::default();
     let mut group = c.benchmark_group("alg1_chain_depth");
@@ -286,6 +407,8 @@ criterion_group!(
     bench_assembly,
     bench_trace_scale_fanout,
     bench_trace_scale_chain,
+    bench_sharded_assembly,
+    bench_trace_cache,
     bench_ingest
 );
 criterion_main!(benches);

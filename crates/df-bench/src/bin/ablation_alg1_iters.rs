@@ -4,7 +4,8 @@
 
 use deepflow::mesh::apps;
 use deepflow::prelude::*;
-use deepflow::server::assemble::{assemble_trace, AssembleConfig};
+use deepflow::server::assemble::AssembleConfig;
+use deepflow::server::sharded::assemble_trace_sharded;
 use df_bench::report;
 use std::time::Instant;
 
@@ -38,7 +39,7 @@ fn main() {
     };
     let full_sizes: Vec<usize> = starts
         .iter()
-        .map(|s| assemble_trace(df.server.store(), *s, &full_cfg).len())
+        .map(|s| assemble_trace_sharded(df.server.store(), *s, &full_cfg).len())
         .collect();
     let full_total: usize = full_sizes.iter().sum();
 
@@ -52,7 +53,7 @@ fn main() {
         let t0 = Instant::now();
         let sizes: Vec<usize> = starts
             .iter()
-            .map(|s| assemble_trace(df.server.store(), *s, &cfg).len())
+            .map(|s| assemble_trace_sharded(df.server.store(), *s, &cfg).len())
             .collect();
         let elapsed = t0.elapsed().as_secs_f64() / starts.len() as f64;
         let total: usize = sizes.iter().sum();

@@ -43,6 +43,20 @@
 //! * **Rule 16** — fallback: same third-party trace id, tightest time
 //!   containment.
 //!
+//! Rule number → the paper material it reproduces:
+//!
+//! | rule  | association mechanism            | paper reference                  |
+//! |-------|----------------------------------|----------------------------------|
+//! | 1–8   | capture ladder (TCP seq / flow)  | §3.3.2 "network path", Table 6 rows for net spans; Appendix A Fig. 17–18 |
+//! | 9     | request-chain syscall trace id   | §3.3.1 Fig. 6–7 (TraceID of syscalls), Table 6 |
+//! | 10    | response-chain syscall trace id  | §3.3.1 Fig. 6–7, Table 6         |
+//! | 11    | pseudo-thread containment        | §3.3.1 "pseudo-thread structure" |
+//! | 12    | X-Request-ID containment         | §3.3.2 L7-gateway association, Appendix A |
+//! | 13    | third-party client span id       | §3.3.2 third-party span integration |
+//! | 14    | third-party server containment   | §3.3.2 third-party span integration |
+//! | 15    | explicit app-span ancestry       | §3.3.2 third-party span integration |
+//! | 16    | shared trace id, tightest fit    | §3.3.2 third-party span integration (fallback) |
+//!
 //! Rules 9–12 and 16 resolve through per-trace side indexes over the
 //! parent candidates (server-process / server-app spans keyed by systrace
 //! id, pseudo-thread id, X-Request-ID and trace id), and rule 14 through a
@@ -236,10 +250,22 @@ fn collect_members(
     start: SpanId,
     max_spans: usize,
 ) -> Vec<Span> {
-    let mut spans: Vec<Span> = members
+    let spans: Vec<Span> = members
         .iter()
         .filter_map(|&row| store.get_row(row).cloned())
         .collect();
+    sort_and_truncate(spans, start, max_spans)
+}
+
+/// Shared Phase-1 epilogue: sort the materialised member spans by
+/// `(req_time, span_id)` and truncate deterministically to `max_spans`,
+/// always retaining the start span. Used by both the single-store and the
+/// sharded assembly paths so their truncation semantics provably agree.
+pub(crate) fn sort_and_truncate(
+    mut spans: Vec<Span>,
+    start: SpanId,
+    max_spans: usize,
+) -> Vec<Span> {
     spans.sort_by_key(|s| (s.req_time, s.span_id));
     if spans.len() > max_spans {
         let start_pos = spans
@@ -432,7 +458,7 @@ fn build_candidate_index(spans: &[Span]) -> CandidateIndex {
 /// with the exchange's own context values; rule 14 probes the
 /// server-process index. Hash lookups replace the full-set scans of
 /// [`set_parents_reference`].
-fn set_parents_indexed(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
+pub(crate) fn set_parents_indexed(spans: &[Span], cfg: &AssembleConfig) -> HashMap<SpanId, SpanId> {
     let ex = group_exchanges(spans);
     let mut parent = ex.parent.clone();
     let cand = build_candidate_index(spans);
@@ -694,7 +720,7 @@ fn drop_cycles(_spans: &[Span], parent: HashMap<SpanId, SpanId>) -> HashMap<Span
         .collect()
 }
 
-fn sort_trace(spans: Vec<Span>, parents: HashMap<SpanId, SpanId>) -> Trace {
+pub(crate) fn sort_trace(spans: Vec<Span>, parents: HashMap<SpanId, SpanId>) -> Trace {
     let index: HashMap<SpanId, usize> = spans
         .iter()
         .enumerate()

@@ -1,7 +1,7 @@
 //! # df-server — the DeepFlow Server
 //!
 //! Cluster-level process (paper Fig. 4): "responsible for storing spans in
-//! the database and assembling them into traces when users query". Three
+//! the database and assembling them into traces when users query". Five
 //! pieces:
 //!
 //! * [`dictionary`] — the resource-tag dictionary built from the
@@ -12,8 +12,39 @@
 //! * [`assemble`] — **Algorithm 1**: iterative span search over the store's
 //!   implicit-context indexes, then parent assignment under the 16 rules,
 //!   then time/parent sorting;
-//! * [`server`] — the facade: ingest (phase-2 enrichment + store insert),
-//!   span-list queries, trace queries.
+//! * [`sharded`] — the span corpus partitioned into
+//!   [`SpanStore`](df_storage::SpanStore) shards per
+//!   [`ShardPolicy`](df_storage::ShardPolicy), with
+//!   [`assemble_trace_sharded`] running Algorithm 1's frontier search
+//!   *across* the shards;
+//! * [`trace_cache`] — incremental assembled-trace cache memoized by start
+//!   span, invalidated through the sharded store's time-bucket
+//!   generations;
+//! * [`server`] — the facade: ingest (phase-2 enrichment + routed store
+//!   insert), span-list queries, cached trace queries, coherent stats.
+//!
+//! ## Assembling a trace (sharded, end-to-end)
+//!
+//! ```
+//! use df_server::{assemble_trace_sharded, AssembleConfig, ShardedSpanStore};
+//! use df_storage::ShardPolicy;
+//! use df_types::span::TapSide;
+//! use df_types::Span;
+//!
+//! let mut store = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+//! // One exchange seen at two capture points: linked by TCP sequence.
+//! let mut client = Span::synthetic(TapSide::ClientProcess, 1_000, 9_000);
+//! client.tcp_seq_req = Some(42);
+//! let mut server = Span::synthetic(TapSide::ServerProcess, 2_000, 8_000);
+//! server.tcp_seq_req = Some(42);
+//! let ids = store.insert_batch(vec![client, server]);
+//!
+//! let trace = assemble_trace_sharded(&store, ids[1], &AssembleConfig::default());
+//! assert_eq!(trace.len(), 2);
+//! // The client-side capture parents the server-side one (rules 1–8).
+//! assert_eq!(trace.spans[0].span.span_id, ids[0]);
+//! assert_eq!(trace.spans[1].parent, Some(ids[0]));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +52,11 @@
 pub mod assemble;
 pub mod dictionary;
 pub mod server;
+pub mod sharded;
+pub mod trace_cache;
 
 pub use assemble::{assemble_trace, AssembleConfig};
 pub use dictionary::TagDictionary;
 pub use server::{Server, ServerStats};
+pub use sharded::{assemble_trace_sharded, ShardedSpanStore};
+pub use trace_cache::{CacheOutcome, TraceCache};

@@ -1,12 +1,31 @@
 //! The server facade: ingest spans, answer queries.
+//!
+//! Since the sharding PR the server stores spans in a
+//! [`ShardedSpanStore`] (routing per [`df_storage::ShardPolicy`]) and
+//! serves trace queries through the incremental [`TraceCache`] — see
+//! [`crate::sharded`] and [`crate::trace_cache`] for the corpus layout and
+//! the cache's staleness contract.
+//!
+//! ## Stats coherence
+//!
+//! All counters live in one [`ServerStats`] struct behind a single mutex,
+//! and every operation updates *all* of its counters under **one** lock
+//! acquisition. [`Server::stats`] therefore returns a coherent snapshot:
+//! derived invariants (e.g. `trace_queries == cache_hits + cache_misses +
+//! cache_invalidations`) hold in every snapshot, never just eventually.
+//! (The previous implementation used independent atomic cells; a reader
+//! could observe the trace-query counter incremented but not yet the
+//! cache counter — an incoherent state no single execution ever was in.)
 
-use crate::assemble::{assemble_trace, AssembleConfig};
+use crate::assemble::AssembleConfig;
 use crate::dictionary::TagDictionary;
-use df_storage::{SpanQuery, SpanStore};
+use crate::sharded::{assemble_trace_sharded, ShardedSpanStore};
+use crate::trace_cache::{CacheOutcome, TraceCache};
+use df_storage::{ShardPolicy, SpanQuery};
 use df_types::tags::ResourceInventory;
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Re-aggregation matching key: the capture point + flow + protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,7 +36,9 @@ struct ReaggKey {
     protocol: df_types::L7Protocol,
 }
 
-/// Server counters (a point-in-time snapshot of the atomic cells).
+/// Server counters. [`Server::stats`] returns a coherent point-in-time
+/// snapshot (see the module docs): in every snapshot
+/// `trace_queries == cache_hits + cache_misses + cache_invalidations`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Spans ingested.
@@ -30,35 +51,45 @@ pub struct ServerStats {
     pub list_queries: u64,
     /// Sessions reunited by server-side re-aggregation.
     pub re_aggregated: u64,
-}
-
-/// Internal counters as atomics, so query paths (`span_list`, `trace`,
-/// `slowest_span`) can count through `&self`.
-#[derive(Debug, Default)]
-struct StatsCells {
-    ingested: AtomicU64,
-    enriched: AtomicU64,
-    trace_queries: AtomicU64,
-    list_queries: AtomicU64,
-    re_aggregated: AtomicU64,
+    /// Trace queries answered from the cache (valid entry).
+    pub cache_hits: u64,
+    /// Trace queries with no cached entry (assembled fresh).
+    pub cache_misses: u64,
+    /// Trace queries whose cached entry had gone stale — a mutation in the
+    /// trace's time envelope — and was re-assembled. Disjoint from
+    /// `cache_misses`.
+    pub cache_invalidations: u64,
 }
 
 /// The DeepFlow Server.
 pub struct Server {
-    store: SpanStore,
+    store: ShardedSpanStore,
     dict: TagDictionary,
     assemble_cfg: AssembleConfig,
-    stats: StatsCells,
+    /// Single-lock stats: each operation updates all its counters under
+    /// one acquisition, keeping snapshots coherent (module docs).
+    stats: Mutex<ServerStats>,
+    /// Assembled-trace cache; behind a lock so read-path queries go
+    /// through `&self`.
+    cache: Mutex<TraceCache>,
 }
 
 impl Server {
-    /// Server over a resource inventory (Fig. 8 ①–③ already collected).
+    /// Server over a resource inventory (Fig. 8 ①–③ already collected),
+    /// with the default sharding policy.
     pub fn new(inventory: &ResourceInventory) -> Self {
+        Self::with_policy(inventory, ShardPolicy::default())
+    }
+
+    /// Server with an explicit sharding policy (shard count, routing-table
+    /// bucket width, tombstone-eviction threshold).
+    pub fn with_policy(inventory: &ResourceInventory, policy: ShardPolicy) -> Self {
         Server {
-            store: SpanStore::new(),
+            store: ShardedSpanStore::new(policy),
             dict: TagDictionary::build(inventory),
             assemble_cfg: AssembleConfig::default(),
-            stats: StatsCells::default(),
+            stats: Mutex::new(ServerStats::default()),
+            cache: Mutex::new(TraceCache::new()),
         }
     }
 
@@ -72,15 +103,9 @@ impl Server {
         &self.dict
     }
 
-    /// Counters.
+    /// A coherent snapshot of the counters (module docs).
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            ingested: self.stats.ingested.load(Ordering::Relaxed),
-            enriched: self.stats.enriched.load(Ordering::Relaxed),
-            trace_queries: self.stats.trace_queries.load(Ordering::Relaxed),
-            list_queries: self.stats.list_queries.load(Ordering::Relaxed),
-            re_aggregated: self.stats.re_aggregated.load(Ordering::Relaxed),
-        }
+        *self.stats.lock().expect("stats lock poisoned")
     }
 
     /// Spans stored.
@@ -88,41 +113,53 @@ impl Server {
         self.store.len()
     }
 
-    /// Direct store access (benches).
-    pub fn store(&self) -> &SpanStore {
+    /// Spans per shard (operator-facing balance check).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.store.shard_sizes()
+    }
+
+    /// Direct store access (benches, diagnostics).
+    pub fn store(&self) -> &ShardedSpanStore {
         &self.store
     }
 
     /// Ingest one span: smart-encoding phase 2 (Fig. 8 ⑦) then insert.
     pub fn ingest(&mut self, mut span: Span) -> SpanId {
         self.dict.enrich(&mut span.tags.resource);
-        if span.tags.resource.is_enriched() {
-            self.stats.enriched.fetch_add(1, Ordering::Relaxed);
+        let enriched = span.tags.resource.is_enriched();
+        {
+            let mut st = self.stats.lock().expect("stats lock poisoned");
+            st.ingested += 1;
+            if enriched {
+                st.enriched += 1;
+            }
         }
-        self.stats.ingested.fetch_add(1, Ordering::Relaxed);
         self.store.insert(span)
     }
 
     /// Ingest a batch (what an agent ships per flush): enrich every span,
-    /// then insert through the store's batched path, which defers
-    /// time-index ordering to the next query.
+    /// then insert through the store's batched path, which routes each
+    /// span to its shard and defers time-index ordering to the next query.
     pub fn ingest_batch(&mut self, mut spans: Vec<Span>) -> Vec<SpanId> {
+        let mut enriched = 0u64;
         for span in &mut spans {
             self.dict.enrich(&mut span.tags.resource);
             if span.tags.resource.is_enriched() {
-                self.stats.enriched.fetch_add(1, Ordering::Relaxed);
+                enriched += 1;
             }
         }
-        self.stats
-            .ingested
-            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        {
+            let mut st = self.stats.lock().expect("stats lock poisoned");
+            st.ingested += spans.len() as u64;
+            st.enriched += enriched;
+        }
         self.store.insert_batch(spans)
     }
 
     /// Span-list query (Fig. 15's "span list"), with phase-3 label join
     /// (Fig. 8 ⑧) applied to the results.
     pub fn span_list(&self, query: &SpanQuery) -> Vec<Span> {
-        self.stats.list_queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().expect("stats lock poisoned").list_queries += 1;
         let dict = &self.dict;
         let results: Vec<Span> = self
             .store
@@ -138,10 +175,42 @@ impl Server {
     }
 
     /// Trace query: Algorithm 1 from a user-chosen span (Fig. 15's
-    /// "trace"), with phase-3 label join on every span.
+    /// "trace"), answered through the incremental trace cache, with
+    /// phase-3 label join on every span. The cache stores the *unlabeled*
+    /// assembly output; labels are joined per query so dictionary updates
+    /// are always reflected.
     pub fn trace(&self, start: SpanId) -> Trace {
-        self.stats.trace_queries.fetch_add(1, Ordering::Relaxed);
-        let mut trace = assemble_trace(&self.store, start, &self.assemble_cfg);
+        let outcome = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .lookup(start, &self.store);
+        let (arc, outcome_kind) = match outcome {
+            CacheOutcome::Hit(t) => (t, CacheKind::Hit),
+            other => {
+                let fresh = assemble_trace_sharded(&self.store, start, &self.assemble_cfg);
+                let arc = self.cache.lock().expect("cache lock poisoned").store(
+                    start,
+                    fresh,
+                    &self.store,
+                );
+                match other {
+                    CacheOutcome::Invalidated => (arc, CacheKind::Invalidated),
+                    _ => (arc, CacheKind::Miss),
+                }
+            }
+        };
+        {
+            // One acquisition for all counters of this query → coherent.
+            let mut st = self.stats.lock().expect("stats lock poisoned");
+            st.trace_queries += 1;
+            match outcome_kind {
+                CacheKind::Hit => st.cache_hits += 1,
+                CacheKind::Miss => st.cache_misses += 1,
+                CacheKind::Invalidated => st.cache_invalidations += 1,
+            }
+        }
+        let mut trace = (*arc).clone();
         for s in &mut trace.spans {
             join_labels(&self.dict, &mut s.span);
         }
@@ -153,7 +222,7 @@ impl Server {
     /// they are interested in, such as time-consuming invocations").
     pub fn slowest_span(&self, from: TimeNs, to: TimeNs) -> Option<SpanId> {
         let q = SpanQuery::window(from, to);
-        self.stats.list_queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().expect("stats lock poisoned").list_queries += 1;
         self.store
             .query(&q)
             .into_iter()
@@ -165,7 +234,9 @@ impl Server {
     /// whose responses missed the agent's time window) with the
     /// ResponseOnly fragments agents shipped later. Matching mirrors the
     /// agent's own technique — same capture point, same flow, FIFO order —
-    /// and consumed fragments are tombstoned. Returns how many sessions
+    /// and consumed fragments are tombstoned. The pass finishes by
+    /// compacting tombstoned rows out of every shard's indexes
+    /// ([`ShardedSpanStore::evict_tombstoned`]). Returns how many sessions
     /// were reunited.
     pub fn re_aggregate(&mut self) -> usize {
         use df_types::span::SpanStatus;
@@ -220,9 +291,13 @@ impl Server {
                 }
             }
         }
+        // Re-aggregation tombstones in bulk: compact immediately rather
+        // than waiting for the per-shard threshold.
+        self.store.evict_tombstoned();
         self.stats
-            .re_aggregated
-            .fetch_add(merged as u64, Ordering::Relaxed);
+            .lock()
+            .expect("stats lock poisoned")
+            .re_aggregated += merged as u64;
         merged
     }
 
@@ -234,6 +309,13 @@ impl Server {
         };
         self.span_list(&q)
     }
+}
+
+/// Which way a trace query was served (stat accounting only).
+enum CacheKind {
+    Hit,
+    Miss,
+    Invalidated,
 }
 
 fn join_labels(dict: &TagDictionary, span: &mut Span) {
@@ -393,5 +475,69 @@ mod tests {
         assert_eq!(ids.len(), 3);
         assert_eq!(srv.span_count(), 3);
         assert_eq!(srv.stats().ingested, 3);
+        assert_eq!(srv.shard_sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn trace_cache_counters_track_hit_miss_invalidation() {
+        let mut srv = Server::new(&inventory());
+        let a = srv.ingest(span(100, 500));
+        srv.ingest(span(150, 100));
+        let cold = srv.trace(a);
+        let warm = srv.trace(a);
+        assert_eq!(cold, warm, "cache returns the same labeled trace");
+        let mut late = span(200, 100);
+        late.capture.tap_side = TapSide::ServerProcess;
+        srv.ingest(late); // lands in the trace's time envelope
+        let refreshed = srv.trace(a);
+        assert_eq!(refreshed.len(), 3);
+        let st = srv.stats();
+        assert_eq!(
+            (st.cache_misses, st.cache_hits, st.cache_invalidations),
+            (1, 1, 1)
+        );
+        assert_eq!(
+            st.trace_queries,
+            st.cache_hits + st.cache_misses + st.cache_invalidations,
+            "snapshot invariant (module docs)"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent_mid_workload() {
+        let mut srv = Server::new(&inventory());
+        let a = srv.ingest(span(100, 500));
+        for _ in 0..7 {
+            srv.trace(a);
+            let st = srv.stats();
+            assert_eq!(
+                st.trace_queries,
+                st.cache_hits + st.cache_misses + st.cache_invalidations
+            );
+        }
+    }
+
+    #[test]
+    fn re_aggregation_reunites_and_compacts() {
+        let mut srv = Server::new(&inventory());
+        let mut req = span(100, 0);
+        req.status = SpanStatus::Incomplete;
+        req.tcp_seq_resp = None;
+        let req_id = srv.ingest(req);
+        let mut frag = span(100, 900);
+        frag.status = SpanStatus::ResponseOnly;
+        frag.resp_time = TimeNs(1_000);
+        let frag_id = srv.ingest(frag);
+
+        assert_eq!(srv.re_aggregate(), 1);
+        assert_eq!(srv.stats().re_aggregated, 1);
+        let merged = srv.store().get(req_id).unwrap();
+        assert_eq!(merged.status, SpanStatus::Ok);
+        assert!(srv.store().is_tombstoned(frag_id));
+        assert_eq!(
+            srv.store().pending_evictions(),
+            0,
+            "re-aggregation pass compacts eagerly"
+        );
     }
 }

@@ -1,0 +1,562 @@
+//! [`ShardedSpanStore`] — the span corpus partitioned across shards, with
+//! cross-shard trace assembly.
+//!
+//! PR 1 made Algorithm 1 frontier-based and index-driven, but assembly
+//! still ran against one in-memory [`SpanStore`]. This module takes the
+//! next scale step (ROADMAP "assembly at scale"): the corpus is split into
+//! [`ShardPolicy::shards`] shards, each a plain [`SpanStore`], and
+//! [`assemble_trace_sharded`] runs Phase 1's frontier expansion *across*
+//! the shards — each index key is still expanded at most once globally,
+//! but an expansion probes every shard's `find_by_*` index and merges the
+//! candidate rows. Phases 2 and 3 are byte-for-byte the single-store
+//! implementations (the member set, once materialised, no longer cares
+//! where spans were stored), so the differential oracle
+//! [`assemble_trace_reference`](crate::assemble::assemble_trace_reference)
+//! keeps holding against the sharded path at any shard count — the
+//! property tests assert it for 1, 4 and 16 shards.
+//!
+//! ## Id regime
+//!
+//! The sharded store owns id assignment: ids are global, sequential in
+//! insertion order (`1, 2, 3, …` — exactly what a single [`SpanStore`]
+//! would have assigned for the same insertion sequence, which is what
+//! makes differential testing possible). A routing table maps each id to
+//! its `(shard, row)` location; shards store spans via the row-addressed
+//! [`SpanStore::insert_routed`] regime and are never asked to translate
+//! ids themselves.
+//!
+//! ## Routing table and bucket generations
+//!
+//! Per [`ShardPolicy::bucket_of`] time bucket the store tracks which
+//! shards hold spans in that bucket (so time-windowed queries skip shards
+//! with nothing in the window) and a monotonically increasing
+//! **generation**, bumped by any mutation whose spans fall in the bucket
+//! (insert, tombstone, re-aggregation completing a span). The incremental
+//! trace cache ([`crate::trace_cache::TraceCache`]) snapshots the
+//! generations of the buckets a trace touches and re-validates them on
+//! lookup — see that module for the staleness contract.
+//!
+//! ## Tombstones
+//!
+//! Tombstoning routes to the owning shard's
+//! [`SpanStore::tombstone_row`], and once a shard accumulates
+//! [`ShardPolicy::evict_threshold`] pending tombstones its association
+//! indexes are compacted ([`SpanStore::evict_tombstoned`]) so probes stop
+//! paying for rows every reader filters. The server also compacts
+//! unconditionally after each re-aggregation pass.
+
+use crate::assemble::{set_parents_indexed, sort_and_truncate, sort_trace, AssembleConfig};
+use df_storage::{ShardPolicy, SpanQuery, SpanStore, StoreStats};
+use df_types::trace::Trace;
+use df_types::{Span, SpanId, TimeNs};
+use std::collections::{HashMap, HashSet};
+
+/// Location of a span inside the sharded corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    shard: u16,
+    row: u32,
+}
+
+/// Per-time-bucket routing-table entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Bumped on every mutation touching the bucket (trace-cache epoch).
+    gen: u64,
+    /// Bit `i` set ⇔ shard `i` holds at least one span in this bucket.
+    shards: u64,
+}
+
+/// A span corpus partitioned across [`SpanStore`] shards.
+///
+/// # Examples
+///
+/// ```
+/// use df_server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+/// use df_server::AssembleConfig;
+/// use df_storage::ShardPolicy;
+/// use df_types::span::TapSide;
+/// use df_types::Span;
+///
+/// let mut store = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+/// // Two capture points of one exchange: same TCP sequence number.
+/// let mut client = Span::synthetic(TapSide::ClientProcess, 100, 900);
+/// client.tcp_seq_req = Some(7);
+/// let mut server = Span::synthetic(TapSide::ServerProcess, 200, 800);
+/// server.tcp_seq_req = Some(7);
+/// let ids = store.insert_batch(vec![client, server]);
+///
+/// let trace = assemble_trace_sharded(&store, ids[0], &AssembleConfig::default());
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.is_well_formed());
+/// ```
+#[derive(Debug)]
+pub struct ShardedSpanStore {
+    policy: ShardPolicy,
+    shards: Vec<SpanStore>,
+    /// Global id − 1 → location. Ids are assigned sequentially here.
+    route: Vec<Loc>,
+    buckets: HashMap<u64, Bucket>,
+}
+
+impl ShardedSpanStore {
+    /// Empty store under `policy`. Shard counts above 64 are clamped (the
+    /// routing table tracks per-bucket occupancy as a 64-bit mask).
+    pub fn new(mut policy: ShardPolicy) -> Self {
+        policy.shards = policy.shards.clamp(1, 64);
+        ShardedSpanStore {
+            shards: (0..policy.shards).map(|_| SpanStore::new()).collect(),
+            policy,
+            route: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The routing policy this store was built with.
+    pub fn policy(&self) -> &ShardPolicy {
+        &self.policy
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Spans per shard, in shard order (the server's shard-size stats).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(SpanStore::len).collect()
+    }
+
+    /// Per-shard store statistics.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(SpanStore::stats).collect()
+    }
+
+    /// Total spans stored (across all shards).
+    pub fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Whether the store holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Insert one span: assign the next global id, route it to its shard,
+    /// bump its time bucket's generation. Returns the id.
+    pub fn insert(&mut self, mut span: Span) -> SpanId {
+        let id = SpanId(self.route.len() as u64 + 1);
+        span.span_id = id;
+        let shard = self.policy.route(&span) as u16;
+        self.touch_bucket(self.policy.bucket_of(span.req_time), shard);
+        let row = self.shards[shard as usize].insert_routed(span);
+        self.route.push(Loc { shard, row });
+        id
+    }
+
+    /// Insert a batch (what an agent ships per flush): each span is routed
+    /// independently; ids are assigned in batch order.
+    pub fn insert_batch(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
+        self.route.reserve(spans.len());
+        spans.into_iter().map(|s| self.insert(s)).collect()
+    }
+
+    /// Fetch by global id.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        let loc = self.loc(id)?;
+        self.shards[loc.shard as usize].get_row(loc.row)
+    }
+
+    /// Whether a span is tombstoned (consumed by re-aggregation).
+    pub fn is_tombstoned(&self, id: SpanId) -> bool {
+        self.loc(id)
+            .map(|l| self.shards[l.shard as usize].is_tombstoned(id))
+            .unwrap_or(false)
+    }
+
+    /// Hide a span from queries. Bumps the span's bucket generation (a
+    /// cached trace containing it must re-assemble) and compacts the
+    /// owning shard's indexes once its pending-eviction count crosses
+    /// [`ShardPolicy::evict_threshold`].
+    pub fn tombstone(&mut self, id: SpanId) {
+        let Some(loc) = self.loc(id) else {
+            return;
+        };
+        let bucket = self.shards[loc.shard as usize]
+            .get_row(loc.row)
+            .map(|s| self.policy.bucket_of(s.req_time));
+        self.shards[loc.shard as usize].tombstone_row(loc.row);
+        if let Some(b) = bucket {
+            self.touch_bucket(b, loc.shard);
+        }
+        if self.shards[loc.shard as usize].pending_evictions() >= self.policy.evict_threshold {
+            self.shards[loc.shard as usize].evict_tombstoned();
+        }
+    }
+
+    /// Merge a late response into an Incomplete span (server-side
+    /// re-aggregation, §3.3.1), routed to the owning shard. Bumps the
+    /// span's bucket generation on success.
+    pub fn complete_span(&mut self, id: SpanId, resp: &Span) -> bool {
+        let Some(loc) = self.loc(id) else {
+            return false;
+        };
+        let done = self.shards[loc.shard as usize].complete_span_row(loc.row, resp);
+        if done {
+            let bucket = self.shards[loc.shard as usize]
+                .get_row(loc.row)
+                .map(|s| self.policy.bucket_of(s.req_time));
+            if let Some(b) = bucket {
+                self.touch_bucket(b, loc.shard);
+            }
+        }
+        done
+    }
+
+    /// Compact tombstoned rows out of every shard's indexes (see
+    /// [`SpanStore::evict_tombstoned`]). Returns total entries removed.
+    pub fn evict_tombstoned(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(SpanStore::evict_tombstoned)
+            .sum()
+    }
+
+    /// Tombstoned rows across all shards still awaiting compaction.
+    pub fn pending_evictions(&self) -> usize {
+        self.shards.iter().map(SpanStore::pending_evictions).sum()
+    }
+
+    /// Span-list query: each candidate shard answers locally, results are
+    /// merged by `(req_time, span_id)` — the same order a single store
+    /// yields for the same corpus — and re-capped at `limit`. Shards with
+    /// no spans in the query's time window (per the routing table) are
+    /// skipped entirely.
+    pub fn query(&self, q: &SpanQuery) -> Vec<&Span> {
+        let mask = self.shards_for_window(q.from, q.to);
+        let mut merged: Vec<&Span> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if mask & (1u64 << i) == 0 {
+                continue;
+            }
+            merged.extend(shard.query(q));
+        }
+        merged.sort_by_key(|s| (s.req_time, s.span_id));
+        merged.truncate(q.limit);
+        merged
+    }
+
+    /// Iterate all spans in global-id order (diagnostics, re-aggregation).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> + '_ {
+        self.route
+            .iter()
+            .map(move |loc| &self.shards[loc.shard as usize][loc.row])
+    }
+
+    /// The generation of a routing-table time bucket: 0 if the bucket has
+    /// never been touched, otherwise bumped by every mutation (insert /
+    /// tombstone / completion) whose span lies in the bucket. The trace
+    /// cache's validity check.
+    pub fn bucket_gen(&self, bucket: u64) -> u64 {
+        self.buckets.get(&bucket).map(|b| b.gen).unwrap_or(0)
+    }
+
+    /// The time bucket containing `t` (delegates to the policy).
+    pub fn bucket_of(&self, t: TimeNs) -> u64 {
+        self.policy.bucket_of(t)
+    }
+
+    /// Internal: the shards (index-aligned) for the assembly hot loop.
+    pub(crate) fn shards(&self) -> &[SpanStore] {
+        &self.shards
+    }
+
+    fn loc(&self, id: SpanId) -> Option<Loc> {
+        let idx = id.raw().checked_sub(1)? as usize;
+        self.route.get(idx).copied()
+    }
+
+    fn touch_bucket(&mut self, bucket: u64, shard: u16) {
+        let b = self.buckets.entry(bucket).or_default();
+        b.gen += 1;
+        b.shards |= 1u64 << u64::from(shard);
+    }
+
+    /// Bitmask of shards holding spans in `[from, to)` per the routing
+    /// table; all-ones when the window is unbounded.
+    fn shards_for_window(&self, from: Option<TimeNs>, to: Option<TimeNs>) -> u64 {
+        let (Some(from), Some(to)) = (from, to) else {
+            return u64::MAX;
+        };
+        if to.as_nanos() == 0 {
+            return 0;
+        }
+        let lo = self.policy.bucket_of(from);
+        let hi = self.policy.bucket_of(TimeNs(to.as_nanos() - 1));
+        self.buckets
+            .iter()
+            .filter(|(b, _)| (lo..=hi).contains(*b))
+            .fold(0u64, |m, (_, b)| m | b.shards)
+    }
+}
+
+/// Algorithm 1 over a sharded corpus. Phase 1 is the same frontier search
+/// as [`assemble_trace`](crate::assemble::assemble_trace) — each index
+/// *key* expanded at most once — but an expansion probes the key against
+/// **every** shard's association index and merges the candidate sets;
+/// visited-row memoization is per `(shard, row)`. Phases 2 and 3 reuse the
+/// single-store implementations verbatim on the merged member set, so the
+/// assembled trace is identical at any shard count (property-tested
+/// against the reference oracle for 1, 4 and 16 shards).
+pub fn assemble_trace_sharded(
+    store: &ShardedSpanStore,
+    start: SpanId,
+    cfg: &AssembleConfig,
+) -> Trace {
+    let Some(start_loc) = store.loc(start) else {
+        return Trace::default();
+    };
+    if store.is_tombstoned(start) {
+        return Trace::default();
+    }
+    let shards = store.shards();
+    let start_key = (start_loc.shard, start_loc.row);
+
+    // ---- Phase 1: cross-shard frontier search ----
+    let mut seen: HashSet<(u16, u32)> = HashSet::new();
+    seen.insert(start_key);
+    let mut members: Vec<(u16, u32)> = vec![start_key];
+    let mut frontier: Vec<(u16, u32)> = vec![start_key];
+    let mut keys_systrace: HashSet<u64> = HashSet::new();
+    let mut keys_pseudo_thread: HashSet<u64> = HashSet::new();
+    let mut keys_x_request: HashSet<u128> = HashSet::new();
+    let mut keys_tcp_seq: HashSet<u32> = HashSet::new();
+    let mut keys_otel_trace: HashSet<u128> = HashSet::new();
+    for _iter in 0..cfg.iterations {
+        if members.len() >= cfg.max_spans {
+            break; // cap crossed; truncated below
+        }
+        let mut next: Vec<(u16, u32)> = Vec::new();
+        {
+            // Probe `rows` (one shard's candidate set for an expanded key)
+            // into the member set.
+            let mut grow = |si: u16, rows: &[u32]| {
+                for &r in rows {
+                    if seen.insert((si, r)) {
+                        let sp = &shards[si as usize][r];
+                        if shards[si as usize].is_tombstoned(sp.span_id) {
+                            continue; // consumed by re-aggregation
+                        }
+                        next.push((si, r));
+                    }
+                }
+            };
+            // Expanding a key = probing it against every shard and merging
+            // the returned candidate sets.
+            macro_rules! expand {
+                ($keys:ident, $val:expr, $probe:ident) => {
+                    if $keys.insert($val) {
+                        for (si, shard) in shards.iter().enumerate() {
+                            grow(si as u16, shard.$probe($val));
+                        }
+                    }
+                };
+            }
+            for &(si, row) in &frontier {
+                let s = &shards[si as usize][row];
+                for v in [s.systrace_id_req, s.systrace_id_resp]
+                    .into_iter()
+                    .flatten()
+                {
+                    expand!(keys_systrace, v.raw(), find_by_systrace);
+                }
+                if let Some(p) = s.pseudo_thread_id {
+                    expand!(keys_pseudo_thread, p.raw(), find_by_pseudo_thread);
+                }
+                for v in [s.x_request_id_req, s.x_request_id_resp]
+                    .into_iter()
+                    .flatten()
+                {
+                    expand!(keys_x_request, v.0, find_by_x_request);
+                }
+                for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+                    expand!(keys_tcp_seq, v, find_by_tcp_seq);
+                }
+                if let Some(t) = s.otel_trace_id {
+                    expand!(keys_otel_trace, t.0, find_by_otel_trace);
+                }
+            }
+        }
+        if next.is_empty() {
+            break; // fixed point
+        }
+        members.extend_from_slice(&next);
+        frontier = next;
+    }
+    let spans: Vec<Span> = members
+        .iter()
+        .map(|&(si, row)| shards[si as usize][row].clone())
+        .collect();
+    let spans = sort_and_truncate(spans, start, cfg.max_spans);
+
+    // ---- Phases 2 + 3: identical to the single-store path ----
+    let parents = set_parents_indexed(&spans, cfg);
+    sort_trace(spans, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble_trace_reference;
+    use df_types::ids::SysTraceId;
+    use df_types::net::FiveTuple;
+    use df_types::span::TapSide;
+    use std::net::Ipv4Addr;
+
+    /// A small corpus of three linked exchanges over distinct flows (so
+    /// routing actually spreads them) plus one unrelated span.
+    fn corpus() -> Vec<Span> {
+        let mut spans = Vec::new();
+        for hop in 0..3u64 {
+            let tuple = FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, hop as u8, 1),
+                40_000,
+                Ipv4Addr::new(10, 0, hop as u8 + 1, 1),
+                80,
+            );
+            let mut server = Span::synthetic(TapSide::ServerProcess, hop * 100, hop * 100 + 500);
+            server.five_tuple = tuple;
+            server.tcp_seq_req = Some(100 + hop as u32);
+            server.systrace_id_req = Some(SysTraceId(hop + 1));
+            spans.push(server);
+            let mut client =
+                Span::synthetic(TapSide::ClientProcess, hop * 100 + 10, hop * 100 + 490);
+            client.five_tuple = tuple.reversed();
+            client.tcp_seq_req = Some(101 + hop as u32); // next exchange
+            client.systrace_id_req = Some(SysTraceId(hop + 1));
+            spans.push(client);
+        }
+        let mut noise = Span::synthetic(TapSide::ServerProcess, 10_000, 10_500);
+        noise.tcp_seq_req = Some(999);
+        spans.push(noise);
+        spans
+    }
+
+    fn edges(t: &Trace) -> Vec<(SpanId, Option<SpanId>)> {
+        let mut e: Vec<_> = t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+        e.sort_unstable();
+        e
+    }
+
+    #[test]
+    fn ids_are_global_and_sequential_regardless_of_shards() {
+        for shards in [1, 4, 16] {
+            let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(shards));
+            let ids = st.insert_batch(corpus());
+            assert_eq!(
+                ids,
+                (1..=7).map(SpanId).collect::<Vec<_>>(),
+                "{shards} shards"
+            );
+            for &id in &ids {
+                assert_eq!(st.get(id).unwrap().span_id, id);
+            }
+            assert_eq!(st.len(), 7);
+            assert_eq!(st.shard_sizes().iter().sum::<usize>(), 7);
+        }
+    }
+
+    #[test]
+    fn sharded_assembly_matches_single_store_reference() {
+        // The reference oracle runs on a classic single store; the sharded
+        // path must produce identical traces at every shard count.
+        let mut single = SpanStore::new();
+        for s in corpus() {
+            single.insert(s);
+        }
+        for shards in [1, 2, 4, 16] {
+            let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(shards));
+            st.insert_batch(corpus());
+            for start in 1..=7u64 {
+                let sharded =
+                    assemble_trace_sharded(&st, SpanId(start), &AssembleConfig::default());
+                let oracle =
+                    assemble_trace_reference(&single, SpanId(start), &AssembleConfig::default());
+                assert_eq!(
+                    edges(&sharded),
+                    edges(&oracle),
+                    "{shards} shards, start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_route_and_hide_across_shards() {
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        let ids = st.insert_batch(corpus());
+        let victim = ids[2];
+        st.tombstone(victim);
+        assert!(st.is_tombstoned(victim));
+        let t = assemble_trace_sharded(&st, ids[0], &AssembleConfig::default());
+        assert!(t.spans.iter().all(|s| s.span.span_id != victim));
+        // A tombstoned start yields an empty trace.
+        assert!(assemble_trace_sharded(&st, victim, &AssembleConfig::default()).is_empty());
+        // Eviction keeps the assembled trace identical.
+        let before = assemble_trace_sharded(&st, ids[0], &AssembleConfig::default());
+        assert!(st.evict_tombstoned() > 0);
+        let after = assemble_trace_sharded(&st, ids[0], &AssembleConfig::default());
+        assert_eq!(edges(&before), edges(&after));
+    }
+
+    #[test]
+    fn query_merges_shards_in_time_order_and_caps() {
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        st.insert_batch(corpus());
+        let q = SpanQuery::window(TimeNs(0), TimeNs(1_000));
+        let got = st.query(&q);
+        let times: Vec<u64> = got.iter().map(|s| s.req_time.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "merged in time order");
+        assert_eq!(got.len(), 6, "noise span at 10µs excluded by window");
+        let capped = st.query(&SpanQuery {
+            limit: 2,
+            ..SpanQuery::window(TimeNs(0), TimeNs(1_000))
+        });
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped[0].req_time, TimeNs(0));
+    }
+
+    #[test]
+    fn bucket_generations_advance_on_mutation() {
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        let mut s = Span::synthetic(TapSide::ServerProcess, 100, 500);
+        s.tcp_seq_req = Some(1);
+        let bucket = st.bucket_of(TimeNs(100));
+        assert_eq!(st.bucket_gen(bucket), 0);
+        let id = st.insert(s);
+        let g1 = st.bucket_gen(bucket);
+        assert!(g1 > 0);
+        st.tombstone(id);
+        assert!(st.bucket_gen(bucket) > g1, "tombstone bumps the bucket");
+    }
+
+    #[test]
+    fn threshold_crossing_triggers_shard_compaction() {
+        let mut policy = ShardPolicy::with_shards(1);
+        policy.evict_threshold = 3;
+        let mut st = ShardedSpanStore::new(policy);
+        let mut ids = Vec::new();
+        for i in 0..4u32 {
+            let mut s = Span::synthetic(TapSide::ServerProcess, u64::from(i) * 100, 1_000);
+            s.tcp_seq_req = Some(i);
+            ids.push(st.insert(s));
+        }
+        st.tombstone(ids[0]);
+        st.tombstone(ids[1]);
+        assert_eq!(st.pending_evictions(), 2, "below threshold: deferred");
+        st.tombstone(ids[2]);
+        assert_eq!(st.pending_evictions(), 0, "threshold crossed: compacted");
+    }
+}

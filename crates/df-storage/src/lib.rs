@@ -15,15 +15,24 @@
 //! three ([`tagtable`]), plus the span store the server runs Algorithm 1
 //! against ([`store`]): a row store with hash indexes over every
 //! implicit-context attribute and a time index for span-list queries.
+//!
+//! At scale the corpus is partitioned: [`shard`] provides the routing
+//! policy (hash of the canonical flow five-tuple, a time-bucketed routing
+//! table, and the tombstone-eviction threshold) that `df-server`'s
+//! `ShardedSpanStore` builds on, and [`store`] exposes the row-addressed
+//! primitives (`insert_routed`, `tombstone_row`, `complete_span_row`,
+//! `evict_tombstoned`) an embedded shard needs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod column;
 pub mod persist;
+pub mod shard;
 pub mod store;
 pub mod tagtable;
 
 pub use column::{Column, ColumnStats};
+pub use shard::ShardPolicy;
 pub use store::{SpanQuery, SpanStore, StoreStats};
 pub use tagtable::{TagEncoding, TagTable};

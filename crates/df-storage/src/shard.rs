@@ -1,0 +1,213 @@
+//! Sharding policy for a partitioned span corpus.
+//!
+//! The paper's deployment stores spans from many nodes in a ClickHouse
+//! cluster; this crate's [`SpanStore`](crate::SpanStore) is the single-node
+//! analogue. To scale the corpus past one store, the server partitions it
+//! into shards and [`ShardPolicy`] decides, per span, which shard owns it:
+//!
+//! * **Routing key** — the hash of the span's *canonical* flow five-tuple
+//!   (FNV-1a over addresses, ports, protocol). Both directions of a
+//!   connection canonicalise to the same tuple, and every capture point of
+//!   one exchange observes the same flow, so the whole capture ladder of an
+//!   exchange lands in one shard — the common-case probe during assembly
+//!   stays shard-local. Spans without flow identity (an all-zero tuple,
+//!   e.g. third-party app spans imported without network context) fall back
+//!   to a span-id hash so they still spread evenly.
+//! * **Time buckets** — [`ShardPolicy::bucket_of`] quantises a timestamp
+//!   into a routing-table bucket. The sharded store keeps, per bucket, the
+//!   set of shards holding spans in that bucket (so time-windowed queries
+//!   skip shards with no data in the window) and a *generation counter*
+//!   that the incremental trace cache uses for invalidation.
+//! * **Eviction threshold** — how many tombstoned rows a shard accumulates
+//!   before its association indexes are compacted
+//!   ([`SpanStore::evict_tombstoned`](crate::SpanStore::evict_tombstoned)).
+
+use df_types::{DurationNs, Span, TimeNs};
+use std::net::Ipv4Addr;
+
+/// How a sharded span corpus routes spans to shards.
+///
+/// # Examples
+///
+/// ```
+/// use df_storage::ShardPolicy;
+///
+/// let policy = ShardPolicy::with_shards(4);
+/// assert_eq!(policy.shards, 4);
+/// // Bucketing quantises time into the routing-table granularity.
+/// let b0 = policy.bucket_of(df_types::TimeNs::from_millis(10));
+/// let b1 = policy.bucket_of(df_types::TimeNs::from_millis(990));
+/// assert_eq!(b0, b1, "same 1 s default bucket");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Number of shards. One shard degrades to a plain [`crate::SpanStore`].
+    pub shards: usize,
+    /// Granularity of the time-bucketed routing table (and of trace-cache
+    /// invalidation).
+    pub time_bucket: DurationNs,
+    /// Tombstoned-row count at which a shard's association indexes are
+    /// compacted (see [`crate::SpanStore::evict_tombstoned`]).
+    pub evict_threshold: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            shards: 4,
+            time_bucket: DurationNs::from_secs(1),
+            evict_threshold: 4096,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// A single-shard policy (behaviourally a plain [`crate::SpanStore`]).
+    pub fn single() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// Default policy with `shards` shards (at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPolicy {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The shard owning `span`: hash of the canonical flow five-tuple, so
+    /// every capture point of an exchange routes identically; spans with no
+    /// flow identity hash their id instead.
+    pub fn route(&self, span: &Span) -> usize {
+        let t = span.five_tuple.canonical();
+        let zero = Ipv4Addr::new(0, 0, 0, 0);
+        let h = if t.src_ip == zero && t.dst_ip == zero && t.src_port == 0 && t.dst_port == 0 {
+            fnv1a(&span.span_id.raw().to_le_bytes())
+        } else {
+            let mut bytes = [0u8; 13];
+            bytes[0..4].copy_from_slice(&t.src_ip.octets());
+            bytes[4..8].copy_from_slice(&t.dst_ip.octets());
+            bytes[8..10].copy_from_slice(&t.src_port.to_le_bytes());
+            bytes[10..12].copy_from_slice(&t.dst_port.to_le_bytes());
+            bytes[12] = t.protocol as u8;
+            fnv1a(&bytes)
+        };
+        (h % self.shards as u64) as usize
+    }
+
+    /// The routing-table time bucket containing `t`.
+    pub fn bucket_of(&self, t: TimeNs) -> u64 {
+        t.slot(self.time_bucket)
+    }
+}
+
+/// FNV-1a: tiny, deterministic across processes (unlike `DefaultHasher`),
+/// and good enough dispersion for shard routing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::ids::{AgentId, FlowId, NodeId, SpanId};
+    use df_types::l7::L7Protocol;
+    use df_types::net::FiveTuple;
+    use df_types::span::{CapturePoint, SpanKind, SpanStatus, TapSide};
+    use df_types::tags::TagSet;
+
+    fn span_with_tuple(t: FiveTuple) -> Span {
+        Span {
+            span_id: SpanId(7),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side: TapSide::ClientProcess,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: t,
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".into(),
+            req_time: TimeNs(0),
+            resp_time: TimeNs(1),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 0,
+            resp_bytes: 0,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: None,
+            tcp_seq_resp: None,
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
+    #[test]
+    fn both_flow_directions_route_to_the_same_shard() {
+        let p = ShardPolicy::with_shards(16);
+        let fwd = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let a = p.route(&span_with_tuple(fwd));
+        let b = p.route(&span_with_tuple(fwd.reversed()));
+        assert_eq!(a, b);
+        assert!(a < 16);
+    }
+
+    #[test]
+    fn flowless_spans_spread_by_span_id() {
+        let p = ShardPolicy::with_shards(16);
+        let zero = FiveTuple::tcp(Ipv4Addr::new(0, 0, 0, 0), 0, Ipv4Addr::new(0, 0, 0, 0), 0);
+        let mut shards = std::collections::HashSet::new();
+        for id in 1..64u64 {
+            let mut s = span_with_tuple(zero);
+            s.span_id = SpanId(id);
+            shards.insert(p.route(&s));
+        }
+        assert!(shards.len() > 4, "span-id fallback disperses: {shards:?}");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardPolicy::with_shards(0).shards, 1);
+    }
+
+    #[test]
+    fn routing_spreads_distinct_flows() {
+        let p = ShardPolicy::with_shards(8);
+        let mut shards = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let t = FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, (i / 8) as u8, (i % 8) as u8),
+                40000 + i,
+                Ipv4Addr::new(10, 1, 0, 1),
+                80,
+            );
+            shards.insert(p.route(&span_with_tuple(t)));
+        }
+        assert!(
+            shards.len() >= 6,
+            "64 flows hit most of 8 shards: {shards:?}"
+        );
+    }
+}

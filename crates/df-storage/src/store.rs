@@ -101,6 +101,16 @@ impl Default for TimeIndex {
 }
 
 /// The span store.
+///
+/// Ids come in two regimes. A store used standalone assigns its own ids
+/// ([`SpanStore::insert`]): id = row + 1, so [`SpanStore::id_at`] and
+/// [`SpanStore::get`] translate for free. A store embedded as one shard of
+/// a sharded corpus receives spans whose (globally unique) ids were
+/// assigned by the owner ([`SpanStore::insert_routed`]); the owner keeps
+/// the id → (shard, row) map and talks to the shard in row terms
+/// ([`SpanStore::get_row`], [`SpanStore::tombstone_row`],
+/// [`SpanStore::complete_span_row`]). The two regimes must not be mixed in
+/// one store.
 #[derive(Debug, Default)]
 pub struct SpanStore {
     rows: Vec<Span>,
@@ -112,6 +122,9 @@ pub struct SpanStore {
     time_index: Mutex<TimeIndex>,
     /// Spans consumed by server-side re-aggregation; hidden from queries.
     tombstones: std::collections::HashSet<SpanId>,
+    /// Tombstoned rows whose index entries have not been compacted away
+    /// yet (drained by [`SpanStore::evict_tombstoned`]).
+    pending_evict: Vec<u32>,
 }
 
 const EMPTY_ROWS: &[u32] = &[];
@@ -142,6 +155,15 @@ impl SpanStore {
             return false;
         };
         let row = row as u32;
+        if self.rows.get(row as usize).map(|s| s.span_id) != Some(id) {
+            return false;
+        }
+        self.complete_span_row(row, resp)
+    }
+
+    /// Row-addressed [`SpanStore::complete_span`] for stores whose ids were
+    /// assigned externally (see the type-level docs on id regimes).
+    pub fn complete_span_row(&mut self, row: u32, resp: &Span) -> bool {
         let Some(span) = self.rows.get_mut(row as usize) else {
             return false;
         };
@@ -182,9 +204,30 @@ impl SpanStore {
         true
     }
 
-    /// Hide a span from queries (its content was merged elsewhere).
+    /// Hide a span from queries (its content was merged elsewhere). The
+    /// row is remembered for the next [`SpanStore::evict_tombstoned`]
+    /// compaction.
     pub fn tombstone(&mut self, id: SpanId) {
+        if let Some(row) = id.raw().checked_sub(1) {
+            let row = row as u32;
+            if self.rows.get(row as usize).map(|s| s.span_id) == Some(id) {
+                self.tombstone_row(row);
+                return;
+            }
+        }
+        // Unknown id: hide it anyway (idempotent), nothing to evict.
         self.tombstones.insert(id);
+    }
+
+    /// Row-addressed [`SpanStore::tombstone`] for stores whose ids were
+    /// assigned externally (see the type-level docs on id regimes).
+    pub fn tombstone_row(&mut self, row: u32) {
+        let Some(span) = self.rows.get(row as usize) else {
+            return;
+        };
+        if self.tombstones.insert(span.span_id) {
+            self.pending_evict.push(row);
+        }
     }
 
     /// Whether a span is tombstoned.
@@ -192,9 +235,96 @@ impl SpanStore {
         self.tombstones.contains(&id)
     }
 
+    /// Tombstoned rows whose index entries are still awaiting compaction.
+    pub fn pending_evictions(&self) -> usize {
+        self.pending_evict.len()
+    }
+
+    /// Compact tombstoned rows out of the association and time indexes, so
+    /// `find_by_*` probes stop returning (and paying for) rows that every
+    /// read path would filter anyway. Invoked by the server after
+    /// re-aggregation and by the sharded store when a shard crosses its
+    /// [`crate::ShardPolicy::evict_threshold`]. Semantically a no-op:
+    /// assembly and queries filter tombstones at probe time either way —
+    /// the property tests assert eviction never changes an assembled
+    /// trace. Returns the number of index entries removed.
+    pub fn evict_tombstoned(&mut self) -> usize {
+        if self.pending_evict.is_empty() {
+            return 0;
+        }
+        let rows = std::mem::take(&mut self.pending_evict);
+        let mut removed = 0usize;
+        for &row in &rows {
+            // Copy out the (small) key fields so the index maps stay
+            // mutably borrowable.
+            let s = {
+                let s = &self.rows[row as usize];
+                (
+                    s.systrace_id_req,
+                    s.systrace_id_resp,
+                    s.pseudo_thread_id,
+                    s.x_request_id_req,
+                    s.x_request_id_resp,
+                    s.tcp_seq_req,
+                    s.tcp_seq_resp,
+                    s.otel_trace_id,
+                )
+            };
+            let (sys_r, sys_p, pth, xr_r, xr_p, seq_r, seq_p, otel) = s;
+            for v in [sys_r, sys_p].into_iter().flatten() {
+                removed += Self::evict_entry(&mut self.by_systrace, v.raw(), row);
+            }
+            if let Some(p) = pth {
+                removed += Self::evict_entry(&mut self.by_pseudo_thread, p.raw(), row);
+            }
+            for v in [xr_r, xr_p].into_iter().flatten() {
+                removed += Self::evict_entry(&mut self.by_x_request, v.0, row);
+            }
+            for v in [seq_r, seq_p].into_iter().flatten() {
+                removed += Self::evict_entry(&mut self.by_tcp_seq, v, row);
+            }
+            if let Some(t) = otel {
+                removed += Self::evict_entry(&mut self.by_otel_trace, t.0, row);
+            }
+        }
+        let dead: std::collections::HashSet<u32> = rows.into_iter().collect();
+        let idx = self.time_index.get_mut().expect("time index lock poisoned");
+        idx.entries.retain(|&(_, row)| !dead.contains(&row));
+        removed
+    }
+
+    /// Remove every occurrence of `row` from the bucket at `key`, dropping
+    /// the bucket when it empties. Returns how many entries were removed.
+    fn evict_entry<K: std::hash::Hash + Eq>(
+        index: &mut HashMap<K, Vec<u32>>,
+        key: K,
+        row: u32,
+    ) -> usize {
+        let Some(bucket) = index.get_mut(&key) else {
+            return 0;
+        };
+        let before = bucket.len();
+        bucket.retain(|&r| r != row);
+        let removed = before - bucket.len();
+        if bucket.is_empty() {
+            index.remove(&key);
+        }
+        removed
+    }
+
     /// Insert a span, assigning its id. Returns the id.
     pub fn insert(&mut self, span: Span) -> SpanId {
         self.insert_unsynced(span)
+    }
+
+    /// Insert a span that already carries an externally assigned id (one
+    /// shard of a sharded corpus — the owner maps that id to the returned
+    /// row). The span is indexed exactly like [`SpanStore::insert`]; only
+    /// id assignment is skipped.
+    pub fn insert_routed(&mut self, span: Span) -> u32 {
+        let row = self.rows.len() as u32;
+        self.index_and_push(span);
+        row
     }
 
     /// Insert a batch (what an agent ships per flush). Index maintenance is
@@ -215,9 +345,16 @@ impl SpanStore {
     }
 
     fn insert_unsynced(&mut self, mut span: Span) -> SpanId {
-        let row = self.rows.len() as u32;
-        let id = Self::id_at(row);
+        let id = Self::id_at(self.rows.len() as u32);
         span.span_id = id;
+        self.index_and_push(span);
+        id
+    }
+
+    /// Index every association attribute of `span` and append it, keeping
+    /// whatever `span_id` it carries.
+    fn index_and_push(&mut self, span: Span) {
+        let row = self.rows.len() as u32;
         if let Some(s) = span.systrace_id_req {
             self.by_systrace.entry(s.raw()).or_default().push(row);
         }
@@ -257,7 +394,6 @@ impl SpanStore {
         }
         idx.entries.push((ts, row));
         self.rows.push(span);
-        id
     }
 
     /// Fetch by id.
@@ -356,6 +492,15 @@ impl SpanStore {
     /// Iterate all spans (diagnostics / persistence).
     pub fn iter(&self) -> impl Iterator<Item = &Span> {
         self.rows.iter()
+    }
+}
+
+/// Row-addressed access for callers that know the row exists (the sharded
+/// store's routing table guarantees it). Panics on an out-of-range row.
+impl std::ops::Index<u32> for SpanStore {
+    type Output = Span;
+    fn index(&self, row: u32) -> &Span {
+        self.get_row(row).expect("routed row exists")
     }
 }
 
@@ -554,6 +699,61 @@ mod tests {
         // A genuinely new response-side value still gets indexed once.
         assert_eq!(st.find_by_x_request(77), &[inc_row]);
         let _ = id;
+    }
+
+    #[test]
+    fn evicted_rows_disappear_from_find_by_probes() {
+        let mut st = SpanStore::new();
+        let mut a = span(100);
+        a.systrace_id_req = Some(SysTraceId(7));
+        a.tcp_seq_req = Some(42);
+        a.x_request_id_req = Some(XRequestId(9));
+        a.otel_trace_id = Some(OtelTraceId(3));
+        a.pseudo_thread_id = Some(PseudoThreadId(5));
+        let ia = st.insert(a);
+        let mut b = span(200);
+        b.systrace_id_req = Some(SysTraceId(7));
+        let ib = st.insert(b);
+
+        st.tombstone(ia);
+        assert_eq!(st.pending_evictions(), 1);
+        // Before eviction the probes still return the tombstoned row
+        // (filtered by the callers).
+        assert_eq!(st.find_by_systrace(7).len(), 2);
+        let removed = st.evict_tombstoned();
+        assert_eq!(removed, 5, "one entry per indexed attribute");
+        assert_eq!(st.pending_evictions(), 0);
+        // The shared bucket kept the live row; exclusive buckets vanished.
+        let ib_row = (ib.raw() - 1) as u32;
+        assert_eq!(st.find_by_systrace(7), &[ib_row]);
+        assert!(st.find_by_tcp_seq(42).is_empty());
+        assert!(st.find_by_x_request(9).is_empty());
+        assert!(st.find_by_otel_trace(3).is_empty());
+        assert!(st.find_by_pseudo_thread(5).is_empty());
+        // The span itself is still retrievable (tombstone ≠ delete), still
+        // tombstoned, and gone from time-window queries.
+        assert!(st.get(ia).is_some());
+        assert!(st.is_tombstoned(ia));
+        let q = SpanQuery::window(TimeNs(0), TimeNs(1000));
+        assert_eq!(st.query(&q).len(), 1);
+        // Eviction is idempotent.
+        assert_eq!(st.evict_tombstoned(), 0);
+    }
+
+    #[test]
+    fn eviction_dedups_req_resp_shared_values() {
+        // A span indexed once for seq 5 (req == resp) must release exactly
+        // that one entry.
+        let mut st = SpanStore::new();
+        let mut a = span(100);
+        a.tcp_seq_req = Some(5);
+        a.tcp_seq_resp = Some(5);
+        let id = st.insert(a);
+        st.tombstone(id);
+        // req and resp both point at the same bucket entry; the second
+        // sweep finds the bucket already gone.
+        assert_eq!(st.evict_tombstoned(), 1);
+        assert!(st.find_by_tcp_seq(5).is_empty());
     }
 
     #[test]

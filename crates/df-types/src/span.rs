@@ -241,6 +241,67 @@ pub struct Span {
 }
 
 impl Span {
+    /// A minimal well-formed span for examples, tests and synthetic
+    /// workloads: an HTTP/1 `GET /` sys span observed at `tap_side` with the
+    /// given request/response capture times (nanoseconds). All association
+    /// attributes start `None` — set the ones the scenario needs
+    /// (`tcp_seq_req`, `systrace_id_req`, ...). The span id is 0 until a
+    /// store assigns one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use df_types::span::{Span, SpanStatus, TapSide};
+    ///
+    /// let mut span = Span::synthetic(TapSide::ServerProcess, 1_000, 5_000);
+    /// span.tcp_seq_req = Some(42);
+    /// assert_eq!(span.duration().as_nanos(), 4_000);
+    /// assert_eq!(span.status, SpanStatus::Ok);
+    /// assert!(span.span_id.raw() == 0, "unassigned until stored");
+    /// ```
+    pub fn synthetic(tap_side: TapSide, req_ns: u64, resp_ns: u64) -> Span {
+        Span {
+            span_id: SpanId(0),
+            kind: SpanKind::Sys,
+            capture: CapturePoint {
+                node: NodeId(1),
+                tap_side,
+                interface: None,
+            },
+            agent: AgentId(1),
+            flow_id: FlowId(1),
+            five_tuple: FiveTuple::tcp(
+                std::net::Ipv4Addr::new(10, 0, 0, 1),
+                40000,
+                std::net::Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
+            l7_protocol: L7Protocol::Http1,
+            endpoint: "GET /".into(),
+            req_time: TimeNs(req_ns),
+            resp_time: TimeNs(resp_ns),
+            status: SpanStatus::Ok,
+            status_code: Some(200),
+            req_bytes: 0,
+            resp_bytes: 0,
+            pid: None,
+            tid: None,
+            process_name: None,
+            systrace_id_req: None,
+            systrace_id_resp: None,
+            pseudo_thread_id: None,
+            x_request_id_req: None,
+            x_request_id_resp: None,
+            tcp_seq_req: None,
+            tcp_seq_resp: None,
+            otel_trace_id: None,
+            otel_span_id: None,
+            otel_parent_span_id: None,
+            tags: TagSet::default(),
+            flow_metrics: None,
+        }
+    }
+
     /// Session duration (response capture − request capture).
     pub fn duration(&self) -> DurationNs {
         self.resp_time.saturating_since(self.req_time)

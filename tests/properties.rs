@@ -350,6 +350,178 @@ proptest! {
 }
 
 proptest! {
+    /// Cross-shard assembly is extensionally identical to the single-store
+    /// reference oracle at every shard count: the sharded store assigns
+    /// the same global sequential ids a single store would, and
+    /// `assemble_trace_sharded` must produce the same span set and parent
+    /// edges whether the corpus lives in 1, 4 or 16 shards. Spans of one
+    /// logical exchange are deliberately spread over *different* flows
+    /// (per-index five-tuples) so the frontier search genuinely crosses
+    /// shard boundaries.
+    #[test]
+    fn sharded_assembly_matches_reference(
+        specs in proptest::collection::vec(
+            (
+                0u8..11,          // tap side
+                0u64..20,         // req time bucket
+                1u64..30,         // duration bucket
+                proptest::option::of(0u32..8),   // tcp_seq_req pool
+                proptest::option::of(0u32..8),   // tcp_seq_resp pool
+                proptest::option::of(0u64..6),   // systrace_req pool
+                proptest::option::of(0u64..6),   // systrace_resp pool
+                proptest::option::of(0u128..4),  // x_request_id pool
+                proptest::option::of(0u128..3),  // otel trace pool
+                proptest::option::of(0u64..4),   // pseudo-thread pool
+            ),
+            1..60,
+        ),
+        start_idx in 0usize..60,
+        tombstone_mask in any::<u64>(),
+        max_spans in 1usize..80,
+    ) {
+        use deepflow::server::assemble::{assemble_trace_reference, AssembleConfig};
+        use deepflow::server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+        use deepflow::storage::{ShardPolicy, SpanStore};
+        use deepflow::types::SpanId;
+
+        // Vary each span's flow by its index so linked spans land in
+        // different shards and assembly has to merge across them.
+        let spans: Vec<deepflow::types::Span> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (tap, t, d, seq_r, seq_p, sys_r, sys_p, xr, ot, pth))| {
+                let mut s = prop_span(*tap, *t, *d, *seq_r, *seq_p, *sys_r, *sys_p, *xr, *ot, *pth);
+                s.five_tuple = FiveTuple::tcp(
+                    Ipv4Addr::new(10, 0, 0, (i % 8) as u8),
+                    1,
+                    Ipv4Addr::new(10, 0, 1, (i % 8) as u8),
+                    2,
+                );
+                s
+            })
+            .collect();
+
+        let mut reference = SpanStore::new();
+        for s in &spans {
+            reference.insert(s.clone());
+        }
+        for i in 0..spans.len().min(64) {
+            if tombstone_mask & (1 << i) != 0 {
+                reference.tombstone(SpanId(i as u64 + 1));
+            }
+        }
+        let start = SpanId((start_idx % spans.len()) as u64 + 1);
+        let cfg = AssembleConfig { max_spans, ..Default::default() };
+        let oracle = assemble_trace_reference(&reference, start, &cfg);
+        let edges = |t: &deepflow::types::trace::Trace| {
+            let mut e: Vec<(SpanId, Option<SpanId>)> =
+                t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+            e.sort_unstable();
+            e
+        };
+
+        for shards in [1usize, 4, 16] {
+            let mut sharded = ShardedSpanStore::new(ShardPolicy::with_shards(shards));
+            let ids = sharded.insert_batch(spans.clone());
+            prop_assert_eq!(
+                ids.last().copied(),
+                Some(SpanId(spans.len() as u64)),
+                "global ids are sequential"
+            );
+            for i in 0..spans.len().min(64) {
+                if tombstone_mask & (1 << i) != 0 {
+                    sharded.tombstone(SpanId(i as u64 + 1));
+                }
+            }
+            let got = assemble_trace_sharded(&sharded, start, &cfg);
+            prop_assert_eq!(
+                edges(&got),
+                edges(&oracle),
+                "sharded ({}) vs reference diverged",
+                shards
+            );
+        }
+    }
+
+    /// Index eviction is semantically invisible: tombstoning then
+    /// compacting (`evict_tombstoned`) yields exactly the traces that
+    /// probe-time filtering alone yields, on both the plain store and the
+    /// sharded store — for every possible start span.
+    #[test]
+    fn eviction_equals_probe_time_filtering(
+        specs in proptest::collection::vec(
+            (
+                0u8..11,          // tap side
+                0u64..20,         // req time bucket
+                1u64..30,         // duration bucket
+                proptest::option::of(0u32..8),   // tcp_seq_req pool
+                proptest::option::of(0u32..8),   // tcp_seq_resp pool
+                proptest::option::of(0u64..6),   // systrace_req pool
+                proptest::option::of(0u64..6),   // systrace_resp pool
+                proptest::option::of(0u128..4),  // x_request_id pool
+                proptest::option::of(0u128..3),  // otel trace pool
+                proptest::option::of(0u64..4),   // pseudo-thread pool
+            ),
+            1..40,
+        ),
+        tombstone_mask in any::<u64>(),
+    ) {
+        use deepflow::server::assemble::{assemble_trace, AssembleConfig};
+        use deepflow::server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+        use deepflow::storage::{ShardPolicy, SpanStore};
+        use deepflow::types::SpanId;
+
+        let cfg = AssembleConfig::default();
+        let edges = |t: &deepflow::types::trace::Trace| {
+            let mut e: Vec<(SpanId, Option<SpanId>)> =
+                t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+            e.sort_unstable();
+            e
+        };
+
+        // Plain store: tombstones pending (probe-time filtering only)...
+        let mut store = SpanStore::new();
+        for (tap, t, d, seq_r, seq_p, sys_r, sys_p, xr, ot, pth) in &specs {
+            store.insert(prop_span(*tap, *t, *d, *seq_r, *seq_p, *sys_r, *sys_p, *xr, *ot, *pth));
+        }
+        for i in 0..specs.len().min(64) {
+            if tombstone_mask & (1 << i) != 0 {
+                store.tombstone(SpanId(i as u64 + 1));
+            }
+        }
+        let before: Vec<_> = (1..=specs.len() as u64)
+            .map(|id| edges(&assemble_trace(&store, SpanId(id), &cfg)))
+            .collect();
+        // ...then compacted out of the indexes entirely.
+        store.evict_tombstoned();
+        prop_assert_eq!(store.pending_evictions(), 0);
+        let after: Vec<_> = (1..=specs.len() as u64)
+            .map(|id| edges(&assemble_trace(&store, SpanId(id), &cfg)))
+            .collect();
+        prop_assert_eq!(&before, &after, "eviction changed an assembled trace");
+
+        // Sharded store: same invariant across shards.
+        let mut sharded = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        for (tap, t, d, seq_r, seq_p, sys_r, sys_p, xr, ot, pth) in &specs {
+            sharded.insert(prop_span(*tap, *t, *d, *seq_r, *seq_p, *sys_r, *sys_p, *xr, *ot, *pth));
+        }
+        for i in 0..specs.len().min(64) {
+            if tombstone_mask & (1 << i) != 0 {
+                sharded.tombstone(SpanId(i as u64 + 1));
+            }
+        }
+        let before: Vec<_> = (1..=specs.len() as u64)
+            .map(|id| edges(&assemble_trace_sharded(&sharded, SpanId(id), &cfg)))
+            .collect();
+        sharded.evict_tombstoned();
+        let after: Vec<_> = (1..=specs.len() as u64)
+            .map(|id| edges(&assemble_trace_sharded(&sharded, SpanId(id), &cfg)))
+            .collect();
+        prop_assert_eq!(&before, &after, "sharded eviction changed an assembled trace");
+    }
+}
+
+proptest! {
     /// Algorithm 1 always terminates and yields a well-formed trace (no
     /// cycles, no dangling parents, no duplicates) for arbitrary span
     /// corpora with randomly shared association attributes.
