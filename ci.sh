@@ -17,6 +17,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# The concurrency suite (per-shard ingest workers, parallel Phase 1,
+# bounded-staleness cache) re-runs with forced test-thread parallelism so
+# its producer/worker threads contend with other test threads for real.
+echo "==> concurrency tests under RUST_TEST_THREADS=8"
+RUST_TEST_THREADS=8 cargo test -q --test concurrency
+RUST_TEST_THREADS=8 cargo test -q -p df-server concurrent::
+
 # Doc gates cover the first-party crates; the vendored stand-ins in
 # vendor/ are excluded (they are minimal API shims, not documentation
 # surface).
@@ -33,5 +40,8 @@ cargo test --doc --workspace -q "${FIRST_PARTY_EXCLUDES[@]}"
 
 echo "==> alg1 assembly bench (smoke, release, --test mode)"
 cargo bench -p df-bench --bench alg1_assembly -- --test
+
+echo "==> alg1 parallel ingest/phase1 bench (smoke, release, --test mode)"
+cargo bench -p df-bench --bench alg1_parallel -- --test
 
 echo "ci.sh: all gates passed"

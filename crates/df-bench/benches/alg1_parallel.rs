@@ -1,0 +1,301 @@
+//! Criterion microbench for the threaded sharded store
+//! (`deepflow::server::concurrent`): concurrent per-shard ingest at 1, 4
+//! and 8 workers (batched vs unbatched enqueue) against the
+//! single-threaded `ShardedSpanStore`, and Algorithm 1's Phase 1 run
+//! sequentially vs fanned out across scoped threads.
+//!
+//! The speedup acceptance checks (≥2× ingest at 4 workers, parallel
+//! Phase 1 not slower at 4 shards) are gated on
+//! `std::thread::available_parallelism()`: on a single-core runner the
+//! worker threads time-slice one CPU and a parallel speedup is physically
+//! unobservable, so the benches still *measure* and report, but only
+//! assert when ≥4 cores exist (see `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deepflow::server::assemble::AssembleConfig;
+use deepflow::server::concurrent::{ConcurrentConfig, ConcurrentShardedStore};
+use deepflow::server::sharded::{
+    assemble_trace_sharded, assemble_trace_sharded_parallel, ShardedSpanStore,
+};
+use deepflow::storage::ShardPolicy;
+use df_types::ids::*;
+use df_types::l7::L7Protocol;
+use df_types::net::FiveTuple;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::TimeNs;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+fn span(tap: TapSide, req: u64, resp: u64) -> Span {
+    Span {
+        span_id: SpanId(0),
+        kind: SpanKind::Sys,
+        capture: CapturePoint {
+            node: NodeId(1),
+            tap_side: tap,
+            interface: None,
+        },
+        agent: AgentId(1),
+        flow_id: FlowId(1),
+        five_tuple: FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        ),
+        l7_protocol: L7Protocol::Http1,
+        endpoint: "GET /".to_string(),
+        req_time: TimeNs(req),
+        resp_time: TimeNs(resp),
+        status: SpanStatus::Ok,
+        status_code: Some(200),
+        req_bytes: 1,
+        resp_bytes: 1,
+        pid: None,
+        tid: None,
+        process_name: None,
+        systrace_id_req: None,
+        systrace_id_resp: None,
+        pseudo_thread_id: None,
+        x_request_id_req: None,
+        x_request_id_resp: None,
+        tcp_seq_req: None,
+        tcp_seq_resp: None,
+        otel_trace_id: None,
+        otel_span_id: None,
+        otel_parent_span_id: None,
+        tags: TagSet::default(),
+        flow_metrics: None,
+    }
+}
+
+/// The nine capture points of one exchange, outermost first.
+const LADDER: [TapSide; 9] = [
+    TapSide::ClientProcess,
+    TapSide::ClientPodNic,
+    TapSide::ClientNodeNic,
+    TapSide::ClientHypervisor,
+    TapSide::Gateway,
+    TapSide::ServerHypervisor,
+    TapSide::ServerNodeNic,
+    TapSide::ServerPodNic,
+    TapSide::ServerProcess,
+];
+
+/// One capture-ladder exchange (10 spans), linked upstream/downstream by
+/// systrace ids and tied together by a TCP sequence + otel trace.
+fn push_exchange(spans: &mut Vec<Span>, seq: u32, link_in: u64, link_out: u64, otel: u128) {
+    let base = u64::from(seq) * 1_000_000;
+    for (rank, tap) in LADDER.iter().enumerate() {
+        let r = rank as u64;
+        let mut s = span(*tap, base + r * 10, base + 900_000 - r * 10);
+        s.tcp_seq_req = Some(seq);
+        if *tap == TapSide::ClientProcess {
+            s.systrace_id_req = Some(SysTraceId(link_in));
+        }
+        if *tap == TapSide::ServerProcess {
+            s.systrace_id_req = Some(SysTraceId(link_out));
+            s.otel_trace_id = Some(OtelTraceId(otel));
+        }
+        spans.push(s);
+    }
+    let mut app = span(TapSide::ServerApp, base + 1_000, base + 800_000);
+    app.kind = SpanKind::App;
+    app.otel_trace_id = Some(OtelTraceId(otel));
+    app.otel_span_id = Some(OtelSpanId(u64::from(seq)));
+    spans.push(app);
+}
+
+/// Per-exchange five-tuples so shard routing disperses the corpus.
+fn spread_flows(spans: &mut [Span]) {
+    for s in spans {
+        let key = s
+            .tcp_seq_req
+            .or(s.otel_span_id.map(|v| v.0 as u32))
+            .unwrap_or(0);
+        s.five_tuple = FiveTuple::tcp(
+            Ipv4Addr::new(10, (key >> 8) as u8, key as u8, 1),
+            40_000,
+            Ipv4Addr::new(10, 128, (key >> 16) as u8, 2),
+            80,
+        );
+    }
+}
+
+/// A fan-out exchange tree (branching 10, `levels` deep), flows spread.
+/// `levels` 4 ≈ 11k spans, 5 ≈ 111k spans.
+fn template(levels: usize) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut next_seq = 1u32;
+    let mut next_key = 1u64;
+    let mut queue = VecDeque::new();
+    queue.push_back((next_key, 0usize));
+    next_key += 1;
+    while let Some((link_in, level)) = queue.pop_front() {
+        let link_out = next_key;
+        next_key += 1;
+        let seq = next_seq;
+        next_seq += 1;
+        push_exchange(&mut spans, seq, link_in, link_out, u128::from(seq));
+        if level + 1 < levels {
+            for _ in 0..10usize {
+                queue.push_back((link_out, level + 1));
+            }
+        }
+    }
+    spread_flows(&mut spans);
+    spans
+}
+
+fn scale_cfg() -> AssembleConfig {
+    AssembleConfig {
+        iterations: 50_000,
+        max_spans: 200_000,
+        ..AssembleConfig::default()
+    }
+}
+
+/// Ingest one corpus through the concurrent store and wait for full
+/// application (flush barrier), batched or span-at-a-time.
+fn concurrent_ingest(workers: usize, spans: &[Span], batch: Option<usize>) -> usize {
+    let store = ConcurrentShardedStore::with_config(
+        ShardPolicy::with_shards(workers),
+        ConcurrentConfig {
+            queue_depth: 64,
+            ..ConcurrentConfig::default()
+        },
+    );
+    match batch {
+        Some(n) => {
+            for chunk in spans.chunks(n) {
+                store.insert_batch(chunk.to_vec());
+            }
+        }
+        None => {
+            for s in spans {
+                store.insert(s.clone());
+            }
+        }
+    }
+    store.flush();
+    store.len()
+}
+
+/// Concurrent ingest throughput at 1/4/8 workers, batched (512-span
+/// agent flushes) vs unbatched (span-at-a-time enqueue), against the
+/// single-threaded `ShardedSpanStore` batch path as the baseline.
+fn bench_parallel_ingest(c: &mut Criterion) {
+    for (label, levels) in [("10k", 4), ("100k", 5)] {
+        let spans = template(levels);
+        let total = spans.len();
+        let mut group = c.benchmark_group(format!("alg1_parallel_ingest_{label}"));
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_function("single_thread_batched", |b| {
+            b.iter(|| {
+                let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+                st.insert_batch(spans.clone());
+                st.len()
+            })
+        });
+        for workers in [1usize, 4, 8] {
+            group.bench_with_input(BenchmarkId::new("batched", workers), &workers, |b, &w| {
+                b.iter(|| concurrent_ingest(w, &spans, Some(512)))
+            });
+            // Unbatched at 100k floods the channels with 111k one-span
+            // messages; measure it on the 10k corpus only.
+            if levels == 4 {
+                group.bench_with_input(
+                    BenchmarkId::new("unbatched", workers),
+                    &workers,
+                    |b, &w| b.iter(|| concurrent_ingest(w, &spans, None)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+/// Algorithm 1 Phase 1 at 4 shards: sequential per-shard probing vs the
+/// scoped-thread fan-out, over ~10k and ~111k span corpora.
+fn bench_parallel_phase1(c: &mut Criterion) {
+    let cfg = scale_cfg();
+    for (label, levels) in [("10k", 4), ("100k", 5)] {
+        let spans = template(levels);
+        let total = spans.len();
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        let ids = st.insert_batch(spans);
+        let start = ids[0];
+        let seq = assemble_trace_sharded(&st, start, &cfg);
+        let par = assemble_trace_sharded_parallel(&st, start, &cfg);
+        assert_eq!(seq.len(), total, "bench trace must cover the corpus");
+        assert_eq!(
+            seq.spans.len(),
+            par.spans.len(),
+            "parallel Phase 1 must assemble the identical trace"
+        );
+        let mut group = c.benchmark_group(format!("alg1_parallel_phase1_{label}"));
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_function("sequential", |b| {
+            b.iter(|| assemble_trace_sharded(&st, start, &cfg))
+        });
+        group.bench_function("scoped_threads", |b| {
+            b.iter(|| assemble_trace_sharded_parallel(&st, start, &cfg))
+        });
+        group.finish();
+    }
+}
+
+/// Coarse acceptance checks, asserted only where ≥4 cores exist (a
+/// single-core runner cannot observe a parallel speedup; see the module
+/// docs). Always printed, so `EXPERIMENTS.md` numbers come from here.
+fn bench_acceptance(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let spans = template(5); // ~111k spans
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        t0.elapsed()
+    };
+    let single = time(&mut || {
+        let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        st.insert_batch(spans.clone());
+        st.len()
+    });
+    let four = time(&mut || concurrent_ingest(4, &spans, Some(512)));
+    println!(
+        "acceptance(100k ingest): single-thread {single:?}, 4 workers {four:?}, {cores} cores"
+    );
+    if cores >= 4 {
+        assert!(
+            four <= single / 2,
+            "≥4 cores but 4-worker ingest not ≥2× single-threaded: {four:?} vs {single:?}"
+        );
+    }
+
+    let cfg = scale_cfg();
+    let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+    let start = st.insert_batch(spans)[0];
+    let seq = time(&mut || assemble_trace_sharded(&st, start, &cfg).len());
+    let par = time(&mut || assemble_trace_sharded_parallel(&st, start, &cfg).len());
+    println!("acceptance(100k phase1): sequential {seq:?}, scoped threads {par:?}");
+    if cores >= 4 {
+        assert!(
+            par <= seq + seq / 4,
+            "≥4 cores but parallel Phase 1 slower than sequential: {par:?} vs {seq:?}"
+        );
+    }
+    // Keep the group in the report even though the assertions above are
+    // the substance; a trivial measured body keeps `--test` coverage.
+    let mut group = c.benchmark_group("alg1_parallel_acceptance");
+    group.bench_function("noop", |b| b.iter(|| cores));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_ingest,
+    bench_parallel_phase1,
+    bench_acceptance
+);
+criterion_main!(benches);

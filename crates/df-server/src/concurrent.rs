@@ -1,0 +1,1099 @@
+//! [`ConcurrentShardedStore`] — the shard boundary taken across threads.
+//!
+//! PR 2 partitioned the corpus into [`SpanStore`] shards behind one
+//! `&mut self`; every ingest and every assembly still serialised on the
+//! owning thread. This module makes each shard an independently locked
+//! unit owned by a **per-shard ingest worker thread**, so ingest
+//! parallelises across shards while queries run concurrently against a
+//! consistent snapshot — the ROADMAP's "take the shard boundary across
+//! threads" step, mirroring how the paper's collector keeps absorbing
+//! agent traffic while Algorithm 1 assembles on demand (§5).
+//!
+//! ## Topology
+//!
+//! ```text
+//!  producers (any thread, &self)        per-shard workers (owned threads)
+//!  ───────────────────────────          ───────────────────────────────
+//!  insert_batch ─┬─ route/ids ──► bounded MPSC ──► worker 0 ──► SpanStore 0 (RwLock)
+//!                ├───────────────► bounded MPSC ──► worker 1 ──► SpanStore 1 (RwLock)
+//!                └───────────────► …
+//! ```
+//!
+//! * **Routing front-end** (`route` mutex): assigns global sequential span
+//!   ids and `(shard, row)` locations — identical to what the
+//!   single-threaded [`ShardedSpanStore`](crate::sharded::ShardedSpanStore)
+//!   would assign for the same call order, which is what makes the
+//!   differential determinism tests possible. Held only for cheap work;
+//!   channel sends happen outside it.
+//! * **Bounded channels**: each shard's queue holds at most
+//!   [`ConcurrentConfig::queue_depth`] messages; a full queue blocks the
+//!   producer (backpressure) instead of growing without bound.
+//! * **Workers**: each worker owns the `&mut` side of its shard behind an
+//!   `RwLock`, applying batches with the amortised
+//!   [`SpanStore::insert_routed_batch`]. Because sends happen outside the
+//!   routing lock, two producers' batches can arrive out of row order; the
+//!   worker stashes early batches and applies strictly in row order, so
+//!   shard contents are independent of arrival races.
+//! * **Flush barrier**: [`ConcurrentShardedStore::flush`] returns only
+//!   once every message enqueued before it has been applied — tests and
+//!   benches get read-your-writes visibility on demand.
+//!
+//! ## Generation-bump ordering (the staleness-correctness invariant)
+//!
+//! Bucket generations drive trace-cache invalidation. A worker bumps a
+//! bucket's generation **while still holding its shard's write lock**, and
+//! an assembling reader holds *all* shard read locks from Phase 1 through
+//! reading the generations it records in the cache entry. Rows-visible and
+//! generation-bumped are therefore atomic from any reader's point of view:
+//! no interleaving exists in which a cached trace misses an applied span
+//! yet records its post-apply generation (which would never invalidate —
+//! a permanently stale entry). The exhaustive two-thread schedule
+//! enumeration in this module's tests checks exactly this, including that
+//! both fine-grained orderings *would* exhibit the bug without the lock
+//! discipline.
+//!
+//! ## Bounded staleness under ingest load
+//!
+//! [`ConcurrentShardedStore::query_trace`] measures ingest pressure as the
+//! spans enqueued-but-unapplied across all shards. Above
+//! [`ConcurrentConfig::stale_pending_threshold`], a cached trace whose
+//! bucket generations drifted by at most
+//! [`ConcurrentConfig::stale_window`] is served as-is
+//! ([`CacheOutcome::Stale`]) instead of re-assembling synchronously behind
+//! the queue — the paper's dashboards prefer a milliseconds-old trace over
+//! a trace query that stalls the collector. Served-stale queries are
+//! counted separately ([`ServerStats::cache_stale_hits`]).
+
+use crate::assemble::AssembleConfig;
+use crate::server::ServerStats;
+use crate::sharded::{finish_assembly, phase1_members, Bucket, Loc, PARALLEL_MIN_KEYS};
+use crate::trace_cache::{BucketGens, CacheOutcome, TraceCache};
+use df_storage::{ShardPolicy, SpanQuery, SpanStore};
+use df_types::trace::Trace;
+use df_types::{Span, SpanId, TimeNs};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+
+/// Tunables of the concurrent store (queue depths, staleness policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentConfig {
+    /// Messages a shard's ingest queue holds before `insert_batch` blocks
+    /// on that shard (backpressure).
+    pub queue_depth: usize,
+    /// Pending (enqueued-but-unapplied) span count above which
+    /// [`ConcurrentShardedStore::query_trace`] switches the trace cache to
+    /// bounded-staleness mode.
+    pub stale_pending_threshold: usize,
+    /// Maximum bucket-generation drift a cached trace may have and still
+    /// be served under ingest load (see the module docs).
+    pub stale_window: u64,
+    /// Fan Phase 1's per-shard probes out across scoped threads when a
+    /// frontier round's key batch is large enough.
+    pub parallel_phase1: bool,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            queue_depth: 64,
+            stale_pending_threshold: 4096,
+            stale_window: 8,
+            parallel_phase1: true,
+        }
+    }
+}
+
+/// A row-addressed mutation routed through a shard's ingest queue so it
+/// applies in order with the inserts it races against.
+#[derive(Debug)]
+enum RowOp {
+    /// Hide the row (re-aggregation consumed it).
+    Tombstone,
+    /// Merge a late response into the row's Incomplete span.
+    Complete(Box<Span>),
+}
+
+/// One message on a shard's ingest queue.
+#[derive(Debug)]
+enum ShardMsg {
+    /// A routed batch whose rows start at `start_row` (contiguous).
+    Batch { start_row: u32, spans: Vec<Span> },
+    /// A row-addressed mutation (applies once the row exists).
+    Op { row: u32, op: RowOp },
+    /// Flush barrier: acknowledged once everything before it is applied.
+    Flush(Arc<FlushGate>),
+}
+
+/// Countdown the flusher waits on; each worker arrives once its queue has
+/// fully drained past the barrier message.
+#[derive(Debug)]
+struct FlushGate {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl FlushGate {
+    fn new(parties: usize) -> Arc<Self> {
+        Arc::new(FlushGate {
+            remaining: Mutex::new(parties),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn arrive(&self) {
+        let mut r = self.remaining.lock().expect("flush gate poisoned");
+        *r = r.saturating_sub(1);
+        if *r == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock().expect("flush gate poisoned");
+        while *r > 0 {
+            r = self.cv.wait(r).expect("flush gate poisoned");
+        }
+    }
+}
+
+/// One shard: the store behind its lock plus the pending-mutation gauge.
+#[derive(Debug)]
+struct ShardSlot {
+    store: RwLock<SpanStore>,
+    /// Spans and row ops enqueued to this shard but not yet applied.
+    pending: AtomicUsize,
+}
+
+/// The routing front-end state: id assignment and id → location mapping.
+#[derive(Debug, Default)]
+struct RouteState {
+    /// Global id − 1 → location (ids are assigned sequentially here).
+    route: Vec<Loc>,
+    /// Next row per shard.
+    shard_rows: Vec<u32>,
+    /// Spans routed away from a full preferred shard (soft-cap clamp).
+    clamped: u64,
+}
+
+impl RouteState {
+    fn loc(&self, id: SpanId) -> Option<Loc> {
+        let idx = id.raw().checked_sub(1)? as usize;
+        self.route.get(idx).copied()
+    }
+
+    /// The preferred shard unless it is at the policy's row cap — then the
+    /// least-loaded shard, with the clamp counted (never panics).
+    fn pick_shard(&mut self, preferred: usize, policy: &ShardPolicy) -> u16 {
+        if (self.shard_rows[preferred] as usize) < policy.max_shard_rows {
+            return preferred as u16;
+        }
+        self.clamped += 1;
+        self.shard_rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &rows)| rows)
+            .map(|(i, _)| i as u16)
+            .unwrap_or(preferred as u16)
+    }
+}
+
+/// The time-bucket generation table, shared between workers (bumping) and
+/// readers (validating cache entries, windowing queries).
+#[derive(Debug, Default)]
+struct GenTable {
+    buckets: HashMap<u64, Bucket>,
+}
+
+impl GenTable {
+    fn touch(&mut self, bucket: u64, shard: usize) {
+        let b = self.buckets.entry(bucket).or_default();
+        b.gen += 1;
+        b.shards |= 1u64 << shard;
+    }
+
+    fn gen(&self, bucket: u64) -> u64 {
+        self.buckets.get(&bucket).map(|b| b.gen).unwrap_or(0)
+    }
+
+    /// Bitmask of shards holding applied spans in `[from, to)`; all-ones
+    /// when the window is unbounded.
+    fn window_mask(&self, policy: &ShardPolicy, from: Option<TimeNs>, to: Option<TimeNs>) -> u64 {
+        let (Some(from), Some(to)) = (from, to) else {
+            return u64::MAX;
+        };
+        if to.as_nanos() == 0 {
+            return 0;
+        }
+        let lo = policy.bucket_of(from);
+        let hi = policy.bucket_of(TimeNs(to.as_nanos() - 1));
+        self.buckets
+            .iter()
+            .filter(|(b, _)| (lo..=hi).contains(*b))
+            .fold(0u64, |m, (_, b)| m | b.shards)
+    }
+}
+
+/// [`BucketGens`] view over the concurrent store's locked generation
+/// table, so the [`TraceCache`] stays store-agnostic.
+struct GenView<'a> {
+    gens: &'a Mutex<GenTable>,
+    policy: &'a ShardPolicy,
+}
+
+impl BucketGens for GenView<'_> {
+    fn bucket_gen(&self, bucket: u64) -> u64 {
+        self.gens.lock().expect("gen table poisoned").gen(bucket)
+    }
+    fn bucket_of(&self, t: TimeNs) -> u64 {
+        self.policy.bucket_of(t)
+    }
+}
+
+/// Per-worker reorder state: batches and ops that arrived before the rows
+/// they target (sends happen outside the routing lock, so two producers'
+/// messages can arrive out of row order).
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// Early batches, keyed by their start row.
+    batches: BTreeMap<u32, Vec<Span>>,
+    /// Early row ops, keyed by target row (arrival order kept per row).
+    ops: BTreeMap<u32, Vec<RowOp>>,
+    /// Flush gates deferred until the reorder buffers drain.
+    flushes: Vec<Arc<FlushGate>>,
+}
+
+/// A span corpus partitioned across per-worker-owned [`SpanStore`] shards,
+/// ingesting through bounded per-shard queues. See the module docs for the
+/// channel topology, the flush barrier and the staleness contract.
+///
+/// # Examples
+///
+/// ```
+/// use df_server::concurrent::ConcurrentShardedStore;
+/// use df_storage::ShardPolicy;
+/// use df_types::span::TapSide;
+/// use df_types::Span;
+///
+/// let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+/// let mut client = Span::synthetic(TapSide::ClientProcess, 100, 900);
+/// client.tcp_seq_req = Some(7);
+/// let mut server = Span::synthetic(TapSide::ServerProcess, 200, 800);
+/// server.tcp_seq_req = Some(7);
+/// let ids = store.insert_batch(vec![client, server]);
+/// store.flush(); // barrier: both spans applied and visible
+///
+/// let trace = store.query_trace(ids[0]);
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.is_well_formed());
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentShardedStore {
+    policy: ShardPolicy,
+    cfg: ConcurrentConfig,
+    assemble_cfg: AssembleConfig,
+    slots: Vec<Arc<ShardSlot>>,
+    gens: Arc<Mutex<GenTable>>,
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    route: Mutex<RouteState>,
+    cache: Mutex<TraceCache>,
+    stats: Mutex<ServerStats>,
+}
+
+impl ConcurrentShardedStore {
+    /// Store under `policy` with default [`ConcurrentConfig`], spawning one
+    /// ingest worker per shard. Shard counts above 64 are clamped exactly
+    /// as in the single-threaded store.
+    pub fn new(policy: ShardPolicy) -> Self {
+        Self::with_config(policy, ConcurrentConfig::default())
+    }
+
+    /// Store with explicit concurrency tunables.
+    pub fn with_config(mut policy: ShardPolicy, cfg: ConcurrentConfig) -> Self {
+        policy.shards = policy.shards.clamp(1, 64);
+        let gens = Arc::new(Mutex::new(GenTable::default()));
+        let mut slots = Vec::with_capacity(policy.shards);
+        let mut senders = Vec::with_capacity(policy.shards);
+        let mut workers = Vec::with_capacity(policy.shards);
+        for si in 0..policy.shards {
+            let slot = Arc::new(ShardSlot {
+                store: RwLock::new(SpanStore::new()),
+                pending: AtomicUsize::new(0),
+            });
+            let (tx, rx) = sync_channel::<ShardMsg>(cfg.queue_depth.max(1));
+            let worker_slot = Arc::clone(&slot);
+            let worker_gens = Arc::clone(&gens);
+            let handle = thread::Builder::new()
+                .name(format!("df-shard-{si}"))
+                .spawn(move || worker_loop(si, worker_slot, worker_gens, policy, rx))
+                .expect("spawn shard worker");
+            slots.push(slot);
+            senders.push(tx);
+            workers.push(handle);
+        }
+        ConcurrentShardedStore {
+            route: Mutex::new(RouteState {
+                route: Vec::new(),
+                shard_rows: vec![0; policy.shards],
+                clamped: 0,
+            }),
+            policy,
+            cfg,
+            assemble_cfg: AssembleConfig::default(),
+            slots,
+            gens,
+            senders,
+            workers,
+            cache: Mutex::new(TraceCache::new()),
+            stats: Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// The routing policy this store was built with.
+    pub fn policy(&self) -> &ShardPolicy {
+        &self.policy
+    }
+
+    /// Override assembly tunables (construction-time; the store is shared
+    /// immutably afterwards).
+    pub fn set_assemble_config(&mut self, cfg: AssembleConfig) {
+        self.assemble_cfg = cfg;
+    }
+
+    /// Number of shards (== ingest workers).
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans routed (ids assigned), including spans still in queues.
+    pub fn len(&self) -> usize {
+        self.route.lock().expect("route lock poisoned").route.len()
+    }
+
+    /// Whether no span has been routed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans and row ops enqueued but not yet applied — the ingest-load
+    /// gauge the bounded-staleness mode keys off.
+    pub fn pending(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.pending.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Applied spans per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .map(|s| s.store.read().expect("shard lock poisoned").len())
+            .collect()
+    }
+
+    /// Spans routed away from their preferred shard because it was at
+    /// [`ShardPolicy::max_shard_rows`] (soft-cap clamp; nothing is lost).
+    pub fn routing_clamped(&self) -> u64 {
+        self.route.lock().expect("route lock poisoned").clamped
+    }
+
+    /// A coherent snapshot of the counters: every snapshot satisfies
+    /// `trace_queries == cache_hits + cache_stale_hits + cache_misses +
+    /// cache_invalidations` (all counters of one query move under one lock
+    /// acquisition).
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock().expect("stats lock poisoned")
+    }
+
+    /// Insert one span. Equivalent to a one-span [`Self::insert_batch`]
+    /// (the unbatched ingest path the benches compare against).
+    pub fn insert(&self, span: Span) -> SpanId {
+        self.insert_batch(vec![span])[0]
+    }
+
+    /// Insert a batch (what an agent ships per flush): ids and `(shard,
+    /// row)` locations are assigned under the routing lock — globally
+    /// sequential, identical to the single-threaded store for the same
+    /// call order — then each shard's sub-batch is enqueued to its worker.
+    /// Blocks only when a target shard's queue is full (backpressure).
+    /// Spans become query-visible when their worker applies them; call
+    /// [`Self::flush`] for a visibility barrier.
+    pub fn insert_batch(&self, spans: Vec<Span>) -> Vec<SpanId> {
+        if spans.is_empty() {
+            return Vec::new();
+        }
+        let mut ids = Vec::with_capacity(spans.len());
+        let mut per_shard: Vec<Option<(u32, Vec<Span>)>> = vec![None; self.slots.len()];
+        {
+            let mut rt = self.route.lock().expect("route lock poisoned");
+            rt.route.reserve(spans.len());
+            for mut span in spans {
+                let id = SpanId(rt.route.len() as u64 + 1);
+                span.span_id = id;
+                let shard = rt.pick_shard(self.policy.route(&span), &self.policy);
+                let row = rt.shard_rows[shard as usize];
+                rt.shard_rows[shard as usize] += 1;
+                rt.route.push(Loc { shard, row });
+                per_shard[shard as usize]
+                    .get_or_insert_with(|| (row, Vec::new()))
+                    .1
+                    .push(span);
+                ids.push(id);
+            }
+        } // routing lock released before potentially-blocking sends
+        let mut enqueued = 0u64;
+        for (si, sub) in per_shard.into_iter().enumerate() {
+            let Some((start_row, spans)) = sub else {
+                continue;
+            };
+            enqueued += spans.len() as u64;
+            self.slots[si]
+                .pending
+                .fetch_add(spans.len(), Ordering::AcqRel);
+            self.senders[si]
+                .send(ShardMsg::Batch { start_row, spans })
+                .expect("shard worker alive");
+        }
+        self.stats.lock().expect("stats lock poisoned").ingested += enqueued;
+        ids
+    }
+
+    /// Hide a span from queries. The tombstone is routed through the
+    /// owning shard's ingest queue so it is ordered after the insert it
+    /// races against; eviction compaction triggers in the worker once the
+    /// shard crosses [`ShardPolicy::evict_threshold`].
+    pub fn tombstone(&self, id: SpanId) {
+        let loc = self.route.lock().expect("route lock poisoned").loc(id);
+        let Some(loc) = loc else {
+            return;
+        };
+        self.slots[loc.shard as usize]
+            .pending
+            .fetch_add(1, Ordering::AcqRel);
+        self.senders[loc.shard as usize]
+            .send(ShardMsg::Op {
+                row: loc.row,
+                op: RowOp::Tombstone,
+            })
+            .expect("shard worker alive");
+    }
+
+    /// Merge a late response into an Incomplete span (server-side
+    /// re-aggregation), routed through the owning shard's queue. The
+    /// outcome is observable after [`Self::flush`] via [`Self::get`].
+    pub fn complete_span(&self, id: SpanId, resp: Span) {
+        let loc = self.route.lock().expect("route lock poisoned").loc(id);
+        let Some(loc) = loc else {
+            return;
+        };
+        self.slots[loc.shard as usize]
+            .pending
+            .fetch_add(1, Ordering::AcqRel);
+        self.senders[loc.shard as usize]
+            .send(ShardMsg::Op {
+                row: loc.row,
+                op: RowOp::Complete(Box::new(resp)),
+            })
+            .expect("shard worker alive");
+    }
+
+    /// Barrier: returns once every message enqueued before the call has
+    /// been applied to its shard. After `flush`, every earlier
+    /// `insert_batch` / `tombstone` / `complete_span` is visible to
+    /// queries and assembly.
+    pub fn flush(&self) {
+        let gate = FlushGate::new(self.senders.len());
+        for tx in &self.senders {
+            tx.send(ShardMsg::Flush(Arc::clone(&gate)))
+                .expect("shard worker alive");
+        }
+        gate.wait();
+    }
+
+    /// Fetch an *applied* span by global id (spans still in a queue return
+    /// `None` until flushed).
+    pub fn get(&self, id: SpanId) -> Option<Span> {
+        let loc = self.route.lock().expect("route lock poisoned").loc(id)?;
+        self.slots[loc.shard as usize]
+            .store
+            .read()
+            .expect("shard lock poisoned")
+            .get_row(loc.row)
+            .cloned()
+    }
+
+    /// Whether an applied span is tombstoned.
+    pub fn is_tombstoned(&self, id: SpanId) -> bool {
+        let Some(loc) = self.route.lock().expect("route lock poisoned").loc(id) else {
+            return false;
+        };
+        self.slots[loc.shard as usize]
+            .store
+            .read()
+            .expect("shard lock poisoned")
+            .is_tombstoned(id)
+    }
+
+    /// Compact tombstoned rows out of every shard's indexes immediately
+    /// (the workers also compact on their own once past the policy's
+    /// threshold). Returns total index entries removed.
+    pub fn evict_tombstoned(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.store
+                    .write()
+                    .expect("shard lock poisoned")
+                    .evict_tombstoned()
+            })
+            .sum()
+    }
+
+    /// Span-list query over applied spans: candidate shards (per the
+    /// routing table's bucket occupancy) answer under their read locks;
+    /// results merge by `(req_time, span_id)` and re-cap at `limit`.
+    pub fn query(&self, q: &SpanQuery) -> Vec<Span> {
+        let mask =
+            self.gens
+                .lock()
+                .expect("gen table poisoned")
+                .window_mask(&self.policy, q.from, q.to);
+        self.stats.lock().expect("stats lock poisoned").list_queries += 1;
+        let mut merged: Vec<Span> = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if mask & (1u64 << i) == 0 {
+                continue;
+            }
+            let shard = slot.store.read().expect("shard lock poisoned");
+            merged.extend(shard.query(q).into_iter().cloned());
+        }
+        merged.sort_by_key(|s| (s.req_time, s.span_id));
+        merged.truncate(q.limit);
+        merged
+    }
+
+    /// Trace query through the cache. Under ingest load (pending queue
+    /// depth above [`ConcurrentConfig::stale_pending_threshold`]) a cached
+    /// trace stale by at most [`ConcurrentConfig::stale_window`] bucket
+    /// generations is served instead of re-assembling synchronously; the
+    /// stats count hit / stale-hit / miss / invalidation disjointly.
+    pub fn query_trace(&self, start: SpanId) -> Arc<Trace> {
+        let window = if self.pending() > self.cfg.stale_pending_threshold {
+            self.cfg.stale_window
+        } else {
+            0
+        };
+        self.query_trace_bounded(start, window)
+    }
+
+    /// [`Self::query_trace`] with an explicit staleness tolerance: a cached
+    /// trace whose bucket generations drifted by at most `window` is served
+    /// without re-assembly (a dashboard refreshing every second can afford
+    /// a generation or two of drift; an incident drill-down passes 0).
+    pub fn query_trace_bounded(&self, start: SpanId, window: u64) -> Arc<Trace> {
+        let view = GenView {
+            gens: &self.gens,
+            policy: &self.policy,
+        };
+        let outcome = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .lookup_bounded(start, &view, window);
+        enum Kind {
+            Hit,
+            Stale,
+            Miss,
+            Invalidated,
+        }
+        let (arc, kind) = match outcome {
+            CacheOutcome::Hit(t) => (t, Kind::Hit),
+            CacheOutcome::Stale(t) => (t, Kind::Stale),
+            other => {
+                let arc = self.assemble_and_cache(start);
+                let kind = match other {
+                    CacheOutcome::Invalidated => Kind::Invalidated,
+                    _ => Kind::Miss,
+                };
+                (arc, kind)
+            }
+        };
+        {
+            // One acquisition for all counters of this query → coherent.
+            let mut st = self.stats.lock().expect("stats lock poisoned");
+            st.trace_queries += 1;
+            match kind {
+                Kind::Hit => st.cache_hits += 1,
+                Kind::Stale => st.cache_stale_hits += 1,
+                Kind::Miss => st.cache_misses += 1,
+                Kind::Invalidated => st.cache_invalidations += 1,
+            }
+        }
+        arc
+    }
+
+    /// Assemble (Algorithm 1) from `start` against a consistent snapshot:
+    /// all shard read locks are held from Phase 1 through the cache store,
+    /// so the recorded generations exactly match the assembled span set
+    /// (module docs: the staleness-correctness invariant).
+    fn assemble_and_cache(&self, start: SpanId) -> Arc<Trace> {
+        let loc = self.route.lock().expect("route lock poisoned").loc(start);
+        let Some(loc) = loc else {
+            return Arc::new(Trace::default());
+        };
+        let guards: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| s.store.read().expect("shard lock poisoned"))
+            .collect();
+        let refs: Vec<&SpanStore> = guards.iter().map(|g| &**g).collect();
+        // The start span may still sit in its shard's queue (not applied):
+        // assemble nothing rather than panic; the empty trace is not
+        // cached, so a post-flush retry assembles for real.
+        if refs[loc.shard as usize].len() as u32 <= loc.row
+            || refs[loc.shard as usize].is_tombstoned(start)
+        {
+            return Arc::new(Trace::default());
+        }
+        let parallel = if self.cfg.parallel_phase1 {
+            Some(PARALLEL_MIN_KEYS)
+        } else {
+            None
+        };
+        let members = phase1_members(&refs, (loc.shard, loc.row), &self.assemble_cfg, parallel);
+        let trace = finish_assembly(&refs, &members, start, &self.assemble_cfg);
+        let view = GenView {
+            gens: &self.gens,
+            policy: &self.policy,
+        };
+        // Cache while the guards are held: generations cannot move between
+        // assembly and the dependency snapshot.
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .store(start, trace, &view)
+    }
+}
+
+impl Drop for ConcurrentShardedStore {
+    fn drop(&mut self) {
+        // Disconnect the queues; workers drain what they hold and exit.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The per-shard ingest worker: applies batches strictly in row order
+/// (stashing early arrivals), applies row ops once their row exists, bumps
+/// bucket generations *inside* the shard write lock (module docs), and
+/// acknowledges flush barriers once its reorder buffers are empty.
+fn worker_loop(
+    si: usize,
+    slot: Arc<ShardSlot>,
+    gens: Arc<Mutex<GenTable>>,
+    policy: ShardPolicy,
+    rx: Receiver<ShardMsg>,
+) {
+    let mut state = WorkerState::default();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch { start_row, spans } => {
+                state.batches.insert(start_row, spans);
+            }
+            ShardMsg::Op { row, op } => {
+                state.ops.entry(row).or_default().push(op);
+            }
+            ShardMsg::Flush(gate) => {
+                state.flushes.push(gate);
+            }
+        }
+        drain(si, &slot, &gens, &policy, &mut state);
+    }
+    // Teardown: the store dropped its senders. Apply anything applicable
+    // and release any flushers (only reachable if the store is dropped
+    // mid-flush, which the &self API prevents — belt and braces).
+    drain(si, &slot, &gens, &policy, &mut state);
+    for gate in state.flushes.drain(..) {
+        gate.arrive();
+    }
+}
+
+/// Apply every ready message: contiguous batches (in row order), then row
+/// ops whose rows exist. Generation bumps happen while the shard write
+/// lock is held, making rows-visible + generation-bumped atomic for any
+/// reader holding the read lock (the staleness-correctness invariant).
+fn drain(
+    si: usize,
+    slot: &ShardSlot,
+    gens: &Mutex<GenTable>,
+    policy: &ShardPolicy,
+    state: &mut WorkerState,
+) {
+    loop {
+        let mut progressed = false;
+        {
+            let mut store = slot.store.write().expect("shard lock poisoned");
+            // Batches: apply while the next stashed batch is contiguous
+            // with the rows already applied.
+            while let Some(entry) = state.batches.first_entry() {
+                if *entry.key() != store.len() as u32 {
+                    break; // gap: an earlier batch is still in flight
+                }
+                let spans = entry.remove();
+                let applied = spans.len();
+                let touched: Vec<u64> =
+                    spans.iter().map(|s| policy.bucket_of(s.req_time)).collect();
+                store.insert_routed_batch(spans);
+                {
+                    let mut g = gens.lock().expect("gen table poisoned");
+                    for b in touched {
+                        g.touch(b, si);
+                    }
+                }
+                slot.pending.fetch_sub(applied, Ordering::AcqRel);
+                progressed = true;
+            }
+            // Row ops: apply any whose target row has been applied.
+            let applied_rows = store.len() as u32;
+            let ready: Vec<u32> = state
+                .ops
+                .range(..applied_rows)
+                .map(|(&row, _)| row)
+                .collect();
+            for row in ready {
+                let ops = state.ops.remove(&row).expect("ready row present");
+                for op in ops {
+                    let bucket = store.get_row(row).map(|s| policy.bucket_of(s.req_time));
+                    let mutated = match op {
+                        RowOp::Tombstone => {
+                            store.tombstone_row(row);
+                            if store.pending_evictions() >= policy.evict_threshold {
+                                store.evict_tombstoned();
+                            }
+                            true
+                        }
+                        RowOp::Complete(resp) => store.complete_span_row(row, &resp),
+                    };
+                    if mutated {
+                        if let Some(b) = bucket {
+                            gens.lock().expect("gen table poisoned").touch(b, si);
+                        }
+                    }
+                    slot.pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if state.batches.is_empty() && state.ops.is_empty() {
+        for gate in state.flushes.drain(..) {
+            gate.arrive();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::span::{SpanStatus, TapSide};
+
+    fn linked_pair(seq: u32, base_ns: u64) -> Vec<Span> {
+        let mut a = Span::synthetic(TapSide::ClientProcess, base_ns, base_ns + 500);
+        a.tcp_seq_req = Some(seq);
+        let mut b = Span::synthetic(TapSide::ServerProcess, base_ns + 10, base_ns + 490);
+        b.tcp_seq_req = Some(seq);
+        vec![a, b]
+    }
+
+    #[test]
+    fn flush_is_a_visibility_barrier() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        store.flush();
+        assert_eq!(store.pending(), 0, "flush drains every queue");
+        assert_eq!(store.len(), 2);
+        for &id in &ids {
+            let got = store.get(id).expect("applied after flush");
+            assert_eq!(got.span_id, id);
+        }
+        let trace = store.query_trace(ids[0]);
+        assert_eq!(trace.len(), 2);
+        assert!(trace.is_well_formed());
+    }
+
+    #[test]
+    fn ids_are_globally_sequential_in_enqueue_order() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        let mut ids = store.insert_batch(linked_pair(1, 1_000));
+        ids.extend(store.insert_batch(linked_pair(2, 2_000)));
+        ids.push(store.insert(linked_pair(3, 3_000).remove(0)));
+        assert_eq!(
+            ids.iter().map(|i| i.raw()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn tombstone_and_complete_apply_in_order_with_racing_insert() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        let mut req = Span::synthetic(TapSide::ClientProcess, 1_000, 1_000);
+        req.status = SpanStatus::Incomplete;
+        let mut resp = Span::synthetic(TapSide::ClientProcess, 1_000, 1_900);
+        resp.status = SpanStatus::ResponseOnly;
+        let ids = store.insert_batch(vec![req]);
+        // No flush in between: the completion chases the insert through the
+        // same shard queue and must apply after it.
+        store.complete_span(ids[0], resp);
+        let other = store.insert_batch(linked_pair(9, 5_000));
+        store.tombstone(other[1]);
+        store.flush();
+        assert_eq!(
+            store.get(ids[0]).expect("applied").status,
+            SpanStatus::Ok,
+            "completion applied after its insert"
+        );
+        assert!(store.is_tombstoned(other[1]));
+        assert!(!store.is_tombstoned(other[0]));
+        assert_eq!(store.pending(), 0);
+    }
+
+    #[test]
+    fn query_merges_shards_in_time_id_order() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        for i in 0..8u32 {
+            store.insert_batch(linked_pair(i + 1, 1_000 + u64::from(i) * 10));
+        }
+        store.flush();
+        let q = SpanQuery::window(TimeNs(0), TimeNs(1_000_000));
+        let got = store.query(&q);
+        assert_eq!(got.len(), 16);
+        let mut keys: Vec<_> = got.iter().map(|s| (s.req_time, s.span_id)).collect();
+        let sorted = {
+            let mut k = keys.clone();
+            k.sort();
+            k
+        };
+        assert_eq!(keys, sorted, "merged results ordered by (req_time, id)");
+        keys.dedup();
+        assert_eq!(keys.len(), 16, "no duplicates across shards");
+    }
+
+    #[test]
+    fn stale_window_serves_cached_trace_and_counts_it() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        store.flush();
+        let cold = store.query_trace(ids[0]);
+        assert_eq!(cold.len(), 2);
+        let warm = store.query_trace(ids[0]);
+        assert!(Arc::ptr_eq(&cold, &warm), "warm hit is the cached Arc");
+
+        // One mutation inside the envelope: drift 1.
+        let mut c = Span::synthetic(TapSide::ServerPodNic, 1_005, 1_495);
+        c.tcp_seq_req = Some(7);
+        store.insert_batch(vec![c]);
+        store.flush();
+
+        let stale = store.query_trace_bounded(ids[0], 2);
+        assert!(
+            Arc::ptr_eq(&stale, &cold),
+            "drift 1 ≤ window 2 serves the cached trace without re-assembly"
+        );
+        let strict = store.query_trace(ids[0]);
+        assert_eq!(
+            strict.len(),
+            3,
+            "strict query re-assembles with the new span"
+        );
+
+        let st = store.stats();
+        assert_eq!(st.cache_stale_hits, 1);
+        assert_eq!(
+            st.trace_queries,
+            st.cache_hits + st.cache_stale_hits + st.cache_misses + st.cache_invalidations,
+            "stats snapshot invariant"
+        );
+    }
+
+    #[test]
+    fn unapplied_start_span_yields_empty_uncached_trace() {
+        // Deterministic version of the race "query a span still in the
+        // ingest queue": the routing table knows the id, the shard does not
+        // hold the row yet. With the default deep queue and an immediate
+        // query there is no guarantee the worker has applied the batch, so
+        // an empty result must be legal — and must NOT be cached.
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(2));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        let _ = store.query_trace(ids[0]); // may be empty or full, must not panic
+        store.flush();
+        let trace = store.query_trace(ids[0]);
+        assert_eq!(trace.len(), 2, "post-flush query sees the applied spans");
+    }
+
+    #[test]
+    fn routing_clamp_rebalances_instead_of_panicking() {
+        let policy = ShardPolicy {
+            shards: 2,
+            max_shard_rows: 2,
+            ..ShardPolicy::default()
+        };
+        let store = ConcurrentShardedStore::new(policy);
+        // Six spans of one flow all prefer the same shard; the cap forces
+        // the overflow onto the other shard.
+        let spans: Vec<Span> = (0..3)
+            .flat_map(|i| linked_pair(7, 1_000 + i * 10))
+            .collect();
+        let ids = store.insert_batch(spans);
+        store.flush();
+        assert_eq!(ids.len(), 6);
+        assert!(store.routing_clamped() >= 2);
+        let sizes = store.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6, "no span lost to the cap");
+        assert!(
+            sizes.iter().all(|&s| s >= 2),
+            "overflow rebalanced: {sizes:?}"
+        );
+        for &id in &ids {
+            assert!(store.get(id).is_some(), "{id:?} reachable after clamping");
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_without_flush() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+        store.insert_batch(linked_pair(7, 1_000));
+        drop(store); // must not hang or panic with messages still queued
+    }
+
+    // ------------------------------------------------------------------
+    // Exhaustive two-thread interleaving check for the generation-bump
+    // ordering invariant (module docs). Hand-rolled loom-style model: a
+    // writer applies one span (row becomes visible + bucket generation
+    // bumps) while a reader assembles (reads row visibility) and caches
+    // (records the generation). A cache entry is PERMANENTLY STALE if it
+    // misses the span but records the post-bump generation — strict
+    // lookups would validate it forever. We enumerate every schedule of
+    // the two threads' atomic steps and assert:
+    //   * the implemented discipline (both sides atomic under the shard
+    //     lock) admits no permanently-stale schedule, and
+    //   * BOTH fine-grained orderings (bump-then-insert and
+    //     insert-then-bump without the lock) DO admit one — i.e. the
+    //     checker has teeth and the lock discipline is load-bearing.
+    // ------------------------------------------------------------------
+
+    /// One atomic step of the model: micro-ops that execute indivisibly.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Step {
+        /// Writer: row becomes visible.
+        WVis,
+        /// Writer: bucket generation bumps.
+        WGen,
+        /// Writer: both at once (the shard-lock critical section).
+        WAtomic,
+        /// Reader: observes row visibility (Phase 1 under the read lock).
+        RSee,
+        /// Reader: records the generation into the cache entry.
+        RGen,
+        /// Reader: both at once (read locks held across assembly + store).
+        RAtomic,
+    }
+
+    /// Simulate one schedule; returns (saw_row, recorded_gen, final_gen).
+    fn run_schedule(schedule: &[Step]) -> (bool, u64, u64) {
+        let (mut vis, mut gen) = (false, 0u64);
+        let (mut saw, mut recorded) = (false, 0u64);
+        for step in schedule {
+            match step {
+                Step::WVis => vis = true,
+                Step::WGen => gen += 1,
+                Step::WAtomic => {
+                    vis = true;
+                    gen += 1;
+                }
+                Step::RSee => saw = vis,
+                Step::RGen => recorded = gen,
+                Step::RAtomic => {
+                    saw = vis;
+                    recorded = gen;
+                }
+            }
+        }
+        (saw, recorded, gen)
+    }
+
+    /// All interleavings of two per-thread step sequences (program order
+    /// preserved within each thread).
+    fn interleavings(w: &[Step], r: &[Step]) -> Vec<Vec<Step>> {
+        fn go(w: &[Step], r: &[Step], acc: &mut Vec<Step>, out: &mut Vec<Vec<Step>>) {
+            if w.is_empty() && r.is_empty() {
+                out.push(acc.clone());
+                return;
+            }
+            if let Some((&first, rest)) = w.split_first() {
+                acc.push(first);
+                go(rest, r, acc, out);
+                acc.pop();
+            }
+            if let Some((&first, rest)) = r.split_first() {
+                acc.push(first);
+                go(w, rest, acc, out);
+                acc.pop();
+            }
+        }
+        let mut out = Vec::new();
+        go(w, r, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// A schedule leaves the cache permanently stale iff the entry missed
+    /// the span but recorded the final generation.
+    fn permanently_stale(schedule: &[Step]) -> bool {
+        let (saw, recorded, final_gen) = run_schedule(schedule);
+        !saw && recorded == final_gen && final_gen > 0
+    }
+
+    #[test]
+    fn no_interleaving_of_the_locked_discipline_leaves_the_cache_permanently_stale() {
+        // Implemented discipline: the worker's insert+bump is one critical
+        // section (shard write lock held across both); the reader's
+        // see+record is one critical section (all read locks held from
+        // Phase 1 through the cache store).
+        for schedule in interleavings(&[Step::WAtomic], &[Step::RAtomic]) {
+            assert!(
+                !permanently_stale(&schedule),
+                "locked discipline must never go permanently stale: {schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_unlocked_orderings_admit_a_permanently_stale_interleaving() {
+        // Without the lock discipline the writer's two effects and the
+        // reader's two observations interleave freely — and BOTH write
+        // orders break. This is why the worker bumps generations inside
+        // the shard write lock and the assembler holds read locks through
+        // the cache store.
+        for writer in [
+            [Step::WVis, Step::WGen], // insert, then bump
+            [Step::WGen, Step::WVis], // bump, then insert
+        ] {
+            let broken = interleavings(&writer, &[Step::RSee, Step::RGen])
+                .iter()
+                .any(|s| permanently_stale(s));
+            assert!(
+                broken,
+                "fine-grained order {writer:?} should admit a stale schedule \
+                 (otherwise the lock discipline would be unnecessary)"
+            );
+        }
+    }
+}

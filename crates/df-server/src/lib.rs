@@ -20,6 +20,10 @@
 //! * [`trace_cache`] — incremental assembled-trace cache memoized by start
 //!   span, invalidated through the sharded store's time-bucket
 //!   generations;
+//! * [`concurrent`] — the shard boundary taken across threads: one ingest
+//!   worker per shard behind bounded queues, scoped-thread fan-out for
+//!   Algorithm 1's cross-shard probes, and a bounded-staleness mode for
+//!   the trace cache under ingest load;
 //! * [`server`] — the facade: ingest (phase-2 enrichment + routed store
 //!   insert), span-list queries, cached trace queries, coherent stats.
 //!
@@ -50,13 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod assemble;
+pub mod concurrent;
 pub mod dictionary;
 pub mod server;
 pub mod sharded;
 pub mod trace_cache;
 
 pub use assemble::{assemble_trace, AssembleConfig};
+pub use concurrent::{ConcurrentConfig, ConcurrentShardedStore};
 pub use dictionary::TagDictionary;
 pub use server::{Server, ServerStats};
-pub use sharded::{assemble_trace_sharded, ShardedSpanStore};
-pub use trace_cache::{CacheOutcome, TraceCache};
+pub use sharded::{assemble_trace_sharded, assemble_trace_sharded_parallel, ShardedSpanStore};
+pub use trace_cache::{BucketGens, CacheOutcome, TraceCache};

@@ -38,7 +38,8 @@ struct ReaggKey {
 
 /// Server counters. [`Server::stats`] returns a coherent point-in-time
 /// snapshot (see the module docs): in every snapshot
-/// `trace_queries == cache_hits + cache_misses + cache_invalidations`.
+/// `trace_queries == cache_hits + cache_stale_hits + cache_misses +
+/// cache_invalidations`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Spans ingested.
@@ -53,6 +54,11 @@ pub struct ServerStats {
     pub re_aggregated: u64,
     /// Trace queries answered from the cache (valid entry).
     pub cache_hits: u64,
+    /// Trace queries answered from the cache within a bounded-staleness
+    /// window under ingest load (only the concurrent store serves these;
+    /// the single-threaded [`Server`] always validates strictly, so here
+    /// it stays 0). Disjoint from `cache_hits`.
+    pub cache_stale_hits: u64,
     /// Trace queries with no cached entry (assembled fresh).
     pub cache_misses: u64,
     /// Trace queries whose cached entry had gone stale — a mutation in the

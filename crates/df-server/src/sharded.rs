@@ -53,18 +53,18 @@ use std::collections::{HashMap, HashSet};
 
 /// Location of a span inside the sharded corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Loc {
-    shard: u16,
-    row: u32,
+pub(crate) struct Loc {
+    pub(crate) shard: u16,
+    pub(crate) row: u32,
 }
 
 /// Per-time-bucket routing-table entry.
 #[derive(Debug, Clone, Copy, Default)]
-struct Bucket {
+pub(crate) struct Bucket {
     /// Bumped on every mutation touching the bucket (trace-cache epoch).
-    gen: u64,
+    pub(crate) gen: u64,
     /// Bit `i` set ⇔ shard `i` holds at least one span in this bucket.
-    shards: u64,
+    pub(crate) shards: u64,
 }
 
 /// A span corpus partitioned across [`SpanStore`] shards.
@@ -97,6 +97,9 @@ pub struct ShardedSpanStore {
     /// Global id − 1 → location. Ids are assigned sequentially here.
     route: Vec<Loc>,
     buckets: HashMap<u64, Bucket>,
+    /// Spans routed away from their preferred shard because it was at
+    /// [`ShardPolicy::max_shard_rows`] (see [`ShardedSpanStore::routing_clamped`]).
+    routing_clamped: u64,
 }
 
 impl ShardedSpanStore {
@@ -109,6 +112,7 @@ impl ShardedSpanStore {
             policy,
             route: Vec::new(),
             buckets: HashMap::new(),
+            routing_clamped: 0,
         }
     }
 
@@ -144,14 +148,44 @@ impl ShardedSpanStore {
 
     /// Insert one span: assign the next global id, route it to its shard,
     /// bump its time bucket's generation. Returns the id.
+    ///
+    /// This path never panics on routing-table pressure: when the preferred
+    /// shard is already at [`ShardPolicy::max_shard_rows`] the span is
+    /// *clamped* to the least-loaded shard instead (counted by
+    /// [`ShardedSpanStore::routing_clamped`]). The cap is soft — if every
+    /// shard is full the least-loaded one still accepts the span — so
+    /// ingest degrades by rebalancing rather than by erroring.
     pub fn insert(&mut self, mut span: Span) -> SpanId {
         let id = SpanId(self.route.len() as u64 + 1);
         span.span_id = id;
-        let shard = self.policy.route(&span) as u16;
+        let shard = self.pick_shard(self.policy.route(&span));
         self.touch_bucket(self.policy.bucket_of(span.req_time), shard);
         let row = self.shards[shard as usize].insert_routed(span);
         self.route.push(Loc { shard, row });
         id
+    }
+
+    /// The preferred shard, unless it is at the policy's row cap — then the
+    /// least-loaded shard, with the clamp counted.
+    fn pick_shard(&mut self, preferred: usize) -> u16 {
+        if self.shards[preferred].len() < self.policy.max_shard_rows {
+            return preferred as u16;
+        }
+        self.routing_clamped += 1;
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i as u16)
+            .unwrap_or(preferred as u16)
+    }
+
+    /// How many spans were routed away from their preferred shard because
+    /// it had reached [`ShardPolicy::max_shard_rows`]. A nonzero value
+    /// means flow locality is degraded (cross-shard probes do the work) but
+    /// no span was refused or lost.
+    pub fn routing_clamped(&self) -> u64 {
+        self.routing_clamped
     }
 
     /// Insert a batch (what an agent ships per flush): each span is routed
@@ -300,6 +334,241 @@ impl ShardedSpanStore {
     }
 }
 
+/// The per-index sets of keys already expanded during one assembly (each
+/// key is expanded — probed against every shard — at most once globally).
+#[derive(Debug, Default)]
+struct ExpandedKeys {
+    systrace: HashSet<u64>,
+    pseudo_thread: HashSet<u64>,
+    x_request: HashSet<u128>,
+    tcp_seq: HashSet<u32>,
+    otel_trace: HashSet<u128>,
+}
+
+/// One frontier round's newly discovered keys, batched per index. This is
+/// the "batched candidate set" shape the ROADMAP names as the precursor to
+/// cross-node probe RPCs: a whole round's keys travel to each shard as one
+/// unit (today a scoped-thread call, tomorrow one RPC), instead of one
+/// probe round-trip per key.
+#[derive(Debug, Default)]
+pub(crate) struct ProbeBatch {
+    systrace: Vec<u64>,
+    pseudo_thread: Vec<u64>,
+    x_request: Vec<u128>,
+    tcp_seq: Vec<u32>,
+    otel_trace: Vec<u128>,
+}
+
+impl ProbeBatch {
+    /// Total keys in the batch (the parallel fan-out threshold input).
+    fn len(&self) -> usize {
+        self.systrace.len()
+            + self.pseudo_thread.len()
+            + self.x_request.len()
+            + self.tcp_seq.len()
+            + self.otel_trace.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collect `span`'s not-yet-expanded association keys into the batch.
+    fn collect(&mut self, keys: &mut ExpandedKeys, span: &Span) {
+        for v in [span.systrace_id_req, span.systrace_id_resp]
+            .into_iter()
+            .flatten()
+        {
+            if keys.systrace.insert(v.raw()) {
+                self.systrace.push(v.raw());
+            }
+        }
+        if let Some(p) = span.pseudo_thread_id {
+            if keys.pseudo_thread.insert(p.raw()) {
+                self.pseudo_thread.push(p.raw());
+            }
+        }
+        for v in [span.x_request_id_req, span.x_request_id_resp]
+            .into_iter()
+            .flatten()
+        {
+            if keys.x_request.insert(v.0) {
+                self.x_request.push(v.0);
+            }
+        }
+        for v in [span.tcp_seq_req, span.tcp_seq_resp].into_iter().flatten() {
+            if keys.tcp_seq.insert(v) {
+                self.tcp_seq.push(v);
+            }
+        }
+        if let Some(t) = span.otel_trace_id {
+            if keys.otel_trace.insert(t.0) {
+                self.otel_trace.push(t.0);
+            }
+        }
+    }
+}
+
+/// Probe one shard with a whole round's key batch. Returns the shard's
+/// *new* candidate rows: rows already in the global visited set are
+/// skipped, rows matched by several keys are returned once, tombstoned
+/// rows are filtered. Takes only shared references, so the per-shard
+/// probes of one round can run on scoped threads concurrently.
+fn probe_shard(
+    si: u16,
+    shard: &SpanStore,
+    batch: &ProbeBatch,
+    seen: &HashSet<(u16, u32)>,
+) -> Vec<u32> {
+    let mut local: HashSet<u32> = HashSet::new();
+    let mut out: Vec<u32> = Vec::new();
+    {
+        let mut grow = |rows: &[u32]| {
+            for &r in rows {
+                if seen.contains(&(si, r)) || !local.insert(r) {
+                    continue;
+                }
+                if shard.is_tombstoned(shard[r].span_id) {
+                    continue; // consumed by re-aggregation
+                }
+                out.push(r);
+            }
+        };
+        for &k in &batch.systrace {
+            grow(shard.find_by_systrace(k));
+        }
+        for &k in &batch.pseudo_thread {
+            grow(shard.find_by_pseudo_thread(k));
+        }
+        for &k in &batch.x_request {
+            grow(shard.find_by_x_request(k));
+        }
+        for &k in &batch.tcp_seq {
+            grow(shard.find_by_tcp_seq(k));
+        }
+        for &k in &batch.otel_trace {
+            grow(shard.find_by_otel_trace(k));
+        }
+    }
+    out
+}
+
+/// Minimum keys in a round's batch before the parallel path fans probes
+/// out to scoped threads. Below it the spawn cost dominates the probe
+/// cost, so small rounds (deep chains expand ~2 keys per round) stay
+/// inline even in the parallel assembly.
+pub(crate) const PARALLEL_MIN_KEYS: usize = 16;
+
+/// Phase 1 over an explicit shard list: frontier rounds in which each
+/// round batches the frontier's newly seen keys ([`ProbeBatch`]) and
+/// probes the batch against every shard, merging per-shard candidate sets
+/// into the global visited set. With `parallel_min_keys = Some(t)`, any
+/// round whose batch holds ≥ `t` keys probes the shards concurrently via
+/// [`std::thread::scope`]; shards and the visited set are only read during
+/// a round, so the fan-out is safe by construction and the merged member
+/// set is *identical* to the sequential walk (per-shard results are merged
+/// in shard order either way).
+pub(crate) fn phase1_members(
+    shards: &[&SpanStore],
+    start: (u16, u32),
+    cfg: &AssembleConfig,
+    parallel_min_keys: Option<usize>,
+) -> Vec<(u16, u32)> {
+    let mut seen: HashSet<(u16, u32)> = HashSet::new();
+    seen.insert(start);
+    let mut members: Vec<(u16, u32)> = vec![start];
+    let mut frontier: Vec<(u16, u32)> = vec![start];
+    let mut keys = ExpandedKeys::default();
+    for _iter in 0..cfg.iterations {
+        if members.len() >= cfg.max_spans {
+            break; // cap crossed; truncated by the caller
+        }
+        let mut batch = ProbeBatch::default();
+        for &(si, row) in &frontier {
+            batch.collect(&mut keys, &shards[si as usize][row]);
+        }
+        if batch.is_empty() {
+            break; // fixed point: no new keys to expand
+        }
+        let fan_out = shards.len() > 1 && parallel_min_keys.is_some_and(|min| batch.len() >= min);
+        let per_shard: Vec<Vec<u32>> = if fan_out {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(si, shard)| {
+                        let (batch, seen) = (&batch, &seen);
+                        scope.spawn(move || probe_shard(si as u16, shard, batch, seen))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard probe thread panicked"))
+                    .collect()
+            })
+        } else {
+            shards
+                .iter()
+                .enumerate()
+                .map(|(si, shard)| probe_shard(si as u16, shard, &batch, &seen))
+                .collect()
+        };
+        let mut next: Vec<(u16, u32)> = Vec::new();
+        for (si, rows) in per_shard.into_iter().enumerate() {
+            for r in rows {
+                if seen.insert((si as u16, r)) {
+                    next.push((si as u16, r));
+                }
+            }
+        }
+        if next.is_empty() {
+            break; // fixed point: keys expanded, nothing new matched
+        }
+        members.extend_from_slice(&next);
+        frontier = next;
+    }
+    members
+}
+
+/// Shared epilogue: materialise the member locations, then run Phases 2
+/// and 3 exactly as the single-store path does.
+pub(crate) fn finish_assembly(
+    shards: &[&SpanStore],
+    members: &[(u16, u32)],
+    start: SpanId,
+    cfg: &AssembleConfig,
+) -> Trace {
+    let spans: Vec<Span> = members
+        .iter()
+        .map(|&(si, row)| shards[si as usize][row].clone())
+        .collect();
+    let spans = sort_and_truncate(spans, start, cfg.max_spans);
+    let parents = set_parents_indexed(&spans, cfg);
+    sort_trace(spans, parents)
+}
+
+fn assemble_sharded_inner(
+    store: &ShardedSpanStore,
+    start: SpanId,
+    cfg: &AssembleConfig,
+    parallel_min_keys: Option<usize>,
+) -> Trace {
+    let Some(start_loc) = store.loc(start) else {
+        return Trace::default();
+    };
+    if store.is_tombstoned(start) {
+        return Trace::default();
+    }
+    let shard_refs: Vec<&SpanStore> = store.shards().iter().collect();
+    let members = phase1_members(
+        &shard_refs,
+        (start_loc.shard, start_loc.row),
+        cfg,
+        parallel_min_keys,
+    );
+    finish_assembly(&shard_refs, &members, start, cfg)
+}
+
 /// Algorithm 1 over a sharded corpus. Phase 1 is the same frontier search
 /// as [`assemble_trace`](crate::assemble::assemble_trace) — each index
 /// *key* expanded at most once — but an expansion probes the key against
@@ -313,95 +582,23 @@ pub fn assemble_trace_sharded(
     start: SpanId,
     cfg: &AssembleConfig,
 ) -> Trace {
-    let Some(start_loc) = store.loc(start) else {
-        return Trace::default();
-    };
-    if store.is_tombstoned(start) {
-        return Trace::default();
-    }
-    let shards = store.shards();
-    let start_key = (start_loc.shard, start_loc.row);
+    assemble_sharded_inner(store, start, cfg, None)
+}
 
-    // ---- Phase 1: cross-shard frontier search ----
-    let mut seen: HashSet<(u16, u32)> = HashSet::new();
-    seen.insert(start_key);
-    let mut members: Vec<(u16, u32)> = vec![start_key];
-    let mut frontier: Vec<(u16, u32)> = vec![start_key];
-    let mut keys_systrace: HashSet<u64> = HashSet::new();
-    let mut keys_pseudo_thread: HashSet<u64> = HashSet::new();
-    let mut keys_x_request: HashSet<u128> = HashSet::new();
-    let mut keys_tcp_seq: HashSet<u32> = HashSet::new();
-    let mut keys_otel_trace: HashSet<u128> = HashSet::new();
-    for _iter in 0..cfg.iterations {
-        if members.len() >= cfg.max_spans {
-            break; // cap crossed; truncated below
-        }
-        let mut next: Vec<(u16, u32)> = Vec::new();
-        {
-            // Probe `rows` (one shard's candidate set for an expanded key)
-            // into the member set.
-            let mut grow = |si: u16, rows: &[u32]| {
-                for &r in rows {
-                    if seen.insert((si, r)) {
-                        let sp = &shards[si as usize][r];
-                        if shards[si as usize].is_tombstoned(sp.span_id) {
-                            continue; // consumed by re-aggregation
-                        }
-                        next.push((si, r));
-                    }
-                }
-            };
-            // Expanding a key = probing it against every shard and merging
-            // the returned candidate sets.
-            macro_rules! expand {
-                ($keys:ident, $val:expr, $probe:ident) => {
-                    if $keys.insert($val) {
-                        for (si, shard) in shards.iter().enumerate() {
-                            grow(si as u16, shard.$probe($val));
-                        }
-                    }
-                };
-            }
-            for &(si, row) in &frontier {
-                let s = &shards[si as usize][row];
-                for v in [s.systrace_id_req, s.systrace_id_resp]
-                    .into_iter()
-                    .flatten()
-                {
-                    expand!(keys_systrace, v.raw(), find_by_systrace);
-                }
-                if let Some(p) = s.pseudo_thread_id {
-                    expand!(keys_pseudo_thread, p.raw(), find_by_pseudo_thread);
-                }
-                for v in [s.x_request_id_req, s.x_request_id_resp]
-                    .into_iter()
-                    .flatten()
-                {
-                    expand!(keys_x_request, v.0, find_by_x_request);
-                }
-                for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
-                    expand!(keys_tcp_seq, v, find_by_tcp_seq);
-                }
-                if let Some(t) = s.otel_trace_id {
-                    expand!(keys_otel_trace, t.0, find_by_otel_trace);
-                }
-            }
-        }
-        if next.is_empty() {
-            break; // fixed point
-        }
-        members.extend_from_slice(&next);
-        frontier = next;
-    }
-    let spans: Vec<Span> = members
-        .iter()
-        .map(|&(si, row)| shards[si as usize][row].clone())
-        .collect();
-    let spans = sort_and_truncate(spans, start, cfg.max_spans);
-
-    // ---- Phases 2 + 3: identical to the single-store path ----
-    let parents = set_parents_indexed(&spans, cfg);
-    sort_trace(spans, parents)
+/// [`assemble_trace_sharded`] with Phase 1's per-shard probes fanned out
+/// across scoped threads: each frontier round ships the accumulated
+/// probe batch to every shard concurrently and merges the candidate
+/// sets back into the global visited set. Rounds with fewer than
+/// `PARALLEL_MIN_KEYS` new keys stay inline (thread spawn would dominate
+/// the probe cost). The member set — and therefore the assembled trace —
+/// is identical to the sequential walk by construction; the property tests
+/// assert it.
+pub fn assemble_trace_sharded_parallel(
+    store: &ShardedSpanStore,
+    start: SpanId,
+    cfg: &AssembleConfig,
+) -> Trace {
+    assemble_sharded_inner(store, start, cfg, Some(PARALLEL_MIN_KEYS))
 }
 
 #[cfg(test)]
@@ -459,7 +656,10 @@ mod tests {
                 "{shards} shards"
             );
             for &id in &ids {
-                assert_eq!(st.get(id).unwrap().span_id, id);
+                let span = st
+                    .get(id)
+                    .unwrap_or_else(|| panic!("{shards}-shard store lost routed span {id:?}"));
+                assert_eq!(span.span_id, id);
             }
             assert_eq!(st.len(), 7);
             assert_eq!(st.shard_sizes().iter().sum::<usize>(), 7);
@@ -526,6 +726,56 @@ mod tests {
         });
         assert_eq!(capped.len(), 2);
         assert_eq!(capped[0].req_time, TimeNs(0));
+    }
+
+    #[test]
+    fn parallel_phase1_matches_sequential_assembly() {
+        for shards in [1, 2, 4, 16] {
+            let mut st = ShardedSpanStore::new(ShardPolicy::with_shards(shards));
+            let ids = st.insert_batch(corpus());
+            st.tombstone(ids[3]);
+            for &start in &ids {
+                let seq = assemble_trace_sharded(&st, start, &AssembleConfig::default());
+                let par = assemble_trace_sharded_parallel(&st, start, &AssembleConfig::default());
+                assert_eq!(
+                    edges(&seq),
+                    edges(&par),
+                    "{shards} shards, start {start:?}: parallel Phase 1 diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_preferred_shard_clamps_to_least_loaded_without_panicking() {
+        let mut policy = ShardPolicy::with_shards(2);
+        policy.max_shard_rows = 2;
+        let mut st = ShardedSpanStore::new(policy);
+        // Six spans on one flow: all prefer the same shard; the cap is 2.
+        for i in 0..6u32 {
+            let mut s = Span::synthetic(TapSide::ServerProcess, u64::from(i) * 100, 1_000);
+            s.tcp_seq_req = Some(100 + i);
+            let id = st.insert(s);
+            assert_eq!(id, SpanId(u64::from(i) + 1), "ids stay sequential");
+        }
+        assert_eq!(st.len(), 6, "no span refused or lost");
+        assert!(
+            st.routing_clamped() >= 2,
+            "overflowing the preferred shard is counted: {}",
+            st.routing_clamped()
+        );
+        let sizes = st.shard_sizes();
+        assert!(
+            sizes.iter().all(|&s| s >= 2),
+            "clamp rebalances to the least-loaded shard: {sizes:?}"
+        );
+        // Every span remains reachable through the routing table.
+        for id in 1..=6u64 {
+            let span = st
+                .get(SpanId(id))
+                .unwrap_or_else(|| panic!("clamped span {id} lost from routing table"));
+            assert_eq!(span.span_id, SpanId(id));
+        }
     }
 
     #[test]

@@ -43,10 +43,32 @@
 
 use crate::sharded::ShardedSpanStore;
 use df_types::trace::Trace;
-use df_types::SpanId;
+use df_types::{SpanId, TimeNs};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Where bucket generations come from. The cache validates entries against
+/// *some* view of the routing table's time-bucket generations — the
+/// in-process [`ShardedSpanStore`] or the concurrent store's locked
+/// generation table ([`crate::concurrent::ConcurrentShardedStore`]) — so
+/// its lookup/store methods are generic over this trait rather than tied
+/// to one store type.
+pub trait BucketGens {
+    /// Current generation of a routing-table time bucket (0 if untouched).
+    fn bucket_gen(&self, bucket: u64) -> u64;
+    /// The routing-table bucket containing `t`.
+    fn bucket_of(&self, t: TimeNs) -> u64;
+}
+
+impl BucketGens for ShardedSpanStore {
+    fn bucket_gen(&self, bucket: u64) -> u64 {
+        ShardedSpanStore::bucket_gen(self, bucket)
+    }
+    fn bucket_of(&self, t: TimeNs) -> u64 {
+        ShardedSpanStore::bucket_of(self, t)
+    }
+}
 
 /// Result of a cache lookup, so the caller can account hits, misses and
 /// invalidations separately (the server's stats distinguish them).
@@ -54,6 +76,12 @@ use std::sync::Arc;
 pub enum CacheOutcome {
     /// Entry present and every recorded bucket generation still current.
     Hit(Arc<Trace>),
+    /// Entry present and stale, but within the staleness window the caller
+    /// passed to [`TraceCache::lookup_bounded`]: every recorded bucket
+    /// generation drifted by at most the window. The entry is *kept* (it
+    /// may be served again while the window allows, and a later strict
+    /// lookup will invalidate it).
+    Stale(Arc<Trace>),
     /// Entry present but a bucket in the trace's envelope mutated since it
     /// was cached; the entry has been dropped.
     Invalidated,
@@ -111,17 +139,40 @@ impl TraceCache {
     }
 
     /// Look up the trace starting at `start`, validating its recorded
-    /// bucket generations against the store's current ones.
-    pub fn lookup(&mut self, start: SpanId, store: &ShardedSpanStore) -> CacheOutcome {
+    /// bucket generations against the store's current ones. Strict: any
+    /// drift invalidates (equivalent to [`TraceCache::lookup_bounded`]
+    /// with a zero window).
+    pub fn lookup(&mut self, start: SpanId, store: &impl BucketGens) -> CacheOutcome {
+        self.lookup_bounded(start, store, 0)
+    }
+
+    /// [`TraceCache::lookup`] with a bounded-staleness window: if the
+    /// entry's recorded generations have each drifted by at most
+    /// `staleness_window`, the entry is served as [`CacheOutcome::Stale`]
+    /// instead of being invalidated — the concurrent server's answer to
+    /// ingest pressure (serve a slightly-old trace now rather than
+    /// re-assemble synchronously behind a deep ingest queue). Drift beyond
+    /// the window still invalidates. A window of 0 is the strict mode.
+    pub fn lookup_bounded(
+        &mut self,
+        start: SpanId,
+        store: &impl BucketGens,
+        staleness_window: u64,
+    ) -> CacheOutcome {
         let Some(entry) = self.entries.get(&start) else {
             return CacheOutcome::Miss;
         };
-        if entry
+        let drift = entry
             .deps
             .iter()
-            .all(|&(bucket, gen)| store.bucket_gen(bucket) == gen)
-        {
+            .map(|&(bucket, gen)| store.bucket_gen(bucket).saturating_sub(gen))
+            .max()
+            .unwrap_or(0);
+        if drift == 0 {
             return CacheOutcome::Hit(Arc::clone(&entry.trace));
+        }
+        if drift <= staleness_window {
+            return CacheOutcome::Stale(Arc::clone(&entry.trace));
         }
         self.entries.remove(&start);
         CacheOutcome::Invalidated
@@ -132,7 +183,7 @@ impl TraceCache {
     /// un-cached (the former are cheap to recompute and usually transient
     /// — the start span may simply not be stored yet; the latter would
     /// need unbounded dependency tracking).
-    pub fn store(&mut self, start: SpanId, trace: Trace, store: &ShardedSpanStore) -> Arc<Trace> {
+    pub fn store(&mut self, start: SpanId, trace: Trace, store: &impl BucketGens) -> Arc<Trace> {
         let trace = Arc::new(trace);
         let Some(deps) = self.envelope(&trace, store) else {
             return trace;
@@ -159,7 +210,7 @@ impl TraceCache {
     /// The dependency list for `trace`: every routing-table bucket in its
     /// time envelope (±1 bucket), with current generations. `None` if the
     /// trace should not be cached.
-    fn envelope(&self, trace: &Trace, store: &ShardedSpanStore) -> Option<Vec<(u64, u64)>> {
+    fn envelope(&self, trace: &Trace, store: &impl BucketGens) -> Option<Vec<(u64, u64)>> {
         if trace.is_empty() {
             return None;
         }
@@ -266,6 +317,51 @@ mod tests {
         let (t2, outcome) = assemble_via_cache(&mut cache, &store, ids[0]);
         assert_eq!(outcome, "invalidated");
         assert_eq!(t2.len(), 1, "tombstoned member gone after re-assembly");
+    }
+
+    #[test]
+    fn bounded_staleness_serves_within_window_and_invalidates_beyond() {
+        let mut store = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        let mut cache = TraceCache::new();
+        let (t1, _) = assemble_via_cache(&mut cache, &store, ids[0]);
+        assert_eq!(t1.len(), 2);
+
+        // One mutation in the envelope: drift 1.
+        let mut c = Span::synthetic(TapSide::ServerPodNic, 1_005, 1_495);
+        c.tcp_seq_req = Some(7);
+        store.insert_batch(vec![c]);
+        match cache.lookup_bounded(ids[0], &store, 2) {
+            CacheOutcome::Stale(t) => {
+                assert!(Arc::ptr_eq(&t, &t1), "stale serve is the cached allocation");
+                assert_eq!(t.len(), 2, "stale trace misses the new span, by contract");
+            }
+            other => panic!("drift 1 ≤ window 2 must serve stale, got {other:?}"),
+        }
+        // The entry survives a stale serve — a second bounded lookup hits it
+        // again, a strict lookup invalidates it.
+        assert!(matches!(
+            cache.lookup_bounded(ids[0], &store, 2),
+            CacheOutcome::Stale(_)
+        ));
+        assert!(matches!(
+            cache.lookup(ids[0], &store),
+            CacheOutcome::Invalidated
+        ));
+
+        // Re-cache, then push drift beyond the window: invalidated even in
+        // bounded mode.
+        let (_, o) = assemble_via_cache(&mut cache, &store, ids[0]);
+        assert_eq!(o, "miss");
+        for seq in 0..5u32 {
+            let mut s = Span::synthetic(TapSide::ClientProcess, 1_050 + u64::from(seq), 1_400);
+            s.tcp_seq_req = Some(1_000 + seq);
+            store.insert_batch(vec![s]);
+        }
+        assert!(matches!(
+            cache.lookup_bounded(ids[0], &store, 2),
+            CacheOutcome::Invalidated
+        ));
     }
 
     #[test]

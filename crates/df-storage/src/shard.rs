@@ -49,6 +49,13 @@ pub struct ShardPolicy {
     /// Tombstoned-row count at which a shard's association indexes are
     /// compacted (see [`crate::SpanStore::evict_tombstoned`]).
     pub evict_threshold: usize,
+    /// Soft cap on rows per shard. When the preferred shard is full the
+    /// router *clamps*: the span is routed to the least-loaded shard
+    /// instead (and the owner counts the clamp) rather than panicking or
+    /// overflowing the `u32` row space the routing table addresses rows
+    /// with. Defaults to the full `u32` row space; tests shrink it to
+    /// exercise the clamp path.
+    pub max_shard_rows: usize,
 }
 
 impl Default for ShardPolicy {
@@ -57,6 +64,7 @@ impl Default for ShardPolicy {
             shards: 4,
             time_bucket: DurationNs::from_secs(1),
             evict_threshold: 4096,
+            max_shard_rows: u32::MAX as usize,
         }
     }
 }

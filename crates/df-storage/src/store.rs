@@ -327,6 +327,25 @@ impl SpanStore {
         row
     }
 
+    /// Bulk [`SpanStore::insert_routed`]: append a whole routed batch (what
+    /// one per-shard ingest worker drains from its queue per message),
+    /// reserving row and time-index capacity once. Returns the row of the
+    /// first appended span; rows are contiguous from there, which is the
+    /// contract the sharded routing table relies on.
+    pub fn insert_routed_batch(&mut self, spans: Vec<Span>) -> u32 {
+        let first = self.rows.len() as u32;
+        self.rows.reserve(spans.len());
+        self.time_index
+            .get_mut()
+            .expect("time index lock poisoned")
+            .entries
+            .reserve(spans.len());
+        for span in spans {
+            self.index_and_push(span);
+        }
+        first
+    }
+
     /// Insert a batch (what an agent ships per flush). Index maintenance is
     /// append-only here; the time index is re-sorted lazily by the next
     /// query, so ingest cost doesn't scale with query-side ordering.
@@ -494,6 +513,19 @@ impl SpanStore {
         self.rows.iter()
     }
 }
+
+// Interior-mutability audit (the concurrent sharded store shares shards
+// across threads): the only interior mutability in `SpanStore` is the
+// lazily-sorted time index behind its `Mutex` — every other field is
+// mutated through `&mut self` only. `SpanStore` is therefore `Send + Sync`
+// by composition, and the concurrent store may hand `&SpanStore` to scoped
+// probe threads while a worker thread owns the `&mut` side behind an
+// `RwLock`. The assertion makes that load-bearing property a compile error
+// to lose (e.g. by adding a `Cell` or `Rc` field).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpanStore>();
+};
 
 /// Row-addressed access for callers that know the row exists (the sharded
 /// store's routing table guarantees it). Panics on an out-of-range row.
@@ -754,6 +786,44 @@ mod tests {
         // sweep finds the bucket already gone.
         assert_eq!(st.evict_tombstoned(), 1);
         assert!(st.find_by_tcp_seq(5).is_empty());
+    }
+
+    #[test]
+    fn insert_routed_batch_matches_per_span_routed_inserts() {
+        let mut one = SpanStore::new();
+        let mut bulk = SpanStore::new();
+        let spans: Vec<Span> = [500u64, 100, 300]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut s = span(t);
+                s.span_id = SpanId(i as u64 + 10);
+                s.tcp_seq_req = Some(77);
+                s
+            })
+            .collect();
+        let rows: Vec<u32> = spans
+            .iter()
+            .cloned()
+            .map(|s| one.insert_routed(s))
+            .collect();
+        let first = bulk.insert_routed_batch(spans);
+        assert_eq!(first, 0);
+        assert_eq!(rows, vec![0, 1, 2], "rows are contiguous");
+        assert_eq!(one.len(), bulk.len());
+        assert_eq!(one.find_by_tcp_seq(77), bulk.find_by_tcp_seq(77));
+        let q = SpanQuery::window(TimeNs(0), TimeNs(1000));
+        let ta: Vec<u64> = one
+            .query(&q)
+            .iter()
+            .map(|s| s.req_time.as_nanos())
+            .collect();
+        let tb: Vec<u64> = bulk
+            .query(&q)
+            .iter()
+            .map(|s| s.req_time.as_nanos())
+            .collect();
+        assert_eq!(ta, tb);
     }
 
     #[test]

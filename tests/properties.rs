@@ -380,7 +380,9 @@ proptest! {
         max_spans in 1usize..80,
     ) {
         use deepflow::server::assemble::{assemble_trace_reference, AssembleConfig};
-        use deepflow::server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+        use deepflow::server::sharded::{
+            assemble_trace_sharded, assemble_trace_sharded_parallel, ShardedSpanStore,
+        };
         use deepflow::storage::{ShardPolicy, SpanStore};
         use deepflow::types::SpanId;
 
@@ -438,6 +440,15 @@ proptest! {
                 edges(&got),
                 edges(&oracle),
                 "sharded ({}) vs reference diverged",
+                shards
+            );
+            // The scoped-thread fan-out of Phase 1 must be extensionally
+            // identical to the sequential walk (same merge order).
+            let par = assemble_trace_sharded_parallel(&sharded, start, &cfg);
+            prop_assert_eq!(
+                edges(&par),
+                edges(&oracle),
+                "parallel Phase 1 ({}) vs reference diverged",
                 shards
             );
         }
