@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> df-lint (sync-discipline lint over the shipped tree)"
+cargo run -q -p df-check --bin df-lint -- .
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -23,6 +26,15 @@ cargo test --workspace -q
 echo "==> concurrency tests under RUST_TEST_THREADS=8"
 RUST_TEST_THREADS=8 cargo test -q --test concurrency
 RUST_TEST_THREADS=8 cargo test -q -p df-server concurrent::
+
+# Model-checking gates. df-check's own suite runs with the `checked`
+# scheduler compiled in; the df-server model tests (including the
+# mutation-detection tests) already ran checked inside the workspace test
+# run above (dev-dependency feature unification), and re-run here under a
+# bounded schedule budget so a 1-core CI box stays within its time box.
+echo "==> df-check model suite (checked scheduler)"
+cargo test -q -p df-check --features checked
+DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-server --test df_check_models
 
 # Doc gates cover the first-party crates; the vendored stand-ins in
 # vendor/ are excluded (they are minimal API shims, not documentation

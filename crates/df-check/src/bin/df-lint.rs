@@ -1,0 +1,30 @@
+//! The `df-lint` binary: lint the repository tree for sync-discipline
+//! violations (see [`df_check::lint`] for the rules) and exit nonzero if
+//! any are found. Usage: `df-lint [repo-root]` (default `.`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match df_check::lint::lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("df-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("df-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("df-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

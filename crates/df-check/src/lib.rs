@@ -1,0 +1,83 @@
+#![forbid(unsafe_code)]
+//! # df-check — concurrency correctness tooling for the DeepFlow tree
+//!
+//! PR 3 took the shard boundary across threads; its core invariant (bucket
+//! generations bumped inside the shard write lock, the assembler holding
+//! all shard read locks through the cache store) was proven by one
+//! hand-rolled interleaving test. Every new lock or channel interaction
+//! multiplies the interleaving space faster than hand-written tests can
+//! cover it, so this crate provides systematic tooling in three layers:
+//!
+//! 1. **[`sync`] — instrumented shims.** Drop-in stand-ins for
+//!    `std::sync::{Mutex, RwLock, Condvar, Arc}`,
+//!    `std::sync::atomic::AtomicUsize` and
+//!    `std::sync::mpsc::sync_channel`. In a normal build they are plain
+//!    re-exports of `std::sync` (zero cost). Under the `checked` feature
+//!    (or `--cfg df_check`) they become thin wrappers that route every
+//!    acquire/release/send/recv through the controlling scheduler *when
+//!    the current thread belongs to a model execution* — and pass straight
+//!    through to `std` otherwise, so retrofitted production code keeps
+//!    exact `std` semantics even in checked builds.
+//!
+//! 2. **[`model`] — a schedule-exploring model checker.** [`model::check`]
+//!    runs a closure repeatedly under depth-first schedule exploration:
+//!    every sync op is a cooperative yield point, exactly one model thread
+//!    runs between yield points, and the scheduler replays one schedule
+//!    per path deterministically (loom-style, hand-rolled, std-only).
+//!    Exploration is bounded by a preemption budget and deduplicated by a
+//!    state hash, and a failing schedule is reported as the exact
+//!    interleaving (with source locations) plus a decision vector that
+//!    [`model::replay`] re-executes verbatim. Layered on the same
+//!    instrumentation are a **vector-clock data-race detector** (per-thread
+//!    clocks joined on release→acquire edges; racy accesses are modelled
+//!    with [`sync::Racy`]) and a **lock-order graph** whose cycles flag
+//!    potential deadlocks even on schedules that happen to pass.
+//!
+//! 3. **[`lint`] — the `df-lint` sync-discipline pass.** A token-level
+//!    source scan (no rustc internals) that bans raw `std::sync` imports
+//!    in `df-server`/`df-storage` (they must use these shims so the model
+//!    tests stay honest), bans `.lock().unwrap()`-style lock unwraps
+//!    outside test code, and checks `#![forbid(unsafe_code)]` in every
+//!    first-party crate root. Shipped as the `df-lint` binary and wired
+//!    into `ci.sh`.
+//!
+//! The model tests that exercise the PR 3 invariants live next to the code
+//! they check, in `df-server/tests/df_check_models.rs`; this crate's own
+//! tests exercise the checker itself (deadlock detection, race detection,
+//! preemption bounds, replay determinism). See
+//! `docs/ARCHITECTURE.md` § "Correctness tooling" for how to write a
+//! `df-check` test and pick a schedule budget.
+//!
+//! ## Example (degrades gracefully when `checked` is off)
+//!
+//! ```
+//! use df_check::{model, sync};
+//!
+//! let report = model::explore(model::CheckConfig::default(), || {
+//!     let counter = sync::Arc::new(sync::Mutex::new(0u32));
+//!     let c2 = sync::Arc::clone(&counter);
+//!     let t = model::spawn(move || {
+//!         *c2.lock().expect("lock") += 1;
+//!     });
+//!     *counter.lock().expect("lock") += 1;
+//!     t.join();
+//!     assert_eq!(*counter.lock().expect("lock"), 2);
+//! });
+//! assert!(report.failure.is_none());
+//! ```
+
+pub mod lint;
+pub mod model;
+pub mod sync;
+
+#[cfg(any(feature = "checked", df_check))]
+mod sched;
+
+/// Whether this build has the instrumented scheduler compiled in (the
+/// `checked` feature or `--cfg df_check`). When `false`, [`model::check`]
+/// degrades to running the closure once with plain `std` primitives —
+/// tests that need real exploration should skip themselves when this
+/// returns `false` (and CI runs them with the feature on).
+pub const fn is_checked() -> bool {
+    cfg!(any(feature = "checked", df_check))
+}

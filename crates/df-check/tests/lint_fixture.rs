@@ -1,0 +1,129 @@
+//! Fixture tests for the `df-lint` binary and `df_check::lint` library:
+//! a seeded violation (a raw `std::sync::Mutex` import in a fake
+//! df-server module) must be caught with a nonzero exit, and the shipped
+//! repository tree must lint clean. These run in every build mode (the
+//! lint does not need the `checked` feature).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("df-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create fixture dirs");
+        std::fs::write(&path, contents).expect("write fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/df-check -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("df-check lives at <repo>/crates/df-check")
+        .to_path_buf()
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\npub fn nothing() {}\n";
+
+#[test]
+fn seeded_std_sync_violation_fails_the_lint() {
+    let fx = Fixture::new("seeded");
+    fx.write("crates/df-server/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/df-server/src/rogue.rs",
+        "use std::sync::Mutex;\npub fn f(m: &Mutex<u32>) -> u32 { *m.lock().expect(\"ok\") }\n",
+    );
+    let violations = df_check::lint::lint_tree(&fx.root).expect("lint runs");
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "std-sync-import");
+    assert!(violations[0].file.ends_with("rogue.rs"));
+    assert_eq!(violations[0].line, 1);
+
+    // The binary exits nonzero on the same tree.
+    let status = Command::new(env!("CARGO_BIN_EXE_df-lint"))
+        .arg(&fx.root)
+        .status()
+        .expect("run df-lint");
+    assert!(
+        !status.success(),
+        "df-lint must exit nonzero on a violation"
+    );
+}
+
+#[test]
+fn lock_unwrap_and_missing_forbid_are_caught() {
+    let fx = Fixture::new("unwrap");
+    // Missing #![forbid(unsafe_code)] in one crate root…
+    fx.write("crates/df-storage/src/lib.rs", "pub fn nothing() {}\n");
+    // …and a lock unwrap outside tests in another.
+    fx.write("crates/df-server/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/df-server/src/store.rs",
+        "use df_check::sync::Mutex;\n\
+         pub fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n\
+         #[cfg(test)]\nmod tests {\n  pub fn g(m: &super::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n}\n",
+    );
+    let violations = df_check::lint::lint_tree(&fx.root).expect("lint runs");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(rules.contains(&"forbid-unsafe"), "{violations:?}");
+    assert!(rules.contains(&"lock-unwrap"), "{violations:?}");
+}
+
+#[test]
+fn clean_fixture_passes_and_binary_exits_zero() {
+    let fx = Fixture::new("clean");
+    fx.write("crates/df-server/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/df-server/src/good.rs",
+        "use df_check::sync::{Arc, Mutex};\n\
+         pub fn f(m: &Arc<Mutex<u32>>) -> u32 { *m.lock().expect(\"no panics hold this lock\") }\n",
+    );
+    fx.write("crates/df-types/src/lib.rs", CLEAN_LIB);
+    let violations = df_check::lint::lint_tree(&fx.root).expect("lint runs");
+    assert!(violations.is_empty(), "{violations:?}");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_df-lint"))
+        .arg(&fx.root)
+        .status()
+        .expect("run df-lint");
+    assert!(status.success(), "df-lint must exit zero on a clean tree");
+}
+
+#[test]
+fn shipped_tree_lints_clean() {
+    let root = repo_root();
+    assert!(
+        root.join("crates").join("df-server").is_dir(),
+        "repo layout changed? {root:?}"
+    );
+    let violations = df_check::lint::lint_tree(&root).expect("lint runs");
+    assert!(
+        violations.is_empty(),
+        "shipped tree must be lint-clean:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

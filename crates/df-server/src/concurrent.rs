@@ -68,13 +68,13 @@ use crate::assemble::AssembleConfig;
 use crate::server::ServerStats;
 use crate::sharded::{finish_assembly, phase1_members, Bucket, Loc, PARALLEL_MIN_KEYS};
 use crate::trace_cache::{BucketGens, CacheOutcome, TraceCache};
+use df_check::sync::atomic::{AtomicUsize, Ordering};
+use df_check::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use df_check::sync::{Arc, Condvar, Mutex, RwLock};
 use df_storage::{ShardPolicy, SpanQuery, SpanStore};
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 
 /// Tunables of the concurrent store (queue depths, staleness policy).
@@ -123,38 +123,123 @@ enum ShardMsg {
     Batch { start_row: u32, spans: Vec<Span> },
     /// A row-addressed mutation (applies once the row exists).
     Op { row: u32, op: RowOp },
-    /// Flush barrier: acknowledged once everything before it is applied.
-    Flush(Arc<FlushGate>),
+    /// Flush barrier: acknowledged once everything before it is applied —
+    /// or failed, if the worker dies with the token still queued.
+    Flush(FlushToken),
+    /// Test hook ([`ConcurrentShardedStore::inject_worker_panic`]): the
+    /// worker panics on receipt, simulating a crashed ingest op.
+    Panic,
 }
 
+/// A shard worker crashed: the panic message, and which shard lost it.
+/// Returned by [`ConcurrentShardedStore::try_flush`] /
+/// [`ConcurrentShardedStore::try_insert_batch`] once the worker is gone
+/// (spans already queued to that shard at crash time are lost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the shard whose ingest worker died.
+    pub shard: usize,
+    /// The worker's panic message (best-effort; `"worker disconnected"`
+    /// if the worker vanished without recording one).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} ingest worker panicked: {}",
+            self.shard, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
 /// Countdown the flusher waits on; each worker arrives once its queue has
-/// fully drained past the barrier message.
+/// fully drained past the barrier message. A dead worker's parties arrive
+/// *failed* (via [`FlushToken`]'s drop guard or the worker's unwind path),
+/// so [`FlushGate::wait`] returns an error instead of hanging forever.
 #[derive(Debug)]
 struct FlushGate {
-    remaining: Mutex<usize>,
+    state: Mutex<GateState>,
     cv: Condvar,
+}
+
+#[derive(Debug)]
+struct GateState {
+    remaining: usize,
+    failed: Option<WorkerPanic>,
 }
 
 impl FlushGate {
     fn new(parties: usize) -> Arc<Self> {
         Arc::new(FlushGate {
-            remaining: Mutex::new(parties),
+            state: Mutex::new(GateState {
+                remaining: parties,
+                failed: None,
+            }),
             cv: Condvar::new(),
         })
     }
 
     fn arrive(&self) {
-        let mut r = self.remaining.lock().expect("flush gate poisoned");
-        *r = r.saturating_sub(1);
-        if *r == 0 {
+        let mut s = self.state.lock().expect("flush gate poisoned");
+        s.remaining = s.remaining.saturating_sub(1);
+        if s.remaining == 0 {
             self.cv.notify_all();
         }
     }
 
-    fn wait(&self) {
-        let mut r = self.remaining.lock().expect("flush gate poisoned");
-        while *r > 0 {
-            r = self.cv.wait(r).expect("flush gate poisoned");
+    fn arrive_failed(&self, shard: usize, message: &str) {
+        let mut s = self.state.lock().expect("flush gate poisoned");
+        if s.failed.is_none() {
+            s.failed = Some(WorkerPanic {
+                shard,
+                message: message.to_string(),
+            });
+        }
+        s.remaining = s.remaining.saturating_sub(1);
+        if s.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<(), WorkerPanic> {
+        let mut s = self.state.lock().expect("flush gate poisoned");
+        while s.remaining > 0 {
+            s = self.cv.wait(s).expect("flush gate poisoned");
+        }
+        match &s.failed {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// Flush-barrier payload with a drop guard: if the message is dropped
+/// still armed — the send failed, or the dead worker's receiver discarded
+/// its queue — the gate is arrived *failed*, waking the flusher with an
+/// error. The worker disarms it by [`FlushToken::accept`]ing the gate.
+#[derive(Debug)]
+struct FlushToken {
+    shard: usize,
+    gate: Option<Arc<FlushGate>>,
+}
+
+impl FlushToken {
+    fn accept(mut self) -> Arc<FlushGate> {
+        self.gate.take().expect("flush token accepted once")
+    }
+}
+
+impl Drop for FlushToken {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate.take() {
+            gate.arrive_failed(
+                self.shard,
+                "shard worker died before acknowledging the flush barrier",
+            );
         }
     }
 }
@@ -165,6 +250,9 @@ struct ShardSlot {
     store: RwLock<SpanStore>,
     /// Spans and row ops enqueued to this shard but not yet applied.
     pending: AtomicUsize,
+    /// The worker's panic message, recorded before its receiver drops so
+    /// that producers observing the disconnect can report the cause.
+    failed: Mutex<Option<String>>,
 }
 
 /// The routing front-end state: id assignment and id → location mapping.
@@ -322,6 +410,7 @@ impl ConcurrentShardedStore {
             let slot = Arc::new(ShardSlot {
                 store: RwLock::new(SpanStore::new()),
                 pending: AtomicUsize::new(0),
+                failed: Mutex::new(None),
             });
             let (tx, rx) = sync_channel::<ShardMsg>(cfg.queue_depth.max(1));
             let worker_slot = Arc::clone(&slot);
@@ -423,8 +512,17 @@ impl ConcurrentShardedStore {
     /// Spans become query-visible when their worker applies them; call
     /// [`Self::flush`] for a visibility barrier.
     pub fn insert_batch(&self, spans: Vec<Span>) -> Vec<SpanId> {
+        self.try_insert_batch(spans)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::insert_batch`] that reports a crashed shard worker as an
+    /// error instead of panicking. Sub-batches bound for healthy shards
+    /// are still enqueued; spans bound for the dead shard are dropped
+    /// (their ids stay assigned but will never become visible).
+    pub fn try_insert_batch(&self, spans: Vec<Span>) -> Result<Vec<SpanId>, WorkerPanic> {
         if spans.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut ids = Vec::with_capacity(spans.len());
         let mut per_shard: Vec<Option<(u32, Vec<Span>)>> = vec![None; self.slots.len()];
@@ -446,20 +544,43 @@ impl ConcurrentShardedStore {
             }
         } // routing lock released before potentially-blocking sends
         let mut enqueued = 0u64;
+        let mut first_err: Option<WorkerPanic> = None;
         for (si, sub) in per_shard.into_iter().enumerate() {
             let Some((start_row, spans)) = sub else {
                 continue;
             };
-            enqueued += spans.len() as u64;
-            self.slots[si]
-                .pending
-                .fetch_add(spans.len(), Ordering::AcqRel);
-            self.senders[si]
+            let n = spans.len();
+            self.slots[si].pending.fetch_add(n, Ordering::AcqRel);
+            if self.senders[si]
                 .send(ShardMsg::Batch { start_row, spans })
-                .expect("shard worker alive");
+                .is_err()
+            {
+                // The worker is gone: undo the gauge and report the cause.
+                self.slots[si].pending.fetch_sub(n, Ordering::AcqRel);
+                if first_err.is_none() {
+                    first_err = Some(self.worker_panic(si));
+                }
+                continue;
+            }
+            enqueued += n as u64;
         }
         self.stats.lock().expect("stats lock poisoned").ingested += enqueued;
-        ids
+        match first_err {
+            None => Ok(ids),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The error for a shard whose worker disconnected, preferring the
+    /// panic message the worker recorded before dropping its receiver.
+    fn worker_panic(&self, shard: usize) -> WorkerPanic {
+        let message = self.slots[shard]
+            .failed
+            .lock()
+            .expect("failed flag poisoned")
+            .clone()
+            .unwrap_or_else(|| "worker disconnected".to_string());
+        WorkerPanic { shard, message }
     }
 
     /// Hide a span from queries. The tombstone is routed through the
@@ -474,12 +595,18 @@ impl ConcurrentShardedStore {
         self.slots[loc.shard as usize]
             .pending
             .fetch_add(1, Ordering::AcqRel);
-        self.senders[loc.shard as usize]
+        if self.senders[loc.shard as usize]
             .send(ShardMsg::Op {
                 row: loc.row,
                 op: RowOp::Tombstone,
             })
-            .expect("shard worker alive");
+            .is_err()
+        {
+            self.slots[loc.shard as usize]
+                .pending
+                .fetch_sub(1, Ordering::AcqRel);
+            panic!("{}", self.worker_panic(loc.shard as usize));
+        }
     }
 
     /// Merge a late response into an Incomplete span (server-side
@@ -493,12 +620,18 @@ impl ConcurrentShardedStore {
         self.slots[loc.shard as usize]
             .pending
             .fetch_add(1, Ordering::AcqRel);
-        self.senders[loc.shard as usize]
+        if self.senders[loc.shard as usize]
             .send(ShardMsg::Op {
                 row: loc.row,
                 op: RowOp::Complete(Box::new(resp)),
             })
-            .expect("shard worker alive");
+            .is_err()
+        {
+            self.slots[loc.shard as usize]
+                .pending
+                .fetch_sub(1, Ordering::AcqRel);
+            panic!("{}", self.worker_panic(loc.shard as usize));
+        }
     }
 
     /// Barrier: returns once every message enqueued before the call has
@@ -506,12 +639,48 @@ impl ConcurrentShardedStore {
     /// `insert_batch` / `tombstone` / `complete_span` is visible to
     /// queries and assembly.
     pub fn flush(&self) {
+        self.try_flush().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::flush`] that reports a crashed shard worker as an error
+    /// instead of panicking (or, before this existed, hanging forever on
+    /// the barrier). Healthy shards are still flushed to the barrier; the
+    /// first dead shard encountered is returned.
+    pub fn try_flush(&self) -> Result<(), WorkerPanic> {
         let gate = FlushGate::new(self.senders.len());
-        for tx in &self.senders {
-            tx.send(ShardMsg::Flush(Arc::clone(&gate)))
-                .expect("shard worker alive");
+        for (si, tx) in self.senders.iter().enumerate() {
+            let token = FlushToken {
+                shard: si,
+                gate: Some(Arc::clone(&gate)),
+            };
+            // A failed send returns the token, whose drop arrives the
+            // gate as failed — no party is ever silently lost.
+            let _ = tx.send(ShardMsg::Flush(token));
         }
-        gate.wait();
+        gate.wait().map_err(|e| {
+            // Prefer the panic message the worker recorded over the
+            // token's generic "died before acknowledging" note.
+            let recorded = self.slots[e.shard]
+                .failed
+                .lock()
+                .expect("failed flag poisoned")
+                .clone();
+            match recorded {
+                Some(message) => WorkerPanic {
+                    shard: e.shard,
+                    message,
+                },
+                None => e,
+            }
+        })
+    }
+
+    /// Test hook: make shard `shard`'s ingest worker panic on its next
+    /// message, simulating a crashed ingest op. Hidden from docs; used by
+    /// the worker-crash regression tests.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, shard: usize) {
+        let _ = self.senders[shard].send(ShardMsg::Panic);
     }
 
     /// Fetch an *applied* span by global id (spans still in a queue return
@@ -693,6 +862,13 @@ impl Drop for ConcurrentShardedStore {
 /// (stashing early arrivals), applies row ops once their row exists, bumps
 /// bucket generations *inside* the shard write lock (module docs), and
 /// acknowledges flush barriers once its reorder buffers are empty.
+///
+/// A panic anywhere in the message loop is caught so the worker can die
+/// loudly instead of silently: the panic message is recorded on the slot
+/// *before* the receiver drops (so producers that observe the disconnect
+/// can report the cause), stashed flush gates arrive failed, and queued
+/// flush tokens arrive failed via their drop guards when the receiver's
+/// remaining queue is discarded.
 fn worker_loop(
     si: usize,
     slot: Arc<ShardSlot>,
@@ -701,26 +877,56 @@ fn worker_loop(
     rx: Receiver<ShardMsg>,
 ) {
     let mut state = WorkerState::default();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Batch { start_row, spans } => {
-                state.batches.insert(start_row, spans);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Batch { start_row, spans } => {
+                    state.batches.insert(start_row, spans);
+                }
+                ShardMsg::Op { row, op } => {
+                    state.ops.entry(row).or_default().push(op);
+                }
+                ShardMsg::Flush(token) => {
+                    state.flushes.push(token.accept());
+                }
+                ShardMsg::Panic => panic!("injected worker panic (test hook)"),
             }
-            ShardMsg::Op { row, op } => {
-                state.ops.entry(row).or_default().push(op);
-            }
-            ShardMsg::Flush(gate) => {
-                state.flushes.push(gate);
+            drain(si, &slot, &gens, &policy, &mut state);
+        }
+    }));
+    match outcome {
+        Ok(()) => {
+            // Teardown: the store dropped its senders. Apply anything
+            // applicable and release any flushers (only reachable if the
+            // store is dropped mid-flush, which the &self API prevents —
+            // belt and braces).
+            drain(si, &slot, &gens, &policy, &mut state);
+            for gate in state.flushes.drain(..) {
+                gate.arrive();
             }
         }
-        drain(si, &slot, &gens, &policy, &mut state);
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            // Record the cause before `rx` drops: a producer unblocked by
+            // the disconnect must be able to read why.
+            *slot.failed.lock().expect("failed flag poisoned") = Some(message.clone());
+            for gate in state.flushes.drain(..) {
+                gate.arrive_failed(si, &message);
+            }
+            // Returning drops `rx`: senders blocked on a full queue wake
+            // with an error, and undelivered flush tokens fail their gates.
+        }
     }
-    // Teardown: the store dropped its senders. Apply anything applicable
-    // and release any flushers (only reachable if the store is dropped
-    // mid-flush, which the &self API prevents — belt and braces).
-    drain(si, &slot, &gens, &policy, &mut state);
-    for gate in state.flushes.drain(..) {
-        gate.arrive();
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -974,126 +1180,71 @@ mod tests {
         drop(store); // must not hang or panic with messages still queued
     }
 
-    // ------------------------------------------------------------------
-    // Exhaustive two-thread interleaving check for the generation-bump
-    // ordering invariant (module docs). Hand-rolled loom-style model: a
-    // writer applies one span (row becomes visible + bucket generation
-    // bumps) while a reader assembles (reads row visibility) and caches
-    // (records the generation). A cache entry is PERMANENTLY STALE if it
-    // misses the span but records the post-bump generation — strict
-    // lookups would validate it forever. We enumerate every schedule of
-    // the two threads' atomic steps and assert:
-    //   * the implemented discipline (both sides atomic under the shard
-    //     lock) admits no permanently-stale schedule, and
-    //   * BOTH fine-grained orderings (bump-then-insert and
-    //     insert-then-bump without the lock) DO admit one — i.e. the
-    //     checker has teeth and the lock discipline is load-bearing.
-    // ------------------------------------------------------------------
+    // The exhaustive generation-bump interleaving checks that used to
+    // live here (a hand-rolled Step enum + schedule enumerator) are now
+    // df-check model tests: see `tests/df_check_models.rs`, which explores
+    // the same invariant with real Mutex/RwLock shims, preemption
+    // bounding, and replayable counterexamples.
 
-    /// One atomic step of the model: micro-ops that execute indivisibly.
-    #[derive(Debug, Clone, Copy, PartialEq)]
-    enum Step {
-        /// Writer: row becomes visible.
-        WVis,
-        /// Writer: bucket generation bumps.
-        WGen,
-        /// Writer: both at once (the shard-lock critical section).
-        WAtomic,
-        /// Reader: observes row visibility (Phase 1 under the read lock).
-        RSee,
-        /// Reader: records the generation into the cache entry.
-        RGen,
-        /// Reader: both at once (read locks held across assembly + store).
-        RAtomic,
-    }
-
-    /// Simulate one schedule; returns (saw_row, recorded_gen, final_gen).
-    fn run_schedule(schedule: &[Step]) -> (bool, u64, u64) {
-        let (mut vis, mut gen) = (false, 0u64);
-        let (mut saw, mut recorded) = (false, 0u64);
-        for step in schedule {
-            match step {
-                Step::WVis => vis = true,
-                Step::WGen => gen += 1,
-                Step::WAtomic => {
-                    vis = true;
-                    gen += 1;
-                }
-                Step::RSee => saw = vis,
-                Step::RGen => recorded = gen,
-                Step::RAtomic => {
-                    saw = vis;
-                    recorded = gen;
-                }
-            }
-        }
-        (saw, recorded, gen)
-    }
-
-    /// All interleavings of two per-thread step sequences (program order
-    /// preserved within each thread).
-    fn interleavings(w: &[Step], r: &[Step]) -> Vec<Vec<Step>> {
-        fn go(w: &[Step], r: &[Step], acc: &mut Vec<Step>, out: &mut Vec<Vec<Step>>) {
-            if w.is_empty() && r.is_empty() {
-                out.push(acc.clone());
-                return;
-            }
-            if let Some((&first, rest)) = w.split_first() {
-                acc.push(first);
-                go(rest, r, acc, out);
-                acc.pop();
-            }
-            if let Some((&first, rest)) = r.split_first() {
-                acc.push(first);
-                go(w, rest, acc, out);
-                acc.pop();
-            }
-        }
-        let mut out = Vec::new();
-        go(w, r, &mut Vec::new(), &mut out);
-        out
-    }
-
-    /// A schedule leaves the cache permanently stale iff the entry missed
-    /// the span but recorded the final generation.
-    fn permanently_stale(schedule: &[Step]) -> bool {
-        let (saw, recorded, final_gen) = run_schedule(schedule);
-        !saw && recorded == final_gen && final_gen > 0
+    #[test]
+    fn worker_panic_fails_flush_and_inserts_instead_of_hanging() {
+        let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(2));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        store.flush();
+        store.inject_worker_panic(0);
+        // The barrier must report the dead shard, not wait forever.
+        let err = store.try_flush().expect_err("flush must fail, not hang");
+        assert_eq!(err.shard, 0);
+        assert!(
+            err.message.contains("injected worker panic"),
+            "flush error carries the panic message: {err}"
+        );
+        // Spans already applied stay readable on the healthy path.
+        assert!(store.get(ids[0]).is_some());
+        // Producers eventually hit the dead shard and get an error rather
+        // than blocking; enough spans guarantees both shards are targeted.
+        let spans: Vec<Span> = (0..64)
+            .flat_map(|i| linked_pair(100 + i, 10_000 + u64::from(i) * 1_000))
+            .collect();
+        let err = store
+            .try_insert_batch(spans)
+            .expect_err("a sub-batch for the dead shard must error");
+        assert_eq!(err.shard, 0);
+        assert!(err.message.contains("injected worker panic"), "{err}");
+        // The panicking wrapper surfaces the same message.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.flush()))
+            .expect_err("flush() panics once the worker is dead");
+        assert!(panic_message(panicked.as_ref()).contains("shard 0 ingest worker panicked"));
     }
 
     #[test]
-    fn no_interleaving_of_the_locked_discipline_leaves_the_cache_permanently_stale() {
-        // Implemented discipline: the worker's insert+bump is one critical
-        // section (shard write lock held across both); the reader's
-        // see+record is one critical section (all read locks held from
-        // Phase 1 through the cache store).
-        for schedule in interleavings(&[Step::WAtomic], &[Step::RAtomic]) {
-            assert!(
-                !permanently_stale(&schedule),
-                "locked discipline must never go permanently stale: {schedule:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn both_unlocked_orderings_admit_a_permanently_stale_interleaving() {
-        // Without the lock discipline the writer's two effects and the
-        // reader's two observations interleave freely — and BOTH write
-        // orders break. This is why the worker bumps generations inside
-        // the shard write lock and the assembler holds read locks through
-        // the cache store.
-        for writer in [
-            [Step::WVis, Step::WGen], // insert, then bump
-            [Step::WGen, Step::WVis], // bump, then insert
-        ] {
-            let broken = interleavings(&writer, &[Step::RSee, Step::RGen])
-                .iter()
-                .any(|s| permanently_stale(s));
-            assert!(
-                broken,
-                "fine-grained order {writer:?} should admit a stale schedule \
-                 (otherwise the lock discipline would be unnecessary)"
-            );
-        }
+    fn producer_blocked_on_full_queue_wakes_when_worker_dies() {
+        // Single shard, minimal queue: after the injected panic the worker
+        // stops receiving, so producers may block on a full queue — the
+        // receiver dropping during unwind must wake them with an error
+        // (this used to deadlock the producer forever).
+        let store = ConcurrentShardedStore::with_config(
+            ShardPolicy::with_shards(1),
+            ConcurrentConfig {
+                queue_depth: 1,
+                ..ConcurrentConfig::default()
+            },
+        );
+        store.inject_worker_panic(0);
+        let err = loop {
+            match store.try_insert_batch(linked_pair(1, 1_000)) {
+                // Raced ahead of the worker's death: the send landed in
+                // the (possibly full) queue. Retry; once the receiver is
+                // gone every send errors.
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.shard, 0);
+        assert!(err.message.contains("injected worker panic"), "{err}");
+        assert!(
+            store.try_flush().is_err(),
+            "flush must also report the dead worker"
+        );
     }
 }

@@ -21,11 +21,11 @@ use crate::assemble::AssembleConfig;
 use crate::dictionary::TagDictionary;
 use crate::sharded::{assemble_trace_sharded, ShardedSpanStore};
 use crate::trace_cache::{CacheOutcome, TraceCache};
+use df_check::sync::Mutex;
 use df_storage::{ShardPolicy, SpanQuery};
 use df_types::tags::ResourceInventory;
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
-use std::sync::Mutex;
 
 /// Re-aggregation matching key: the capture point + flow + protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -42,11 +42,11 @@
 //! (`alg1_trace_cache`) shows the resulting speedup.
 
 use crate::sharded::ShardedSpanStore;
+use df_check::sync::Arc;
 use df_types::trace::Trace;
 use df_types::{SpanId, TimeNs};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Where bucket generations come from. The cache validates entries against
 /// *some* view of the routing table's time-bucket generations — the
@@ -162,10 +162,15 @@ impl TraceCache {
         let Some(entry) = self.entries.get(&start) else {
             return CacheOutcome::Miss;
         };
+        // `wrapping_sub`, not `saturating_sub`: if a bucket's counter ever
+        // wraps past a recorded generation, saturating would clamp the
+        // drift to 0 and serve the entry as perfectly fresh forever.
+        // Wrapping turns any mismatch into a huge drift, which correctly
+        // falls through to invalidation.
         let drift = entry
             .deps
             .iter()
-            .map(|&(bucket, gen)| store.bucket_gen(bucket).saturating_sub(gen))
+            .map(|&(bucket, gen)| store.bucket_gen(bucket).wrapping_sub(gen))
             .max()
             .unwrap_or(0);
         if drift == 0 {
@@ -381,6 +386,84 @@ mod tests {
         assert_eq!(t.len(), 2);
         cache.store(ids[0], t, &store);
         assert!(cache.is_empty(), "over-wide envelope not cached");
+    }
+
+    /// A controllable generation source: every bucket reports one settable
+    /// generation, for exercising counter edges (wrap-around) the real
+    /// stores cannot reach in a test's lifetime.
+    struct FakeGens {
+        gen: std::cell::Cell<u64>,
+    }
+
+    impl BucketGens for FakeGens {
+        fn bucket_gen(&self, _bucket: u64) -> u64 {
+            self.gen.get()
+        }
+        fn bucket_of(&self, _t: TimeNs) -> u64 {
+            0
+        }
+    }
+
+    /// Build a real 2-span trace to feed the cache in the FakeGens tests.
+    fn sample_trace() -> (SpanId, Trace) {
+        let mut store = ShardedSpanStore::new(ShardPolicy::single());
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        let t = assemble_trace_sharded(&store, ids[0], &AssembleConfig::default());
+        (ids[0], t)
+    }
+
+    #[test]
+    fn zero_window_bounded_lookup_is_the_strict_path() {
+        let mut store = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+        let ids = store.insert_batch(linked_pair(7, 1_000));
+        let mut cache = TraceCache::new();
+        assemble_via_cache(&mut cache, &store, ids[0]);
+
+        // Fresh entry: both paths hit.
+        assert!(matches!(
+            cache.lookup_bounded(ids[0], &store, 0),
+            CacheOutcome::Hit(_)
+        ));
+        assert!(matches!(cache.lookup(ids[0], &store), CacheOutcome::Hit(_)));
+
+        // Drift 1: window 0 invalidates exactly like the strict lookup,
+        // and the entry is gone for both afterwards.
+        let mut c = Span::synthetic(TapSide::ServerPodNic, 1_005, 1_495);
+        c.tcp_seq_req = Some(7);
+        store.insert_batch(vec![c]);
+        assert!(matches!(
+            cache.lookup_bounded(ids[0], &store, 0),
+            CacheOutcome::Invalidated
+        ));
+        assert!(matches!(cache.lookup(ids[0], &store), CacheOutcome::Miss));
+    }
+
+    #[test]
+    fn wrapped_generation_counter_is_never_served_fresh() {
+        // Entry cached when every dependency bucket reported u64::MAX.
+        let (start, trace) = sample_trace();
+        let gens = FakeGens {
+            gen: std::cell::Cell::new(u64::MAX),
+        };
+        let mut cache = TraceCache::new();
+        cache.store(start, trace, &gens);
+        assert!(matches!(
+            cache.lookup_bounded(start, &gens, 0),
+            CacheOutcome::Hit(_)
+        ));
+
+        // The counter wraps: MAX → 0 → 1. With `saturating_sub` the drift
+        // would clamp to 0 and the entry would be served as fresh forever;
+        // wrapping arithmetic sees the true drift of 2.
+        gens.gen.set(1);
+        match cache.lookup_bounded(start, &gens, 10) {
+            CacheOutcome::Stale(_) => {} // drift 2 ≤ window 10, and NOT a fresh hit
+            other => panic!("wrapped counter must not serve fresh, got {other:?}"),
+        }
+        assert!(matches!(
+            cache.lookup_bounded(start, &gens, 1),
+            CacheOutcome::Invalidated
+        ));
     }
 
     #[test]

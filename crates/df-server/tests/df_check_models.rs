@@ -1,0 +1,307 @@
+//! df-check model tests for the concurrent shard boundary.
+//!
+//! These port the invariants `crates/df-server/src/concurrent.rs` used to
+//! check with a hand-rolled step enumerator onto the df-check
+//! schedule-exploring model checker: the generation-bump lock discipline
+//! (including the *mutation* variants that must be caught), the flush
+//! barrier, channel backpressure, and the bounded-staleness drift rule.
+//!
+//! The suite runs checked in the default workspace test run because
+//! df-server's dev-dependency on df-check enables the `checked` feature.
+//! Budgets respect `DF_CHECK_MAX_SCHEDULES` / `DF_CHECK_MAX_PREEMPTIONS`
+//! so CI can bound wall-clock (see `ci.sh`).
+
+use df_check::model::{self, CheckConfig, FailureKind};
+use df_check::sync::atomic::{AtomicUsize, Ordering};
+use df_check::sync::{sync_channel, Arc, Condvar, Mutex, Racy, RwLock};
+
+fn budget() -> CheckConfig {
+    CheckConfig::default().env_budget()
+}
+
+/// All model tests no-op when the shims compile as plain std re-exports
+/// (they only explore schedules under the `checked` feature).
+fn checked_or_skip() -> bool {
+    if df_check::is_checked() {
+        true
+    } else {
+        eprintln!("skipped: df-check built without the `checked` feature");
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generation-bump discipline (PR 3's staleness-correctness invariant).
+//
+// The shipped worker bumps a bucket's generation while holding the shard
+// write lock, and the assembling reader observes row visibility and
+// records generations under the read lock — so "rows visible" and
+// "generation bumped" are atomic for any reader. A cache entry is
+// PERMANENTLY STALE if it misses a span but records the post-bump
+// generation: strict lookups would validate it forever.
+// ---------------------------------------------------------------------
+
+/// One round of the *shipped* discipline: writer's insert+bump is a single
+/// write-lock critical section; reader's observe+record is a single
+/// read-lock critical section. Panics on a permanently-stale outcome.
+fn locked_discipline_round() {
+    // (row_visible, bucket_gen) behind one shard lock.
+    let store = Arc::new(RwLock::new((false, 0u64)));
+    let writer = {
+        let store = Arc::clone(&store);
+        model::spawn(move || {
+            let mut s = store.write().expect("shard lock");
+            s.0 = true;
+            s.1 += 1;
+        })
+    };
+    let reader = {
+        let store = Arc::clone(&store);
+        model::spawn(move || {
+            let s = store.read().expect("shard lock");
+            (s.0, s.1) // (saw_row, recorded_gen)
+        })
+    };
+    writer.join();
+    let (saw, recorded) = reader.join();
+    let final_gen = store.read().expect("shard lock").1;
+    assert!(
+        !(!saw && recorded == final_gen && final_gen > 0),
+        "permanently stale cache entry: missed the row but recorded gen {recorded}"
+    );
+}
+
+#[test]
+fn locked_gen_bump_discipline_admits_no_stale_schedule() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::check(budget(), locked_discipline_round);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.schedules >= 2, "both thread orders explored");
+    assert!(report.lock_cycles.is_empty(), "no lock-order inversions");
+}
+
+/// The *mutation* of PR 3's invariant: the generation bump moved outside
+/// the shard write lock (`bump_first` picks which side of the critical
+/// section it lands on). df-check must find the stale-cache race.
+fn unlocked_gen_bump_round(bump_first: bool) {
+    let visible = Arc::new(RwLock::new(false));
+    let gen = Arc::new(AtomicUsize::new(0));
+    let writer = {
+        let visible = Arc::clone(&visible);
+        let gen = Arc::clone(&gen);
+        model::spawn(move || {
+            if bump_first {
+                gen.fetch_add(1, Ordering::SeqCst);
+            }
+            *visible.write().expect("shard lock") = true;
+            if !bump_first {
+                gen.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+    let reader = {
+        let visible = Arc::clone(&visible);
+        let gen = Arc::clone(&gen);
+        model::spawn(move || {
+            let saw = *visible.read().expect("shard lock");
+            let recorded = gen.load(Ordering::SeqCst);
+            (saw, recorded)
+        })
+    };
+    writer.join();
+    let (saw, recorded) = reader.join();
+    let final_gen = gen.load(Ordering::SeqCst);
+    assert!(
+        !(!saw && recorded == final_gen && final_gen > 0),
+        "permanently stale cache entry: missed the row but recorded gen {recorded}"
+    );
+}
+
+#[test]
+fn moving_the_gen_bump_outside_the_lock_is_caught_and_replayable() {
+    if !checked_or_skip() {
+        return;
+    }
+    // Both fine-grained orders break — that is exactly why the shipped
+    // worker bumps inside the write lock.
+    for bump_first in [false, true] {
+        let report = model::explore(budget(), move || unlocked_gen_bump_round(bump_first));
+        let failure = report
+            .failure
+            .unwrap_or_else(|| panic!("mutation (bump_first={bump_first}) must be detected"));
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("permanently stale"),
+            "failure names the invariant: {}",
+            failure.message
+        );
+        assert!(
+            !failure.schedule.is_empty(),
+            "counterexample has a schedule"
+        );
+        assert!(!failure.trace.is_empty(), "counterexample has a trace");
+
+        // The reported schedule is a real witness: replaying it alone
+        // reproduces the failure deterministically.
+        let replayed = model::replay(failure.schedule.clone(), move || {
+            unlocked_gen_bump_round(bump_first)
+        });
+        let rf = replayed.failure.expect("replay reproduces the failure");
+        assert_eq!(rf.kind, FailureKind::Panic);
+        assert!(rf.message.contains("permanently stale"));
+        assert_eq!(replayed.schedules, 1, "replay runs exactly one schedule");
+    }
+}
+
+#[test]
+fn unsynchronized_gen_counter_is_a_data_race() {
+    if !checked_or_skip() {
+        return;
+    }
+    // Drop the atomic too: a plain shared counter (modelled by Racy) read
+    // concurrently with a non-atomic read-modify-write is a data race the
+    // vector clocks must flag even on schedules where the values happen
+    // to come out right.
+    let report = model::explore(budget(), || {
+        let gen = Arc::new(Racy::new(0u64));
+        let writer = {
+            let gen = Arc::clone(&gen);
+            model::spawn(move || gen.update(|g| g + 1))
+        };
+        let _observed = gen.get();
+        writer.join();
+    });
+    let failure = report.failure.expect("unsynchronized counter must race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+// ---------------------------------------------------------------------
+// Flush barrier (ConcurrentShardedStore::flush / FlushGate).
+// ---------------------------------------------------------------------
+
+#[test]
+fn flush_barrier_model_never_deadlocks_and_orders_all_prior_work() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::check(budget(), || {
+        // A one-shard model of the ingest pipeline: `None` is the flush
+        // token; the gate is the (Mutex, Condvar) countdown FlushGate uses.
+        let (tx, rx) = sync_channel::<Option<u32>>(2);
+        let gate = Arc::new((Mutex::new(1usize), Condvar::new()));
+        let applied = Arc::new(AtomicUsize::new(0));
+        let worker = {
+            let gate = Arc::clone(&gate);
+            let applied = Arc::clone(&applied);
+            model::spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Some(_) => {
+                            applied.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            let (remaining, cv) = &*gate;
+                            let mut r = remaining.lock().expect("gate lock");
+                            *r -= 1;
+                            cv.notify_all();
+                        }
+                    }
+                }
+            })
+        };
+        tx.send(Some(1)).expect("worker alive");
+        tx.send(Some(2)).expect("worker alive");
+        tx.send(None).expect("worker alive");
+        drop(tx);
+        // flush(): wait until the worker has drained past the token.
+        {
+            let (remaining, cv) = &*gate;
+            let mut r = remaining.lock().expect("gate lock");
+            while *r > 0 {
+                r = cv.wait(r).expect("gate lock");
+            }
+        }
+        // The barrier guarantee: everything enqueued before the token is
+        // applied once the gate releases.
+        assert_eq!(applied.load(Ordering::SeqCst), 2, "flush is a barrier");
+        worker.join();
+    });
+    assert!(report.complete, "barrier model explored exhaustively");
+    assert!(report.lock_cycles.is_empty());
+}
+
+#[test]
+fn bounded_channel_backpressure_preserves_fifo_under_every_schedule() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::check(budget(), || {
+        // queue_depth 1: the producer blocks on every send until the
+        // worker drains — the store's backpressure mode.
+        let (tx, rx) = sync_channel::<u32>(1);
+        let consumer = model::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..3 {
+            tx.send(i).expect("receiver alive");
+        }
+        drop(tx);
+        let got = consumer.join();
+        assert_eq!(got, vec![0, 1, 2], "backpressure must not reorder");
+    });
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------
+// Bounded staleness (TraceCache::lookup_bounded's drift rule).
+// ---------------------------------------------------------------------
+
+#[test]
+fn bounded_staleness_drift_never_exceeds_the_window() {
+    if !checked_or_skip() {
+        return;
+    }
+    const WINDOW: u64 = 1;
+    let report = model::check(budget(), || {
+        // (bucket_gen, updates_applied) move together under the shard
+        // lock — the discipline the locked test above verifies. A cache
+        // entry snapshots both; a later bounded lookup may serve it only
+        // while the generation drift is within the window. The invariant:
+        // a served entry is never missing more updates than the drift
+        // (and hence the window) allows.
+        let store = Arc::new(Mutex::new((0u64, 0u64)));
+        let (recorded_gen, cached_updates) = {
+            let s = store.lock().expect("shard lock");
+            (s.0, s.1)
+        };
+        let writer = {
+            let store = Arc::clone(&store);
+            model::spawn(move || {
+                for _ in 0..2 {
+                    let mut s = store.lock().expect("shard lock");
+                    s.0 = s.0.wrapping_add(1);
+                    s.1 += 1;
+                }
+            })
+        };
+        {
+            let s = store.lock().expect("shard lock");
+            let drift = s.0.wrapping_sub(recorded_gen);
+            if drift <= WINDOW {
+                let missed = s.1 - cached_updates;
+                assert!(
+                    missed <= WINDOW,
+                    "served an entry missing {missed} updates with window {WINDOW}"
+                );
+            } // else: invalidated — re-assembly, nothing served stale
+        }
+        writer.join();
+    });
+    assert!(report.complete);
+}

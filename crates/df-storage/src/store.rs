@@ -14,9 +14,9 @@
 //! ingest ([`SpanStore::insert_batch`]) defers the sort cost to the next
 //! query instead of paying it per span.
 
+use df_check::sync::Mutex;
 use df_types::{Span, SpanId, TimeNs};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// A span-list query (the Fig. 15 "span list" request).
 #[derive(Debug, Clone, Default)]
