@@ -35,6 +35,14 @@ RUST_TEST_THREADS=8 cargo test -q -p df-server concurrent::
 echo "==> df-check model suite (checked scheduler)"
 cargo test -q -p df-check --features checked
 DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-server --test df_check_models
+DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-cluster --test df_check_models
+
+# The distributed-assembly differential suite (cluster vs the concurrent
+# oracle at 1/2/4 nodes, plus loss-retry and partition-degradation): runs
+# in the workspace pass above, re-run here by name so a failure is
+# attributed to the distributed protocol rather than the umbrella run.
+echo "==> distributed assembly differential suite"
+cargo test -q -p df-cluster --test distributed
 
 # Doc gates cover the first-party crates; the vendored stand-ins in
 # vendor/ are excluded (they are minimal API shims, not documentation
@@ -55,5 +63,8 @@ cargo bench -p df-bench --bench alg1_assembly -- --test
 
 echo "==> alg1 parallel ingest/phase1 bench (smoke, release, --test mode)"
 cargo bench -p df-bench --bench alg1_parallel -- --test
+
+echo "==> distributed cluster assembly bench (smoke, release, --test mode)"
+cargo bench -p df-bench --bench cluster_assembly -- --test
 
 echo "ci.sh: all gates passed"

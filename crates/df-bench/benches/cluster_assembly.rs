@@ -1,0 +1,224 @@
+//! Criterion microbench for distributed trace assembly
+//! (`deepflow::cluster`): Algorithm 1 run across 1, 2 and 4 simulated
+//! trace-server nodes — every cross-shard probe a framed RPC over the
+//! df-net fabric — against the in-process sharded assembly as the
+//! baseline. Also measures ingest with span-batch shipping to remote
+//! shard owners.
+//!
+//! The interesting number is the *overhead shape*: the distributed
+//! protocol pays JSON framing + simulated hops + per-round RPC fan-out,
+//! so it must stay within a small constant factor of the local path
+//! (assembly rounds are batched per round, not per key — paper §4.2's
+//! candidate-set batching), not fall off a cliff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deepflow::cluster::{Cluster, ClusterConfig};
+use deepflow::server::assemble::AssembleConfig;
+use deepflow::server::sharded::{assemble_trace_sharded, ShardedSpanStore};
+use deepflow::storage::ShardPolicy;
+use df_types::ids::*;
+use df_types::l7::L7Protocol;
+use df_types::net::FiveTuple;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::TimeNs;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+fn span(tap: TapSide, req: u64, resp: u64) -> Span {
+    Span {
+        span_id: SpanId(0),
+        kind: SpanKind::Sys,
+        capture: CapturePoint {
+            node: NodeId(1),
+            tap_side: tap,
+            interface: None,
+        },
+        agent: AgentId(1),
+        flow_id: FlowId(1),
+        five_tuple: FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        ),
+        l7_protocol: L7Protocol::Http1,
+        endpoint: "GET /".to_string(),
+        req_time: TimeNs(req),
+        resp_time: TimeNs(resp),
+        status: SpanStatus::Ok,
+        status_code: Some(200),
+        req_bytes: 1,
+        resp_bytes: 1,
+        pid: None,
+        tid: None,
+        process_name: None,
+        systrace_id_req: None,
+        systrace_id_resp: None,
+        pseudo_thread_id: None,
+        x_request_id_req: None,
+        x_request_id_resp: None,
+        tcp_seq_req: None,
+        tcp_seq_resp: None,
+        otel_trace_id: None,
+        otel_span_id: None,
+        otel_parent_span_id: None,
+        tags: TagSet::default(),
+        flow_metrics: None,
+    }
+}
+
+/// The nine capture points of one exchange, outermost first.
+const LADDER: [TapSide; 9] = [
+    TapSide::ClientProcess,
+    TapSide::ClientPodNic,
+    TapSide::ClientNodeNic,
+    TapSide::ClientHypervisor,
+    TapSide::Gateway,
+    TapSide::ServerHypervisor,
+    TapSide::ServerNodeNic,
+    TapSide::ServerPodNic,
+    TapSide::ServerProcess,
+];
+
+/// One capture-ladder exchange (10 spans), linked by systrace ids and a
+/// TCP sequence + otel trace — the same corpus shape `alg1_parallel`
+/// uses, so the numbers compare.
+fn push_exchange(spans: &mut Vec<Span>, seq: u32, link_in: u64, link_out: u64, otel: u128) {
+    let base = u64::from(seq) * 1_000_000;
+    for (rank, tap) in LADDER.iter().enumerate() {
+        let r = rank as u64;
+        let mut s = span(*tap, base + r * 10, base + 900_000 - r * 10);
+        s.tcp_seq_req = Some(seq);
+        if *tap == TapSide::ClientProcess {
+            s.systrace_id_req = Some(SysTraceId(link_in));
+        }
+        if *tap == TapSide::ServerProcess {
+            s.systrace_id_req = Some(SysTraceId(link_out));
+            s.otel_trace_id = Some(OtelTraceId(otel));
+        }
+        spans.push(s);
+    }
+    let mut app = span(TapSide::ServerApp, base + 1_000, base + 800_000);
+    app.kind = SpanKind::App;
+    app.otel_trace_id = Some(OtelTraceId(otel));
+    app.otel_span_id = Some(OtelSpanId(u64::from(seq)));
+    spans.push(app);
+}
+
+/// Per-exchange five-tuples so shard routing disperses the corpus.
+fn spread_flows(spans: &mut [Span]) {
+    for s in spans {
+        let key = s
+            .tcp_seq_req
+            .or(s.otel_span_id.map(|v| v.0 as u32))
+            .unwrap_or(0);
+        s.five_tuple = FiveTuple::tcp(
+            Ipv4Addr::new(10, (key >> 8) as u8, key as u8, 1),
+            40_000,
+            Ipv4Addr::new(10, 128, (key >> 16) as u8, 2),
+            80,
+        );
+    }
+}
+
+/// A fan-out exchange tree (branching 10, `levels` deep), flows spread.
+/// `levels` 3 ≈ 1.1k spans.
+fn template(levels: usize) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut next_seq = 1u32;
+    let mut next_key = 1u64;
+    let mut queue = VecDeque::new();
+    queue.push_back((next_key, 0usize));
+    next_key += 1;
+    while let Some((link_in, level)) = queue.pop_front() {
+        let link_out = next_key;
+        next_key += 1;
+        let seq = next_seq;
+        next_seq += 1;
+        push_exchange(&mut spans, seq, link_in, link_out, u128::from(seq));
+        if level + 1 < levels {
+            for _ in 0..10usize {
+                queue.push_back((link_out, level + 1));
+            }
+        }
+    }
+    spread_flows(&mut spans);
+    spans
+}
+
+fn scale_cfg() -> AssembleConfig {
+    AssembleConfig {
+        iterations: 50_000,
+        max_spans: 200_000,
+        ..AssembleConfig::default()
+    }
+}
+
+fn build_cluster(nodes: usize, spans: &[Span]) -> (Cluster, deepflow::types::SpanId) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes,
+        policy: ShardPolicy::with_shards(4),
+        assemble: scale_cfg(),
+        ..ClusterConfig::default()
+    });
+    let mut start = None;
+    for chunk in spans.chunks(512) {
+        let ids = cluster.ingest(chunk.to_vec());
+        start.get_or_insert(ids[0]);
+    }
+    (cluster, start.expect("non-empty corpus"))
+}
+
+/// Distributed assembly at 1/2/4 nodes vs the in-process sharded
+/// baseline, on a ~1.1k-span corpus.
+fn bench_cluster_assembly(c: &mut Criterion) {
+    let spans = template(3);
+    let total = spans.len();
+    let cfg = scale_cfg();
+
+    // Local baseline + ground truth.
+    let mut local = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+    let ids = local.insert_batch(spans.clone());
+    let expected = assemble_trace_sharded(&local, ids[0], &cfg);
+    assert_eq!(expected.len(), total, "corpus must assemble fully");
+
+    let mut group = c.benchmark_group("cluster_assembly_1k");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("local_sharded", |b| {
+        b.iter(|| assemble_trace_sharded(&local, ids[0], &cfg).len())
+    });
+    for nodes in [1usize, 2, 4] {
+        let (mut cluster, start) = build_cluster(nodes, &spans);
+        // Correctness once, outside the measurement loop: the
+        // distributed answer is the local answer.
+        let result = cluster.assemble(start);
+        assert!(result.is_complete());
+        assert_eq!(result.trace, expected, "distributed assembly diverged");
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| cluster.assemble(start).trace.len())
+        });
+    }
+    group.finish();
+}
+
+/// Ingest with span-batch shipping (512-span batches) at 1/2/4 nodes.
+fn bench_cluster_ingest(c: &mut Criterion) {
+    let spans = template(3);
+    let total = spans.len();
+    let mut group = c.benchmark_group("cluster_ingest_1k");
+    group.throughput(Throughput::Elements(total as u64));
+    for nodes in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let (cluster, _) = build_cluster(n, &spans);
+                assert_eq!(cluster.stats().spans_lost, 0);
+                cluster.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_assembly, bench_cluster_ingest);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose sources must use the `df_check::sync` shims.
-pub const SYNC_SCOPED_CRATES: &[&str] = &["df-server", "df-storage"];
+pub const SYNC_SCOPED_CRATES: &[&str] = &["df-server", "df-storage", "df-cluster"];
 
 #[derive(Debug, Clone)]
 pub struct Violation {

@@ -1,0 +1,997 @@
+//! The simulated trace-server cluster: N nodes on a df-net fabric, with
+//! node 0 acting as ingest front-end and query coordinator.
+//!
+//! Every cross-node interaction is a real RPC over the fabric: the request
+//! is framed by [`RpcEnvelope`], carried in a TCP segment through
+//! [`Fabric::transmit`], and subject to the fabric's fault table. On top
+//! of the fabric's own eager retransmission cascade the cluster runs its
+//! *own* retry loop — per-attempt timeout with exponential backoff — so a
+//! black-holed path ([`Fault::Partition`]) or a sustained loss burst
+//! surfaces as an RPC failure the protocol must absorb:
+//!
+//! * **Ingest** mirrors the single-process oracle's routing exactly
+//!   (sequential global ids, per-shard row counters, soft-cap clamping),
+//!   then ships each per-shard sub-batch to the owning node as a
+//!   [`RpcBody::SpanBatch`]. The receiver applies batches through a
+//!   [`BatchReorder`], so retried or reordered batches land in row order
+//!   and the remote shard stays byte-identical to the oracle's.
+//! * **Assembly** runs Algorithm 1's Phase 1 with the frontier on the
+//!   coordinator: each round's newly-discovered keys (one
+//!   [`CandidateKeys`] batch, the same batching discipline as
+//!   [`phase1_members`](df_server::phase1_members)) probe local shards
+//!   in-process and remote shard owners via
+//!   [`RpcBody::CandidateRequest`]. A [`RoundTracker`] rejects late or
+//!   duplicate responses so retries can never merge a stale round.
+//! * **Degraded mode**: when a node stays unreachable past the retry
+//!   budget, its shards are recorded in
+//!   [`DistributedTrace::missing_shards`] and the query completes with
+//!   the partial trace instead of hanging.
+//! * **Handoff**: [`Cluster::leave`] moves a departing node's shards to
+//!   the remaining members (no degradation afterwards);
+//!   [`Cluster::join`] adds a node and rebalances;
+//!   [`Cluster::kill`] crashes a node, stranding its shards until the
+//!   next query reports them missing.
+//!
+//! Time is virtual: a binary-heap event loop orders fabric deliveries,
+//! RPC timeouts, and scheduled fault heals on one deterministic clock.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use df_net::fabric::{Delivery, Fabric, FabricConfig};
+use df_net::faults::Fault;
+use df_net::topology::{ElementId, Topology};
+use df_server::{assemble_members, probe_shard, AssembleConfig, ExpandedKeys};
+use df_storage::{ShardPolicy, SpanStore};
+use df_types::rpc::{CandidateKeys, RpcBody, RpcEnvelope};
+use df_types::{DurationNs, FiveTuple, NodeId, Segment, Span, SpanId, TcpFlags, TimeNs, Trace};
+
+use crate::membership::ShardMap;
+use crate::tracker::{BatchReorder, RoundTracker};
+
+/// Cluster tunables.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Trace-server nodes to simulate (node 0 is the coordinator).
+    pub nodes: usize,
+    /// Global shard layout and routing policy (mirrors the oracle's).
+    pub policy: ShardPolicy,
+    /// Algorithm 1 knobs for the coordinator-side assembly.
+    pub assemble: AssembleConfig,
+    /// Fabric tunables (fault-level retransmission underneath RPC retry).
+    pub fabric: FabricConfig,
+    /// Base RPC timeout; attempt `n` waits `rpc_timeout << min(n, 6)`.
+    /// The default of 2× the fabric RTO lets one fabric-level
+    /// retransmission finish before the cluster-level retry fires.
+    pub rpc_timeout: DurationNs,
+    /// Cluster-level retries per RPC before it is declared failed.
+    pub max_rpc_retries: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            policy: ShardPolicy::with_shards(4),
+            assemble: AssembleConfig::default(),
+            fabric: FabricConfig::default(),
+            rpc_timeout: DurationNs::from_millis(400),
+            max_rpc_retries: 5,
+        }
+    }
+}
+
+/// Counters for the distributed protocol (cluster layer only — fabric
+/// counters live in [`Fabric::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// RPCs issued (first attempts).
+    pub rpcs_sent: u64,
+    /// Cluster-level retransmissions after a timeout.
+    pub rpc_retries: u64,
+    /// RPCs that exhausted their retry budget.
+    pub rpcs_failed: u64,
+    /// Responses that arrived for an RPC no longer pending (late
+    /// duplicates from earlier attempts).
+    pub stale_responses: u64,
+    /// Spans shipped to shard owners (local or remote).
+    pub spans_shipped: u64,
+    /// Spans whose batch RPC failed permanently (never became visible).
+    pub spans_lost: u64,
+    /// Shards moved by join/leave handoff.
+    pub handoffs: u64,
+    /// Queries answered with a non-empty `missing_shards`.
+    pub degraded_queries: u64,
+}
+
+/// The answer to a distributed trace query: possibly partial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedTrace {
+    /// The assembled (partial) trace.
+    pub trace: Trace,
+    /// Shards that could not be consulted (owner unreachable or the
+    /// start span's rows were lost in ingest). Sorted, deduplicated.
+    pub missing_shards: Vec<u16>,
+    /// Phase 1 rounds actually run.
+    pub rounds: u32,
+}
+
+impl DistributedTrace {
+    /// Whether every shard answered (the trace is not degraded).
+    pub fn is_complete(&self) -> bool {
+        self.missing_shards.is_empty()
+    }
+}
+
+/// One simulated trace-server node.
+struct NodeState {
+    topo_id: NodeId,
+    ip: Ipv4Addr,
+    alive: bool,
+    shards: BTreeMap<u16, SpanStore>,
+    reorder: HashMap<u16, BatchReorder<Span>>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Delivery),
+    RpcTimeout { rpc_id: u64, attempt: u32 },
+    Heal(ElementId),
+}
+
+struct Event {
+    at: TimeNs,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct PendingRpc {
+    to: usize,
+    body: RpcBody,
+    attempt: u32,
+    /// Span count for loss accounting (SpanBatch only).
+    span_count: u64,
+}
+
+enum RpcResult {
+    Ok(RpcBody),
+    Failed,
+}
+
+/// The cluster. See the module docs for the protocol.
+pub struct Cluster {
+    /// The network between the nodes (public like
+    /// [`Fabric::topology`]: tests inject faults and read taps/stats).
+    pub fabric: Fabric,
+    cfg: ClusterConfig,
+    nodes: Vec<NodeState>,
+    map: ShardMap,
+    // Coordinator routing state — mirrors the oracle's `RouteState`.
+    route: Vec<(u16, u32)>,
+    shard_rows: Vec<u32>,
+    clamped: u64,
+    // Virtual time.
+    clock: TimeNs,
+    heap: BinaryHeap<Event>,
+    next_event_seq: u64,
+    // RPC layer.
+    next_rpc_id: u64,
+    next_tcp_seq: u32,
+    pending: HashMap<u64, PendingRpc>,
+    completed: HashMap<u64, RpcResult>,
+    stats: ClusterStats,
+}
+
+impl Cluster {
+    /// Build a cluster of `cfg.nodes` simple nodes (one pod each, one
+    /// rack), shards spread round-robin.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let n = cfg.nodes.clamp(1, 200);
+        let mut topo = Topology::new();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let (topo_id, ip) = Self::add_node_to(&mut topo, i);
+            nodes.push(NodeState {
+                topo_id,
+                ip,
+                alive: true,
+                shards: BTreeMap::new(),
+                reorder: HashMap::new(),
+            });
+        }
+        let shards = cfg.policy.shards;
+        let map = ShardMap::round_robin(shards, n);
+        for s in 0..shards {
+            nodes[map.owner(s as u16)]
+                .shards
+                .insert(s as u16, SpanStore::new());
+        }
+        Cluster {
+            fabric: Fabric::new(topo, cfg.fabric.clone()),
+            nodes,
+            map,
+            route: Vec::new(),
+            shard_rows: vec![0; shards],
+            clamped: 0,
+            clock: TimeNs(0),
+            heap: BinaryHeap::new(),
+            next_event_seq: 0,
+            next_rpc_id: 1,
+            next_tcp_seq: 1,
+            pending: HashMap::new(),
+            completed: HashMap::new(),
+            stats: ClusterStats::default(),
+            cfg,
+        }
+    }
+
+    fn add_node_to(topo: &mut Topology, i: usize) -> (NodeId, Ipv4Addr) {
+        let node_ip = Ipv4Addr::new(192, 168, 10, (i + 1) as u8);
+        let pod_ip = Ipv4Addr::new(10, 50, i as u8, 1);
+        let id = topo.add_simple_node(&format!("trace-server-{i}"), node_ip);
+        topo.add_pod(
+            id,
+            &format!("df-server-{i}"),
+            pod_ip,
+            "deepflow",
+            "df-server",
+            "df-server-svc",
+        );
+        (id, pod_ip)
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, at: TimeNs, kind: EventKind) {
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(ev) = self.heap.pop() else {
+            return false;
+        };
+        self.clock = self.clock.max(ev.at);
+        match ev.kind {
+            EventKind::Deliver(d) => self.on_deliver(d),
+            EventKind::RpcTimeout { rpc_id, attempt } => self.on_timeout(rpc_id, attempt),
+            EventKind::Heal(el) => {
+                self.fabric.faults.clear(&el);
+            }
+        }
+        true
+    }
+
+    /// Drain every scheduled event (deliveries, timeouts, heals).
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    fn run_until_settled(&mut self, ids: &[u64]) {
+        while ids.iter().any(|id| !self.completed.contains_key(id)) {
+            if !self.step() {
+                // Defensive: nothing left to happen — fail the leftovers
+                // rather than spin (a settled cluster must never hang).
+                for id in ids {
+                    if !self.completed.contains_key(id) {
+                        self.pending.remove(id);
+                        self.completed.insert(*id, RpcResult::Failed);
+                        self.stats.rpcs_failed += 1;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RPC layer
+    // ------------------------------------------------------------------
+
+    fn timeout_for(&self, attempt: u32) -> DurationNs {
+        DurationNs(self.cfg.rpc_timeout.0 << attempt.min(6))
+    }
+
+    fn send_rpc(&mut self, to: usize, body: RpcBody) -> u64 {
+        let rpc_id = self.next_rpc_id;
+        self.next_rpc_id += 1;
+        self.stats.rpcs_sent += 1;
+        let span_count = match &body {
+            RpcBody::SpanBatch { spans, .. } => spans.len() as u64,
+            _ => 0,
+        };
+        self.pending.insert(
+            rpc_id,
+            PendingRpc {
+                to,
+                body,
+                attempt: 0,
+                span_count,
+            },
+        );
+        self.transmit_rpc(rpc_id, to, 0);
+        rpc_id
+    }
+
+    fn transmit_rpc(&mut self, rpc_id: u64, to: usize, attempt: u32) {
+        let body = self.pending[&rpc_id].body.clone();
+        let env = RpcEnvelope { rpc_id, body };
+        let (src, dst) = (self.nodes[0].ip, self.nodes[to].ip);
+        self.transmit_segment(src, dst, env, attempt > 0);
+        let deadline = self.clock + self.timeout_for(attempt);
+        self.push_event(deadline, EventKind::RpcTimeout { rpc_id, attempt });
+    }
+
+    fn transmit_segment(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        env: RpcEnvelope,
+        retransmission: bool,
+    ) {
+        let payload = env.encode();
+        let seq = self.next_tcp_seq;
+        self.next_tcp_seq = self.next_tcp_seq.wrapping_add(payload.len().max(1) as u32);
+        let seg = Segment {
+            five_tuple: FiveTuple::tcp(src, 46000, dst, 7700),
+            seq,
+            ack: 0,
+            flags: TcpFlags::PSH_ACK,
+            window: 65535,
+            payload,
+            is_retransmission: retransmission,
+        };
+        let deliveries = self.fabric.transmit(seg, self.clock);
+        for d in deliveries {
+            self.push_event(d.at, EventKind::Deliver(d));
+        }
+    }
+
+    fn on_timeout(&mut self, rpc_id: u64, attempt: u32) {
+        let Some(p) = self.pending.get(&rpc_id) else {
+            return; // already answered
+        };
+        if p.attempt != attempt {
+            return; // superseded by a newer attempt's timer
+        }
+        if p.attempt >= self.cfg.max_rpc_retries {
+            let p = self.pending.remove(&rpc_id).expect("checked above");
+            self.completed.insert(rpc_id, RpcResult::Failed);
+            self.stats.rpcs_failed += 1;
+            self.stats.spans_lost += p.span_count;
+            return;
+        }
+        let (to, next_attempt) = {
+            let p = self.pending.get_mut(&rpc_id).expect("checked above");
+            p.attempt += 1;
+            (p.to, p.attempt)
+        };
+        self.stats.rpc_retries += 1;
+        self.transmit_rpc(rpc_id, to, next_attempt);
+    }
+
+    fn on_deliver(&mut self, d: Delivery) {
+        let Some(idx) = self.nodes.iter().position(|n| n.topo_id == d.node) else {
+            return;
+        };
+        if !self.nodes[idx].alive || d.segment.flags.rst {
+            return; // crashed node, or a fault-injected RST (not an RPC)
+        }
+        let Ok(env) = RpcEnvelope::decode(&d.segment.payload) else {
+            return;
+        };
+        match env.body {
+            RpcBody::SpanBatch { .. }
+            | RpcBody::CandidateRequest { .. }
+            | RpcBody::SpanFetch { .. } => {
+                let resp = self.handle_request(idx, env.body);
+                let (src, dst) = (self.nodes[idx].ip, self.nodes[0].ip);
+                self.transmit_segment(
+                    src,
+                    dst,
+                    RpcEnvelope {
+                        rpc_id: env.rpc_id,
+                        body: resp,
+                    },
+                    false,
+                );
+            }
+            _ => {
+                if self.pending.remove(&env.rpc_id).is_some() {
+                    self.completed.insert(env.rpc_id, RpcResult::Ok(env.body));
+                } else {
+                    self.stats.stale_responses += 1;
+                }
+            }
+        }
+    }
+
+    /// A node answers a request against its local shards. Requests are
+    /// idempotent: SpanBatch is deduplicated by the reorder buffer, the
+    /// two reads are stateless — so a retried RPC handled twice is safe.
+    fn handle_request(&mut self, idx: usize, body: RpcBody) -> RpcBody {
+        match body {
+            RpcBody::SpanBatch {
+                shard,
+                start_row,
+                spans,
+            } => {
+                let count = spans.len() as u32;
+                Self::apply_batch(&mut self.nodes[idx], shard, start_row, spans);
+                RpcBody::SpanBatchAck {
+                    shard,
+                    start_row,
+                    count,
+                }
+            }
+            RpcBody::CandidateRequest { round, keys } => {
+                let node = &self.nodes[idx];
+                let empty = HashSet::new();
+                let mut candidates = Vec::new();
+                for (&si, store) in &node.shards {
+                    for row in probe_shard(si, store, &keys, &empty) {
+                        candidates.push(df_types::rpc::CandidateSpan {
+                            shard: si,
+                            row,
+                            span: store[row].clone(),
+                        });
+                    }
+                }
+                RpcBody::CandidateResponse { round, candidates }
+            }
+            RpcBody::SpanFetch { shard, row } => {
+                let span = self.nodes[idx]
+                    .shards
+                    .get(&shard)
+                    .and_then(|s| s.get_row(row))
+                    .cloned()
+                    .map(Box::new);
+                RpcBody::SpanFetchResponse { shard, row, span }
+            }
+            other => other, // responses never reach handle_request
+        }
+    }
+
+    fn apply_batch(node: &mut NodeState, shard: u16, start_row: u32, spans: Vec<Span>) {
+        let Some(store) = node.shards.get_mut(&shard) else {
+            return; // shard handed off; the stale batch is dropped
+        };
+        let runs =
+            node.reorder
+                .entry(shard)
+                .or_default()
+                .offer(store.len() as u32, start_row, spans);
+        for run in runs {
+            store.insert_routed_batch(run);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Route and store a batch of spans, shipping remote sub-batches over
+    /// the fabric. Id assignment and shard routing replicate the
+    /// single-process oracle exactly, so a fault-free cluster holds the
+    /// same rows in the same shards.
+    pub fn ingest(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
+        if spans.is_empty() {
+            return Vec::new();
+        }
+        let mut ids = Vec::with_capacity(spans.len());
+        let mut per_shard: Vec<Option<(u32, Vec<Span>)>> = vec![None; self.cfg.policy.shards];
+        for mut span in spans {
+            let id = SpanId(self.route.len() as u64 + 1);
+            span.span_id = id;
+            let shard = self.pick_shard(self.cfg.policy.route(&span));
+            let row = self.shard_rows[shard as usize];
+            self.shard_rows[shard as usize] += 1;
+            self.route.push((shard, row));
+            per_shard[shard as usize]
+                .get_or_insert_with(|| (row, Vec::new()))
+                .1
+                .push(span);
+            ids.push(id);
+        }
+        let mut rpc_ids = Vec::new();
+        for (si, sub) in per_shard.into_iter().enumerate() {
+            let Some((start_row, spans)) = sub else {
+                continue;
+            };
+            self.stats.spans_shipped += spans.len() as u64;
+            let owner = self.map.owner(si as u16);
+            if owner == 0 {
+                Self::apply_batch(&mut self.nodes[0], si as u16, start_row, spans);
+            } else {
+                rpc_ids.push(self.send_rpc(
+                    owner,
+                    RpcBody::SpanBatch {
+                        shard: si as u16,
+                        start_row,
+                        spans,
+                    },
+                ));
+            }
+        }
+        self.run_until_settled(&rpc_ids);
+        for id in rpc_ids {
+            self.completed.remove(&id);
+        }
+        ids
+    }
+
+    /// The oracle's `RouteState::pick_shard`, verbatim.
+    fn pick_shard(&mut self, preferred: usize) -> u16 {
+        if (self.shard_rows[preferred] as usize) < self.cfg.policy.max_shard_rows {
+            return preferred as u16;
+        }
+        self.clamped += 1;
+        self.shard_rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &rows)| rows)
+            .map(|(i, _)| i as u16)
+            .unwrap_or(preferred as u16)
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed assembly (Algorithm 1, Phase 1 over RPC)
+    // ------------------------------------------------------------------
+
+    /// Assemble the trace containing `start`, probing remote shards over
+    /// the fabric. Never hangs: an unreachable owner fails after the
+    /// retry budget and its shards are reported in `missing_shards`.
+    pub fn assemble(&mut self, start: SpanId) -> DistributedTrace {
+        let mut missing: BTreeSet<u16> = BTreeSet::new();
+        let mut failed_nodes: HashSet<usize> = HashSet::new();
+
+        let Some(&(s_shard, s_row)) = start
+            .raw()
+            .checked_sub(1)
+            .and_then(|i| self.route.get(i as usize))
+        else {
+            return DistributedTrace {
+                trace: Trace::default(),
+                missing_shards: Vec::new(),
+                rounds: 0,
+            };
+        };
+        let Some(start_span) = self.fetch_span(s_shard, s_row, &mut failed_nodes, &mut missing)
+        else {
+            self.stats.degraded_queries += 1;
+            return DistributedTrace {
+                trace: Trace::default(),
+                missing_shards: missing.into_iter().collect(),
+                rounds: 0,
+            };
+        };
+
+        let mut seen: HashSet<(u16, u32)> = HashSet::new();
+        seen.insert((s_shard, s_row));
+        let mut span_of: HashMap<(u16, u32), Span> = HashMap::new();
+        span_of.insert((s_shard, s_row), start_span);
+        let mut members: Vec<(u16, u32)> = vec![(s_shard, s_row)];
+        let mut frontier = members.clone();
+        let mut keys = ExpandedKeys::default();
+        let mut tracker = RoundTracker::new();
+        let mut rounds = 0u32;
+
+        for iter in 0..self.cfg.assemble.iterations {
+            if members.len() >= self.cfg.assemble.max_spans {
+                break;
+            }
+            let mut batch = CandidateKeys::default();
+            for loc in &frontier {
+                keys.collect(&mut batch, &span_of[loc]);
+            }
+            if batch.is_empty() {
+                break;
+            }
+            rounds += 1;
+
+            // Local probes: the coordinator's own shards, against the
+            // real visited set.
+            let mut per_shard: BTreeMap<u16, Vec<(u32, Option<Span>)>> = BTreeMap::new();
+            for (&si, store) in &self.nodes[0].shards {
+                for row in probe_shard(si, store, &batch, &seen) {
+                    per_shard.entry(si).or_default().push((row, None));
+                }
+            }
+
+            // Remote probes: one CandidateRequest per live shard owner.
+            let mut round_rpcs: Vec<(u64, usize)> = Vec::new();
+            for idx in 1..self.nodes.len() {
+                if failed_nodes.contains(&idx) || self.map.shards_of(idx).is_empty() {
+                    continue;
+                }
+                let id = self.send_rpc(
+                    idx,
+                    RpcBody::CandidateRequest {
+                        round: iter as u32,
+                        keys: batch.clone(),
+                    },
+                );
+                round_rpcs.push((id, idx));
+            }
+            let ids: Vec<u64> = round_rpcs.iter().map(|&(id, _)| id).collect();
+            tracker.begin_round(iter as u32, &ids);
+            self.run_until_settled(&ids);
+            for (id, idx) in round_rpcs {
+                match self.completed.remove(&id) {
+                    Some(RpcResult::Ok(RpcBody::CandidateResponse { round, candidates }))
+                        if tracker.accept(round, id) =>
+                    {
+                        for c in candidates {
+                            per_shard
+                                .entry(c.shard)
+                                .or_default()
+                                .push((c.row, Some(c.span)));
+                        }
+                    }
+                    _ => {
+                        // Timed out, wrong body, or a round-label the
+                        // tracker refused: degrade this node's shards.
+                        failed_nodes.insert(idx);
+                        missing.extend(self.map.shards_of(idx));
+                    }
+                }
+            }
+
+            // Merge in global shard order — the same order the oracle's
+            // `phase1_members` produces, so member sets match under caps.
+            let mut next: Vec<(u16, u32)> = Vec::new();
+            for (si, rows) in per_shard {
+                for (row, span) in rows {
+                    if seen.insert((si, row)) {
+                        let span = span.unwrap_or_else(|| self.nodes[0].shards[&si][row].clone());
+                        span_of.insert((si, row), span);
+                        next.push((si, row));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            members.extend_from_slice(&next);
+            frontier = next;
+        }
+
+        let spans: Vec<Span> = members
+            .iter()
+            .map(|loc| span_of.remove(loc).expect("member without span"))
+            .collect();
+        let trace = assemble_members(spans, start, &self.cfg.assemble);
+        if !missing.is_empty() {
+            self.stats.degraded_queries += 1;
+        }
+        DistributedTrace {
+            trace,
+            missing_shards: missing.into_iter().collect(),
+            rounds,
+        }
+    }
+
+    fn fetch_span(
+        &mut self,
+        shard: u16,
+        row: u32,
+        failed_nodes: &mut HashSet<usize>,
+        missing: &mut BTreeSet<u16>,
+    ) -> Option<Span> {
+        let owner = self.map.owner(shard);
+        if owner == 0 {
+            return self.nodes[0]
+                .shards
+                .get(&shard)
+                .and_then(|s| s.get_row(row))
+                .cloned();
+        }
+        let id = self.send_rpc(owner, RpcBody::SpanFetch { shard, row });
+        self.run_until_settled(&[id]);
+        match self.completed.remove(&id) {
+            Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: Some(s), .. })) => Some(*s),
+            Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: None, .. })) => {
+                // The owner answered but the row never arrived — the
+                // batch was lost in ingest. Degrade honestly.
+                missing.insert(shard);
+                None
+            }
+            _ => {
+                failed_nodes.insert(owner);
+                missing.extend(self.map.shards_of(owner));
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership: join / leave / kill
+    // ------------------------------------------------------------------
+
+    /// Gracefully remove a node: its shards (stores and reorder buffers)
+    /// hand off to the least-loaded remaining members, then the node goes
+    /// offline. Queries after a `leave` are *not* degraded. Returns the
+    /// number of shards moved. The coordinator (node 0) cannot leave.
+    pub fn leave(&mut self, idx: usize) -> usize {
+        assert!(idx != 0, "coordinator cannot leave");
+        assert!(self.nodes[idx].alive, "node already offline");
+        let shards = self.map.shards_of(idx);
+        let moved = shards.len();
+        for s in shards {
+            let store = self.nodes[idx].shards.remove(&s).expect("map/store agree");
+            let reorder = self.nodes[idx].reorder.remove(&s);
+            let target = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, n)| i != idx && n.alive)
+                .min_by_key(|&(i, n)| (n.shards.len(), i))
+                .map(|(i, _)| i)
+                .expect("at least the coordinator remains");
+            self.map.reassign(s, target);
+            self.nodes[target].shards.insert(s, store);
+            if let Some(r) = reorder {
+                if r.pending() > 0 {
+                    self.nodes[target].reorder.insert(s, r);
+                }
+            }
+            self.stats.handoffs += 1;
+        }
+        self.nodes[idx].alive = false;
+        moved
+    }
+
+    /// Add a node and rebalance: shards move from the most-loaded members
+    /// until the newcomer holds its fair share. Returns the new node's
+    /// index.
+    pub fn join(&mut self) -> usize {
+        let idx = self.nodes.len();
+        let (topo_id, ip) = Self::add_node_to(&mut self.fabric.topology, idx);
+        self.nodes.push(NodeState {
+            topo_id,
+            ip,
+            alive: true,
+            shards: BTreeMap::new(),
+            reorder: HashMap::new(),
+        });
+        let alive = self.nodes.iter().filter(|n| n.alive).count();
+        let target = self.map.shard_count() / alive;
+        while self.nodes[idx].shards.len() < target {
+            let Some((donor, _)) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, n)| i != idx && n.alive && n.shards.len() > target)
+                .max_by_key(|&(i, n)| (n.shards.len(), usize::MAX - i))
+            else {
+                break;
+            };
+            let &s = self.nodes[donor]
+                .shards
+                .keys()
+                .next_back()
+                .expect("donor non-empty");
+            let store = self.nodes[donor].shards.remove(&s).expect("key just read");
+            let reorder = self.nodes[donor].reorder.remove(&s);
+            self.map.reassign(s, idx);
+            self.nodes[idx].shards.insert(s, store);
+            if let Some(r) = reorder {
+                self.nodes[idx].reorder.insert(s, r);
+            }
+            self.stats.handoffs += 1;
+        }
+        idx
+    }
+
+    /// Crash a node: it stops answering but its shards stay assigned to
+    /// it, so subsequent queries degrade with those shards missing. The
+    /// coordinator (node 0) cannot be killed.
+    pub fn kill(&mut self, idx: usize) {
+        assert!(idx != 0, "coordinator cannot be killed");
+        self.nodes[idx].alive = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault helpers
+    // ------------------------------------------------------------------
+
+    /// Cut node `idx` off from the coordinator: a [`Fault::Partition`]
+    /// at the node's NIC black-holes both directions. Returns the faulted
+    /// element so the caller can [`Cluster::schedule_heal`] it.
+    pub fn partition_node(&mut self, idx: usize) -> ElementId {
+        let el = ElementId::NodeNic(self.nodes[idx].topo_id);
+        self.fabric.faults.inject(
+            el.clone(),
+            Fault::Partition {
+                peers: vec![self.nodes[0].ip],
+            },
+        );
+        el
+    }
+
+    /// Clear the fault on `element` after `after` of virtual time (the
+    /// heal fires inside whatever retry loop is then running).
+    pub fn schedule_heal(&mut self, element: ElementId, after: DurationNs) {
+        let at = self.clock + after;
+        self.push_event(at, EventKind::Heal(element));
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> TimeNs {
+        self.clock
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Nodes ever added (including departed/crashed ones).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether a node is still answering.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.nodes[idx].alive
+    }
+
+    /// The node currently owning `shard`.
+    pub fn shard_owner(&self, shard: u16) -> usize {
+        self.map.owner(shard)
+    }
+
+    /// Spans routed through ingest (whether or not their batch survived).
+    pub fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Spans routed away from their preferred shard by the row cap.
+    pub fn routing_clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Rows actually present per shard, ascending by shard — for
+    /// differential tests against the oracle's `shard_sizes`.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        (0..self.map.shard_count() as u16)
+            .map(|s| {
+                self.nodes[self.map.owner(s)]
+                    .shards
+                    .get(&s)
+                    .map(|st| st.len())
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::span::TapSide;
+
+    fn linked_pair() -> Vec<Span> {
+        let mut client = Span::synthetic(TapSide::ClientProcess, 1_000, 9_000);
+        client.tcp_seq_req = Some(42);
+        let mut server = Span::synthetic(TapSide::ServerProcess, 2_000, 8_000);
+        server.tcp_seq_req = Some(42);
+        vec![client, server]
+    }
+
+    #[test]
+    fn two_node_cluster_assembles_linked_spans() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let ids = cluster.ingest(linked_pair());
+        let result = cluster.assemble(ids[1]);
+        assert!(result.is_complete());
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(result.trace.spans[1].parent, Some(ids[0]));
+        assert_eq!(cluster.stats().spans_lost, 0);
+        assert!(cluster.stats().rpcs_sent > 0, "ingest or probe must RPC");
+    }
+
+    #[test]
+    fn single_node_cluster_never_rpcs() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 1,
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        let result = cluster.assemble(ids[0]);
+        assert!(result.is_complete());
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(cluster.stats().rpcs_sent, 0);
+    }
+
+    #[test]
+    fn unknown_span_id_yields_empty_complete_trace() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let result = cluster.assemble(SpanId(99));
+        assert!(result.is_complete());
+        assert_eq!(result.trace.len(), 0);
+    }
+
+    #[test]
+    fn leave_hands_shards_off_without_degrading() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        let moved = cluster.leave(1);
+        assert!(moved > 0);
+        assert_eq!(cluster.stats().handoffs, moved as u64);
+        let result = cluster.assemble(ids[1]);
+        assert!(result.is_complete(), "handoff must not lose shards");
+        assert_eq!(result.trace.len(), 2);
+    }
+
+    #[test]
+    fn join_rebalances_shards_to_the_newcomer() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            policy: ShardPolicy::with_shards(6),
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        let idx = cluster.join();
+        assert_eq!(idx, 2);
+        assert!(
+            !cluster.map.shards_of(idx).is_empty(),
+            "newcomer owns shards"
+        );
+        let result = cluster.assemble(ids[0]);
+        assert!(result.is_complete());
+        assert_eq!(result.trace.len(), 2);
+    }
+
+    #[test]
+    fn killed_node_degrades_queries_with_missing_shards() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        cluster.kill(1);
+        let result = cluster.assemble(ids[0]);
+        assert_eq!(result.missing_shards, cluster.map.shards_of(1));
+        assert!(cluster.stats().rpcs_failed > 0);
+        assert!(cluster.stats().degraded_queries > 0);
+    }
+}

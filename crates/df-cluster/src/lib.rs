@@ -1,0 +1,59 @@
+//! # df-cluster — distributed trace assembly across simulated nodes
+//!
+//! The paper's trace assembly (Algorithm 1) runs inside *one* DeepFlow
+//! server process in `df-server`. Real deployments run a cluster: agents
+//! ship span batches to whichever server owns their shard, and a query
+//! coordinator must probe shards it does not hold over the network. This
+//! crate takes the sharded assembly across N simulated trace-server nodes
+//! connected by the `df-net` fabric — same algorithm, same shard layout,
+//! but every cross-shard probe is now an RPC that can be lost, delayed,
+//! partitioned away, or answered by a node that has since crashed.
+//!
+//! Pieces:
+//!
+//! * [`Cluster`] — the node set, the fabric between them, a
+//!   deterministic virtual-clock event loop, and the two protocol paths:
+//!   ingest (span-batch shipping) and query (Phase 1 candidate-set RPCs
+//!   batched per round, exactly the
+//!   [`CandidateKeys`](df_types::rpc::CandidateKeys) discipline the
+//!   in-process assembly uses);
+//! * [`RoundTracker`] / [`BatchReorder`] — the pure coordination state
+//!   machines (round-ordering of responses, row-ordering of batches)
+//!   that df-check models under adversarial schedules;
+//! * [`ShardMap`] — shard → node ownership, updated by handoff.
+//!
+//! The single-process `ConcurrentShardedStore` is the differential
+//! oracle: a fault-free cluster of any size must produce byte-identical
+//! shard contents and traces (see `tests/distributed.rs`). Under faults
+//! the cluster answers *degraded* — the partial trace plus an explicit
+//! [`DistributedTrace::missing_shards`] — never hanging and never
+//! silently dropping shards it could not reach.
+//!
+//! ```
+//! use df_cluster::{Cluster, ClusterConfig};
+//! use df_types::span::TapSide;
+//! use df_types::Span;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default()); // 2 nodes
+//! let mut client = Span::synthetic(TapSide::ClientProcess, 1_000, 9_000);
+//! client.tcp_seq_req = Some(42);
+//! let mut server = Span::synthetic(TapSide::ServerProcess, 2_000, 8_000);
+//! server.tcp_seq_req = Some(42);
+//! let ids = cluster.ingest(vec![client, server]);
+//!
+//! let result = cluster.assemble(ids[1]);
+//! assert!(result.is_complete());
+//! assert_eq!(result.trace.len(), 2);
+//! assert_eq!(result.trace.spans[1].parent, Some(ids[0]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod membership;
+pub mod tracker;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, DistributedTrace};
+pub use membership::ShardMap;
+pub use tracker::{BatchReorder, RoundTracker};

@@ -1,0 +1,65 @@
+//! Shard ownership: which node answers for which global shard.
+//!
+//! The map is the coordinator's routing authority — ingest ships a span
+//! batch to `owner(shard)`, Phase 1 sends candidate probes to every node
+//! that owns at least one shard, and handoff (`join`/`leave` on the
+//! cluster) is a sequence of [`ShardMap::reassign`] calls with the shard's
+//! [`SpanStore`](df_storage::SpanStore) moved alongside.
+
+/// Global shard index → owning node index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    owners: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Round-robin assignment of `shards` global shards over `nodes`
+    /// nodes: shard `s` starts on node `s % nodes`.
+    pub fn round_robin(shards: usize, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        ShardMap {
+            owners: (0..shards).map(|s| s % nodes).collect(),
+        }
+    }
+
+    /// Number of global shards.
+    pub fn shard_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The node owning `shard`.
+    pub fn owner(&self, shard: u16) -> usize {
+        self.owners[shard as usize]
+    }
+
+    /// The shards a node owns, ascending.
+    pub fn shards_of(&self, node: usize) -> Vec<u16> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == node)
+            .map(|(s, _)| s as u16)
+            .collect()
+    }
+
+    /// Move a shard to a new owner (the caller moves the store alongside).
+    pub fn reassign(&mut self, shard: u16, to: usize) {
+        self.owners[shard as usize] = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_and_reassign_moves() {
+        let mut m = ShardMap::round_robin(5, 2);
+        assert_eq!(m.shards_of(0), vec![0, 2, 4]);
+        assert_eq!(m.shards_of(1), vec![1, 3]);
+        assert_eq!(m.owner(3), 1);
+        m.reassign(3, 0);
+        assert_eq!(m.owner(3), 0);
+        assert_eq!(m.shards_of(0), vec![0, 2, 3, 4]);
+    }
+}

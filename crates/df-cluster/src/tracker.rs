@@ -1,0 +1,178 @@
+//! Pure coordination state machines for the distributed protocol.
+//!
+//! Both types here are deliberately free of I/O and clocks so df-check can
+//! model them under adversarial schedules (see
+//! `tests/df_check_models.rs`):
+//!
+//! * [`RoundTracker`] — enforces that Phase 1 candidate-set responses are
+//!   only merged into the round that asked for them. Retries reuse the
+//!   original rpc id, so a late duplicate from an earlier attempt (or an
+//!   earlier *round*) is rejected instead of corrupting frontier order.
+//! * [`BatchReorder`] — applies span batches to a shard strictly in row
+//!   order even when retried/reordered RPCs deliver them out of order or
+//!   twice. Row-contiguity is what keeps remote shard contents identical
+//!   to the single-process oracle.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Guards Phase 1's round structure: a response is accepted only if it
+/// answers an rpc id issued for the *current* round and has not been
+/// accepted before.
+#[derive(Debug, Default)]
+pub struct RoundTracker {
+    current: Option<u32>,
+    expected: HashSet<u64>,
+    accepted: Vec<(u32, u64)>,
+    stale: u64,
+}
+
+impl RoundTracker {
+    /// Fresh tracker (no round open).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open round `round` expecting responses for `rpc_ids`. Rounds must
+    /// be strictly increasing; a regression is refused (returns `false`)
+    /// and leaves the tracker untouched.
+    pub fn begin_round(&mut self, round: u32, rpc_ids: &[u64]) -> bool {
+        if self.current.is_some_and(|c| round <= c) {
+            return false;
+        }
+        self.current = Some(round);
+        self.expected = rpc_ids.iter().copied().collect();
+        true
+    }
+
+    /// Offer a response labelled with the round it claims to answer.
+    /// Returns `true` iff it is for the current round, was expected, and
+    /// is the first copy; everything else counts as stale.
+    pub fn accept(&mut self, round: u32, rpc_id: u64) -> bool {
+        if self.current == Some(round) && self.expected.remove(&rpc_id) {
+            self.accepted.push((round, rpc_id));
+            true
+        } else {
+            self.stale += 1;
+            false
+        }
+    }
+
+    /// Responses still outstanding for the current round.
+    pub fn outstanding(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Rejected responses (duplicates, wrong round, never asked for).
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+
+    /// Acceptance log in arrival order, as `(round, rpc_id)` pairs.
+    pub fn log(&self) -> &[(u32, u64)] {
+        &self.accepted
+    }
+
+    /// The no-reordering invariant: accepted responses never interleave
+    /// across rounds (the log is non-decreasing in round).
+    pub fn is_ordered(&self) -> bool {
+        self.accepted.windows(2).all(|w| w[0].0 <= w[1].0)
+    }
+}
+
+/// Reassembles a shard's row space from possibly-reordered,
+/// possibly-duplicated span batches.
+///
+/// `offer(applied, start_row, batch)` returns the run of batches that are
+/// now contiguous with the `applied` rows and can be appended; anything
+/// from the future is stashed, anything already covered is dropped as a
+/// duplicate.
+#[derive(Debug)]
+pub struct BatchReorder<T> {
+    stash: BTreeMap<u32, Vec<T>>,
+    duplicates: u64,
+}
+
+impl<T> Default for BatchReorder<T> {
+    fn default() -> Self {
+        BatchReorder {
+            stash: BTreeMap::new(),
+            duplicates: 0,
+        }
+    }
+}
+
+impl<T> BatchReorder<T> {
+    /// Fresh reorder buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a batch covering rows `start_row..start_row + batch.len()`
+    /// given that rows `0..applied` are already in the store. Returns the
+    /// batches (in row order) that became contiguous and must be appended
+    /// now.
+    pub fn offer(&mut self, applied: u32, start_row: u32, batch: Vec<T>) -> Vec<Vec<T>> {
+        if start_row < applied || self.stash.contains_key(&start_row) {
+            // Retransmitted RPC for rows we already hold: ack silently.
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        self.stash.insert(start_row, batch);
+        let mut runs = Vec::new();
+        let mut cursor = applied;
+        while let Some(run) = self.stash.remove(&cursor) {
+            cursor += run.len() as u32;
+            runs.push(run);
+        }
+        runs
+    }
+
+    /// Batches stashed waiting for a predecessor.
+    pub fn pending(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Duplicate batches dropped.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accepts_current_round_once_and_rejects_the_rest() {
+        let mut t = RoundTracker::new();
+        assert!(t.begin_round(0, &[10, 11]));
+        assert!(t.accept(0, 10));
+        assert!(!t.accept(0, 10), "duplicate must be stale");
+        assert!(!t.accept(0, 99), "never-issued id must be stale");
+        assert!(t.accept(0, 11));
+        assert_eq!(t.outstanding(), 0);
+
+        assert!(!t.begin_round(0, &[12]), "round regression refused");
+        assert!(t.begin_round(1, &[12]));
+        assert!(!t.accept(0, 12), "old-round label must be stale");
+        assert!(t.accept(1, 12));
+        assert_eq!(t.stale(), 3);
+        assert!(t.is_ordered());
+    }
+
+    #[test]
+    fn reorder_applies_out_of_order_and_drops_duplicates() {
+        let mut r: BatchReorder<u32> = BatchReorder::new();
+        // Rows 0..2 arrive late; rows 2..5 first.
+        assert!(r.offer(0, 2, vec![2, 3, 4]).is_empty());
+        assert_eq!(r.pending(), 1);
+        let runs = r.offer(0, 0, vec![0, 1]);
+        assert_eq!(runs, vec![vec![0, 1], vec![2, 3, 4]]);
+        assert_eq!(r.pending(), 0);
+        // A retransmission of the first batch is a no-op.
+        assert!(r.offer(5, 0, vec![0, 1]).is_empty());
+        assert_eq!(r.duplicates(), 1);
+        // Next contiguous batch applies immediately.
+        assert_eq!(r.offer(5, 5, vec![5]), vec![vec![5]]);
+    }
+}

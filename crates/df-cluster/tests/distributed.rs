@@ -1,0 +1,330 @@
+//! Differential tests: the distributed cluster against the
+//! single-process concurrent oracle.
+//!
+//! `ConcurrentShardedStore` is the ground truth for both halves of the
+//! protocol: fault-free, a cluster of 1, 2 or 4 nodes must assign the
+//! same span ids, fill the same shard rows, and assemble byte-identical
+//! traces; under faults, the cluster must answer *degraded* — a partial
+//! trace that is a subset of the oracle's, plus an explicit
+//! `missing_shards` — and recover to full oracle equality once the fault
+//! heals or the RPC retry loop outlasts it.
+
+use df_cluster::{Cluster, ClusterConfig};
+use df_net::faults::Fault;
+use df_server::ConcurrentShardedStore;
+use df_storage::ShardPolicy;
+use df_types::ids::*;
+use df_types::span::{CapturePoint, SpanKind, TapSide};
+use df_types::tags::TagSet;
+use df_types::{DurationNs, FiveTuple, L7Protocol, Span, SpanId, SpanStatus, TimeNs, Trace};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+type SpanSpec = (
+    u8,
+    u64,
+    u64,
+    Option<u32>,
+    Option<u32>,
+    Option<u64>,
+    Option<u64>,
+    Option<u128>,
+    Option<u128>,
+    Option<u64>,
+);
+
+/// Key pools are deliberately tiny so arbitrary corpora form dense
+/// association graphs (the same shape the root `properties.rs` uses).
+fn spec_strategy() -> impl Strategy<Value = Vec<SpanSpec>> {
+    proptest::collection::vec(
+        (
+            0u8..11,
+            0u64..20,
+            1u64..30,
+            proptest::option::of(0u32..8),
+            proptest::option::of(0u32..8),
+            proptest::option::of(0u64..6),
+            proptest::option::of(0u64..6),
+            proptest::option::of(0u128..4),
+            proptest::option::of(0u128..3),
+            proptest::option::of(0u64..4),
+        ),
+        1..40,
+    )
+}
+
+fn prop_span(spec: &SpanSpec) -> Span {
+    let (tap, t, d, seq_r, seq_p, sys_r, sys_p, xr, ot, pth) = *spec;
+    let tap_sides = [
+        TapSide::ClientApp,
+        TapSide::ClientProcess,
+        TapSide::ClientPodNic,
+        TapSide::ClientNodeNic,
+        TapSide::ClientHypervisor,
+        TapSide::Gateway,
+        TapSide::ServerHypervisor,
+        TapSide::ServerNodeNic,
+        TapSide::ServerPodNic,
+        TapSide::ServerProcess,
+        TapSide::ServerApp,
+    ];
+    let req = t * 1_000_000;
+    Span {
+        span_id: SpanId(0),
+        kind: if tap == 0 || tap == 10 {
+            SpanKind::App
+        } else {
+            SpanKind::Sys
+        },
+        capture: CapturePoint {
+            node: NodeId(1),
+            tap_side: tap_sides[tap as usize % 11],
+            interface: None,
+        },
+        agent: AgentId(1),
+        flow_id: FlowId(u64::from(seq_r.unwrap_or(99))),
+        five_tuple: FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+        l7_protocol: L7Protocol::Http1,
+        endpoint: "op".to_string(),
+        req_time: TimeNs(req),
+        resp_time: TimeNs(req + d * 1_000_000),
+        status: SpanStatus::Ok,
+        status_code: Some(200),
+        req_bytes: 0,
+        resp_bytes: 0,
+        pid: None,
+        tid: None,
+        process_name: None,
+        systrace_id_req: sys_r.map(SysTraceId),
+        systrace_id_resp: sys_p.map(SysTraceId),
+        pseudo_thread_id: pth.map(PseudoThreadId),
+        x_request_id_req: xr.map(XRequestId),
+        x_request_id_resp: None,
+        tcp_seq_req: seq_r,
+        tcp_seq_resp: seq_p,
+        otel_trace_id: ot.map(OtelTraceId),
+        otel_span_id: ot.map(|v| OtelSpanId(v as u64)),
+        otel_parent_span_id: None,
+        tags: TagSet::default(),
+        flow_metrics: None,
+    }
+}
+
+fn linked_pair() -> Vec<Span> {
+    let mut client = Span::synthetic(TapSide::ClientProcess, 1_000, 9_000);
+    client.tcp_seq_req = Some(42);
+    let mut server = Span::synthetic(TapSide::ServerProcess, 2_000, 8_000);
+    server.tcp_seq_req = Some(42);
+    vec![client, server]
+}
+
+/// Feed the same batches to a fresh oracle and a fresh cluster.
+fn build_pair(
+    nodes: usize,
+    shards: usize,
+    specs: &[SpanSpec],
+    batch: usize,
+) -> (ConcurrentShardedStore, Cluster, Vec<SpanId>) {
+    let policy = ShardPolicy::with_shards(shards);
+    let oracle = ConcurrentShardedStore::new(policy);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes,
+        policy,
+        ..ClusterConfig::default()
+    });
+    let mut ids = Vec::new();
+    for chunk in specs.chunks(batch.max(1)) {
+        let spans: Vec<Span> = chunk.iter().map(prop_span).collect();
+        let oracle_ids = oracle.insert_batch(spans.clone());
+        let cluster_ids = cluster.ingest(spans);
+        assert_eq!(oracle_ids, cluster_ids, "id assignment diverged");
+        ids.extend(cluster_ids);
+    }
+    oracle.flush();
+    (oracle, cluster, ids)
+}
+
+fn edges(t: &Trace) -> Vec<(SpanId, Option<SpanId>)> {
+    let mut e: Vec<_> = t.spans.iter().map(|s| (s.span.span_id, s.parent)).collect();
+    e.sort_unstable();
+    e
+}
+
+proptest! {
+    /// Fault-free, a 1/2/4-node cluster is extensionally identical to
+    /// the single-process oracle: same shard fill, same routing clamps,
+    /// same assembled trace (spans, parents, order) from every start.
+    #[test]
+    fn cluster_matches_oracle_fault_free(
+        specs in spec_strategy(),
+        nodes_sel in 0usize..3,
+        shards in 1usize..6,
+        batch in 1usize..8,
+        start_idx in 0usize..40,
+    ) {
+        let nodes = [1, 2, 4][nodes_sel];
+        let (oracle, mut cluster, ids) = build_pair(nodes, shards, &specs, batch);
+        prop_assert_eq!(cluster.shard_sizes(), oracle.shard_sizes());
+        prop_assert_eq!(cluster.routing_clamped(), oracle.routing_clamped());
+        prop_assert_eq!(cluster.stats().spans_lost, 0);
+
+        let start = ids[start_idx % ids.len()];
+        let expected = oracle.query_trace(start);
+        let result = cluster.assemble(start);
+        prop_assert!(result.is_complete(), "fault-free must not degrade");
+        prop_assert_eq!(&result.trace, &*expected, "trace diverged from oracle");
+    }
+
+    /// With one non-coordinator node partitioned away, assembly still
+    /// terminates, reports exactly that node's shards missing (when the
+    /// query needed them), and returns a subset of the oracle's trace
+    /// that still contains the start span.
+    #[test]
+    fn partition_degrades_to_partial_trace_with_missing_shards(
+        specs in spec_strategy(),
+        nodes_sel in 0usize..2,
+        batch in 1usize..8,
+        start_idx in 0usize..40,
+        victim_sel in 0usize..4,
+    ) {
+        let nodes = [2, 4][nodes_sel];
+        let shards = 4;
+        let (oracle, mut cluster, ids) = build_pair(nodes, shards, &specs, batch);
+        let victim = 1 + victim_sel % (nodes - 1);
+        cluster.partition_node(victim);
+
+        let start = ids[start_idx % ids.len()];
+        let expected = oracle.query_trace(start);
+        let result = cluster.assemble(start);
+
+        let victim_shards: Vec<u16> = (0..shards as u16)
+            .filter(|&s| cluster.shard_owner(s) == victim)
+            .collect();
+        // Only the victim's shards may go missing.
+        prop_assert!(result.missing_shards.iter().all(|s| victim_shards.contains(s)));
+        // If Phase 1 ran at all it probed the victim and must have
+        // reported every one of its shards.
+        if result.rounds > 0 {
+            prop_assert_eq!(&result.missing_shards, &victim_shards);
+        }
+        // The degraded answer is a subset of the oracle's trace.
+        let full = edges(&expected);
+        if !result.trace.is_empty() {
+            prop_assert!(
+                result.trace.spans.iter().any(|s| s.span.span_id == start),
+                "start span missing from a non-empty partial trace"
+            );
+        }
+        for (id, _) in edges(&result.trace) {
+            prop_assert!(
+                full.iter().any(|&(fid, _)| fid == id),
+                "degraded trace invented span {:?}", id
+            );
+        }
+    }
+}
+
+#[test]
+fn loss_burst_retries_then_matches_oracle() {
+    let policy = ShardPolicy::with_shards(4);
+    let oracle = ConcurrentShardedStore::new(policy);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        policy,
+        ..ClusterConfig::default()
+    });
+    let spans = linked_pair();
+    let oracle_ids = oracle.insert_batch(spans.clone());
+    let cluster_ids = cluster.ingest(spans);
+    assert_eq!(oracle_ids, cluster_ids);
+    oracle.flush();
+
+    // Total loss at node 1's NIC, healing after the first cluster-level
+    // retry has already fired (base timeout 400ms, heal at 600ms): the
+    // fabric's own retransmission cascade is exhausted each attempt, so
+    // recovery must come from the RPC retry loop.
+    let el = df_net::topology::ElementId::NodeNic(
+        cluster
+            .fabric
+            .topology
+            .node_of_ip(Ipv4Addr::new(192, 168, 10, 2))
+            .expect("node 1"),
+    );
+    cluster
+        .fabric
+        .faults
+        .inject(el.clone(), Fault::Loss { p: 1.0 });
+    cluster.schedule_heal(el, DurationNs::from_millis(600));
+
+    let result = cluster.assemble(cluster_ids[1]);
+    assert!(
+        result.is_complete(),
+        "heal mid-retry must yield a full trace"
+    );
+    assert_eq!(&result.trace, &*oracle.query_trace(oracle_ids[1]));
+    assert!(
+        cluster.stats().rpc_retries >= 1,
+        "recovery went through retry"
+    );
+    assert!(
+        cluster.fabric.stats().dropped > 0,
+        "the loss burst was real"
+    );
+}
+
+#[test]
+fn partition_heals_and_the_next_query_recovers_fully() {
+    let policy = ShardPolicy::with_shards(4);
+    let oracle = ConcurrentShardedStore::new(policy);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        policy,
+        ..ClusterConfig::default()
+    });
+    let spans = linked_pair();
+    let oracle_ids = oracle.insert_batch(spans.clone());
+    let cluster_ids = cluster.ingest(spans);
+    assert_eq!(oracle_ids, cluster_ids);
+    oracle.flush();
+
+    let el = cluster.partition_node(1);
+    let degraded = cluster.assemble(cluster_ids[0]);
+    assert!(!degraded.is_complete(), "partition must degrade the query");
+    assert!(cluster.fabric.stats().partitioned > 0);
+    assert!(cluster.stats().rpcs_failed > 0);
+    assert!(cluster.stats().degraded_queries >= 1);
+
+    cluster.fabric.faults.clear(&el);
+    cluster.run_until_idle(); // drain stragglers from the dead attempts
+    let healed = cluster.assemble(cluster_ids[0]);
+    assert!(healed.is_complete(), "healed cluster must answer fully");
+    assert_eq!(&healed.trace, &*oracle.query_trace(oracle_ids[0]));
+}
+
+#[test]
+fn row_cap_clamping_matches_oracle() {
+    let mut policy = ShardPolicy::with_shards(3);
+    policy.max_shard_rows = 4;
+    let oracle = ConcurrentShardedStore::new(policy);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        policy,
+        ..ClusterConfig::default()
+    });
+    // 24 spans over 3 shards of 4 rows each: routing must clamp and both
+    // sides must clamp identically.
+    for chunk_start in (0..24u32).step_by(6) {
+        let spans: Vec<Span> = (chunk_start..chunk_start + 6)
+            .map(|i| {
+                let mut s = Span::synthetic(TapSide::ServerProcess, 1_000 + i as u64, 500);
+                s.tcp_seq_req = Some(i);
+                s
+            })
+            .collect();
+        assert_eq!(oracle.insert_batch(spans.clone()), cluster.ingest(spans));
+    }
+    oracle.flush();
+    assert_eq!(cluster.shard_sizes(), oracle.shard_sizes());
+    assert_eq!(cluster.routing_clamped(), oracle.routing_clamped());
+    assert!(cluster.routing_clamped() > 0, "the cap must actually bind");
+}

@@ -67,6 +67,9 @@ pub struct FabricStats {
     /// Segments dropped by faults (after exhausting retransmits, or
     /// black-holed).
     pub dropped: u64,
+    /// Segments black-holed specifically by a [`Fault::Partition`] cut
+    /// (subset of `dropped`).
+    pub partitioned: u64,
     /// Retransmitted copies put on the wire.
     pub retransmissions: u64,
     /// RSTs injected by faults.
@@ -171,7 +174,11 @@ impl Fabric {
 
         let mut deliveries = Vec::new();
         let mut attempt: u32 = 0;
-        let mut t = start;
+        // Each attempt (re)starts at the *source*: attempt n leaves the
+        // sender at `start + n * rto`, regardless of how deep in the path
+        // the previous copy died. Accumulated hop latency belongs to the
+        // copy that was lost, not to the retransmission.
+        let mut send_time = start;
         'attempts: loop {
             let mut frame_seg = seg.clone();
             if attempt > 0 {
@@ -179,7 +186,8 @@ impl Fabric {
                 self.stats.retransmissions += 1;
             }
             let frame = Frame::Segment(frame_seg.clone());
-            for hop in &hops {
+            let mut t = send_time;
+            for (hop_idx, hop) in hops.iter().enumerate() {
                 // The frame reaches the element: taps see it even if the
                 // element then misbehaves. Gateways observe the VIP-side
                 // form of the flow.
@@ -198,6 +206,17 @@ impl Fabric {
                         self.stats.dropped += 1;
                         return deliveries;
                     }
+                    Some(fault @ Fault::Partition { .. }) => {
+                        if fault.partitions(seg.five_tuple.src_ip, seg.five_tuple.dst_ip) {
+                            // The cut is a silent black hole: no RST, no
+                            // retransmission cascade — the sender's own
+                            // timeout machinery (e.g. RPC retry) must
+                            // notice.
+                            self.stats.partitioned += 1;
+                            self.stats.dropped += 1;
+                            return deliveries;
+                        }
+                    }
                     Some(Fault::ResetInjection { p }) => {
                         if self.rng.gen::<f64>() < p {
                             self.stats.resets_injected += 1;
@@ -205,9 +224,12 @@ impl Fabric {
                                 if let Some(src_node) = self.topology.node_of_ip(src) {
                                     let rst_frame = Frame::Segment(reply.clone());
                                     // The RST travels back over the hops
-                                    // already traversed (reverse order).
+                                    // already traversed, in reverse order:
+                                    // the tap nearest the injection point
+                                    // sees it first, the source-side tap
+                                    // last.
                                     let mut rt = t;
-                                    for back in hops.iter().take_while(|h| h != &hop) {
+                                    for back in hops[..hop_idx].iter().rev() {
                                         rt += Topology::default_hop_latency(back.kind);
                                         self.taps.observe(
                                             &back.element,
@@ -229,13 +251,14 @@ impl Fabric {
                     }
                     Some(Fault::Loss { p }) => {
                         if self.rng.gen::<f64>() < p {
-                            // Lost here; retransmit from the source after RTO.
+                            // Lost here; the source retransmits one RTO
+                            // after it sent this copy.
                             if attempt >= self.cfg.max_retransmits {
                                 self.stats.dropped += 1;
                                 return deliveries;
                             }
                             attempt += 1;
-                            t += self.cfg.rto;
+                            send_time += self.cfg.rto;
                             continue 'attempts;
                         }
                     }
@@ -550,6 +573,128 @@ mod tests {
         assert!(d[0].segment.flags.rst);
         assert_eq!(d[0].segment.five_tuple.src_ip, POD_B);
         assert_eq!(f.stats().resets_injected, 1);
+    }
+
+    #[test]
+    fn injected_rst_travels_backpath_in_reverse_with_monotone_timestamps() {
+        let (mut f, n1, _n2) = fabric();
+        // Taps along the source side of the path, nearest-the-source first.
+        f.taps.install(
+            ElementId::PodVeth(POD_A),
+            n1,
+            TapKind::PodVeth,
+            TapFilter::all(),
+        );
+        f.taps.install(
+            ElementId::NodeNic(n1),
+            n1,
+            TapKind::NodeNic,
+            TapFilter::all(),
+        );
+        f.taps.install(
+            ElementId::PhysNic(n1),
+            n1,
+            TapKind::PhysNic,
+            TapFilter::all(),
+        );
+        // RST injected at the ToR — four hops from the pod.
+        f.faults.inject(
+            ElementId::Tor("rack-1".into()),
+            Fault::ResetInjection { p: 1.0 },
+        );
+        let d = f.transmit(data_seg(9), TimeNs(0));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].segment.flags.rst);
+        let caps = f.taps.drain_for_node(n1);
+        // Timestamp of the RST at each tap kind.
+        let rst_ts = |kind: TapKind| -> TimeNs {
+            caps.iter()
+                .find(|(k, c)| *k == kind && matches!(&c.frame, Frame::Segment(s) if s.flags.rst))
+                .map(|(_, c)| c.ts)
+                .expect("tap saw the RST")
+        };
+        let at_phys = rst_ts(TapKind::PhysNic);
+        let at_node = rst_ts(TapKind::NodeNic);
+        let at_veth = rst_ts(TapKind::PodVeth);
+        // Travelling back from the injection point toward the source: the
+        // phys NIC (nearest the ToR) sees it first, the pod veth last.
+        assert!(
+            at_phys < at_node && at_node < at_veth,
+            "RST timestamps not monotone along the backpath: \
+             phys={at_phys:?} node={at_node:?} veth={at_veth:?}"
+        );
+        // And the sender-side delivery happens after the last tap.
+        assert!(d[0].at >= at_veth);
+    }
+
+    #[test]
+    fn loss_retransmits_anchor_rto_at_source_send_time() {
+        let (mut f, n1, _n2) = fabric();
+        f.taps.install(
+            ElementId::NodeNic(n1),
+            n1,
+            TapKind::NodeNic,
+            TapFilter::all(),
+        );
+        // Lossy *final* hop: the frame traverses the whole path (accruing
+        // every hop's latency) before dying each time.
+        f.faults
+            .inject(ElementId::PodVeth(POD_B), Fault::Loss { p: 1.0 });
+        let d = f.transmit(data_seg(3), TimeNs(0));
+        assert!(d.is_empty());
+        let rto = FabricConfig::default().rto;
+        let caps = f.taps.drain_for_node(n1);
+        let ts: Vec<TimeNs> = caps
+            .iter()
+            .filter(|(_, c)| matches!(c.frame, Frame::Segment(_)))
+            .map(|(_, c)| c.ts)
+            .collect();
+        assert_eq!(ts.len(), 6, "original + 5 retransmitted copies");
+        // Attempt n leaves the source at start + n*rto, so the source-side
+        // tap must see copies exactly one RTO apart — NOT one RTO plus the
+        // latency the previous copy accrued before dying at the far end.
+        for (n, t) in ts.iter().enumerate() {
+            let expect = ts[0] + DurationNs(rto.0 * n as u64);
+            assert_eq!(
+                *t, expect,
+                "attempt {n} tapped at {t:?}, expected {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_fault_blackholes_both_directions_and_counts() {
+        let (mut f, n1, _n2) = fabric();
+        f.faults.inject(
+            ElementId::NodeNic(n1),
+            Fault::Partition { peers: vec![POD_B] },
+        );
+        // Forward: POD_A -> POD_B dies at node-1's NIC.
+        let d = f.transmit(data_seg(1), TimeNs(0));
+        assert!(d.is_empty());
+        // Reverse: POD_B -> POD_A also dies there (bidirectional cut).
+        let mut rev = data_seg(2);
+        rev.five_tuple = rev.five_tuple.reversed();
+        let d = f.transmit(rev, TimeNs(1000));
+        assert!(d.is_empty());
+        assert_eq!(f.stats().partitioned, 2);
+        assert_eq!(f.stats().dropped, 2, "partition drops count as drops too");
+        assert_eq!(
+            f.stats().retransmissions,
+            0,
+            "a partition is silent: no retransmission cascade"
+        );
+        // A flow not involving the partitioned peers passes through.
+        f.faults.clear_all();
+        f.faults.inject(
+            ElementId::NodeNic(n1),
+            Fault::Partition {
+                peers: vec![Ipv4Addr::new(10, 9, 9, 9)],
+            },
+        );
+        let d = f.transmit(data_seg(3), TimeNs(2000));
+        assert_eq!(d.len(), 1, "unrelated flow unaffected by the cut");
+        assert_eq!(f.stats().partitioned, 2, "no new partition drops");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use df_types::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 use crate::topology::ElementId;
 
@@ -103,6 +104,29 @@ pub enum Fault {
     },
     /// Drop everything (dead element / firewall misconfiguration).
     BlackHole,
+    /// Network partition: the element black-holes every frame between its
+    /// own side of the fabric and the listed peer addresses, in **both**
+    /// directions (a frame whose source *or* destination IP is in `peers`
+    /// dies at this element). Installing the fault on a node's NIC with the
+    /// far side's addresses cuts that node off from the set — the classic
+    /// split-brain shape the cluster's degraded-assembly tests exercise.
+    /// Partition drops are counted separately from plain drops
+    /// ([`FabricStats::partitioned`](crate::fabric::FabricStats)).
+    Partition {
+        /// Addresses on the far side of the cut.
+        peers: Vec<Ipv4Addr>,
+    },
+}
+
+impl Fault {
+    /// Whether this fault severs the given (src, dst) pair at the element
+    /// carrying it (partition semantics: bidirectional).
+    pub fn partitions(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        match self {
+            Fault::Partition { peers } => peers.contains(&src) || peers.contains(&dst),
+            _ => false,
+        }
+    }
 }
 
 /// Fault assignments per element.

@@ -257,6 +257,17 @@ fn collect_members(
     sort_and_truncate(spans, start, max_spans)
 }
 
+/// Phases 2 and 3 over an already-materialised member set: sort/truncate
+/// (retaining `start`), assign parents under the 16 rules, sort the tree.
+/// The shared epilogue of every Phase 1 implementation — single-store,
+/// sharded, and the distributed cluster coordinator, which gathers member
+/// spans from remote nodes and cannot hand back store references.
+pub fn assemble_members(spans: Vec<Span>, start: SpanId, cfg: &AssembleConfig) -> Trace {
+    let spans = sort_and_truncate(spans, start, cfg.max_spans);
+    let parents = set_parents_indexed(&spans, cfg);
+    sort_trace(spans, parents)
+}
+
 /// Shared Phase-1 epilogue: sort the materialised member spans by
 /// `(req_time, span_id)` and truncate deterministically to `max_spans`,
 /// always retaining the start span. Used by both the single-store and the

@@ -60,9 +60,12 @@ pub mod server;
 pub mod sharded;
 pub mod trace_cache;
 
-pub use assemble::{assemble_trace, AssembleConfig};
+pub use assemble::{assemble_members, assemble_trace, AssembleConfig};
 pub use concurrent::{ConcurrentConfig, ConcurrentShardedStore, WorkerPanic};
 pub use dictionary::TagDictionary;
 pub use server::{Server, ServerStats};
-pub use sharded::{assemble_trace_sharded, assemble_trace_sharded_parallel, ShardedSpanStore};
+pub use sharded::{
+    assemble_trace_sharded, assemble_trace_sharded_parallel, phase1_members, probe_shard,
+    ExpandedKeys, ShardedSpanStore,
+};
 pub use trace_cache::{BucketGens, CacheOutcome, TraceCache};

@@ -45,8 +45,9 @@
 //! paying for rows every reader filters. The server also compacts
 //! unconditionally after each re-aggregation pass.
 
-use crate::assemble::{set_parents_indexed, sort_and_truncate, sort_trace, AssembleConfig};
+use crate::assemble::{assemble_members, AssembleConfig};
 use df_storage::{ShardPolicy, SpanQuery, SpanStore, StoreStats};
+use df_types::rpc::CandidateKeys;
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
 use std::collections::{HashMap, HashSet};
@@ -336,8 +337,13 @@ impl ShardedSpanStore {
 
 /// The per-index sets of keys already expanded during one assembly (each
 /// key is expanded — probed against every shard — at most once globally).
+/// The frontier round's *new* keys accumulate into a
+/// [`CandidateKeys`] batch — the exact payload a
+/// [`CandidateRequest`](df_types::rpc::RpcBody::CandidateRequest) RPC
+/// carries to a remote shard owner, so local scoped-thread probing and
+/// cross-node probing share one batching discipline.
 #[derive(Debug, Default)]
-struct ExpandedKeys {
+pub struct ExpandedKeys {
     systrace: HashSet<u64>,
     pseudo_thread: HashSet<u64>,
     x_request: HashSet<u128>,
@@ -345,65 +351,40 @@ struct ExpandedKeys {
     otel_trace: HashSet<u128>,
 }
 
-/// One frontier round's newly discovered keys, batched per index. This is
-/// the "batched candidate set" shape the ROADMAP names as the precursor to
-/// cross-node probe RPCs: a whole round's keys travel to each shard as one
-/// unit (today a scoped-thread call, tomorrow one RPC), instead of one
-/// probe round-trip per key.
-#[derive(Debug, Default)]
-pub(crate) struct ProbeBatch {
-    systrace: Vec<u64>,
-    pseudo_thread: Vec<u64>,
-    x_request: Vec<u128>,
-    tcp_seq: Vec<u32>,
-    otel_trace: Vec<u128>,
-}
-
-impl ProbeBatch {
-    /// Total keys in the batch (the parallel fan-out threshold input).
-    fn len(&self) -> usize {
-        self.systrace.len()
-            + self.pseudo_thread.len()
-            + self.x_request.len()
-            + self.tcp_seq.len()
-            + self.otel_trace.len()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Collect `span`'s not-yet-expanded association keys into the batch.
-    fn collect(&mut self, keys: &mut ExpandedKeys, span: &Span) {
+impl ExpandedKeys {
+    /// Collect `span`'s not-yet-expanded association keys into `batch`,
+    /// marking them expanded. Key order within the batch is discovery
+    /// order, which every consumer (local probe, remote RPC) preserves.
+    pub fn collect(&mut self, batch: &mut CandidateKeys, span: &Span) {
         for v in [span.systrace_id_req, span.systrace_id_resp]
             .into_iter()
             .flatten()
         {
-            if keys.systrace.insert(v.raw()) {
-                self.systrace.push(v.raw());
+            if self.systrace.insert(v.raw()) {
+                batch.systrace.push(v.raw());
             }
         }
         if let Some(p) = span.pseudo_thread_id {
-            if keys.pseudo_thread.insert(p.raw()) {
-                self.pseudo_thread.push(p.raw());
+            if self.pseudo_thread.insert(p.raw()) {
+                batch.pseudo_thread.push(p.raw());
             }
         }
         for v in [span.x_request_id_req, span.x_request_id_resp]
             .into_iter()
             .flatten()
         {
-            if keys.x_request.insert(v.0) {
-                self.x_request.push(v.0);
+            if self.x_request.insert(v.0) {
+                batch.x_request.push(v.0);
             }
         }
         for v in [span.tcp_seq_req, span.tcp_seq_resp].into_iter().flatten() {
-            if keys.tcp_seq.insert(v) {
-                self.tcp_seq.push(v);
+            if self.tcp_seq.insert(v) {
+                batch.tcp_seq.push(v);
             }
         }
         if let Some(t) = span.otel_trace_id {
-            if keys.otel_trace.insert(t.0) {
-                self.otel_trace.push(t.0);
+            if self.otel_trace.insert(t.0) {
+                batch.otel_trace.push(t.0);
             }
         }
     }
@@ -413,11 +394,15 @@ impl ProbeBatch {
 /// *new* candidate rows: rows already in the global visited set are
 /// skipped, rows matched by several keys are returned once, tombstoned
 /// rows are filtered. Takes only shared references, so the per-shard
-/// probes of one round can run on scoped threads concurrently.
-fn probe_shard(
+/// probes of one round can run on scoped threads concurrently — and a
+/// remote shard owner answers a
+/// [`CandidateRequest`](df_types::rpc::RpcBody::CandidateRequest) by
+/// calling exactly this with an empty `seen` set (the coordinator filters
+/// against its own visited set when merging).
+pub fn probe_shard(
     si: u16,
     shard: &SpanStore,
-    batch: &ProbeBatch,
+    batch: &CandidateKeys,
     seen: &HashSet<(u16, u32)>,
 ) -> Vec<u32> {
     let mut local: HashSet<u32> = HashSet::new();
@@ -457,18 +442,21 @@ fn probe_shard(
 /// out to scoped threads. Below it the spawn cost dominates the probe
 /// cost, so small rounds (deep chains expand ~2 keys per round) stay
 /// inline even in the parallel assembly.
-pub(crate) const PARALLEL_MIN_KEYS: usize = 16;
+pub const PARALLEL_MIN_KEYS: usize = 16;
 
 /// Phase 1 over an explicit shard list: frontier rounds in which each
-/// round batches the frontier's newly seen keys ([`ProbeBatch`]) and
+/// round batches the frontier's newly seen keys ([`CandidateKeys`]) and
 /// probes the batch against every shard, merging per-shard candidate sets
 /// into the global visited set. With `parallel_min_keys = Some(t)`, any
 /// round whose batch holds ≥ `t` keys probes the shards concurrently via
 /// [`std::thread::scope`]; shards and the visited set are only read during
 /// a round, so the fan-out is safe by construction and the merged member
 /// set is *identical* to the sequential walk (per-shard results are merged
-/// in shard order either way).
-pub(crate) fn phase1_members(
+/// in shard order either way). The distributed cluster reproduces this
+/// exact member order by probing remote shards with the same per-round
+/// [`CandidateKeys`] batch and merging responses in ascending global
+/// shard order — the differential tests lean on that equality.
+pub fn phase1_members(
     shards: &[&SpanStore],
     start: (u16, u32),
     cfg: &AssembleConfig,
@@ -483,9 +471,9 @@ pub(crate) fn phase1_members(
         if members.len() >= cfg.max_spans {
             break; // cap crossed; truncated by the caller
         }
-        let mut batch = ProbeBatch::default();
+        let mut batch = CandidateKeys::default();
         for &(si, row) in &frontier {
-            batch.collect(&mut keys, &shards[si as usize][row]);
+            keys.collect(&mut batch, &shards[si as usize][row]);
         }
         if batch.is_empty() {
             break; // fixed point: no new keys to expand
@@ -531,8 +519,9 @@ pub(crate) fn phase1_members(
 }
 
 /// Shared epilogue: materialise the member locations, then run Phases 2
-/// and 3 exactly as the single-store path does.
-pub(crate) fn finish_assembly(
+/// and 3 exactly as the single-store path does (via
+/// [`assemble_members`]).
+pub fn finish_assembly(
     shards: &[&SpanStore],
     members: &[(u16, u32)],
     start: SpanId,
@@ -542,9 +531,7 @@ pub(crate) fn finish_assembly(
         .iter()
         .map(|&(si, row)| shards[si as usize][row].clone())
         .collect();
-    let spans = sort_and_truncate(spans, start, cfg.max_spans);
-    let parents = set_parents_indexed(&spans, cfg);
-    sort_trace(spans, parents)
+    assemble_members(spans, start, cfg)
 }
 
 fn assemble_sharded_inner(

@@ -16,6 +16,9 @@
 //!   joins on (systrace ids, pseudo-thread ids, X-Request-IDs, TCP sequence
 //!   numbers, third-party trace ids);
 //! * [`trace`] — [`Trace`], an assembled span tree;
+//! * [`rpc`] — the cluster RPC vocabulary ([`RpcEnvelope`], span-batch
+//!   shipping and Phase 1 candidate-set probes) framed into fabric-segment
+//!   payloads;
 //! * [`tags`] — the resource-tag model used by tag-based correlation and
 //!   smart-encoding (paper §3.4, Figure 8);
 //! * [`metrics`] — network flow metrics (TCP retransmissions, RTT, resets)
@@ -34,6 +37,7 @@ pub mod message;
 pub mod metrics;
 pub mod net;
 pub mod packet;
+pub mod rpc;
 pub mod span;
 pub mod tags;
 pub mod time;
@@ -46,6 +50,7 @@ pub use message::{CaptureSource, SyscallAbi};
 pub use metrics::{FlowMetrics, L7Metrics};
 pub use net::{Direction, FiveTuple, TcpFlags, TransportProtocol};
 pub use packet::{ArpOp, CapturedFrame, Frame, Segment};
+pub use rpc::{CandidateKeys, CandidateSpan, RpcBody, RpcDecodeError, RpcEnvelope};
 pub use span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
 pub use tags::{
     NodeResource, PodResource, ResourceInventory, ResourceTags, TagKey, TagSet, TagValue,

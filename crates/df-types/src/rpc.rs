@@ -1,0 +1,388 @@
+//! Cluster RPC vocabulary: the messages trace-server nodes exchange over
+//! the `df-net` fabric.
+//!
+//! Two protocols share one envelope:
+//!
+//! * **Span-batch shipping** — an agent (or ingest front-end) ships a
+//!   contiguous run of routed spans to the node owning their shard
+//!   ([`RpcBody::SpanBatch`]), acknowledged per batch
+//!   ([`RpcBody::SpanBatchAck`]). `start_row` makes application
+//!   idempotent: a duplicate (retransmitted) batch is detected by row
+//!   position, an out-of-order batch is stashed until contiguous.
+//! * **Candidate-set probing** — Algorithm 1 Phase 1's per-round key
+//!   batches travel to remote shard owners as [`RpcBody::CandidateRequest`]
+//!   and come back as `(shard, row, span)` triples
+//!   ([`RpcBody::CandidateResponse`]). The `round` number lets the
+//!   coordinator reject stale or duplicate responses, which is what keeps
+//!   retries from reordering frontier rounds.
+//! * **Span fetch** ([`RpcBody::SpanFetch`] /
+//!   [`RpcBody::SpanFetchResponse`]) — the coordinator pulling one span by
+//!   `(shard, row)` address, e.g. the query's start span when its shard
+//!   lives on another node.
+//!
+//! ## Framing
+//!
+//! An envelope serialises to a fabric-segment payload as a fixed 17-byte
+//! header — magic `DFR1`, `rpc_id` (u64 LE), a kind byte, body length
+//! (u32 LE) — followed by the JSON-encoded body. The kind byte duplicates
+//! the body's enum tag so a receiver can dispatch (or a tap can classify)
+//! without parsing JSON; [`RpcEnvelope::decode`] verifies the two agree.
+
+use crate::span::Span;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic prefixing every RPC payload on the wire.
+pub const RPC_MAGIC: &[u8; 4] = b"DFR1";
+
+/// Fixed header length: magic (4) + rpc_id (8) + kind (1) + body len (4).
+pub const RPC_HEADER_LEN: usize = 17;
+
+/// One frontier round's association keys, batched per index — the Phase 1
+/// probe payload. Field order mirrors the probe order on the receiving
+/// shard (systrace, pseudo-thread, X-Request-ID, TCP seq, OTel trace), so
+/// two stores probing the same batch return candidates in the same order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateKeys {
+    /// Thread-propagated syscall trace ids.
+    pub systrace: Vec<u64>,
+    /// Coroutine pseudo-thread ids.
+    pub pseudo_thread: Vec<u64>,
+    /// X-Request-ID header values.
+    pub x_request: Vec<u128>,
+    /// TCP sequence numbers.
+    pub tcp_seq: Vec<u32>,
+    /// Third-party (OTel) trace ids.
+    pub otel_trace: Vec<u128>,
+}
+
+impl CandidateKeys {
+    /// Total keys across all indexes.
+    pub fn len(&self) -> usize {
+        self.systrace.len()
+            + self.pseudo_thread.len()
+            + self.x_request.len()
+            + self.tcp_seq.len()
+            + self.otel_trace.len()
+    }
+
+    /// Whether the batch holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One remote candidate: the span plus its `(shard, row)` address, so the
+/// coordinator can extend its global visited set exactly as a local probe
+/// would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSpan {
+    /// Global shard index the span lives in.
+    pub shard: u16,
+    /// Row within that shard.
+    pub row: u32,
+    /// The span itself.
+    pub span: Span,
+}
+
+/// RPC message body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RpcBody {
+    /// Ship a contiguous run of routed spans to the shard's owner. The
+    /// spans carry their already-assigned global ids; `start_row` is the
+    /// row the first span must land on (idempotency anchor).
+    SpanBatch {
+        /// Global shard index.
+        shard: u16,
+        /// Row the first span lands on.
+        start_row: u32,
+        /// The routed spans, in row order.
+        spans: Vec<Span>,
+    },
+    /// Acknowledge a span batch (same coordinates as the batch).
+    SpanBatchAck {
+        /// Global shard index.
+        shard: u16,
+        /// Row the acknowledged batch started at.
+        start_row: u32,
+        /// Spans acknowledged.
+        count: u32,
+    },
+    /// Probe the receiver's shards with one frontier round's key batch.
+    CandidateRequest {
+        /// Phase 1 round number (coordinator-local, monotone).
+        round: u32,
+        /// The round's keys.
+        keys: CandidateKeys,
+    },
+    /// The receiver's new candidate rows for a probe round.
+    CandidateResponse {
+        /// Round this responds to.
+        round: u32,
+        /// Matching spans with their global addresses.
+        candidates: Vec<CandidateSpan>,
+    },
+    /// Fetch one span by address (the query coordinator seeding Phase 1
+    /// when the start span's shard lives on another node).
+    SpanFetch {
+        /// Global shard index.
+        shard: u16,
+        /// Row within the shard.
+        row: u32,
+    },
+    /// Answer to a [`RpcBody::SpanFetch`]; `None` when the row does not
+    /// exist (or is tombstoned) on the receiver.
+    SpanFetchResponse {
+        /// Echoed shard.
+        shard: u16,
+        /// Echoed row.
+        row: u32,
+        /// The span, if present and live.
+        span: Option<Box<Span>>,
+    },
+}
+
+impl RpcBody {
+    /// The header kind byte for this body.
+    pub fn kind(&self) -> u8 {
+        match self {
+            RpcBody::SpanBatch { .. } => 1,
+            RpcBody::SpanBatchAck { .. } => 2,
+            RpcBody::CandidateRequest { .. } => 3,
+            RpcBody::CandidateResponse { .. } => 4,
+            RpcBody::SpanFetch { .. } => 5,
+            RpcBody::SpanFetchResponse { .. } => 6,
+        }
+    }
+}
+
+/// A framed RPC message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcEnvelope {
+    /// Caller-assigned id; the response echoes it, retries reuse it.
+    pub rpc_id: u64,
+    /// The message.
+    pub body: RpcBody,
+}
+
+/// Why a payload failed to decode as an RPC envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcDecodeError {
+    /// Payload shorter than the fixed header.
+    Truncated,
+    /// Magic bytes are not `DFR1` (not an RPC payload at all).
+    BadMagic,
+    /// Header body-length disagrees with the actual payload length.
+    LengthMismatch {
+        /// Length the header claimed.
+        claimed: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// The JSON body failed to parse.
+    BadBody(String),
+    /// Header kind byte disagrees with the parsed body's variant.
+    KindMismatch {
+        /// Kind byte from the header.
+        header: u8,
+        /// Kind implied by the parsed body.
+        body: u8,
+    },
+}
+
+impl fmt::Display for RpcDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcDecodeError::Truncated => write!(f, "payload shorter than RPC header"),
+            RpcDecodeError::BadMagic => write!(f, "payload does not start with DFR1"),
+            RpcDecodeError::LengthMismatch { claimed, actual } => {
+                write!(f, "header claims {claimed}-byte body, got {actual}")
+            }
+            RpcDecodeError::BadBody(e) => write!(f, "bad RPC body: {e}"),
+            RpcDecodeError::KindMismatch { header, body } => {
+                write!(f, "header kind {header} != body kind {body}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcDecodeError {}
+
+impl RpcEnvelope {
+    /// Frame the envelope into a fabric-segment payload.
+    pub fn encode(&self) -> Bytes {
+        let body = serde_json::to_string(&self.body).expect("RPC body serialises");
+        let mut out = Vec::with_capacity(RPC_HEADER_LEN + body.len());
+        out.extend_from_slice(RPC_MAGIC);
+        out.extend_from_slice(&self.rpc_id.to_le_bytes());
+        out.push(self.body.kind());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body.as_bytes());
+        Bytes::from(out)
+    }
+
+    /// Parse a fabric-segment payload back into an envelope.
+    pub fn decode(payload: &[u8]) -> Result<RpcEnvelope, RpcDecodeError> {
+        if payload.len() < RPC_HEADER_LEN {
+            return Err(RpcDecodeError::Truncated);
+        }
+        if &payload[..4] != RPC_MAGIC {
+            return Err(RpcDecodeError::BadMagic);
+        }
+        let rpc_id = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+        let kind = payload[12];
+        let claimed = u32::from_le_bytes(payload[13..17].try_into().expect("4 bytes")) as usize;
+        let rest = &payload[RPC_HEADER_LEN..];
+        if rest.len() != claimed {
+            return Err(RpcDecodeError::LengthMismatch {
+                claimed,
+                actual: rest.len(),
+            });
+        }
+        let text = std::str::from_utf8(rest).map_err(|e| RpcDecodeError::BadBody(e.to_string()))?;
+        let body: RpcBody =
+            serde_json::from_str(text).map_err(|e| RpcDecodeError::BadBody(e.to_string()))?;
+        if body.kind() != kind {
+            return Err(RpcDecodeError::KindMismatch {
+                header: kind,
+                body: body.kind(),
+            });
+        }
+        Ok(RpcEnvelope { rpc_id, body })
+    }
+
+    /// Peek the rpc_id and kind byte without parsing the JSON body (tap
+    /// classification, dispatch).
+    pub fn peek(payload: &[u8]) -> Result<(u64, u8), RpcDecodeError> {
+        if payload.len() < RPC_HEADER_LEN {
+            return Err(RpcDecodeError::Truncated);
+        }
+        if &payload[..4] != RPC_MAGIC {
+            return Err(RpcDecodeError::BadMagic);
+        }
+        let rpc_id = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+        Ok((rpc_id, payload[12]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TapSide;
+
+    fn sample_keys() -> CandidateKeys {
+        CandidateKeys {
+            systrace: vec![1, 2],
+            pseudo_thread: vec![3],
+            // Deliberately above u64::MAX: the wire must carry full u128s.
+            x_request: vec![0xdead_beef_dead_beef_dead_beef_dead_beef],
+            tcp_seq: vec![42],
+            otel_trace: vec![u128::MAX - 1],
+        }
+    }
+
+    #[test]
+    fn candidate_keys_len_counts_every_index() {
+        assert_eq!(sample_keys().len(), 6);
+        assert!(CandidateKeys::default().is_empty());
+    }
+
+    #[test]
+    fn envelope_round_trips_every_body_kind() {
+        let span = Span::synthetic(TapSide::ServerProcess, 100, 900);
+        let bodies = vec![
+            RpcBody::SpanBatch {
+                shard: 3,
+                start_row: 17,
+                spans: vec![span.clone()],
+            },
+            RpcBody::SpanBatchAck {
+                shard: 3,
+                start_row: 17,
+                count: 1,
+            },
+            RpcBody::CandidateRequest {
+                round: 2,
+                keys: sample_keys(),
+            },
+            RpcBody::CandidateResponse {
+                round: 2,
+                candidates: vec![CandidateSpan {
+                    shard: 1,
+                    row: 9,
+                    span: span.clone(),
+                }],
+            },
+            RpcBody::SpanFetch { shard: 0, row: 4 },
+            RpcBody::SpanFetchResponse {
+                shard: 0,
+                row: 4,
+                span: Some(Box::new(span)),
+            },
+        ];
+        for body in bodies {
+            let env = RpcEnvelope { rpc_id: 77, body };
+            let wire = env.encode();
+            let back = RpcEnvelope::decode(&wire).expect("decodes");
+            assert_eq!(back, env);
+            let (id, kind) = RpcEnvelope::peek(&wire).expect("peeks");
+            assert_eq!(id, 77);
+            assert_eq!(kind, env.body.kind());
+        }
+    }
+
+    #[test]
+    fn u128_keys_survive_the_wire_exactly() {
+        let env = RpcEnvelope {
+            rpc_id: 1,
+            body: RpcBody::CandidateRequest {
+                round: 0,
+                keys: CandidateKeys {
+                    x_request: vec![u128::MAX, (u64::MAX as u128) + 1],
+                    otel_trace: vec![u128::MAX],
+                    ..CandidateKeys::default()
+                },
+            },
+        };
+        let back = RpcEnvelope::decode(&env.encode()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            RpcEnvelope::decode(b"short"),
+            Err(RpcDecodeError::Truncated)
+        );
+        let mut wire = RpcEnvelope {
+            rpc_id: 5,
+            body: RpcBody::SpanBatchAck {
+                shard: 0,
+                start_row: 0,
+                count: 0,
+            },
+        }
+        .encode()
+        .to_vec();
+        // Corrupt the magic.
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            RpcEnvelope::decode(&bad_magic),
+            Err(RpcDecodeError::BadMagic)
+        );
+        // Truncate the body.
+        let cut = wire.len() - 2;
+        assert!(matches!(
+            RpcEnvelope::decode(&wire[..cut]),
+            Err(RpcDecodeError::LengthMismatch { .. })
+        ));
+        // Flip the kind byte so header and body disagree.
+        wire[12] = 4;
+        assert!(matches!(
+            RpcEnvelope::decode(&wire),
+            Err(RpcDecodeError::KindMismatch { header: 4, body: 2 })
+        ));
+    }
+}

@@ -48,6 +48,8 @@ pub mod deploy;
 pub use df_agent as agent;
 /// Intrusive tracing baselines.
 pub use df_baselines as baselines;
+/// Distributed trace assembly across simulated trace-server nodes.
+pub use df_cluster as cluster;
 /// The simulated kernel substrate.
 pub use df_kernel as kernel;
 /// The microservice simulator.
