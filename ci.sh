@@ -17,6 +17,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> df-lint (sync-discipline lint over the shipped tree)"
 cargo run -q -p df-check --bin df-lint -- .
 
+# The DFW1 wire spec (docs/WIRE_FORMAT.md) must match the codec constants
+# in df_types::wire (magic, version, field order) — see df_check::spec.
+echo "==> df-spec-sync (wire spec matches df_types::wire)"
+cargo run -q -p df-check --bin df-spec-sync -- .
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -66,5 +71,8 @@ cargo bench -p df-bench --bench alg1_parallel -- --test
 
 echo "==> distributed cluster assembly bench (smoke, release, --test mode)"
 cargo bench -p df-bench --bench cluster_assembly -- --test
+
+echo "==> DFW1 wire decode bench (smoke, release, --test mode)"
+cargo bench -p df-bench --bench wire_decode -- --test
 
 echo "ci.sh: all gates passed"

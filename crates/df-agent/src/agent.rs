@@ -253,6 +253,25 @@ impl Agent {
         std::mem::take(&mut self.out)
     }
 
+    /// [`Self::poll`], but the drained spans leave as one DFW1-encoded
+    /// batch (see [`df_types::wire`]) — the bytes an agent actually ships
+    /// to its trace server. String tags are interned into the batch's tag
+    /// dictionary once here, at encode time. Returns `None` when the poll
+    /// produced no spans (nothing to ship, no empty frame on the wire).
+    pub fn poll_wire(
+        &mut self,
+        kernel: &mut Kernel,
+        fabric: &mut Fabric,
+        now: TimeNs,
+    ) -> Option<Vec<u8>> {
+        let spans = self.poll(kernel, fabric, now);
+        if spans.is_empty() {
+            None
+        } else {
+            Some(df_types::wire::encode_batch(&spans))
+        }
+    }
+
     fn process_message(&mut self, mut msg: MessageData) {
         self.stats.messages += 1;
         // Implicit intra-component association (Figure 7).

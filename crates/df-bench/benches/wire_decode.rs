@@ -1,0 +1,170 @@
+//! Criterion microbench for the DFW1 wire codec (`df_types::wire`):
+//! decode throughput at 10k and 100k spans per batch, the zero-copy
+//! header/dictionary parse alone, encode throughput, and the end-to-end
+//! wire ingest (`ConcurrentShardedStore::ingest_wire`) against the
+//! struct-path baseline (`insert_batch`) on the same corpus.
+//!
+//! Reported numbers (spans/sec/core) go to `EXPERIMENTS.md` — the decode
+//! path is what bounds a trace-server core's ingest rate, so it is
+//! measured batch-in → `Vec<Span>`-out with no store behind it, then
+//! again with the real sharded store behind it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deepflow::server::concurrent::ConcurrentShardedStore;
+use deepflow::storage::ShardPolicy;
+use df_types::ids::*;
+use df_types::l7::L7Protocol;
+use df_types::net::FiveTuple;
+use df_types::span::{CapturePoint, Span, SpanKind, SpanStatus, TapSide};
+use df_types::tags::TagSet;
+use df_types::{wire, TimeNs};
+use std::net::Ipv4Addr;
+
+const TAP_SIDES: [TapSide; 11] = [
+    TapSide::ClientApp,
+    TapSide::ClientProcess,
+    TapSide::ClientPodNic,
+    TapSide::ClientNodeNic,
+    TapSide::ClientHypervisor,
+    TapSide::Gateway,
+    TapSide::ServerHypervisor,
+    TapSide::ServerNodeNic,
+    TapSide::ServerPodNic,
+    TapSide::ServerProcess,
+    TapSide::ServerApp,
+];
+
+/// A production-shaped corpus: realistic tap-ladder mix, a small endpoint
+/// set (so the dictionary interning actually pays), sparse optional
+/// fields, some custom tags.
+fn corpus(n: usize) -> Vec<Span> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            let mut s = Span {
+                span_id: SpanId(0),
+                kind: if i % 10 == 9 {
+                    SpanKind::App
+                } else {
+                    SpanKind::Sys
+                },
+                capture: CapturePoint {
+                    node: NodeId((i % 16) as u32),
+                    tap_side: TAP_SIDES[(i % 11) as usize],
+                    interface: if i.is_multiple_of(3) {
+                        Some(format!("eth{}", i % 4))
+                    } else {
+                        None
+                    },
+                },
+                agent: AgentId((i % 16) as u32),
+                flow_id: FlowId(i / 9),
+                five_tuple: FiveTuple::tcp(
+                    Ipv4Addr::new(10, (i % 250) as u8, (i / 250 % 250) as u8, 1),
+                    40_000 + (i % 1_000) as u16,
+                    Ipv4Addr::new(10, 128, (i % 250) as u8, 2),
+                    80,
+                ),
+                l7_protocol: L7Protocol::Http1,
+                endpoint: format!("GET /api/v1/endpoint-{}", i % 32),
+                req_time: TimeNs(i * 1_000),
+                resp_time: TimeNs(i * 1_000 + 350_000),
+                status: if i.is_multiple_of(50) {
+                    SpanStatus::ServerError
+                } else {
+                    SpanStatus::Ok
+                },
+                status_code: Some(if i.is_multiple_of(50) { 500 } else { 200 }),
+                req_bytes: 128 + i % 512,
+                resp_bytes: 1024 + i % 8192,
+                pid: Some(Pid((i % 64) as u32)),
+                tid: Some(Tid((i % 256) as u32)),
+                process_name: Some(format!("svc-{}", i % 8)),
+                systrace_id_req: Some(SysTraceId(i / 9)),
+                systrace_id_resp: None,
+                pseudo_thread_id: None,
+                x_request_id_req: if i.is_multiple_of(4) {
+                    Some(XRequestId(u128::from(i / 9)))
+                } else {
+                    None
+                },
+                x_request_id_resp: None,
+                tcp_seq_req: Some((i / 9) as u32),
+                tcp_seq_resp: None,
+                otel_trace_id: if i % 10 == 9 {
+                    Some(OtelTraceId(u128::from(i / 9)))
+                } else {
+                    None
+                },
+                otel_span_id: None,
+                otel_parent_span_id: None,
+                tags: TagSet::default(),
+                flow_metrics: None,
+            };
+            s.tags = std::mem::take(&mut s.tags)
+                .with_label("env", "prod")
+                .with_label(
+                    "team",
+                    if i.is_multiple_of(2) {
+                        "payments"
+                    } else {
+                        "search"
+                    },
+                );
+            s
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for &n in &[10_000usize, 100_000] {
+        let spans = corpus(n);
+        let bytes = wire::encode_batch(&spans);
+
+        group.throughput(Throughput::Elements(n as u64));
+        // The headline number: DFW1 bytes → Vec<Span>.
+        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| wire::decode_batch(bytes).expect("valid batch"))
+        });
+        // Zero-copy header + dictionary parse only (no Span
+        // materialisation) — the cost floor of a forwarding node that
+        // ships the batch on verbatim.
+        group.bench_with_input(BenchmarkId::new("parse_header", n), &bytes, |b, bytes| {
+            b.iter(|| {
+                wire::WireBatch::parse(bytes)
+                    .expect("valid batch")
+                    .span_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encode", n), &spans, |b, spans| {
+            b.iter(|| wire::encode_batch(spans))
+        });
+        // End-to-end wire ingest vs the struct-path baseline: same
+        // corpus, same 4-shard store, batch-per-iteration.
+        group.bench_with_input(BenchmarkId::new("ingest_wire", n), &bytes, |b, bytes| {
+            b.iter(|| {
+                let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+                let ids = store.ingest_wire(bytes).expect("valid batch");
+                store.flush();
+                ids.len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ingest_struct_baseline", n),
+            &spans,
+            |b, spans| {
+                b.iter(|| {
+                    let store = ConcurrentShardedStore::new(ShardPolicy::with_shards(4));
+                    let ids = store.insert_batch(spans.clone());
+                    store.flush();
+                    ids.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The `df-spec-sync` binary: verify that the normative DFW1 wire spec
+//! (`docs/WIRE_FORMAT.md`) agrees with the codec constants in
+//! `crates/df-types/src/wire.rs` (see [`df_check::spec`] for what is
+//! compared) and exit nonzero on any drift.
+//! Usage: `df-spec-sync [repo-root]` (default `.`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match df_check::spec::check_tree(&root) {
+        Ok(mismatches) if mismatches.is_empty() => {
+            println!("df-spec-sync: docs/WIRE_FORMAT.md matches df_types::wire");
+            ExitCode::SUCCESS
+        }
+        Ok(mismatches) => {
+            for m in &mismatches {
+                eprintln!("df-spec-sync: {m}");
+            }
+            eprintln!("df-spec-sync: {} mismatch(es)", mismatches.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("df-spec-sync: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -68,6 +68,7 @@
 
 pub mod lint;
 pub mod model;
+pub mod spec;
 pub mod sync;
 
 #[cfg(any(feature = "checked", df_check))]

@@ -1,0 +1,308 @@
+//! Wire-spec synchronisation check: the normative DFW1 document in
+//! `docs/WIRE_FORMAT.md` must agree with the constants the codec in
+//! `df_types::wire` actually uses.
+//!
+//! Three facts are cross-checked, extracted from each side by plain text
+//! parsing (no dependencies, same philosophy as [`crate::lint`]):
+//!
+//! * the 4-byte **magic** (`WIRE_MAGIC` ↔ the doc's `**Magic:**` line),
+//! * the **version** byte (`WIRE_VERSION` ↔ the doc's `**Version:**` line),
+//! * the per-span **field order** (`FIELD_ORDER` ↔ the doc's field table
+//!   between the `<!-- FIELD_ORDER:BEGIN -->` / `<!-- FIELD_ORDER:END -->`
+//!   markers, first backticked token per row).
+//!
+//! The `df-spec-sync` binary runs the comparison over a repo tree and
+//! exits nonzero on any mismatch; `ci.sh` gates on it, so editing either
+//! side without the other fails CI.
+
+/// The DFW1 facts one side (code or doc) declares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpec {
+    /// The 4-character frame magic.
+    pub magic: String,
+    /// The format version byte.
+    pub version: u8,
+    /// Per-span record fields, in encoding order.
+    pub fields: Vec<String>,
+}
+
+/// Doc-side markers delimiting the normative field table.
+pub const FIELD_ORDER_BEGIN: &str = "<!-- FIELD_ORDER:BEGIN -->";
+/// See [`FIELD_ORDER_BEGIN`].
+pub const FIELD_ORDER_END: &str = "<!-- FIELD_ORDER:END -->";
+
+/// First `` `backticked` `` token in a line, if any.
+fn backticked(line: &str) -> Option<&str> {
+    let start = line.find('`')? + 1;
+    let len = line[start..].find('`')?;
+    Some(&line[start..start + len])
+}
+
+/// Extract the spec facts from `crates/df-types/src/wire.rs` source text.
+///
+/// Recognises the three normative declarations by name:
+/// `WIRE_MAGIC: &[u8; 4] = b"....";`, `WIRE_VERSION: u8 = N;`, and the
+/// string literals of `FIELD_ORDER: [&str; N] = [ ... ];`.
+pub fn parse_source(src: &str) -> Result<WireSpec, String> {
+    let mut magic = None;
+    let mut version = None;
+    let mut fields = Vec::new();
+    let mut in_field_order = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("//") {
+            continue;
+        }
+        if t.contains("const WIRE_MAGIC") && t.contains("b\"") {
+            let start = t.find("b\"").expect("checked") + 2;
+            let rest = &t[start..];
+            let end = rest
+                .find('"')
+                .ok_or("unterminated WIRE_MAGIC byte string")?;
+            magic = Some(rest[..end].to_string());
+        } else if t.contains("const WIRE_VERSION") && t.contains('=') {
+            let rhs = t.split('=').nth(1).ok_or("malformed WIRE_VERSION")?;
+            let num: String = rhs.chars().filter(char::is_ascii_digit).collect();
+            version = Some(
+                num.parse::<u8>()
+                    .map_err(|e| format!("WIRE_VERSION value: {e}"))?,
+            );
+        }
+        if t.contains("const FIELD_ORDER") && t.contains('[') {
+            in_field_order = true;
+        }
+        if in_field_order {
+            let mut rest = t;
+            while let Some(start) = rest.find('"') {
+                let tail = &rest[start + 1..];
+                let Some(end) = tail.find('"') else { break };
+                // Skip the `&str` in the type position; field names are
+                // lowercase identifiers.
+                let lit = &tail[..end];
+                if !lit.is_empty() {
+                    fields.push(lit.to_string());
+                }
+                rest = &tail[end + 1..];
+            }
+            if t.contains("];") {
+                in_field_order = false;
+            }
+        }
+    }
+    Ok(WireSpec {
+        magic: magic.ok_or("WIRE_MAGIC not found in source")?,
+        version: version.ok_or("WIRE_VERSION not found in source")?,
+        fields,
+    })
+}
+
+/// Extract the spec facts from `docs/WIRE_FORMAT.md` text.
+///
+/// The magic and version come from the first lines containing
+/// `**Magic:**` / `**Version:**` (first backticked token); the field
+/// order from the table rows between [`FIELD_ORDER_BEGIN`] and
+/// [`FIELD_ORDER_END`] (first backticked token per `|`-row, header and
+/// separator rows skipped).
+pub fn parse_doc(doc: &str) -> Result<WireSpec, String> {
+    let mut magic = None;
+    let mut version = None;
+    let mut fields = Vec::new();
+    let mut in_table = false;
+    for line in doc.lines() {
+        let t = line.trim();
+        if magic.is_none() && t.contains("**Magic:**") {
+            magic = Some(
+                backticked(t)
+                    .ok_or("**Magic:** line has no backticked value")?
+                    .to_string(),
+            );
+        }
+        if version.is_none() && t.contains("**Version:**") {
+            let v = backticked(t).ok_or("**Version:** line has no backticked value")?;
+            version = Some(
+                v.parse::<u8>()
+                    .map_err(|e| format!("**Version:** value {v:?}: {e}"))?,
+            );
+        }
+        if t == FIELD_ORDER_BEGIN {
+            in_table = true;
+            continue;
+        }
+        if t == FIELD_ORDER_END {
+            in_table = false;
+            continue;
+        }
+        if in_table && t.starts_with('|') {
+            if let Some(name) = backticked(t) {
+                fields.push(name.to_string());
+            }
+        }
+    }
+    Ok(WireSpec {
+        magic: magic.ok_or("**Magic:** line not found in doc")?,
+        version: version.ok_or("**Version:** line not found in doc")?,
+        fields,
+    })
+}
+
+/// Compare the code-side and doc-side facts; one human-readable line per
+/// disagreement, empty when in sync.
+pub fn diff(code: &WireSpec, doc: &WireSpec) -> Vec<String> {
+    let mut out = Vec::new();
+    if code.magic != doc.magic {
+        out.push(format!(
+            "magic mismatch: code declares {:?}, doc declares {:?}",
+            code.magic, doc.magic
+        ));
+    }
+    if code.version != doc.version {
+        out.push(format!(
+            "version mismatch: code declares {}, doc declares {}",
+            code.version, doc.version
+        ));
+    }
+    if code.fields != doc.fields {
+        if code.fields.len() != doc.fields.len() {
+            out.push(format!(
+                "field count mismatch: code has {}, doc table has {}",
+                code.fields.len(),
+                doc.fields.len()
+            ));
+        }
+        for (i, (c, d)) in code.fields.iter().zip(&doc.fields).enumerate() {
+            if c != d {
+                out.push(format!(
+                    "field {i} mismatch: code says {c:?}, doc table says {d:?}"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Run the whole check over a repo root: parse
+/// `crates/df-types/src/wire.rs` and `docs/WIRE_FORMAT.md`, return the
+/// mismatch lines (empty = in sync).
+pub fn check_tree(root: &std::path::Path) -> Result<Vec<String>, String> {
+    let src_path = root.join("crates/df-types/src/wire.rs");
+    let doc_path = root.join("docs/WIRE_FORMAT.md");
+    let src =
+        std::fs::read_to_string(&src_path).map_err(|e| format!("{}: {e}", src_path.display()))?;
+    let doc =
+        std::fs::read_to_string(&doc_path).map_err(|e| format!("{}: {e}", doc_path.display()))?;
+    Ok(diff(&parse_source(&src)?, &parse_doc(&doc)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_FIXTURE: &str = r#"
+/// The frame magic.
+pub const WIRE_MAGIC: &[u8; 4] = b"DFW1";
+/// The format version.
+pub const WIRE_VERSION: u8 = 1;
+/// Normative field order.
+pub const FIELD_ORDER: [&str; 3] = [
+    "span_id", "flags",
+    "kind_tap",
+];
+"#;
+
+    const DOC_FIXTURE: &str = r#"
+# DFW1
+
+**Magic:** `DFW1` (4 ASCII bytes)
+
+**Version:** `1`
+
+<!-- FIELD_ORDER:BEGIN -->
+| # | Field | Encoding |
+|---|-------|----------|
+| 0 | `span_id` | varint u64 |
+| 1 | `flags` | varint u32 |
+| 2 | `kind_tap` | byte |
+<!-- FIELD_ORDER:END -->
+"#;
+
+    #[test]
+    fn fixtures_parse_and_agree() {
+        let code = parse_source(SRC_FIXTURE).expect("source parses");
+        let doc = parse_doc(DOC_FIXTURE).expect("doc parses");
+        assert_eq!(code.magic, "DFW1");
+        assert_eq!(code.version, 1);
+        assert_eq!(code.fields, vec!["span_id", "flags", "kind_tap"]);
+        assert_eq!(code, doc);
+        assert!(diff(&code, &doc).is_empty());
+    }
+
+    #[test]
+    fn seeded_version_mismatch_fails() {
+        let code = parse_source(SRC_FIXTURE).unwrap();
+        let doc = parse_doc(&DOC_FIXTURE.replace("**Version:** `1`", "**Version:** `2`")).unwrap();
+        let d = diff(&code, &doc);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("version mismatch"), "{d:?}");
+    }
+
+    #[test]
+    fn seeded_magic_mismatch_fails() {
+        let code = parse_source(&SRC_FIXTURE.replace("b\"DFW1\"", "b\"DFW2\"")).unwrap();
+        let doc = parse_doc(DOC_FIXTURE).unwrap();
+        assert!(diff(&code, &doc)[0].contains("magic mismatch"));
+    }
+
+    #[test]
+    fn seeded_field_rename_and_reorder_fail() {
+        let code = parse_source(SRC_FIXTURE).unwrap();
+        // Rename.
+        let doc = parse_doc(&DOC_FIXTURE.replace("`flags`", "`flag_bits`")).unwrap();
+        assert!(diff(&code, &doc).iter().any(|m| m.contains("field 1")));
+        // Reorder (swap rows 0 and 1).
+        let doc = parse_doc(
+            &DOC_FIXTURE
+                .replace(
+                    "| 0 | `span_id` | varint u64 |",
+                    "| 0 | `flags` | varint u32 |",
+                )
+                .replace(
+                    "| 1 | `flags` | varint u32 |",
+                    "| 1 | `span_id` | varint u64 |",
+                ),
+        )
+        .unwrap();
+        let d = diff(&code, &doc);
+        assert!(d.iter().any(|m| m.contains("field 0")), "{d:?}");
+        // Dropped row.
+        let doc = parse_doc(&DOC_FIXTURE.replace("| 2 | `kind_tap` | byte |\n", "")).unwrap();
+        assert!(diff(&code, &doc)
+            .iter()
+            .any(|m| m.contains("field count mismatch")));
+    }
+
+    #[test]
+    fn missing_markers_or_lines_are_errors() {
+        assert!(parse_doc("# empty").is_err());
+        assert!(parse_source("// nothing here").is_err());
+        // A doc with magic/version but no marked table yields no fields —
+        // caught as a count mismatch rather than a parse error.
+        let doc = parse_doc("**Magic:** `DFW1`\n**Version:** `1`\n").unwrap();
+        assert!(doc.fields.is_empty());
+    }
+
+    /// The real tree is in sync (the same check ci.sh gates on, run from
+    /// the workspace so `cargo test` alone catches drift).
+    #[test]
+    fn shipped_spec_matches_shipped_codec() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root");
+        let mismatches = check_tree(&root).expect("both sides parse");
+        assert!(
+            mismatches.is_empty(),
+            "spec drift:\n{}",
+            mismatches.join("\n")
+        );
+    }
+}

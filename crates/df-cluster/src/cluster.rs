@@ -38,12 +38,14 @@
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
+use bytes::Bytes;
 use df_net::fabric::{Delivery, Fabric, FabricConfig};
 use df_net::faults::Fault;
 use df_net::topology::{ElementId, Topology};
 use df_server::{assemble_members, probe_shard, AssembleConfig, ExpandedKeys};
 use df_storage::{ShardPolicy, SpanStore};
 use df_types::rpc::{CandidateKeys, RpcBody, RpcEnvelope};
+use df_types::wire::{self, WireDecodeError};
 use df_types::{DurationNs, FiveTuple, NodeId, Segment, Span, SpanId, TcpFlags, TimeNs, Trace};
 
 use crate::membership::ShardMap;
@@ -165,9 +167,12 @@ impl Ord for Event {
 
 struct PendingRpc {
     to: usize,
-    body: RpcBody,
+    /// The framed request, encoded exactly once at send time. Retries
+    /// retransmit these bytes verbatim — a SpanBatch is never re-encoded.
+    encoded: Bytes,
     attempt: u32,
-    /// Span count for loss accounting (SpanBatch only).
+    /// Span count for loss accounting (SpanBatch only), read from the
+    /// DFW1 batch header without decoding the batch.
     span_count: u64,
 }
 
@@ -318,14 +323,15 @@ impl Cluster {
         self.next_rpc_id += 1;
         self.stats.rpcs_sent += 1;
         let span_count = match &body {
-            RpcBody::SpanBatch { spans, .. } => spans.len() as u64,
+            RpcBody::SpanBatch { wire, .. } => wire::peek_span_count(wire).unwrap_or(0),
             _ => 0,
         };
+        let encoded = RpcEnvelope { rpc_id, body }.encode();
         self.pending.insert(
             rpc_id,
             PendingRpc {
                 to,
-                body,
+                encoded,
                 attempt: 0,
                 span_count,
             },
@@ -335,10 +341,9 @@ impl Cluster {
     }
 
     fn transmit_rpc(&mut self, rpc_id: u64, to: usize, attempt: u32) {
-        let body = self.pending[&rpc_id].body.clone();
-        let env = RpcEnvelope { rpc_id, body };
+        let payload = self.pending[&rpc_id].encoded.clone();
         let (src, dst) = (self.nodes[0].ip, self.nodes[to].ip);
-        self.transmit_segment(src, dst, env, attempt > 0);
+        self.transmit_segment(src, dst, payload, attempt > 0);
         let deadline = self.clock + self.timeout_for(attempt);
         self.push_event(deadline, EventKind::RpcTimeout { rpc_id, attempt });
     }
@@ -347,10 +352,9 @@ impl Cluster {
         &mut self,
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        env: RpcEnvelope,
+        payload: Bytes,
         retransmission: bool,
     ) {
-        let payload = env.encode();
         let seq = self.next_tcp_seq;
         self.next_tcp_seq = self.next_tcp_seq.wrapping_add(payload.len().max(1) as u32);
         let seg = Segment {
@@ -407,15 +411,12 @@ impl Cluster {
             | RpcBody::SpanFetch { .. } => {
                 let resp = self.handle_request(idx, env.body);
                 let (src, dst) = (self.nodes[idx].ip, self.nodes[0].ip);
-                self.transmit_segment(
-                    src,
-                    dst,
-                    RpcEnvelope {
-                        rpc_id: env.rpc_id,
-                        body: resp,
-                    },
-                    false,
-                );
+                let payload = RpcEnvelope {
+                    rpc_id: env.rpc_id,
+                    body: resp,
+                }
+                .encode();
+                self.transmit_segment(src, dst, payload, false);
             }
             _ => {
                 if self.pending.remove(&env.rpc_id).is_some() {
@@ -435,8 +436,12 @@ impl Cluster {
             RpcBody::SpanBatch {
                 shard,
                 start_row,
-                spans,
+                wire: batch,
             } => {
+                // The envelope decoder validated the DFW1 header; a batch
+                // that still fails to decode here is dropped (and acked
+                // with count 0) rather than crashing the node.
+                let spans = wire::decode_batch(&batch).unwrap_or_default();
                 let count = spans.len() as u32;
                 Self::apply_batch(&mut self.nodes[idx], shard, start_row, spans);
                 RpcBody::SpanBatchAck {
@@ -524,14 +529,9 @@ impl Cluster {
             if owner == 0 {
                 Self::apply_batch(&mut self.nodes[0], si as u16, start_row, spans);
             } else {
-                rpc_ids.push(self.send_rpc(
-                    owner,
-                    RpcBody::SpanBatch {
-                        shard: si as u16,
-                        start_row,
-                        spans,
-                    },
-                ));
+                // Encoded once here; retries retransmit the same bytes.
+                let body = RpcBody::span_batch(si as u16, start_row, &spans);
+                rpc_ids.push(self.send_rpc(owner, body));
             }
         }
         self.run_until_settled(&rpc_ids);
@@ -539,6 +539,14 @@ impl Cluster {
             self.completed.remove(&id);
         }
         ids
+    }
+
+    /// Ingest a DFW1-encoded batch as an agent would deliver it: decode,
+    /// then route exactly like [`Cluster::ingest`]. Per-shard sub-batches
+    /// bound for remote owners are re-framed (routing splits the batch),
+    /// encoded once, and retried verbatim.
+    pub fn ingest_wire(&mut self, batch: &[u8]) -> Result<Vec<SpanId>, WireDecodeError> {
+        Ok(self.ingest(wire::decode_batch(batch)?))
     }
 
     /// The oracle's `RouteState::pick_shard`, verbatim.

@@ -73,6 +73,7 @@ use df_check::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use df_check::sync::{Arc, Condvar, Mutex, RwLock};
 use df_storage::{ShardPolicy, SpanQuery, SpanStore};
 use df_types::trace::Trace;
+use df_types::wire::{self, WireDecodeError};
 use df_types::{Span, SpanId, TimeNs};
 use std::collections::{BTreeMap, HashMap};
 use std::thread;
@@ -155,6 +156,37 @@ impl std::fmt::Display for WorkerPanic {
 }
 
 impl std::error::Error for WorkerPanic {}
+
+/// Error from the wire ingest path
+/// ([`ConcurrentShardedStore::ingest_wire`]): either the DFW1 batch was
+/// malformed (rejected before any routing state changed — no ids were
+/// assigned) or a shard worker had crashed.
+#[derive(Debug)]
+pub enum WireIngestError {
+    /// The batch bytes failed DFW1 decoding; the store is untouched.
+    Decode(WireDecodeError),
+    /// The batch decoded but a shard ingest worker was dead; ids were
+    /// assigned and healthy shards received their sub-batches.
+    Worker(WorkerPanic),
+}
+
+impl std::fmt::Display for WireIngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireIngestError::Decode(e) => write!(f, "wire batch rejected: {e}"),
+            WireIngestError::Worker(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireIngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireIngestError::Decode(e) => Some(e),
+            WireIngestError::Worker(e) => Some(e),
+        }
+    }
+}
 
 /// Countdown the flusher waits on; each worker arrives once its queue has
 /// fully drained past the barrier message. A dead worker's parties arrive
@@ -569,6 +601,25 @@ impl ConcurrentShardedStore {
             None => Ok(ids),
             Some(e) => Err(e),
         }
+    }
+
+    /// Ingest a DFW1-encoded span batch (see [`df_types::wire`]): the
+    /// whole frame is decoded *before* any routing state is touched, so a
+    /// malformed batch is rejected without assigning ids — shard state
+    /// after a failed call is byte-identical to never having called it.
+    /// Decoded spans then take the normal [`Self::try_insert_batch`] path.
+    pub fn ingest_wire(&self, batch: &[u8]) -> Result<Vec<SpanId>, WireIngestError> {
+        let spans = wire::decode_batch(batch).map_err(WireIngestError::Decode)?;
+        self.try_insert_batch(spans)
+            .map_err(WireIngestError::Worker)
+    }
+
+    /// [`Self::insert_batch`] over DFW1 bytes: decode errors are returned
+    /// (the store untouched), worker panics panic exactly like
+    /// [`Self::insert_batch`].
+    pub fn insert_batch_wire(&self, batch: &[u8]) -> Result<Vec<SpanId>, WireDecodeError> {
+        let spans = wire::decode_batch(batch)?;
+        Ok(self.insert_batch(spans))
     }
 
     /// The error for a shard whose worker disconnected, preferring the

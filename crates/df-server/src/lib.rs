@@ -61,7 +61,7 @@ pub mod sharded;
 pub mod trace_cache;
 
 pub use assemble::{assemble_members, assemble_trace, AssembleConfig};
-pub use concurrent::{ConcurrentConfig, ConcurrentShardedStore, WorkerPanic};
+pub use concurrent::{ConcurrentConfig, ConcurrentShardedStore, WireIngestError, WorkerPanic};
 pub use dictionary::TagDictionary;
 pub use server::{Server, ServerStats};
 pub use sharded::{

@@ -25,6 +25,7 @@ use df_check::sync::Mutex;
 use df_storage::{ShardPolicy, SpanQuery};
 use df_types::tags::ResourceInventory;
 use df_types::trace::Trace;
+use df_types::wire::{self, WireDecodeError};
 use df_types::{Span, SpanId, TimeNs};
 
 /// Re-aggregation matching key: the capture point + flow + protocol.
@@ -160,6 +161,15 @@ impl Server {
             st.enriched += enriched;
         }
         self.store.insert_batch(spans)
+    }
+
+    /// Ingest a DFW1-encoded span batch as shipped on the wire (see
+    /// [`df_types::wire`]): decode the whole frame first — a malformed
+    /// batch is rejected with the store and stats untouched — then take
+    /// the normal [`Self::ingest_batch`] enrich + insert path.
+    pub fn ingest_wire(&mut self, batch: &[u8]) -> Result<Vec<SpanId>, WireDecodeError> {
+        let spans = wire::decode_batch(batch)?;
+        Ok(self.ingest_batch(spans))
     }
 
     /// Span-list query (Fig. 15's "span list"), with phase-3 label join

@@ -35,4 +35,4 @@ pub mod tagtable;
 pub use column::{Column, ColumnStats};
 pub use shard::ShardPolicy;
 pub use store::{SpanQuery, SpanStore, StoreStats};
-pub use tagtable::{TagEncoding, TagTable};
+pub use tagtable::{TagEncoding, TagTable, WireTagInterner};

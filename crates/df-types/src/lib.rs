@@ -19,6 +19,9 @@
 //! * [`rpc`] — the cluster RPC vocabulary ([`RpcEnvelope`], span-batch
 //!   shipping and Phase 1 candidate-set probes) framed into fabric-segment
 //!   payloads;
+//! * [`wire`] — **DFW1**, the binary span-batch wire format (normative
+//!   spec in `docs/WIRE_FORMAT.md`): the interning encoder agents use and
+//!   the zero-copy batch decoder the ingest path runs on;
 //! * [`tags`] — the resource-tag model used by tag-based correlation and
 //!   smart-encoding (paper §3.4, Figure 8);
 //! * [`metrics`] — network flow metrics (TCP retransmissions, RTT, resets)
@@ -42,6 +45,7 @@ pub mod span;
 pub mod tags;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use ids::*;
 pub use l7::{L7Protocol, MessageType, SessionKey};
@@ -57,3 +61,4 @@ pub use tags::{
 };
 pub use time::{DurationNs, TimeNs};
 pub use trace::{AssembledSpan, Trace};
+pub use wire::{WireBatch, WireDecodeError, WireEncoder};

@@ -24,13 +24,23 @@
 //!
 //! An envelope serialises to a fabric-segment payload as a fixed 17-byte
 //! header — magic `DFR1`, `rpc_id` (u64 LE), a kind byte, body length
-//! (u32 LE) — followed by the JSON-encoded body. The kind byte duplicates
-//! the body's enum tag so a receiver can dispatch (or a tap can classify)
-//! without parsing JSON; [`RpcEnvelope::decode`] verifies the two agree.
+//! (u32 LE) — followed by a **binary body**. Span payloads travel as
+//! [DFW1 batches](crate::wire) (see `docs/WIRE_FORMAT.md`); the remaining
+//! fields are fixed-width little-endian integers and LEB128 varints. A
+//! [`RpcBody::SpanBatch`] body carries the sender's encoded batch
+//! *verbatim* — a node forwarding or retrying a batch never re-encodes
+//! it, and the receiver decodes the exact bytes the agent produced.
+//!
+//! The kind byte tells a receiver how to parse the body (and lets a tap
+//! classify traffic via [`RpcEnvelope::peek`] without parsing anything).
+//! [`RpcEnvelope::encode`] is infallible by construction: every body
+//! value has exactly one byte encoding and nothing in the pipeline can
+//! fail. Decoding never panics; every failure is a structured
+//! [`RpcDecodeError`].
 
 use crate::span::Span;
+use crate::wire::{self, put_varint_u128, put_varint_u64, Cursor, WireDecodeError};
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Magic prefixing every RPC payload on the wire.
@@ -43,7 +53,9 @@ pub const RPC_HEADER_LEN: usize = 17;
 /// probe payload. Field order mirrors the probe order on the receiving
 /// shard (systrace, pseudo-thread, X-Request-ID, TCP seq, OTel trace), so
 /// two stores probing the same batch return candidates in the same order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// That is also the wire order: each index is a varint count followed by
+/// its keys as varints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CandidateKeys {
     /// Thread-propagated syscall trace ids.
     pub systrace: Vec<u64>,
@@ -76,7 +88,7 @@ impl CandidateKeys {
 /// One remote candidate: the span plus its `(shard, row)` address, so the
 /// coordinator can extend its global visited set exactly as a local probe
 /// would.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateSpan {
     /// Global shard index the span lives in.
     pub shard: u16,
@@ -87,18 +99,22 @@ pub struct CandidateSpan {
 }
 
 /// RPC message body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RpcBody {
     /// Ship a contiguous run of routed spans to the shard's owner. The
-    /// spans carry their already-assigned global ids; `start_row` is the
-    /// row the first span must land on (idempotency anchor).
+    /// spans travel as one DFW1 batch carried verbatim (the spans inside
+    /// hold their already-assigned global ids); `start_row` is the row
+    /// the first span must land on (idempotency anchor).
     SpanBatch {
         /// Global shard index.
         shard: u16,
         /// Row the first span lands on.
         start_row: u32,
-        /// The routed spans, in row order.
-        spans: Vec<Span>,
+        /// The DFW1-encoded batch, exactly as the sender produced it.
+        /// Build with [`RpcBody::span_batch`], unpack with
+        /// [`wire::decode_batch`]; [`wire::peek_span_count`] reads the
+        /// span count without decoding.
+        wire: Bytes,
     },
     /// Acknowledge a span batch (same coordinates as the batch).
     SpanBatchAck {
@@ -116,7 +132,9 @@ pub enum RpcBody {
         /// The round's keys.
         keys: CandidateKeys,
     },
-    /// The receiver's new candidate rows for a probe round.
+    /// The receiver's new candidate rows for a probe round. On the wire
+    /// the spans travel as one shared-dictionary DFW1 batch followed by a
+    /// `(shard, row)` address pair per span, in batch order.
     CandidateResponse {
         /// Round this responds to.
         round: u32,
@@ -132,7 +150,8 @@ pub enum RpcBody {
         row: u32,
     },
     /// Answer to a [`RpcBody::SpanFetch`]; `None` when the row does not
-    /// exist (or is tombstoned) on the receiver.
+    /// exist (or is tombstoned) on the receiver. A present span travels
+    /// as a single-span DFW1 batch.
     SpanFetchResponse {
         /// Echoed shard.
         shard: u16,
@@ -155,10 +174,99 @@ impl RpcBody {
             RpcBody::SpanFetchResponse { .. } => 6,
         }
     }
+
+    /// Build a [`RpcBody::SpanBatch`], encoding `spans` as one DFW1
+    /// batch. The resulting bytes are what travels — retries and
+    /// forwards reuse them verbatim.
+    pub fn span_batch(shard: u16, start_row: u32, spans: &[Span]) -> RpcBody {
+        RpcBody::SpanBatch {
+            shard,
+            start_row,
+            wire: Bytes::from(wire::encode_batch(spans)),
+        }
+    }
+
+    /// Append this body's binary encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RpcBody::SpanBatch {
+                shard,
+                start_row,
+                wire,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(wire);
+            }
+            RpcBody::SpanBatchAck {
+                shard,
+                start_row,
+                count,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            RpcBody::CandidateRequest { round, keys } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                put_varint_u64(out, keys.systrace.len() as u64);
+                for &k in &keys.systrace {
+                    put_varint_u64(out, k);
+                }
+                put_varint_u64(out, keys.pseudo_thread.len() as u64);
+                for &k in &keys.pseudo_thread {
+                    put_varint_u64(out, k);
+                }
+                put_varint_u64(out, keys.x_request.len() as u64);
+                for &k in &keys.x_request {
+                    put_varint_u128(out, k);
+                }
+                put_varint_u64(out, keys.tcp_seq.len() as u64);
+                for &k in &keys.tcp_seq {
+                    put_varint_u64(out, k as u64);
+                }
+                put_varint_u64(out, keys.otel_trace.len() as u64);
+                for &k in &keys.otel_trace {
+                    put_varint_u128(out, k);
+                }
+            }
+            RpcBody::CandidateResponse { round, candidates } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                let mut enc = wire::WireEncoder::new();
+                for c in candidates {
+                    enc.push(&c.span);
+                }
+                let batch = enc.finish();
+                put_varint_u64(out, batch.len() as u64);
+                out.extend_from_slice(&batch);
+                for c in candidates {
+                    out.extend_from_slice(&c.shard.to_le_bytes());
+                    out.extend_from_slice(&c.row.to_le_bytes());
+                }
+            }
+            RpcBody::SpanFetch { shard, row } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&row.to_le_bytes());
+            }
+            RpcBody::SpanFetchResponse { shard, row, span } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&row.to_le_bytes());
+                match span {
+                    None => out.push(0),
+                    Some(s) => {
+                        out.push(1);
+                        let batch = wire::encode_batch(std::slice::from_ref(s));
+                        put_varint_u64(out, batch.len() as u64);
+                        out.extend_from_slice(&batch);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A framed RPC message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RpcEnvelope {
     /// Caller-assigned id; the response echoes it, retries reuse it.
     pub rpc_id: u64,
@@ -167,9 +275,12 @@ pub struct RpcEnvelope {
 }
 
 /// Why a payload failed to decode as an RPC envelope.
+///
+/// Decoding is total: any byte sequence maps to either an envelope or one
+/// of these variants — never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcDecodeError {
-    /// Payload shorter than the fixed header.
+    /// Payload shorter than the fixed 17-byte header.
     Truncated,
     /// Magic bytes are not `DFR1` (not an RPC payload at all).
     BadMagic,
@@ -180,14 +291,29 @@ pub enum RpcDecodeError {
         /// Bytes actually present after the header.
         actual: usize,
     },
-    /// The JSON body failed to parse.
-    BadBody(String),
-    /// Header kind byte disagrees with the parsed body's variant.
-    KindMismatch {
-        /// Kind byte from the header.
-        header: u8,
-        /// Kind implied by the parsed body.
-        body: u8,
+    /// The header kind byte names no message kind in this protocol
+    /// version (valid kinds are 1–6).
+    BadKind {
+        /// The unassigned kind byte.
+        kind: u8,
+    },
+    /// An embedded DFW1 span payload declares a wire-format version this
+    /// decoder does not speak.
+    BadVersion {
+        /// The version byte the payload carried.
+        found: u8,
+    },
+    /// The binary body failed to parse (truncated field, over-wide
+    /// varint, bad discriminant, malformed embedded span batch...). The
+    /// inner [`WireDecodeError`] names the failing field.
+    Body(WireDecodeError),
+    /// An embedded DFW1 batch holds a different number of spans than the
+    /// body declares around it.
+    BodyCountMismatch {
+        /// Spans the body structure declares.
+        declared: u64,
+        /// Spans the embedded batch actually holds.
+        got: u64,
     },
 }
 
@@ -199,26 +325,176 @@ impl fmt::Display for RpcDecodeError {
             RpcDecodeError::LengthMismatch { claimed, actual } => {
                 write!(f, "header claims {claimed}-byte body, got {actual}")
             }
-            RpcDecodeError::BadBody(e) => write!(f, "bad RPC body: {e}"),
-            RpcDecodeError::KindMismatch { header, body } => {
-                write!(f, "header kind {header} != body kind {body}")
+            RpcDecodeError::BadKind { kind } => write!(f, "unknown RPC kind {kind}"),
+            RpcDecodeError::BadVersion { found } => {
+                write!(f, "embedded span payload speaks DFW1 version {found}")
+            }
+            RpcDecodeError::Body(e) => write!(f, "bad RPC body: {e}"),
+            RpcDecodeError::BodyCountMismatch { declared, got } => {
+                write!(f, "body declares {declared} spans, batch holds {got}")
             }
         }
     }
 }
 
-impl std::error::Error for RpcDecodeError {}
+impl std::error::Error for RpcDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcDecodeError::Body(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireDecodeError> for RpcDecodeError {
+    /// Wrap a body-level error, hoisting an embedded batch's version
+    /// mismatch to the envelope's own [`RpcDecodeError::BadVersion`].
+    fn from(e: WireDecodeError) -> RpcDecodeError {
+        match e {
+            WireDecodeError::BadVersion { found } => RpcDecodeError::BadVersion { found },
+            other => RpcDecodeError::Body(other),
+        }
+    }
+}
+
+fn read_u16_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u16, WireDecodeError> {
+    let b = cur.take(2, ctx)?;
+    Ok(u16::from_le_bytes([b[0], b[1]]))
+}
+
+fn read_u32_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u32, WireDecodeError> {
+    let b = cur.take(4, ctx)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Read a length-prefixed embedded DFW1 batch and decode it fully.
+fn read_embedded_batch(cur: &mut Cursor<'_>) -> Result<Vec<Span>, RpcDecodeError> {
+    let len = cur.varint_u64("batch_len")? as usize;
+    let raw = cur.take(len, "batch")?;
+    wire::decode_batch(raw).map_err(RpcDecodeError::from)
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
+    let mut cur = Cursor::new(body);
+    let decoded = match kind {
+        1 => {
+            let shard = read_u16_le(&mut cur, "shard")?;
+            let start_row = read_u32_le(&mut cur, "start_row")?;
+            let raw = cur.take(cur.remaining(), "span_batch")?;
+            // The batch travels verbatim; validate the DFW1 header now so
+            // a corrupt or foreign-version payload fails at the envelope
+            // boundary, not deep inside ingest.
+            wire::peek_span_count(raw)?;
+            return Ok(RpcBody::SpanBatch {
+                shard,
+                start_row,
+                wire: Bytes::copy_from_slice(raw),
+            });
+        }
+        2 => RpcBody::SpanBatchAck {
+            shard: read_u16_le(&mut cur, "shard")?,
+            start_row: read_u32_le(&mut cur, "start_row")?,
+            count: read_u32_le(&mut cur, "count")?,
+        },
+        3 => {
+            let round = read_u32_le(&mut cur, "round")?;
+            let n = cur.varint_u64("systrace_count")? as usize;
+            let mut systrace = Vec::with_capacity(n.min(cur.remaining() + 1));
+            for _ in 0..n {
+                systrace.push(cur.varint_u64("systrace_key")?);
+            }
+            let n = cur.varint_u64("pseudo_thread_count")? as usize;
+            let mut pseudo_thread = Vec::with_capacity(n.min(cur.remaining() + 1));
+            for _ in 0..n {
+                pseudo_thread.push(cur.varint_u64("pseudo_thread_key")?);
+            }
+            let n = cur.varint_u64("x_request_count")? as usize;
+            let mut x_request = Vec::with_capacity(n.min(cur.remaining() + 1));
+            for _ in 0..n {
+                x_request.push(cur.varint_u128("x_request_key")?);
+            }
+            let n = cur.varint_u64("tcp_seq_count")? as usize;
+            let mut tcp_seq = Vec::with_capacity(n.min(cur.remaining() + 1));
+            for _ in 0..n {
+                tcp_seq.push(cur.varint_u32("tcp_seq_key")?);
+            }
+            let n = cur.varint_u64("otel_trace_count")? as usize;
+            let mut otel_trace = Vec::with_capacity(n.min(cur.remaining() + 1));
+            for _ in 0..n {
+                otel_trace.push(cur.varint_u128("otel_trace_key")?);
+            }
+            RpcBody::CandidateRequest {
+                round,
+                keys: CandidateKeys {
+                    systrace,
+                    pseudo_thread,
+                    x_request,
+                    tcp_seq,
+                    otel_trace,
+                },
+            }
+        }
+        4 => {
+            let round = read_u32_le(&mut cur, "round")?;
+            let spans = read_embedded_batch(&mut cur)?;
+            let mut candidates = Vec::with_capacity(spans.len());
+            for span in spans {
+                let shard = read_u16_le(&mut cur, "candidate_shard")?;
+                let row = read_u32_le(&mut cur, "candidate_row")?;
+                candidates.push(CandidateSpan { shard, row, span });
+            }
+            RpcBody::CandidateResponse { round, candidates }
+        }
+        5 => RpcBody::SpanFetch {
+            shard: read_u16_le(&mut cur, "shard")?,
+            row: read_u32_le(&mut cur, "row")?,
+        },
+        6 => {
+            let shard = read_u16_le(&mut cur, "shard")?;
+            let row = read_u32_le(&mut cur, "row")?;
+            let span = match cur.u8("span_present")? {
+                0 => None,
+                1 => {
+                    let mut spans = read_embedded_batch(&mut cur)?;
+                    if spans.len() != 1 {
+                        return Err(RpcDecodeError::BodyCountMismatch {
+                            declared: 1,
+                            got: spans.len() as u64,
+                        });
+                    }
+                    Some(Box::new(spans.remove(0)))
+                }
+                v => {
+                    return Err(RpcDecodeError::Body(WireDecodeError::BadEnum {
+                        field: "span_present",
+                        value: v,
+                    }))
+                }
+            };
+            RpcBody::SpanFetchResponse { shard, row, span }
+        }
+        other => return Err(RpcDecodeError::BadKind { kind: other }),
+    };
+    if cur.remaining() != 0 {
+        return Err(RpcDecodeError::Body(WireDecodeError::TrailingBytes {
+            extra: cur.remaining(),
+        }));
+    }
+    Ok(decoded)
+}
 
 impl RpcEnvelope {
-    /// Frame the envelope into a fabric-segment payload.
+    /// Frame the envelope into a fabric-segment payload. Infallible by
+    /// construction: every body value has exactly one encoding.
     pub fn encode(&self) -> Bytes {
-        let body = serde_json::to_string(&self.body).expect("RPC body serialises");
-        let mut out = Vec::with_capacity(RPC_HEADER_LEN + body.len());
+        let mut out = Vec::with_capacity(RPC_HEADER_LEN + 64);
         out.extend_from_slice(RPC_MAGIC);
         out.extend_from_slice(&self.rpc_id.to_le_bytes());
         out.push(self.body.kind());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(body.as_bytes());
+        out.extend_from_slice(&[0u8; 4]); // body length backfilled below
+        self.body.encode_into(&mut out);
+        let body_len = (out.len() - RPC_HEADER_LEN) as u32;
+        out[13..17].copy_from_slice(&body_len.to_le_bytes());
         Bytes::from(out)
     }
 
@@ -240,19 +516,11 @@ impl RpcEnvelope {
                 actual: rest.len(),
             });
         }
-        let text = std::str::from_utf8(rest).map_err(|e| RpcDecodeError::BadBody(e.to_string()))?;
-        let body: RpcBody =
-            serde_json::from_str(text).map_err(|e| RpcDecodeError::BadBody(e.to_string()))?;
-        if body.kind() != kind {
-            return Err(RpcDecodeError::KindMismatch {
-                header: kind,
-                body: body.kind(),
-            });
-        }
+        let body = decode_body(kind, rest)?;
         Ok(RpcEnvelope { rpc_id, body })
     }
 
-    /// Peek the rpc_id and kind byte without parsing the JSON body (tap
+    /// Peek the rpc_id and kind byte without parsing the body (tap
     /// classification, dispatch).
     pub fn peek(payload: &[u8]) -> Result<(u64, u8), RpcDecodeError> {
         if payload.len() < RPC_HEADER_LEN {
@@ -292,11 +560,7 @@ mod tests {
     fn envelope_round_trips_every_body_kind() {
         let span = Span::synthetic(TapSide::ServerProcess, 100, 900);
         let bodies = vec![
-            RpcBody::SpanBatch {
-                shard: 3,
-                start_row: 17,
-                spans: vec![span.clone()],
-            },
+            RpcBody::span_batch(3, 17, std::slice::from_ref(&span)),
             RpcBody::SpanBatchAck {
                 shard: 3,
                 start_row: 17,
@@ -308,17 +572,33 @@ mod tests {
             },
             RpcBody::CandidateResponse {
                 round: 2,
-                candidates: vec![CandidateSpan {
-                    shard: 1,
-                    row: 9,
-                    span: span.clone(),
-                }],
+                candidates: vec![
+                    CandidateSpan {
+                        shard: 1,
+                        row: 9,
+                        span: span.clone(),
+                    },
+                    CandidateSpan {
+                        shard: 4,
+                        row: 0,
+                        span: span.clone(),
+                    },
+                ],
             },
             RpcBody::SpanFetch { shard: 0, row: 4 },
             RpcBody::SpanFetchResponse {
                 shard: 0,
                 row: 4,
-                span: Some(Box::new(span)),
+                span: Some(Box::new(span.clone())),
+            },
+            RpcBody::SpanFetchResponse {
+                shard: 0,
+                row: 5,
+                span: None,
+            },
+            RpcBody::CandidateResponse {
+                round: 0,
+                candidates: Vec::new(),
             },
         ];
         for body in bodies {
@@ -330,6 +610,33 @@ mod tests {
             assert_eq!(id, 77);
             assert_eq!(kind, env.body.kind());
         }
+    }
+
+    #[test]
+    fn span_batch_body_carries_the_encoded_batch_verbatim() {
+        let spans = vec![
+            Span::synthetic(TapSide::ClientProcess, 1, 2),
+            Span::synthetic(TapSide::ServerProcess, 3, 4),
+        ];
+        let raw = wire::encode_batch(&spans);
+        let body = RpcBody::span_batch(7, 100, &spans);
+        let RpcBody::SpanBatch { wire: carried, .. } = &body else {
+            unreachable!()
+        };
+        assert_eq!(
+            &carried[..],
+            &raw[..],
+            "no re-encode between batch and body"
+        );
+        let env = RpcEnvelope { rpc_id: 1, body };
+        let payload = env.encode();
+        // The batch bytes appear verbatim inside the framed payload.
+        assert_eq!(&payload[RPC_HEADER_LEN + 6..], &raw[..]);
+        let back = RpcEnvelope::decode(&payload).expect("decodes");
+        let RpcBody::SpanBatch { wire: w, .. } = back.body else {
+            panic!("wrong kind");
+        };
+        assert_eq!(wire::decode_batch(&w).expect("batch decodes"), spans);
     }
 
     #[test]
@@ -378,11 +685,58 @@ mod tests {
             RpcEnvelope::decode(&wire[..cut]),
             Err(RpcDecodeError::LengthMismatch { .. })
         ));
-        // Flip the kind byte so header and body disagree.
+        // An unassigned kind byte.
+        wire[12] = 99;
+        assert_eq!(
+            RpcEnvelope::decode(&wire),
+            Err(RpcDecodeError::BadKind { kind: 99 })
+        );
+        // A kind whose body shape needs more bytes than an ack carries.
         wire[12] = 4;
         assert!(matches!(
             RpcEnvelope::decode(&wire),
-            Err(RpcDecodeError::KindMismatch { header: 4, body: 2 })
+            Err(RpcDecodeError::Body(_))
         ));
+    }
+
+    #[test]
+    fn span_batch_with_bumped_dfw1_version_is_rejected_at_the_envelope() {
+        let span = Span::synthetic(TapSide::ClientProcess, 1, 2);
+        let env = RpcEnvelope {
+            rpc_id: 9,
+            body: RpcBody::span_batch(0, 0, std::slice::from_ref(&span)),
+        };
+        let mut payload = env.encode().to_vec();
+        // The DFW1 version byte sits right after the batch's magic, which
+        // itself follows the 17-byte header + shard (2) + start_row (4).
+        let version_off = RPC_HEADER_LEN + 6 + 4;
+        assert_eq!(payload[version_off], wire::WIRE_VERSION);
+        payload[version_off] = wire::WIRE_VERSION + 1;
+        assert_eq!(
+            RpcEnvelope::decode(&payload),
+            Err(RpcDecodeError::BadVersion {
+                found: wire::WIRE_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_body_bytes_are_rejected() {
+        let env = RpcEnvelope {
+            rpc_id: 2,
+            body: RpcBody::SpanFetch { shard: 1, row: 2 },
+        };
+        let mut payload = env.encode().to_vec();
+        payload.push(0xAA);
+        // Fix up the claimed body length so the frame check passes and the
+        // body-level trailing check has to catch it.
+        let claimed = (payload.len() - RPC_HEADER_LEN) as u32;
+        payload[13..17].copy_from_slice(&claimed.to_le_bytes());
+        assert_eq!(
+            RpcEnvelope::decode(&payload),
+            Err(RpcDecodeError::Body(WireDecodeError::TrailingBytes {
+                extra: 1
+            }))
+        );
     }
 }

@@ -87,6 +87,27 @@ impl Deployment {
         total
     }
 
+    /// [`Self::poll`], but over the DFW1 wire path: each agent encodes its
+    /// batch ([`Agent::poll_wire`]) and the server decodes it
+    /// ([`Server::ingest_wire`]) — the bytes that would cross the network
+    /// in a real deployment. Returns how many spans were shipped; the
+    /// result is identical to [`Self::poll`] on the same world state.
+    pub fn poll_wire(&mut self, world: &mut World, now: TimeNs) -> usize {
+        let mut total = 0;
+        for (&node, agent) in self.agents.iter_mut() {
+            let kernel = world.kernels.get_mut(&node).expect("agent node");
+            if let Some(batch) = agent.poll_wire(kernel, &mut world.fabric, now) {
+                total += self
+                    .server
+                    .ingest_wire(&batch)
+                    .expect("agent-encoded batch decodes")
+                    .len();
+            }
+        }
+        self.shipped += total as u64;
+        total
+    }
+
     /// Poll every agent but keep the spans instead of shipping (benches
     /// that want the raw stream).
     pub fn poll_collect(&mut self, world: &mut World, now: TimeNs) -> Vec<Span> {
