@@ -41,6 +41,7 @@ echo "==> df-check model suite (checked scheduler)"
 cargo test -q -p df-check --features checked
 DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-server --test df_check_models
 DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-cluster --test df_check_models
+DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-storage --test df_check_models
 
 # The distributed-assembly differential suite (cluster vs the concurrent
 # oracle at 1/2/4 nodes, plus loss-retry and partition-degradation): runs
@@ -74,5 +75,11 @@ cargo bench -p df-bench --bench cluster_assembly -- --test
 
 echo "==> DFW1 wire decode bench (smoke, release, --test mode)"
 cargo bench -p df-bench --bench wire_decode -- --test
+
+# The tiered-storage bench also *asserts* the LRU-K scan-resistance claim
+# (hit rate above LRU and FIFO on a scan-then-point workload), so the
+# smoke run is a correctness gate, not just a does-it-compile check.
+echo "==> tiered storage buffer-pool bench (smoke, release, --test mode)"
+cargo bench -p df-bench --bench storage_tiered -- --test
 
 echo "ci.sh: all gates passed"

@@ -15,6 +15,12 @@
 //!    or recovery via `unwrap_or_else(|p| p.into_inner())`).
 //! 3. **`#![forbid(unsafe_code)]` in every first-party crate root**
 //!    (everything under `crates/`; the vendored stand-ins are excluded).
+//! 4. **`std::fs` confined to the storage IO modules** in the
+//!    sync-scoped crates: only `persist.rs` (the segment codec) and
+//!    `disk_sched.rs` (the background IO thread) may touch the
+//!    filesystem. Anywhere else — an ingest worker, a shard, the buffer
+//!    pool itself — direct file IO would run under shard locks and
+//!    bypass the disk scheduler's queue, counters and shutdown drain.
 //!
 //! Run as `cargo run -p df-check --bin df-lint -- <repo-root>`; wired
 //! into `ci.sh`. Exits nonzero iff any violation is found.
@@ -24,6 +30,10 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources must use the `df_check::sync` shims.
 pub const SYNC_SCOPED_CRATES: &[&str] = &["df-server", "df-storage", "df-cluster"];
+
+/// File names (within the sync-scoped crates) allowed to use `std::fs`
+/// directly: the segment codec and the disk-scheduler IO thread.
+pub const FS_ALLOWED_FILES: &[&str] = &["persist.rs", "disk_sched.rs"];
 
 #[derive(Debug, Clone)]
 pub struct Violation {
@@ -303,6 +313,10 @@ pub fn lint_source(file: &Path, source: &str, sync_scoped: bool) -> Vec<Violatio
     let scrubbed = scrub(source);
     let b = scrubbed.as_bytes();
     let tests = test_regions(&scrubbed);
+    let fs_allowed = file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| FS_ALLOWED_FILES.contains(&n));
     let mut i = 0;
     while i < b.len() {
         let boundary = i == 0 || !is_ident(b[i - 1]);
@@ -319,6 +333,22 @@ pub fn lint_source(file: &Path, source: &str, sync_scoped: bool) -> Vec<Violatio
                 });
                 i = end;
                 continue;
+            }
+            // Rule 4: any `std :: fs` path outside the storage IO modules.
+            if !fs_allowed {
+                if let Some(end) = match_tokens(b, i, &["std", "::", "fs"]) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_of(&scrubbed, i),
+                        rule: "fs-confinement",
+                        message: "direct std::fs outside persist.rs/disk_sched.rs; route file \
+                                  IO through the DiskScheduler so it never runs under shard \
+                                  locks"
+                            .to_string(),
+                    });
+                    i = end;
+                    continue;
+                }
             }
         }
         // Rule 2: `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()`.
@@ -466,6 +496,27 @@ mod tests {
 
         let in_tests = "#[cfg(test)]\nmod tests {\n fn f(m: &Mutex<u32>) { m.lock().unwrap(); }\n}";
         assert!(lint_source(Path::new("x.rs"), in_tests, true).is_empty());
+    }
+
+    #[test]
+    fn flags_std_fs_outside_the_storage_io_modules() {
+        let bad = "use std::fs;\npub fn f() { std :: fs :: read(\"x\").ok(); }";
+        let v = lint_source(Path::new("store.rs"), bad, true);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "fs-confinement"));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+
+        // The two storage IO modules are exempt, by file name.
+        assert!(lint_source(Path::new("persist.rs"), bad, true).is_empty());
+        assert!(lint_source(Path::new("src/disk_sched.rs"), bad, true).is_empty());
+
+        // Out of scope: nothing flagged.
+        assert!(lint_source(Path::new("store.rs"), bad, false).is_empty());
+
+        // `std::fmt` and a local `fs` module are not `std::fs`.
+        let ok = "use std::fmt;\nmod fs { pub fn read() {} }\npub fn g() { fs::read(); }";
+        assert!(lint_source(Path::new("store.rs"), ok, true).is_empty());
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! The `df-spec-sync` binary runs the comparison over a repo tree and
 //! exits nonzero on any mismatch; `ci.sh` gates on it, so editing either
 //! side without the other fails CI.
+//!
+//! The same machinery covers the **DFSPANS1 segment format** (the cold
+//! tier's on-disk span segments): `docs/SEGMENT_FORMAT.md` must agree
+//! with the constants `df_storage::persist` declares — the 8-byte
+//! segment magic, the version byte, the section order
+//! (`SPAN_SEGMENT_SECTIONS` ↔ the `<!-- SEGMENT_SECTIONS:BEGIN/END -->`
+//! table) and the association-index order (`SPAN_SEGMENT_ASSOC_INDEXES`
+//! ↔ the `<!-- SEGMENT_ASSOC_INDEXES:BEGIN/END -->` table).
 
 /// The DFW1 facts one side (code or doc) declares.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,17 +188,209 @@ pub fn diff(code: &WireSpec, doc: &WireSpec) -> Vec<String> {
     out
 }
 
-/// Run the whole check over a repo root: parse
-/// `crates/df-types/src/wire.rs` and `docs/WIRE_FORMAT.md`, return the
-/// mismatch lines (empty = in sync).
+// ---------------------------------------------------------------------
+// DFSPANS1 segment format (the cold tier's on-disk span segments).
+// ---------------------------------------------------------------------
+
+/// The DFSPANS1 facts one side (code or doc) declares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// The 8-character segment magic.
+    pub magic: String,
+    /// The segment format version byte.
+    pub version: u8,
+    /// Segment body sections, in encoding order.
+    pub sections: Vec<String>,
+    /// Association-index images inside the `assoc_index` section, in
+    /// encoding order.
+    pub assoc_indexes: Vec<String>,
+}
+
+/// Doc-side markers delimiting the normative section table.
+pub const SEGMENT_SECTIONS_BEGIN: &str = "<!-- SEGMENT_SECTIONS:BEGIN -->";
+/// See [`SEGMENT_SECTIONS_BEGIN`].
+pub const SEGMENT_SECTIONS_END: &str = "<!-- SEGMENT_SECTIONS:END -->";
+/// Doc-side markers delimiting the normative association-index table.
+pub const SEGMENT_ASSOC_BEGIN: &str = "<!-- SEGMENT_ASSOC_INDEXES:BEGIN -->";
+/// See [`SEGMENT_ASSOC_BEGIN`].
+pub const SEGMENT_ASSOC_END: &str = "<!-- SEGMENT_ASSOC_INDEXES:END -->";
+
+/// Extract the segment facts from `crates/df-storage/src/persist.rs`
+/// source text: `SPAN_SEGMENT_MAGIC: &[u8; 8] = b"...";`,
+/// `SPAN_SEGMENT_VERSION: u8 = N;`, and the string literals of
+/// `SPAN_SEGMENT_SECTIONS` / `SPAN_SEGMENT_ASSOC_INDEXES`.
+pub fn parse_segment_source(src: &str) -> Result<SegmentSpec, String> {
+    let mut magic = None;
+    let mut version = None;
+    let mut sections = Vec::new();
+    let mut assoc = Vec::new();
+    // 0 = outside, 1 = in SECTIONS array, 2 = in ASSOC_INDEXES array.
+    let mut in_array = 0u8;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("//") {
+            continue;
+        }
+        if t.contains("const SPAN_SEGMENT_MAGIC") && t.contains("b\"") {
+            let start = t.find("b\"").expect("checked") + 2;
+            let rest = &t[start..];
+            let end = rest
+                .find('"')
+                .ok_or("unterminated SPAN_SEGMENT_MAGIC byte string")?;
+            magic = Some(rest[..end].to_string());
+        } else if t.contains("const SPAN_SEGMENT_VERSION") && t.contains('=') {
+            let rhs = t
+                .split('=')
+                .nth(1)
+                .ok_or("malformed SPAN_SEGMENT_VERSION")?;
+            let num: String = rhs.chars().filter(char::is_ascii_digit).collect();
+            version = Some(
+                num.parse::<u8>()
+                    .map_err(|e| format!("SPAN_SEGMENT_VERSION value: {e}"))?,
+            );
+        }
+        if t.contains("const SPAN_SEGMENT_SECTIONS") && t.contains('[') {
+            in_array = 1;
+        } else if t.contains("const SPAN_SEGMENT_ASSOC_INDEXES") && t.contains('[') {
+            in_array = 2;
+        }
+        if in_array != 0 {
+            let out = if in_array == 1 {
+                &mut sections
+            } else {
+                &mut assoc
+            };
+            let mut rest = t;
+            while let Some(start) = rest.find('"') {
+                let tail = &rest[start + 1..];
+                let Some(end) = tail.find('"') else { break };
+                let lit = &tail[..end];
+                if !lit.is_empty() {
+                    out.push(lit.to_string());
+                }
+                rest = &tail[end + 1..];
+            }
+            if t.contains("];") {
+                in_array = 0;
+            }
+        }
+    }
+    Ok(SegmentSpec {
+        magic: magic.ok_or("SPAN_SEGMENT_MAGIC not found in source")?,
+        version: version.ok_or("SPAN_SEGMENT_VERSION not found in source")?,
+        sections,
+        assoc_indexes: assoc,
+    })
+}
+
+/// Extract the segment facts from `docs/SEGMENT_FORMAT.md` text: the
+/// first `**Segment magic:**` / `**Segment version:**` lines (first
+/// backticked token) and the two marked tables.
+pub fn parse_segment_doc(doc: &str) -> Result<SegmentSpec, String> {
+    let mut magic = None;
+    let mut version = None;
+    let mut sections = Vec::new();
+    let mut assoc = Vec::new();
+    let mut in_table = 0u8;
+    for line in doc.lines() {
+        let t = line.trim();
+        if magic.is_none() && t.contains("**Segment magic:**") {
+            magic = Some(
+                backticked(t)
+                    .ok_or("**Segment magic:** line has no backticked value")?
+                    .to_string(),
+            );
+        }
+        if version.is_none() && t.contains("**Segment version:**") {
+            let v = backticked(t).ok_or("**Segment version:** line has no backticked value")?;
+            version = Some(
+                v.parse::<u8>()
+                    .map_err(|e| format!("**Segment version:** value {v:?}: {e}"))?,
+            );
+        }
+        match t {
+            _ if t == SEGMENT_SECTIONS_BEGIN => in_table = 1,
+            _ if t == SEGMENT_ASSOC_BEGIN => in_table = 2,
+            _ if t == SEGMENT_SECTIONS_END || t == SEGMENT_ASSOC_END => in_table = 0,
+            _ if in_table != 0 && t.starts_with('|') => {
+                if let Some(name) = backticked(t) {
+                    if in_table == 1 {
+                        sections.push(name.to_string());
+                    } else {
+                        assoc.push(name.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(SegmentSpec {
+        magic: magic.ok_or("**Segment magic:** line not found in doc")?,
+        version: version.ok_or("**Segment version:** line not found in doc")?,
+        sections,
+        assoc_indexes: assoc,
+    })
+}
+
+/// Compare code-side and doc-side segment facts; one line per
+/// disagreement, empty when in sync.
+pub fn diff_segment(code: &SegmentSpec, doc: &SegmentSpec) -> Vec<String> {
+    let mut out = Vec::new();
+    if code.magic != doc.magic {
+        out.push(format!(
+            "segment magic mismatch: code declares {:?}, doc declares {:?}",
+            code.magic, doc.magic
+        ));
+    }
+    if code.version != doc.version {
+        out.push(format!(
+            "segment version mismatch: code declares {}, doc declares {}",
+            code.version, doc.version
+        ));
+    }
+    for (what, c, d) in [
+        ("section", &code.sections, &doc.sections),
+        ("assoc index", &code.assoc_indexes, &doc.assoc_indexes),
+    ] {
+        if c != d {
+            if c.len() != d.len() {
+                out.push(format!(
+                    "{what} count mismatch: code has {}, doc table has {}",
+                    c.len(),
+                    d.len()
+                ));
+            }
+            for (i, (cv, dv)) in c.iter().zip(d.iter()).enumerate() {
+                if cv != dv {
+                    out.push(format!(
+                        "{what} {i} mismatch: code says {cv:?}, doc table says {dv:?}"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the whole check over a repo root: the DFW1 wire spec
+/// (`crates/df-types/src/wire.rs` ↔ `docs/WIRE_FORMAT.md`) and the
+/// DFSPANS1 segment spec (`crates/df-storage/src/persist.rs` ↔
+/// `docs/SEGMENT_FORMAT.md`), returning all mismatch lines (empty = in
+/// sync).
 pub fn check_tree(root: &std::path::Path) -> Result<Vec<String>, String> {
-    let src_path = root.join("crates/df-types/src/wire.rs");
-    let doc_path = root.join("docs/WIRE_FORMAT.md");
-    let src =
-        std::fs::read_to_string(&src_path).map_err(|e| format!("{}: {e}", src_path.display()))?;
-    let doc =
-        std::fs::read_to_string(&doc_path).map_err(|e| format!("{}: {e}", doc_path.display()))?;
-    Ok(diff(&parse_source(&src)?, &parse_doc(&doc)?))
+    let read = |rel: &str| {
+        let path = root.join(rel);
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let mut out = diff(
+        &parse_source(&read("crates/df-types/src/wire.rs")?)?,
+        &parse_doc(&read("docs/WIRE_FORMAT.md")?)?,
+    );
+    out.extend(diff_segment(
+        &parse_segment_source(&read("crates/df-storage/src/persist.rs")?)?,
+        &parse_segment_doc(&read("docs/SEGMENT_FORMAT.md")?)?,
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -288,6 +488,104 @@ pub const FIELD_ORDER: [&str; 3] = [
         // caught as a count mismatch rather than a parse error.
         let doc = parse_doc("**Magic:** `DFW1`\n**Version:** `1`\n").unwrap();
         assert!(doc.fields.is_empty());
+    }
+
+    const SEG_SRC_FIXTURE: &str = r#"
+/// The segment magic.
+pub const SPAN_SEGMENT_MAGIC: &[u8; 8] = b"DFSPANS1";
+/// The segment version.
+pub const SPAN_SEGMENT_VERSION: u8 = 1;
+/// Normative section order.
+pub const SPAN_SEGMENT_SECTIONS: [&str; 4] = ["spans", "rows", "time_index", "assoc_index"];
+/// Normative association-index order.
+pub const SPAN_SEGMENT_ASSOC_INDEXES: [&str; 5] = [
+    "systrace",
+    "pseudo_thread",
+    "x_request",
+    "tcp_seq",
+    "otel_trace",
+];
+"#;
+
+    const SEG_DOC_FIXTURE: &str = r#"
+# DFSPANS1
+
+**Segment magic:** `DFSPANS1` (8 ASCII bytes)
+
+**Segment version:** `1`
+
+<!-- SEGMENT_SECTIONS:BEGIN -->
+| # | Section | Contents |
+|---|---------|----------|
+| 0 | `spans` | DFW1 batch |
+| 1 | `rows` | u32 row numbers |
+| 2 | `time_index` | (u64, u32) pairs |
+| 3 | `assoc_index` | five key tables |
+<!-- SEGMENT_SECTIONS:END -->
+
+<!-- SEGMENT_ASSOC_INDEXES:BEGIN -->
+| # | Index |
+|---|-------|
+| 0 | `systrace` |
+| 1 | `pseudo_thread` |
+| 2 | `x_request` |
+| 3 | `tcp_seq` |
+| 4 | `otel_trace` |
+<!-- SEGMENT_ASSOC_INDEXES:END -->
+"#;
+
+    #[test]
+    fn segment_fixtures_parse_and_agree() {
+        let code = parse_segment_source(SEG_SRC_FIXTURE).expect("source parses");
+        let doc = parse_segment_doc(SEG_DOC_FIXTURE).expect("doc parses");
+        assert_eq!(code.magic, "DFSPANS1");
+        assert_eq!(code.version, 1);
+        assert_eq!(
+            code.sections,
+            ["spans", "rows", "time_index", "assoc_index"]
+        );
+        assert_eq!(code.assoc_indexes.len(), 5);
+        assert_eq!(code, doc);
+        assert!(diff_segment(&code, &doc).is_empty());
+    }
+
+    #[test]
+    fn seeded_segment_mismatches_fail() {
+        let code = parse_segment_source(SEG_SRC_FIXTURE).unwrap();
+        // Magic drift.
+        let doc = parse_segment_doc(&SEG_DOC_FIXTURE.replace("`DFSPANS1`", "`DFSPANS2`")).unwrap();
+        assert!(diff_segment(&code, &doc)[0].contains("segment magic mismatch"));
+        // Version drift.
+        let doc = parse_segment_doc(
+            &SEG_DOC_FIXTURE.replace("**Segment version:** `1`", "**Segment version:** `2`"),
+        )
+        .unwrap();
+        assert!(diff_segment(&code, &doc)[0].contains("segment version mismatch"));
+        // Section reorder.
+        let doc = parse_segment_doc(
+            &SEG_DOC_FIXTURE
+                .replace(
+                    "| 1 | `rows` | u32 row numbers |",
+                    "| 1 | `time_index` | x |",
+                )
+                .replace(
+                    "| 2 | `time_index` | (u64, u32) pairs |",
+                    "| 2 | `rows` | x |",
+                ),
+        )
+        .unwrap();
+        assert!(diff_segment(&code, &doc)
+            .iter()
+            .any(|m| m.contains("section 1 mismatch")));
+        // Dropped assoc-index row.
+        let doc =
+            parse_segment_doc(&SEG_DOC_FIXTURE.replace("| 4 | `otel_trace` |\n", "")).unwrap();
+        assert!(diff_segment(&code, &doc)
+            .iter()
+            .any(|m| m.contains("assoc index count mismatch")));
+        // Missing normative lines are parse errors.
+        assert!(parse_segment_doc("# empty").is_err());
+        assert!(parse_segment_source("// nothing").is_err());
     }
 
     /// The real tree is in sync (the same check ci.sh gates on, run from

@@ -90,6 +90,36 @@ fn lock_unwrap_and_missing_forbid_are_caught() {
 }
 
 #[test]
+fn seeded_fs_escape_fails_and_io_modules_are_exempt() {
+    let fx = Fixture::new("fs");
+    fx.write("crates/df-storage/src/lib.rs", CLEAN_LIB);
+    // A shard doing its own file IO: flagged.
+    fx.write(
+        "crates/df-storage/src/store.rs",
+        "pub fn sneak() { let _ = std::fs::read(\"seg.dfspan\"); }\n",
+    );
+    // The segment codec and the disk scheduler: allowed.
+    fx.write(
+        "crates/df-storage/src/persist.rs",
+        "pub fn write(p: &str, b: &[u8]) { std::fs::write(p, b).expect(\"io\"); }\n",
+    );
+    fx.write(
+        "crates/df-storage/src/disk_sched.rs",
+        "pub fn service(p: &str) -> Vec<u8> { std::fs::read(p).expect(\"io\") }\n",
+    );
+    let violations = df_check::lint::lint_tree(&fx.root).expect("lint runs");
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "fs-confinement");
+    assert!(violations[0].file.ends_with("store.rs"));
+
+    let status = Command::new(env!("CARGO_BIN_EXE_df-lint"))
+        .arg(&fx.root)
+        .status()
+        .expect("run df-lint");
+    assert!(!status.success(), "df-lint must exit nonzero on fs escape");
+}
+
+#[test]
 fn clean_fixture_passes_and_binary_exits_zero() {
     let fx = Fixture::new("clean");
     fx.write("crates/df-server/src/lib.rs", CLEAN_LIB);

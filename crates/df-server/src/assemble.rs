@@ -135,7 +135,7 @@ pub fn assemble_trace(store: &SpanStore, start: SpanId, cfg: &AssembleConfig) ->
                 }
             };
             for &row in &frontier {
-                let s = store.get_row(row).expect("frontier rows exist");
+                let s = store.span_at(row).expect("frontier rows exist");
                 for v in [s.systrace_id_req, s.systrace_id_resp]
                     .into_iter()
                     .flatten()
@@ -203,7 +203,7 @@ pub fn assemble_trace_reference(store: &SpanStore, start: SpanId, cfg: &Assemble
         }
         let mut found: Vec<u32> = Vec::new();
         for &row in &set {
-            let s = store.get_row(row).expect("set rows exist");
+            let s = store.span_at(row).expect("set rows exist");
             for v in [s.systrace_id_req, s.systrace_id_resp]
                 .into_iter()
                 .flatten()
@@ -252,7 +252,7 @@ fn collect_members(
 ) -> Vec<Span> {
     let spans: Vec<Span> = members
         .iter()
-        .filter_map(|&row| store.get_row(row).cloned())
+        .filter_map(|&row| store.span_at(row).map(std::borrow::Cow::into_owned))
         .collect();
     sort_and_truncate(spans, start, max_spans)
 }

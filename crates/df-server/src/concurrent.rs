@@ -71,11 +71,13 @@ use crate::trace_cache::{BucketGens, CacheOutcome, TraceCache};
 use df_check::sync::atomic::{AtomicUsize, Ordering};
 use df_check::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use df_check::sync::{Arc, Condvar, Mutex, RwLock};
-use df_storage::{ShardPolicy, SpanQuery, SpanStore};
+use df_storage::{BufferPool, ShardPolicy, SpanQuery, SpanStore, SpillStats, TierConfig};
 use df_types::trace::Trace;
 use df_types::wire::{self, WireDecodeError};
 use df_types::{Span, SpanId, TimeNs};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
+use std::io;
 use std::thread;
 
 /// Tunables of the concurrent store (queue depths, staleness policy).
@@ -421,6 +423,9 @@ pub struct ConcurrentShardedStore {
     route: Mutex<RouteState>,
     cache: Mutex<TraceCache>,
     stats: Mutex<ServerStats>,
+    /// Hot/cold tiering: the shared buffer pool and spill directory, if
+    /// enabled via [`ConcurrentShardedStore::with_tiering`].
+    tier: Option<(Arc<BufferPool>, TierConfig)>,
 }
 
 impl ConcurrentShardedStore {
@@ -470,7 +475,63 @@ impl ConcurrentShardedStore {
             workers,
             cache: Mutex::new(TraceCache::new()),
             stats: Mutex::new(ServerStats::default()),
+            tier: None,
         }
+    }
+
+    /// Store with hot/cold tiering enabled: one [`BufferPool`] (one frame
+    /// budget, one background disk scheduler) shared by every shard.
+    pub fn with_tiering(policy: ShardPolicy, cfg: ConcurrentConfig, tier: TierConfig) -> Self {
+        let mut store = Self::with_config(policy, cfg);
+        let pool = Arc::new(BufferPool::new(tier.pool));
+        for slot in &store.slots {
+            slot.store
+                .write()
+                .expect("shard lock poisoned")
+                .set_cold_reader(Arc::clone(&pool));
+        }
+        store.tier = Some((pool, tier));
+        store
+    }
+
+    /// The shared buffer pool, if tiering is enabled.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.tier.as_ref().map(|(pool, _)| pool)
+    }
+
+    /// Spill every applied, completed span older than `watermark` to the
+    /// cold tier (one segment per shard × time bucket), taking each
+    /// shard's write lock in turn — exactly the locking discipline
+    /// [`ConcurrentShardedStore::evict_tombstoned`] uses. Queued-but-
+    /// unapplied spans are untouched (they spill on a later pass once
+    /// applied). Spill is content-neutral: **no bucket generation is
+    /// bumped**, so cached traces remain valid — the tiering tests assert
+    /// a cached trace survives a spill of its own buckets.
+    pub fn spill_before(&self, watermark: TimeNs) -> io::Result<SpillStats> {
+        let Some((pool, tier)) = &self.tier else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "tiering not enabled on this store",
+            ));
+        };
+        let mut total = SpillStats::default();
+        for (si, slot) in self.slots.iter().enumerate() {
+            total.merge(
+                slot.store
+                    .write()
+                    .expect("shard lock poisoned")
+                    .spill_before(&self.policy, watermark, pool, &tier.dir, si as u16)?,
+            );
+        }
+        Ok(total)
+    }
+
+    /// Rows currently resident (hot) vs spilled (cold), across shards.
+    pub fn tier_occupancy(&self) -> (usize, usize) {
+        self.slots.iter().fold((0, 0), |(h, c), slot| {
+            let store = slot.store.read().expect("shard lock poisoned");
+            (h + store.hot_rows(), c + store.cold_rows())
+        })
     }
 
     /// The routing policy this store was built with.
@@ -742,8 +803,8 @@ impl ConcurrentShardedStore {
             .store
             .read()
             .expect("shard lock poisoned")
-            .get_row(loc.row)
-            .cloned()
+            .span_at(loc.row)
+            .map(Cow::into_owned)
     }
 
     /// Whether an applied span is tombstoned.
@@ -789,7 +850,7 @@ impl ConcurrentShardedStore {
                 continue;
             }
             let shard = slot.store.read().expect("shard lock poisoned");
-            merged.extend(shard.query(q).into_iter().cloned());
+            merged.extend(shard.query(q).into_iter().map(Cow::into_owned));
         }
         merged.sort_by_key(|s| (s.req_time, s.span_id));
         merged.truncate(q.limit);
@@ -1026,7 +1087,9 @@ fn drain(
             for row in ready {
                 let ops = state.ops.remove(&row).expect("ready row present");
                 for op in ops {
-                    let bucket = store.get_row(row).map(|s| policy.bucket_of(s.req_time));
+                    // `req_time_at` stays resident for cold rows, so op
+                    // bucket accounting never pages in on the worker.
+                    let bucket = store.req_time_at(row).map(|t| policy.bucket_of(t));
                     let mutated = match op {
                         RowOp::Tombstone => {
                             store.tombstone_row(row);

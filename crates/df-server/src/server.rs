@@ -181,7 +181,7 @@ impl Server {
             .store
             .query(query)
             .into_iter()
-            .cloned()
+            .map(std::borrow::Cow::into_owned)
             .map(|mut s| {
                 join_labels(dict, &mut s);
                 s
@@ -300,7 +300,11 @@ impl Server {
                 }
                 let (_, frag_id) = resps[ri];
                 ri += 1;
-                let frag = self.store.get(frag_id).cloned().expect("fragment exists");
+                let frag = self
+                    .store
+                    .get(frag_id)
+                    .expect("fragment exists")
+                    .into_owned();
                 if self.store.complete_span(req_id, &frag) {
                     self.store.tombstone(frag_id);
                     merged += 1;

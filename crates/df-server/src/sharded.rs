@@ -46,17 +46,39 @@
 //! unconditionally after each re-aggregation pass.
 
 use crate::assemble::{assemble_members, AssembleConfig};
-use df_storage::{ShardPolicy, SpanQuery, SpanStore, StoreStats};
+use df_check::sync::Arc;
+use df_storage::{
+    BufferPool, ShardPolicy, SpanQuery, SpanStore, SpillStats, StoreStats, TierConfig,
+};
 use df_types::rpc::CandidateKeys;
 use df_types::trace::Trace;
 use df_types::{Span, SpanId, TimeNs};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
+use std::io;
 
 /// Location of a span inside the sharded corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Loc {
     pub(crate) shard: u16,
     pub(crate) row: u32,
+}
+
+/// Tiering state shared by every shard: one buffer pool (one frame
+/// budget, one background disk scheduler) and the spill directory.
+#[derive(Debug)]
+pub(crate) struct TierState {
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) cfg: TierConfig,
+}
+
+impl TierState {
+    pub(crate) fn new(cfg: TierConfig) -> Self {
+        TierState {
+            pool: Arc::new(BufferPool::new(cfg.pool)),
+            cfg,
+        }
+    }
 }
 
 /// Per-time-bucket routing-table entry.
@@ -101,6 +123,8 @@ pub struct ShardedSpanStore {
     /// Spans routed away from their preferred shard because it was at
     /// [`ShardPolicy::max_shard_rows`] (see [`ShardedSpanStore::routing_clamped`]).
     routing_clamped: u64,
+    /// Hot/cold tiering, if enabled (see [`ShardedSpanStore::enable_tiering`]).
+    tier: Option<TierState>,
 }
 
 impl ShardedSpanStore {
@@ -114,7 +138,89 @@ impl ShardedSpanStore {
             route: Vec::new(),
             buckets: HashMap::new(),
             routing_clamped: 0,
+            tier: None,
         }
+    }
+
+    /// Enable hot/cold tiering: one [`BufferPool`] (one frame budget, one
+    /// background disk scheduler) shared by every shard. Idempotent per
+    /// store; returns the pool so callers can inspect
+    /// [`BufferPool::stats`].
+    pub fn enable_tiering(&mut self, cfg: TierConfig) -> Arc<BufferPool> {
+        let state = TierState::new(cfg);
+        let pool = Arc::clone(&state.pool);
+        for shard in &mut self.shards {
+            shard.set_cold_reader(Arc::clone(&pool));
+        }
+        self.tier = Some(state);
+        pool
+    }
+
+    /// Whether tiering is enabled.
+    pub fn tiering_enabled(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// The shared buffer pool, if tiering is enabled.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.tier.as_ref().map(|t| &t.pool)
+    }
+
+    /// Spill every completed span older than `watermark` to the cold
+    /// tier, one segment per (shard, time bucket). Spill is
+    /// content-neutral — no bucket generation is bumped, because probes,
+    /// queries and assembly see the identical corpus afterwards (cached
+    /// traces stay valid; the tiering tests pin this down).
+    ///
+    /// Errors if tiering was never enabled or a segment write fails (in
+    /// which case no row of the failing shard flips cold).
+    pub fn spill_before(&mut self, watermark: TimeNs) -> io::Result<SpillStats> {
+        let Some(tier) = &self.tier else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "tiering not enabled on this store",
+            ));
+        };
+        let mut total = SpillStats::default();
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            total.merge(shard.spill_before(
+                &self.policy,
+                watermark,
+                &tier.pool,
+                &tier.cfg.dir,
+                si as u16,
+            )?);
+        }
+        Ok(total)
+    }
+
+    /// Spill by the configured horizon: everything older than the newest
+    /// [`TierConfig::hot_buckets`] time buckets goes cold. No-op on an
+    /// empty corpus or when the corpus spans fewer buckets than the
+    /// horizon.
+    pub fn spill_auto(&mut self) -> io::Result<SpillStats> {
+        let Some(tier) = &self.tier else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "tiering not enabled on this store",
+            ));
+        };
+        let Some(&newest) = self.buckets.keys().max() else {
+            return Ok(SpillStats::default());
+        };
+        let hot = tier.cfg.hot_buckets.max(1);
+        let Some(first_hot) = (newest + 1).checked_sub(hot) else {
+            return Ok(SpillStats::default());
+        };
+        let watermark = TimeNs(first_hot.saturating_mul(self.policy.time_bucket.as_nanos()));
+        self.spill_before(watermark)
+    }
+
+    /// Rows currently resident (hot) vs spilled (cold), across shards.
+    pub fn tier_occupancy(&self) -> (usize, usize) {
+        self.shards
+            .iter()
+            .fold((0, 0), |(h, c), s| (h + s.hot_rows(), c + s.cold_rows()))
     }
 
     /// The routing policy this store was built with.
@@ -196,10 +302,11 @@ impl ShardedSpanStore {
         spans.into_iter().map(|s| self.insert(s)).collect()
     }
 
-    /// Fetch by global id.
-    pub fn get(&self, id: SpanId) -> Option<&Span> {
+    /// Fetch by global id (tier-aware: a cold span pages in and is
+    /// returned owned; hot spans stay borrowed).
+    pub fn get(&self, id: SpanId) -> Option<Cow<'_, Span>> {
         let loc = self.loc(id)?;
-        self.shards[loc.shard as usize].get_row(loc.row)
+        self.shards[loc.shard as usize].span_at(loc.row)
     }
 
     /// Whether a span is tombstoned (consumed by re-aggregation).
@@ -218,8 +325,8 @@ impl ShardedSpanStore {
             return;
         };
         let bucket = self.shards[loc.shard as usize]
-            .get_row(loc.row)
-            .map(|s| self.policy.bucket_of(s.req_time));
+            .req_time_at(loc.row)
+            .map(|t| self.policy.bucket_of(t));
         self.shards[loc.shard as usize].tombstone_row(loc.row);
         if let Some(b) = bucket {
             self.touch_bucket(b, loc.shard);
@@ -239,8 +346,8 @@ impl ShardedSpanStore {
         let done = self.shards[loc.shard as usize].complete_span_row(loc.row, resp);
         if done {
             let bucket = self.shards[loc.shard as usize]
-                .get_row(loc.row)
-                .map(|s| self.policy.bucket_of(s.req_time));
+                .req_time_at(loc.row)
+                .map(|t| self.policy.bucket_of(t));
             if let Some(b) = bucket {
                 self.touch_bucket(b, loc.shard);
             }
@@ -267,9 +374,9 @@ impl ShardedSpanStore {
     /// yields for the same corpus — and re-capped at `limit`. Shards with
     /// no spans in the query's time window (per the routing table) are
     /// skipped entirely.
-    pub fn query(&self, q: &SpanQuery) -> Vec<&Span> {
+    pub fn query(&self, q: &SpanQuery) -> Vec<Cow<'_, Span>> {
         let mask = self.shards_for_window(q.from, q.to);
-        let mut merged: Vec<&Span> = Vec::new();
+        let mut merged: Vec<Cow<'_, Span>> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             if mask & (1u64 << i) == 0 {
                 continue;
@@ -282,10 +389,13 @@ impl ShardedSpanStore {
     }
 
     /// Iterate all spans in global-id order (diagnostics, re-aggregation).
-    pub fn iter(&self) -> impl Iterator<Item = &Span> + '_ {
-        self.route
-            .iter()
-            .map(move |loc| &self.shards[loc.shard as usize][loc.row])
+    /// Tier-aware: cold spans page in as the iterator reaches them.
+    pub fn iter(&self) -> impl Iterator<Item = Cow<'_, Span>> + '_ {
+        self.route.iter().map(move |loc| {
+            self.shards[loc.shard as usize]
+                .span_at(loc.row)
+                .expect("routed row exists")
+        })
     }
 
     /// The generation of a routing-table time bucket: 0 if the bucket has
@@ -413,7 +523,10 @@ pub fn probe_shard(
                 if seen.contains(&(si, r)) || !local.insert(r) {
                     continue;
                 }
-                if shard.is_tombstoned(shard[r].span_id) {
+                // The id is resident even for cold rows, so the tombstone
+                // filter never pages in — probing stays IO-free.
+                let id = shard.stored_id(r).expect("indexed row exists");
+                if shard.is_tombstoned(id) {
                     continue; // consumed by re-aggregation
                 }
                 out.push(r);
@@ -473,7 +586,13 @@ pub fn phase1_members(
         }
         let mut batch = CandidateKeys::default();
         for &(si, row) in &frontier {
-            keys.collect(&mut batch, &shards[si as usize][row]);
+            // Key expansion needs the span's association attributes, so a
+            // cold frontier member pages in here — this is the Phase 1
+            // page-in path the tiered differential tests exercise.
+            let span = shards[si as usize]
+                .span_at(row)
+                .expect("frontier rows exist");
+            keys.collect(&mut batch, &span);
         }
         if batch.is_empty() {
             break; // fixed point: no new keys to expand
@@ -529,7 +648,12 @@ pub fn finish_assembly(
 ) -> Trace {
     let spans: Vec<Span> = members
         .iter()
-        .map(|&(si, row)| shards[si as usize][row].clone())
+        .map(|&(si, row)| {
+            shards[si as usize]
+                .span_at(row)
+                .expect("member rows exist")
+                .into_owned()
+        })
         .collect();
     assemble_members(spans, start, cfg)
 }

@@ -22,17 +22,27 @@
 //! `ShardedSpanStore` builds on, and [`store`] exposes the row-addressed
 //! primitives (`insert_routed`, `tombstone_row`, `complete_span_row`,
 //! `evict_tombstoned`) an embedded shard needs.
+//!
+//! Memory is bounded by **tiering**: cold time buckets spill to disk as
+//! DFW1-encoded span segments ([`persist`]) and page back on demand
+//! through a fixed-budget buffer pool with LRU-K eviction
+//! ([`bufferpool`]), whose file IO runs on a background disk-scheduler
+//! thread ([`disk_sched`]) so ingest workers never block on disk.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufferpool;
 pub mod column;
+pub mod disk_sched;
 pub mod persist;
 pub mod shard;
 pub mod store;
 pub mod tagtable;
 
+pub use bufferpool::{BufferPool, BufferPoolConfig, EvictionPolicy, PoolStats, SegmentId};
 pub use column::{Column, ColumnStats};
-pub use shard::ShardPolicy;
-pub use store::{SpanQuery, SpanStore, StoreStats};
+pub use disk_sched::DiskScheduler;
+pub use shard::{ShardPolicy, TierConfig};
+pub use store::{ColdRef, SpanQuery, SpanStore, SpillStats, StoreStats};
 pub use tagtable::{TagEncoding, TagTable, WireTagInterner};

@@ -1,19 +1,62 @@
-//! Disk persistence: segment files for tag tables and JSON export for spans.
+//! Disk persistence: segment files for tag tables, DFW1-based span
+//! segments for the cold tier, and JSON export for spans.
 //!
 //! The Fig. 14 harness measures *actual written bytes*, so [`write_segment`]
 //! really writes the columnar image to disk and reports its size. Span JSON
 //! export exists for the examples and for feeding external tooling
 //! (DeepFlow's own front end consumes JSON from the server).
+//!
+//! # Span segments (cold tier)
+//!
+//! A *span segment* is the unit the tiered store spills and pages: one
+//! cold time bucket's spans as a DFW1 batch, plus the images needed to
+//! rebuild row addressing and the association/time indexes without
+//! decoding every span. The layout is normative — see
+//! `docs/SEGMENT_FORMAT.md`, kept in lockstep with the consts below by
+//! `df-spec-sync`:
+//!
+//! ```text
+//! magic "DFSPANS1" (8) | version u8 | section_count u8 | body_len u64 LE
+//! body = section_count × ( section_len u64 LE | section bytes )
+//! ```
+//!
+//! Sections, in [`SPAN_SEGMENT_SECTIONS`] order: the DFW1 span batch, the
+//! original store row ids, the `(req_time, offset)` time-index image, and
+//! the five association-index images.
 
 use crate::store::SpanStore;
 use crate::tagtable::TagTable;
-use df_types::Span;
+use df_types::{wire, Span};
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::path::Path;
 
-/// Magic prefixing segment files.
+/// Magic prefixing tag-table segment files.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"DFSEG\0v1";
+
+/// Magic prefixing span segment files (the cold tier's page unit).
+pub const SPAN_SEGMENT_MAGIC: &[u8; 8] = b"DFSPANS1";
+
+/// Span-segment layout version.
+pub const SPAN_SEGMENT_VERSION: u8 = 1;
+
+/// Span-segment sections, in file order.
+pub const SPAN_SEGMENT_SECTIONS: [&str; 4] = ["spans", "rows", "time_index", "assoc_index"];
+
+/// Fixed span-segment header length: magic + version + section count +
+/// body length.
+pub const SPAN_SEGMENT_HEADER_LEN: usize = 8 + 1 + 1 + 8;
+
+/// Association-index images carried by a span segment, in section order
+/// within the `assoc_index` section. Keys are widened to `u128` on disk;
+/// the store narrows them back per index.
+pub const SPAN_SEGMENT_ASSOC_INDEXES: [&str; 5] = [
+    "systrace",
+    "pseudo_thread",
+    "x_request",
+    "tcp_seq",
+    "otel_trace",
+];
 
 /// Write a tag table's columnar image to `path`. Returns the bytes written.
 pub fn write_segment(table: &TagTable, path: &Path) -> io::Result<u64> {
@@ -26,17 +69,22 @@ pub fn write_segment(table: &TagTable, path: &Path) -> io::Result<u64> {
     Ok(8 + 8 + body.len() as u64)
 }
 
-/// Validate a segment file's header and return the body length it declares.
+/// Validate a segment file's header and return the body length it
+/// declares. Reads only the 16 header bytes; the declared length is
+/// checked against the file's metadata instead of slurping the body.
 pub fn read_segment_header(path: &Path) -> io::Result<u64> {
-    let data = fs::read(path)?;
-    if data.len() < 16 || &data[..8] != SEGMENT_MAGIC {
+    let mut f = fs::File::open(path)?;
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad segment magic"))?;
+    if &header[..8] != SEGMENT_MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad segment magic",
         ));
     }
-    let len = u64::from_le_bytes(data[8..16].try_into().unwrap());
-    if data.len() as u64 != 16 + len {
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if fs::metadata(path)?.len() != 16 + len {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "segment length mismatch",
@@ -45,12 +93,259 @@ pub fn read_segment_header(path: &Path) -> io::Result<u64> {
     Ok(len)
 }
 
+/// A decoded span segment: the spans of one cold bucket plus the images
+/// needed to re-address them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSegment {
+    /// The bucket's spans, in spill order (offset *i* in the segment is
+    /// element *i* here).
+    pub spans: Vec<Span>,
+    /// Original store row of each span, parallel to `spans`.
+    pub rows: Vec<u32>,
+    /// `(req_time_ns, offset)` pairs sorted by time.
+    pub time_index: Vec<(u64, u32)>,
+    /// Association images in [`SPAN_SEGMENT_ASSOC_INDEXES`] order:
+    /// `(key, offset)` pairs sorted by key, keys widened to `u128`.
+    pub assoc_index: [Vec<(u128, u32)>; 5],
+}
+
+/// Parsed span-segment header (no body IO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSegmentHeader {
+    /// Layout version ([`SPAN_SEGMENT_VERSION`]).
+    pub version: u8,
+    /// Number of sections the body carries.
+    pub sections: u8,
+    /// Body length in bytes (file length minus the fixed header).
+    pub body_len: u64,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Encode one cold bucket as a span segment. `rows` gives the original
+/// store row of each span (parallel slices). The time and association
+/// images are derived here so a future reader can rebuild index state
+/// without decoding the DFW1 batch.
+pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
+    assert_eq!(spans.len(), rows.len(), "spans and rows must be parallel");
+
+    let span_bytes = wire::encode_batch(spans);
+
+    let mut row_bytes = Vec::with_capacity(4 + rows.len() * 4);
+    row_bytes.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for &row in rows {
+        row_bytes.extend_from_slice(&row.to_le_bytes());
+    }
+
+    let mut time_pairs: Vec<(u64, u32)> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.req_time.as_nanos(), i as u32))
+        .collect();
+    time_pairs.sort_unstable();
+    let mut time_bytes = Vec::with_capacity(4 + time_pairs.len() * 12);
+    time_bytes.extend_from_slice(&(time_pairs.len() as u32).to_le_bytes());
+    for &(ts, off) in &time_pairs {
+        time_bytes.extend_from_slice(&ts.to_le_bytes());
+        time_bytes.extend_from_slice(&off.to_le_bytes());
+    }
+
+    let mut assoc: [Vec<(u128, u32)>; 5] = Default::default();
+    for (i, s) in spans.iter().enumerate() {
+        let off = i as u32;
+        for v in [s.systrace_id_req, s.systrace_id_resp]
+            .into_iter()
+            .flatten()
+        {
+            assoc[0].push((u128::from(v.raw()), off));
+        }
+        if let Some(p) = s.pseudo_thread_id {
+            assoc[1].push((u128::from(p.raw()), off));
+        }
+        for v in [s.x_request_id_req, s.x_request_id_resp]
+            .into_iter()
+            .flatten()
+        {
+            assoc[2].push((v.0, off));
+        }
+        for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+            assoc[3].push((u128::from(v), off));
+        }
+        if let Some(t) = s.otel_trace_id {
+            assoc[4].push((t.0, off));
+        }
+    }
+    let mut assoc_bytes = Vec::new();
+    for pairs in &mut assoc {
+        pairs.sort_unstable();
+        pairs.dedup();
+        assoc_bytes.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for &(key, off) in pairs.iter() {
+            assoc_bytes.extend_from_slice(&key.to_le_bytes());
+            assoc_bytes.extend_from_slice(&off.to_le_bytes());
+        }
+    }
+
+    let sections = [span_bytes, row_bytes, time_bytes, assoc_bytes];
+    let body_len: usize = sections.iter().map(|s| 8 + s.len()).sum();
+    let mut out = Vec::with_capacity(SPAN_SEGMENT_HEADER_LEN + body_len);
+    out.extend_from_slice(SPAN_SEGMENT_MAGIC);
+    out.push(SPAN_SEGMENT_VERSION);
+    out.push(sections.len() as u8);
+    out.extend_from_slice(&(body_len as u64).to_le_bytes());
+    for section in &sections {
+        out.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        out.extend_from_slice(section);
+    }
+    out
+}
+
+fn parse_span_segment_header(header: &[u8]) -> io::Result<SpanSegmentHeader> {
+    if header.len() < SPAN_SEGMENT_HEADER_LEN || &header[..8] != SPAN_SEGMENT_MAGIC {
+        return Err(invalid("bad span segment magic"));
+    }
+    let version = header[8];
+    if version != SPAN_SEGMENT_VERSION {
+        return Err(invalid("unsupported span segment version"));
+    }
+    let sections = header[9];
+    if usize::from(sections) != SPAN_SEGMENT_SECTIONS.len() {
+        return Err(invalid("unexpected span segment section count"));
+    }
+    let body_len = u64::from_le_bytes(header[10..18].try_into().unwrap());
+    Ok(SpanSegmentHeader {
+        version,
+        sections,
+        body_len,
+    })
+}
+
+/// Decode a span segment produced by [`encode_span_segment`].
+pub fn decode_span_segment(bytes: &[u8]) -> io::Result<SpanSegment> {
+    let header = parse_span_segment_header(bytes)?;
+    let body = &bytes[SPAN_SEGMENT_HEADER_LEN..];
+    if body.len() as u64 != header.body_len {
+        return Err(invalid("span segment length mismatch"));
+    }
+
+    let mut cursor = body;
+    let mut section = |name: &str| -> io::Result<&[u8]> {
+        if cursor.len() < 8 {
+            return Err(invalid(&format!("span segment truncated before {name}")));
+        }
+        let len = u64::from_le_bytes(cursor[..8].try_into().unwrap()) as usize;
+        let rest = &cursor[8..];
+        if rest.len() < len {
+            return Err(invalid(&format!("span segment {name} section truncated")));
+        }
+        cursor = &rest[len..];
+        Ok(&rest[..len])
+    };
+
+    let span_bytes = section(SPAN_SEGMENT_SECTIONS[0])?;
+    let row_bytes = section(SPAN_SEGMENT_SECTIONS[1])?;
+    let time_bytes = section(SPAN_SEGMENT_SECTIONS[2])?;
+    let assoc_bytes = section(SPAN_SEGMENT_SECTIONS[3])?;
+    if !cursor.is_empty() {
+        return Err(invalid("span segment has trailing bytes"));
+    }
+
+    let spans = wire::decode_batch(span_bytes)
+        .map_err(|e| invalid(&format!("span segment DFW1 batch invalid: {e:?}")))?;
+
+    let rows = {
+        if row_bytes.len() < 4 {
+            return Err(invalid("rows section truncated"));
+        }
+        let n = u32::from_le_bytes(row_bytes[..4].try_into().unwrap()) as usize;
+        let data = &row_bytes[4..];
+        if data.len() != n * 4 {
+            return Err(invalid("rows section length mismatch"));
+        }
+        data.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<u32>>()
+    };
+    if rows.len() != spans.len() {
+        return Err(invalid("rows section does not match span count"));
+    }
+
+    let time_index = {
+        if time_bytes.len() < 4 {
+            return Err(invalid("time index section truncated"));
+        }
+        let n = u32::from_le_bytes(time_bytes[..4].try_into().unwrap()) as usize;
+        let data = &time_bytes[4..];
+        if data.len() != n * 12 {
+            return Err(invalid("time index section length mismatch"));
+        }
+        data.chunks_exact(12)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[..8].try_into().unwrap()),
+                    u32::from_le_bytes(c[8..12].try_into().unwrap()),
+                )
+            })
+            .collect::<Vec<(u64, u32)>>()
+    };
+
+    let mut assoc_index: [Vec<(u128, u32)>; 5] = Default::default();
+    let mut cur = assoc_bytes;
+    for slot in assoc_index.iter_mut() {
+        if cur.len() < 4 {
+            return Err(invalid("assoc index section truncated"));
+        }
+        let n = u32::from_le_bytes(cur[..4].try_into().unwrap()) as usize;
+        cur = &cur[4..];
+        if cur.len() < n * 20 {
+            return Err(invalid("assoc index entries truncated"));
+        }
+        *slot = cur[..n * 20]
+            .chunks_exact(20)
+            .map(|c| {
+                (
+                    u128::from_le_bytes(c[..16].try_into().unwrap()),
+                    u32::from_le_bytes(c[16..20].try_into().unwrap()),
+                )
+            })
+            .collect();
+        cur = &cur[n * 20..];
+    }
+    if !cur.is_empty() {
+        return Err(invalid("assoc index has trailing bytes"));
+    }
+
+    Ok(SpanSegment {
+        spans,
+        rows,
+        time_index,
+        assoc_index,
+    })
+}
+
+/// Validate a span segment file's header without reading the body: only
+/// the fixed header bytes are read, and the declared body length is
+/// checked against file metadata.
+pub fn read_span_segment_header(path: &Path) -> io::Result<SpanSegmentHeader> {
+    let mut f = fs::File::open(path)?;
+    let mut header = [0u8; SPAN_SEGMENT_HEADER_LEN];
+    f.read_exact(&mut header)
+        .map_err(|_| invalid("bad span segment magic"))?;
+    let parsed = parse_span_segment_header(&header)?;
+    if fs::metadata(path)?.len() != SPAN_SEGMENT_HEADER_LEN as u64 + parsed.body_len {
+        return Err(invalid("span segment length mismatch"));
+    }
+    Ok(parsed)
+}
+
 /// Export all spans as JSON lines.
 pub fn export_spans_json(store: &SpanStore, path: &Path) -> io::Result<usize> {
     let mut f = io::BufWriter::new(fs::File::create(path)?);
     let mut n = 0;
     for span in store.iter() {
-        let line = serde_json::to_string(span)
+        let line = serde_json::to_string(span.as_ref())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         f.write_all(line.as_bytes())?;
         f.write_all(b"\n")?;
@@ -60,25 +355,74 @@ pub fn export_spans_json(store: &SpanStore, path: &Path) -> io::Result<usize> {
     Ok(n)
 }
 
-/// Load spans back from a JSON-lines file.
+/// Load spans back from a JSON-lines file, streaming line by line instead
+/// of reading the whole file into memory.
 pub fn import_spans_json(path: &Path) -> io::Result<Vec<Span>> {
-    let data = fs::read_to_string(path)?;
-    data.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| serde_json::from_str(l).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)))
-        .collect()
+    let f = io::BufReader::new(fs::File::open(path)?);
+    let mut spans = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        spans.push(
+            serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        );
+    }
+    Ok(spans)
+}
+
+/// Unique-per-test temp directory with drop cleanup, for crate-internal
+/// tests that touch the filesystem. Parallel test runs get distinct
+/// paths (process id + a per-process counter), and the directory is
+/// removed when the guard drops — even on assertion failure.
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> TestDir {
+    // Uniqueness: the tag is unique per call site, the pid separates
+    // parallel test *processes*, and the nanosecond stamp guards against
+    // a stale dir surviving a previous crashed run.
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos();
+    let path =
+        std::env::temp_dir().join(format!("df-storage-{tag}-{}-{stamp}", std::process::id()));
+    fs::create_dir_all(&path).expect("create test dir");
+    TestDir { path }
+}
+
+/// Guard returned by [`test_dir`].
+#[cfg(test)]
+pub(crate) struct TestDir {
+    path: std::path::PathBuf,
+}
+
+#[cfg(test)]
+impl TestDir {
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tagtable::TagEncoding;
+    use df_types::ids::*;
+    use df_types::TimeNs;
 
     #[test]
     fn segment_round_trip_and_validation() {
-        let dir = std::env::temp_dir().join("df-storage-test-segments");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("seg1.dfseg");
+        let dir = test_dir("segments");
+        let path = dir.path().join("seg1.dfseg");
 
         let mut t = TagTable::new(TagEncoding::SmartInt, 3);
         let rows: Vec<Vec<u32>> = (0..100).map(|i| vec![i, i * 2, i * 3]).collect();
@@ -88,32 +432,32 @@ mod tests {
         assert_eq!(written, fs::metadata(&path).unwrap().len());
         let body_len = read_segment_header(&path).unwrap();
         assert_eq!(body_len + 16, written);
-        fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn corrupt_segment_rejected() {
-        let dir = std::env::temp_dir().join("df-storage-test-segments");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.dfseg");
+        let dir = test_dir("segments-bad");
+        let path = dir.path().join("bad.dfseg");
         fs::write(&path, b"NOTASEGMENT").unwrap();
         assert!(read_segment_header(&path).is_err());
-        fs::remove_file(&path).unwrap();
+        // Good magic, truncated body: metadata check catches it without
+        // reading the (absent) body.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&100u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_segment_header(&path).is_err());
     }
 
-    #[test]
-    fn span_json_round_trip() {
-        use df_types::ids::*;
+    fn demo_span(i: u64) -> df_types::Span {
         use df_types::l7::L7Protocol;
         use df_types::net::FiveTuple;
         use df_types::span::*;
         use df_types::tags::TagSet;
-        use df_types::TimeNs;
         use std::net::Ipv4Addr;
-
-        let mut store = SpanStore::new();
-        store.insert(Span {
-            span_id: SpanId(0),
+        Span {
+            span_id: SpanId(i + 1),
             kind: SpanKind::Net,
             capture: CapturePoint {
                 node: NodeId(2),
@@ -129,9 +473,9 @@ mod tests {
                 80,
             ),
             l7_protocol: L7Protocol::Http1,
-            endpoint: "GET /json".to_string(),
-            req_time: TimeNs(5),
-            resp_time: TimeNs(10),
+            endpoint: format!("GET /seg/{i}"),
+            req_time: TimeNs(1_000 - i * 10),
+            resp_time: TimeNs(1_000 - i * 10 + 5),
             status: SpanStatus::Ok,
             status_code: Some(200),
             req_bytes: 1,
@@ -139,28 +483,117 @@ mod tests {
             pid: None,
             tid: None,
             process_name: None,
-            systrace_id_req: Some(SysTraceId(3)),
+            systrace_id_req: Some(SysTraceId(3 + i)),
             systrace_id_resp: None,
-            pseudo_thread_id: None,
-            x_request_id_req: None,
+            pseudo_thread_id: i.is_multiple_of(2).then_some(PseudoThreadId(40 + i)),
+            x_request_id_req: Some(XRequestId(u128::from(500 + i))),
             x_request_id_resp: None,
-            tcp_seq_req: Some(77),
-            tcp_seq_resp: None,
-            otel_trace_id: None,
+            tcp_seq_req: Some(77 + i as u32),
+            tcp_seq_resp: Some(77 + i as u32),
+            otel_trace_id: i
+                .is_multiple_of(3)
+                .then_some(OtelTraceId(u128::from(9_000 + i))),
             otel_span_id: None,
             otel_parent_span_id: None,
             tags: TagSet::default(),
             flow_metrics: None,
-        });
+        }
+    }
 
-        let dir = std::env::temp_dir().join("df-storage-test-segments");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("spans.jsonl");
+    #[test]
+    fn span_segment_round_trips_spans_rows_and_indexes() {
+        let spans: Vec<df_types::Span> = (0..10).map(demo_span).collect();
+        let rows: Vec<u32> = (0..10u32).map(|r| r * 3 + 1).collect();
+        let bytes = encode_span_segment(&spans, &rows);
+        let seg = decode_span_segment(&bytes).unwrap();
+        assert_eq!(seg.spans, spans);
+        assert_eq!(seg.rows, rows);
+        // Time image covers every offset and is sorted by timestamp
+        // (input times are descending, so this exercises the sort).
+        assert_eq!(seg.time_index.len(), 10);
+        assert!(seg.time_index.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(seg.time_index[0].1, 9, "oldest span is the last offset");
+        // Association images: systrace/x_request/tcp_seq on every span,
+        // pseudo-thread on half, otel on a third. tcp_seq req == resp is
+        // deduped.
+        assert_eq!(seg.assoc_index[0].len(), 10);
+        assert_eq!(seg.assoc_index[1].len(), 5);
+        assert_eq!(seg.assoc_index[2].len(), 10);
+        assert_eq!(seg.assoc_index[3].len(), 10);
+        assert_eq!(seg.assoc_index[4].len(), 4);
+        assert!(seg
+            .assoc_index
+            .iter()
+            .all(|ix| ix.windows(2).all(|w| w[0] <= w[1])));
+    }
+
+    #[test]
+    fn span_segment_header_reads_without_body_io() {
+        let dir = test_dir("span-seg");
+        let path = dir.path().join("b0.dfspan");
+        let spans: Vec<df_types::Span> = (0..4).map(demo_span).collect();
+        let rows: Vec<u32> = (0..4).collect();
+        let bytes = encode_span_segment(&spans, &rows);
+        fs::write(&path, &bytes).unwrap();
+
+        let header = read_span_segment_header(&path).unwrap();
+        assert_eq!(header.version, SPAN_SEGMENT_VERSION);
+        assert_eq!(usize::from(header.sections), SPAN_SEGMENT_SECTIONS.len());
+        assert_eq!(
+            SPAN_SEGMENT_HEADER_LEN as u64 + header.body_len,
+            fs::metadata(&path).unwrap().len()
+        );
+
+        // Truncated file: header parse succeeds but metadata disagrees.
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(read_span_segment_header(&path).is_err());
+        // Garbage: magic check fails.
+        fs::write(&path, b"NOTASPANSEGMENT_AT_ALL").unwrap();
+        assert!(read_span_segment_header(&path).is_err());
+    }
+
+    #[test]
+    fn corrupt_span_segment_bodies_rejected() {
+        let spans: Vec<df_types::Span> = (0..3).map(demo_span).collect();
+        let rows: Vec<u32> = (0..3).collect();
+        let good = encode_span_segment(&spans, &rows);
+
+        // Truncation anywhere inside the body fails cleanly.
+        assert!(decode_span_segment(&good[..good.len() - 1]).is_err());
+        assert!(decode_span_segment(&good[..SPAN_SEGMENT_HEADER_LEN + 3]).is_err());
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(decode_span_segment(&bad).is_err());
+        // Rows/spans count mismatch: patch the rows count field.
+        let mut bad = good;
+        // rows section starts after header + 8-byte len + span bytes; its
+        // first 4 bytes are the count. Find it via the declared span
+        // section length.
+        let span_len = u64::from_le_bytes(
+            bad[SPAN_SEGMENT_HEADER_LEN..SPAN_SEGMENT_HEADER_LEN + 8]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let rows_count_at = SPAN_SEGMENT_HEADER_LEN + 8 + span_len + 8;
+        bad[rows_count_at] = 2;
+        assert!(decode_span_segment(&bad).is_err());
+    }
+
+    #[test]
+    fn span_json_round_trip() {
+        let mut store = SpanStore::new();
+        let mut s = demo_span(0);
+        s.span_id = SpanId(0);
+        s.endpoint = "GET /json".to_string();
+        store.insert(s);
+
+        let dir = test_dir("jsonl");
+        let path = dir.path().join("spans.jsonl");
         assert_eq!(export_spans_json(&store, &path).unwrap(), 1);
         let back = import_spans_json(&path).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].endpoint, "GET /json");
         assert_eq!(back[0].tcp_seq_req, Some(77));
-        fs::remove_file(&path).unwrap();
     }
 }

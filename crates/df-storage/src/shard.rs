@@ -22,8 +22,10 @@
 //!   before its association indexes are compacted
 //!   ([`SpanStore::evict_tombstoned`](crate::SpanStore::evict_tombstoned)).
 
+use crate::bufferpool::BufferPoolConfig;
 use df_types::{DurationNs, Span, TimeNs};
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 
 /// How a sharded span corpus routes spans to shards.
 ///
@@ -106,6 +108,48 @@ impl ShardPolicy {
     /// The routing-table time bucket containing `t`.
     pub fn bucket_of(&self, t: TimeNs) -> u64 {
         t.slot(self.time_bucket)
+    }
+}
+
+/// How a sharded corpus tiers spans between RAM and disk.
+///
+/// One [`crate::BufferPool`] (and so one frame budget and one background
+/// disk scheduler) is shared by every shard; `dir` is where the spilled
+/// segment files live, and `hot_buckets` is the spill horizon: buckets
+/// older than the newest `hot_buckets` buckets are eligible to spill.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Directory holding this store's segment files.
+    pub dir: PathBuf,
+    /// Buffer-pool sizing and replacement policy.
+    pub pool: BufferPoolConfig,
+    /// How many of the most recent time buckets stay hot under
+    /// automatic spilling (at least 1 — the bucket currently being
+    /// ingested never spills).
+    pub hot_buckets: u64,
+}
+
+impl TierConfig {
+    /// Tiering into `dir` with default pool sizing and a 4-bucket hot
+    /// horizon.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TierConfig {
+            dir: dir.into(),
+            pool: BufferPoolConfig::default(),
+            hot_buckets: 4,
+        }
+    }
+
+    /// Replace the pool config.
+    pub fn with_pool(mut self, pool: BufferPoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Replace the hot-bucket horizon (clamped to at least 1).
+    pub fn with_hot_buckets(mut self, hot_buckets: u64) -> Self {
+        self.hot_buckets = hot_buckets.max(1);
+        self
     }
 }
 

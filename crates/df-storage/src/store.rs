@@ -13,10 +13,31 @@
 //! (span list, trace assembly) never need `&mut SpanStore`, and batch
 //! ingest ([`SpanStore::insert_batch`]) defers the sort cost to the next
 //! query instead of paying it per span.
+//!
+//! # Hot/cold tiering
+//!
+//! A row is either **hot** (the [`Span`] lives inline) or **cold** (the
+//! span was spilled to a disk segment by [`SpanStore::spill_before`] and
+//! only a [`ColdRef`] — segment id, in-segment offset, span id, request
+//! time — remains resident). Everything that needs the full span goes
+//! through [`SpanStore::span_at`], which returns a `Cow`: borrowed for
+//! hot rows (the zero-copy fast path is unchanged), owned for cold rows
+//! (a page-in through the shared [`BufferPool`]). The association and
+//! time indexes keep cold rows, so `find_by_*` probes and time-window
+//! scans are tier-blind; only *materialising* a cold row costs a pool
+//! fetch. Spill never reorders, renumbers, or drops rows — it is
+//! extensionally invisible to assembly, which the tiered differential
+//! proptests pin down.
 
-use df_check::sync::Mutex;
+use crate::bufferpool::{BufferPool, SegmentId};
+use crate::persist;
+use crate::shard::ShardPolicy;
+use df_check::sync::{Arc, Mutex};
 use df_types::{Span, SpanId, TimeNs};
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::Path;
 
 /// A span-list query (the Fig. 15 "span list" request).
 #[derive(Debug, Clone, Default)]
@@ -100,6 +121,48 @@ impl Default for TimeIndex {
     }
 }
 
+/// Resident stub of a spilled span: enough to route probes (id, request
+/// time) without touching disk, plus the address of the full span in the
+/// cold tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdRef {
+    /// Segment holding the span.
+    pub segment: SegmentId,
+    /// Offset of the span within the segment's span section.
+    pub offset: u32,
+    /// The span's id (kept resident so tombstone checks never page in).
+    pub span_id: SpanId,
+    /// The span's request time (kept resident for bucket accounting).
+    pub req_time: TimeNs,
+}
+
+/// One row slot: the span inline, or a cold stub.
+#[derive(Debug, Clone)]
+enum RowSlot {
+    Hot(Box<Span>),
+    Cold(ColdRef),
+}
+
+/// What one [`SpanStore::spill_before`] call moved to the cold tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Segments written.
+    pub segments: usize,
+    /// Spans flipped cold.
+    pub spans: usize,
+    /// Encoded segment bytes written.
+    pub bytes: u64,
+}
+
+impl SpillStats {
+    /// Fold another spill's counts into this one.
+    pub fn merge(&mut self, other: SpillStats) {
+        self.segments += other.segments;
+        self.spans += other.spans;
+        self.bytes += other.bytes;
+    }
+}
+
 /// The span store.
 ///
 /// Ids come in two regimes. A store used standalone assigns its own ids
@@ -113,7 +176,14 @@ impl Default for TimeIndex {
 /// one store.
 #[derive(Debug, Default)]
 pub struct SpanStore {
-    rows: Vec<Span>,
+    /// Row slots: hot spans are boxed so a cold slot costs only the
+    /// [`ColdRef`] stub, not a full `Span` footprint.
+    rows: Vec<RowSlot>,
+    /// Pool that pages cold rows back in; set lazily by the first spill
+    /// (or by the sharded owner, which shares one pool across shards).
+    cold_reader: Option<Arc<BufferPool>>,
+    /// How many rows are currently cold.
+    cold_count: usize,
     by_systrace: HashMap<u64, Vec<u32>>,
     by_pseudo_thread: HashMap<u64, Vec<u32>>,
     by_x_request: HashMap<u128, Vec<u32>>,
@@ -140,9 +210,69 @@ impl SpanStore {
         SpanId(u64::from(row) + 1)
     }
 
-    /// Fetch by row index (what the `find_by_*` probes return).
+    /// Fetch a **hot** row by index. Returns `None` for out-of-range rows
+    /// *and* for rows spilled to the cold tier — tier-aware callers want
+    /// [`SpanStore::span_at`], which pages cold rows back in.
     pub fn get_row(&self, row: u32) -> Option<&Span> {
-        self.rows.get(row as usize)
+        match self.rows.get(row as usize)? {
+            RowSlot::Hot(s) => Some(s),
+            RowSlot::Cold(_) => None,
+        }
+    }
+
+    /// Fetch any row by index, paging it in from the cold tier if needed:
+    /// borrowed (zero-copy) for hot rows, owned for cold ones.
+    ///
+    /// Panics if the row is cold and no cold reader is attached, or if
+    /// the cold segment is unreadable — a spilled row must be
+    /// recoverable; fabricating an absence would corrupt assembly.
+    pub fn span_at(&self, row: u32) -> Option<Cow<'_, Span>> {
+        match self.rows.get(row as usize)? {
+            RowSlot::Hot(s) => Some(Cow::Borrowed(&**s)),
+            RowSlot::Cold(c) => {
+                let pool = self
+                    .cold_reader
+                    .as_ref()
+                    .expect("cold rows require an attached cold reader");
+                Some(Cow::Owned(pool.read_span(c.segment, c.offset)))
+            }
+        }
+    }
+
+    /// The span id stored at `row`, whatever its tier. Cold rows keep the
+    /// id resident, so this never pages in — it is the probe-path filter
+    /// (tombstones, dedup) that must stay cheap.
+    pub fn stored_id(&self, row: u32) -> Option<SpanId> {
+        match self.rows.get(row as usize)? {
+            RowSlot::Hot(s) => Some(s.span_id),
+            RowSlot::Cold(c) => Some(c.span_id),
+        }
+    }
+
+    /// The request time stored at `row`, whatever its tier; never pages
+    /// in (bucket accounting on the ingest path must stay cheap).
+    pub fn req_time_at(&self, row: u32) -> Option<TimeNs> {
+        match self.rows.get(row as usize)? {
+            RowSlot::Hot(s) => Some(s.req_time),
+            RowSlot::Cold(c) => Some(c.req_time),
+        }
+    }
+
+    /// Number of rows currently hot (span resident inline).
+    pub fn hot_rows(&self) -> usize {
+        self.rows.len() - self.cold_count
+    }
+
+    /// Number of rows spilled to the cold tier.
+    pub fn cold_rows(&self) -> usize {
+        self.cold_count
+    }
+
+    /// Attach the buffer pool that pages this store's cold rows. The
+    /// sharded owner shares one pool across shards so the frame budget is
+    /// global.
+    pub fn set_cold_reader(&mut self, pool: Arc<BufferPool>) {
+        self.cold_reader = Some(pool);
     }
 
     /// Merge a late response's attributes into an incomplete span —
@@ -155,7 +285,7 @@ impl SpanStore {
             return false;
         };
         let row = row as u32;
-        if self.rows.get(row as usize).map(|s| s.span_id) != Some(id) {
+        if self.stored_id(row) != Some(id) {
             return false;
         }
         self.complete_span_row(row, resp)
@@ -164,7 +294,9 @@ impl SpanStore {
     /// Row-addressed [`SpanStore::complete_span`] for stores whose ids were
     /// assigned externally (see the type-level docs on id regimes).
     pub fn complete_span_row(&mut self, row: u32, resp: &Span) -> bool {
-        let Some(span) = self.rows.get_mut(row as usize) else {
+        // Cold rows are never completable: spill skips Incomplete spans
+        // precisely so a late response can always find its request hot.
+        let Some(RowSlot::Hot(span)) = self.rows.get_mut(row as usize) else {
             return false;
         };
         if span.status != df_types::span::SpanStatus::Incomplete {
@@ -210,7 +342,7 @@ impl SpanStore {
     pub fn tombstone(&mut self, id: SpanId) {
         if let Some(row) = id.raw().checked_sub(1) {
             let row = row as u32;
-            if self.rows.get(row as usize).map(|s| s.span_id) == Some(id) {
+            if self.stored_id(row) == Some(id) {
                 self.tombstone_row(row);
                 return;
             }
@@ -222,10 +354,10 @@ impl SpanStore {
     /// Row-addressed [`SpanStore::tombstone`] for stores whose ids were
     /// assigned externally (see the type-level docs on id regimes).
     pub fn tombstone_row(&mut self, row: u32) {
-        let Some(span) = self.rows.get(row as usize) else {
+        let Some(id) = self.stored_id(row) else {
             return;
         };
-        if self.tombstones.insert(span.span_id) {
+        if self.tombstones.insert(id) {
             self.pending_evict.push(row);
         }
     }
@@ -256,9 +388,11 @@ impl SpanStore {
         let mut removed = 0usize;
         for &row in &rows {
             // Copy out the (small) key fields so the index maps stay
-            // mutably borrowable.
+            // mutably borrowable. A cold row pages in here — eviction is
+            // a background compaction, so the page-in cost is off the
+            // ingest/probe paths.
             let s = {
-                let s = &self.rows[row as usize];
+                let s = self.span_at(row).expect("pending-evict row exists");
                 (
                     s.systrace_id_req,
                     s.systrace_id_resp,
@@ -412,13 +546,13 @@ impl SpanStore {
             }
         }
         idx.entries.push((ts, row));
-        self.rows.push(span);
+        self.rows.push(RowSlot::Hot(Box::new(span)));
     }
 
-    /// Fetch by id.
-    pub fn get(&self, id: SpanId) -> Option<&Span> {
-        let row = id.raw().checked_sub(1)? as usize;
-        self.rows.get(row)
+    /// Fetch by id (tier-aware: cold spans page in).
+    pub fn get(&self, id: SpanId) -> Option<Cow<'_, Span>> {
+        let row = id.raw().checked_sub(1)?;
+        self.span_at(u32::try_from(row).ok()?)
     }
 
     /// Number of spans.
@@ -433,7 +567,10 @@ impl SpanStore {
 
     /// Span-list query (time window + filters). Sorts the time index
     /// lazily under its lock, so concurrent readers share one sort.
-    pub fn query(&self, q: &SpanQuery) -> Vec<&Span> {
+    /// Tier-aware: the time index covers cold rows, which page in as
+    /// they are materialised (tombstones are filtered by resident id
+    /// first, so hidden cold rows cost nothing).
+    pub fn query(&self, q: &SpanQuery) -> Vec<Cow<'_, Span>> {
         let mut idx = self.time_index.lock().expect("time index lock poisoned");
         if !idx.sorted {
             idx.entries.sort_unstable();
@@ -450,11 +587,12 @@ impl SpanStore {
                     break;
                 }
             }
-            let span = &self.rows[row as usize];
-            if self.tombstones.contains(&span.span_id) {
+            let id = self.stored_id(row).expect("time-indexed row exists");
+            if self.tombstones.contains(&id) {
                 continue;
             }
-            if q.matches(span) {
+            let span = self.span_at(row).expect("time-indexed row exists");
+            if q.matches(&span) {
                 out.push(span);
                 if out.len() >= q.limit {
                     break;
@@ -508,9 +646,120 @@ impl SpanStore {
         }
     }
 
-    /// Iterate all spans (diagnostics / persistence).
-    pub fn iter(&self) -> impl Iterator<Item = &Span> {
-        self.rows.iter()
+    /// Iterate all spans (diagnostics / persistence). Tier-aware: cold
+    /// rows page in as the iterator reaches them.
+    pub fn iter(&self) -> impl Iterator<Item = Cow<'_, Span>> {
+        (0..self.rows.len() as u32).map(|row| self.span_at(row).expect("row in range"))
+    }
+
+    /// Spill every hot, completed span with `req_time < watermark` to
+    /// disk, one segment per `policy` time bucket, flipping the rows cold.
+    ///
+    /// Ordering is the load-bearing part: every segment write is queued
+    /// to the pool's background [`crate::disk_sched::DiskScheduler`] and
+    /// **waited for** before any row flips Hot → Cold, so a reader that
+    /// observes a cold slot can always page the bytes back in (the
+    /// df-check page-out/page-in model test proves the inverted order
+    /// serves stale rows). If any write fails, nothing flips — orphan
+    /// segment files are harmless.
+    ///
+    /// Spill is content-neutral: indexes and row numbering are untouched,
+    /// so probes, queries, and assembly see the same corpus (the tiered
+    /// differential proptests pin this down). Incomplete spans stay hot
+    /// so late responses can still merge ([`SpanStore::complete_span_row`]
+    /// does not reach into the cold tier); tombstoned spans may spill —
+    /// they are filtered by resident id either way.
+    ///
+    /// `shard` only namespaces the segment file names so shards sharing
+    /// `dir` never collide.
+    pub fn spill_before(
+        &mut self,
+        policy: &ShardPolicy,
+        watermark: TimeNs,
+        pool: &Arc<BufferPool>,
+        dir: &Path,
+        shard: u16,
+    ) -> io::Result<SpillStats> {
+        if self.cold_reader.is_none() {
+            self.cold_reader = Some(Arc::clone(pool));
+        }
+        // Group spillable hot rows by time bucket (BTreeMap: segments
+        // come out in bucket order, deterministically).
+        let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (row, slot) in self.rows.iter().enumerate() {
+            let RowSlot::Hot(span) = slot else {
+                continue;
+            };
+            if span.req_time >= watermark || span.status == df_types::span::SpanStatus::Incomplete {
+                continue;
+            }
+            buckets
+                .entry(policy.bucket_of(span.req_time))
+                .or_default()
+                .push(row as u32);
+        }
+        if buckets.is_empty() {
+            return Ok(SpillStats::default());
+        }
+
+        // Phase 1: encode and queue every segment write up front — the
+        // encode of bucket n+1 overlaps the disk write of bucket n.
+        let mut pending = Vec::with_capacity(buckets.len());
+        let mut stats = SpillStats::default();
+        for (bucket, rows) in buckets {
+            let spans: Vec<Span> = rows
+                .iter()
+                .map(|&row| match &self.rows[row as usize] {
+                    RowSlot::Hot(s) => (**s).clone(),
+                    RowSlot::Cold(_) => unreachable!("grouped rows are hot"),
+                })
+                .collect();
+            let segment = pool.alloc_segment();
+            let path = dir.join(format!(
+                "shard{shard:04}-b{bucket:012}-seg{segment:08}.dfspan"
+            ));
+            let bytes = persist::encode_span_segment(&spans, &rows);
+            stats.bytes += bytes.len() as u64;
+            let completion = pool.scheduler().write(path.clone(), bytes);
+            pending.push((segment, path, rows, completion));
+        }
+
+        // Phase 2: wait for every write to be durably serviced. Nothing
+        // has flipped yet, so a failure leaves the store fully hot.
+        let mut written = Vec::with_capacity(pending.len());
+        let mut failure: Option<io::Error> = None;
+        for (segment, path, rows, completion) in pending {
+            match completion.wait() {
+                Ok(_) => written.push((segment, path, rows)),
+                Err(e) => failure = Some(failure.unwrap_or(e)),
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        // Phase 3: writes are on disk — register the segments and flip
+        // the rows cold. Only now can a reader observe a Cold slot.
+        for (segment, path, rows) in written {
+            pool.register(segment, path);
+            for (offset, &row) in rows.iter().enumerate() {
+                let slot = &mut self.rows[row as usize];
+                let RowSlot::Hot(span) = slot else {
+                    unreachable!("spilled rows are hot until the flip");
+                };
+                let cold = ColdRef {
+                    segment,
+                    offset: offset as u32,
+                    span_id: span.span_id,
+                    req_time: span.req_time,
+                };
+                *slot = RowSlot::Cold(cold);
+                self.cold_count += 1;
+                stats.spans += 1;
+            }
+            stats.segments += 1;
+        }
+        Ok(stats)
     }
 }
 
@@ -527,12 +776,14 @@ const _: () = {
     assert_send_sync::<SpanStore>();
 };
 
-/// Row-addressed access for callers that know the row exists (the sharded
-/// store's routing table guarantees it). Panics on an out-of-range row.
+/// Row-addressed access for callers that know the row exists **and is
+/// hot** (an untiered sharded store's routing table guarantees both).
+/// Panics on an out-of-range or cold row — tier-aware callers use
+/// [`SpanStore::span_at`].
 impl std::ops::Index<u32> for SpanStore {
     type Output = Span;
     fn index(&self, row: u32) -> &Span {
-        self.get_row(row).expect("routed row exists")
+        self.get_row(row).expect("routed row exists and is hot")
     }
 }
 

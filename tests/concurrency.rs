@@ -121,7 +121,7 @@ fn concurrent_ingest_is_deterministic_across_worker_counts() {
                 .get(id)
                 .unwrap_or_else(|| panic!("{workers} workers lost span {id:?}"));
             assert_eq!(got.span_id, id);
-            assert_eq!(&got, sharded.get(id).expect("oracle has id"));
+            assert_eq!(got, *sharded.get(id).expect("oracle has id"));
         }
 
         // Windowed queries agree with the single-threaded sharded store.
