@@ -50,6 +50,18 @@ DF_CHECK_MAX_SCHEDULES=2000 cargo test -q -p df-storage --test df_check_models
 echo "==> distributed assembly differential suite"
 cargo test -q -p df-cluster --test distributed
 
+# Replication robustness gates: targeted failover / anti-entropy /
+# crash-recovery tests, then the seeded chaos sweep (24 derived fault
+# schedules — kill, partition+heal, kill+join, leave — asserting RF=2
+# loses nothing and answers oracle-identically, and RF=1 degrades
+# loudly). Both run in the workspace pass; re-run by name for
+# attribution.
+echo "==> replication / anti-entropy / crash-recovery suite"
+cargo test -q -p df-cluster --test replication
+
+echo "==> chaos fault-schedule sweep"
+cargo test -q -p df-cluster --test chaos
+
 # Doc gates cover the first-party crates; the vendored stand-ins in
 # vendor/ are excluded (they are minimal API shims, not documentation
 # surface).

@@ -156,10 +156,15 @@ fn scale_cfg() -> AssembleConfig {
 }
 
 fn build_cluster(nodes: usize, spans: &[Span]) -> (Cluster, deepflow::types::SpanId) {
+    build_cluster_rf(nodes, 1, spans)
+}
+
+fn build_cluster_rf(nodes: usize, rf: usize, spans: &[Span]) -> (Cluster, deepflow::types::SpanId) {
     let mut cluster = Cluster::new(ClusterConfig {
         nodes,
         policy: ShardPolicy::with_shards(4),
         assemble: scale_cfg(),
+        replication_factor: rf,
         ..ClusterConfig::default()
     });
     let mut start = None;
@@ -220,5 +225,53 @@ fn bench_cluster_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster_assembly, bench_cluster_ingest);
+/// Failover latency at RF=2: assembly cost on a healthy 3-node replicated
+/// cluster vs the same cluster with one replica owner dead. The first
+/// post-kill query pays the retry ladder (virtual time — wall-clock cost
+/// is the retransmit bookkeeping) and puts the dead node under probation;
+/// steady state then pays one fast-fail probe per round plus the replica
+/// hop, so the dead-node curve must stay within a small constant factor
+/// of healthy — that gap *is* the failover latency the tentpole buys.
+fn bench_cluster_failover(c: &mut Criterion) {
+    let spans = template(3);
+    let total = spans.len();
+    let cfg = scale_cfg();
+    let mut local = ShardedSpanStore::new(ShardPolicy::with_shards(4));
+    let ids = local.insert_batch(spans.clone());
+    let expected = assemble_trace_sharded(&local, ids[0], &cfg);
+
+    let mut group = c.benchmark_group("cluster_failover_rf2_1k");
+    group.throughput(Throughput::Elements(total as u64));
+
+    let (mut healthy, start) = build_cluster_rf(3, 2, &spans);
+    let result = healthy.assemble(start);
+    assert!(result.is_complete());
+    assert_eq!(result.trace, expected, "replicated assembly diverged");
+    group.bench_function("healthy", |b| {
+        b.iter(|| healthy.assemble(start).trace.len())
+    });
+
+    let (mut degraded, start) = build_cluster_rf(3, 2, &spans);
+    degraded.kill(1);
+    // Warm-up: pays the full retry ladder once and arms the probation
+    // window, like the first query after a real crash would.
+    let result = degraded.assemble(start);
+    assert!(result.is_complete(), "RF=2 must absorb the dead node");
+    assert_eq!(result.trace, expected, "failover assembly diverged");
+    group.bench_function("one_node_dead", |b| {
+        b.iter(|| {
+            let r = degraded.assemble(start);
+            assert!(r.is_complete());
+            r.trace.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_assembly,
+    bench_cluster_ingest,
+    bench_cluster_failover
+);
 criterion_main!(benches);

@@ -11,45 +11,74 @@
 //!
 //! * **Ingest** mirrors the single-process oracle's routing exactly
 //!   (sequential global ids, per-shard row counters, soft-cap clamping),
-//!   then ships each per-shard sub-batch to the owning node as a
+//!   then ships each per-shard sub-batch to the shard's *primary* as a
 //!   [`RpcBody::SpanBatch`]. The receiver applies batches through a
 //!   [`BatchReorder`], so retried or reordered batches land in row order
-//!   and the remote shard stays byte-identical to the oracle's.
+//!   and every copy of the shard stays byte-identical to the oracle's.
+//! * **Replication**: with `replication_factor ≥ 2` each shard has a
+//!   primary plus R−1 replicas. The primary forwards the verbatim DFW1
+//!   bytes to its co-owners as [`RpcBody::ReplicateBatch`] and
+//!   acknowledges the ingest RPC only once a configurable write quorum
+//!   of copies ([`WriteQuorum`]) has applied — or, to never hang, once
+//!   every replication RPC has resolved (an under-quorum ack counted in
+//!   [`ClusterStats::quorum_shortfalls`]). If a primary stays
+//!   unreachable past the retry budget, ingest *fails over* to the next
+//!   live owner instead of dropping the batch; spans are counted lost
+//!   only when every owner is exhausted.
+//! * **Anti-entropy**: [`Cluster::anti_entropy_round`] has each replica
+//!   compare per-shard `(row_watermark, content_digest)` summaries with
+//!   its co-owners ([`RpcBody::ShardSummaryRequest`]) and pull missing
+//!   row ranges ([`RpcBody::RowRangeRequest`]) through the same reorder
+//!   buffer as ingest, so a lagging copy converges byte-identically.
 //! * **Assembly** runs Algorithm 1's Phase 1 with the frontier on the
-//!   coordinator: each round's newly-discovered keys (one
-//!   [`CandidateKeys`] batch, the same batching discipline as
-//!   [`phase1_members`](df_server::phase1_members)) probe local shards
-//!   in-process and remote shard owners via
-//!   [`RpcBody::CandidateRequest`]. A [`RoundTracker`] rejects late or
-//!   duplicate responses so retries can never merge a stale round.
-//! * **Degraded mode**: when a node stays unreachable past the retry
-//!   budget, its shards are recorded in
-//!   [`DistributedTrace::missing_shards`] and the query completes with
-//!   the partial trace instead of hanging.
-//! * **Handoff**: [`Cluster::leave`] moves a departing node's shards to
-//!   the remaining members (no degradation afterwards);
-//!   [`Cluster::join`] adds a node and rebalances;
-//!   [`Cluster::kill`] crashes a node, stranding its shards until the
-//!   next query reports them missing.
+//!   coordinator against a *pinned ownership snapshot* (a concurrent
+//!   join/leave cannot redirect a query mid-flight): each round's
+//!   newly-discovered keys probe local shards in-process and every
+//!   remote copy via [`RpcBody::CandidateRequest`]; a [`RoundTracker`]
+//!   rejects late or duplicate responses. Point reads fail over from a
+//!   dead primary to its live replicas.
+//! * **Degraded mode**: a shard is reported in
+//!   [`DistributedTrace::missing_shards`] only when *every* owner is
+//!   unreachable or lost the rows — with RF ≥ 2 a single node failure
+//!   degrades nothing. Owners that exhaust a retry budget enter a
+//!   bounded probation ([`ClusterConfig::suspect_probation`]) during
+//!   which new RPCs to them fast-fail after a single base-timeout probe
+//!   instead of the full backoff ladder.
+//! * **Crash recovery**: nodes spill cold time buckets to DFSPANS1
+//!   segment files ([`Cluster::spill_node`]); a crashed node restarts
+//!   via [`Cluster::restart_node`], which re-registers every valid
+//!   segment file from its catalog scan (corrupt files counted, never
+//!   panicked over) and serves cold spans without re-fetching them —
+//!   anti-entropy then backfills only the hot tail.
 //!
 //! Time is virtual: a binary-heap event loop orders fabric deliveries,
-//! RPC timeouts, and scheduled fault heals on one deterministic clock.
+//! RPC timeouts, scheduled fault heals, and scheduled membership events
+//! (kill/join) on one deterministic clock.
 
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::io;
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 
 use bytes::Bytes;
+use df_check::sync::Arc;
 use df_net::fabric::{Delivery, Fabric, FabricConfig};
 use df_net::faults::Fault;
 use df_net::topology::{ElementId, Topology};
 use df_server::{assemble_members, probe_shard, AssembleConfig, ExpandedKeys};
-use df_storage::{ShardPolicy, SpanStore};
+use df_storage::{
+    persist, BufferPool, BufferPoolConfig, RecoverStats, ShardPolicy, SpanStore, SpillStats,
+};
 use df_types::rpc::{CandidateKeys, RpcBody, RpcEnvelope};
 use df_types::wire::{self, WireDecodeError};
 use df_types::{DurationNs, FiveTuple, NodeId, Segment, Span, SpanId, TcpFlags, TimeNs, Trace};
 
 use crate::membership::ShardMap;
+use crate::replication::{self, WriteQuorum};
 use crate::tracker::{BatchReorder, RoundTracker};
+
+/// Frame budget for each node's tier buffer pool.
+const TIER_POOL_FRAMES: usize = 64;
 
 /// Cluster tunables.
 #[derive(Debug, Clone)]
@@ -68,6 +97,24 @@ pub struct ClusterConfig {
     pub rpc_timeout: DurationNs,
     /// Cluster-level retries per RPC before it is declared failed.
     pub max_rpc_retries: u32,
+    /// Copies of every shard (primary + replicas), clamped to the node
+    /// count. 1 reproduces the pre-replication single-owner protocol.
+    pub replication_factor: usize,
+    /// Copies (including the primary's local apply) that must have
+    /// applied a batch before ingest is acknowledged. 0 means *all*
+    /// owners; otherwise clamped to `[1, replication_factor]`.
+    pub write_quorum: usize,
+    /// How long an owner that exhausted a retry budget stays suspected.
+    /// While suspected, new RPCs to it fast-fail after a single
+    /// base-timeout probe; the probe succeeding (e.g. after a partition
+    /// heals) clears the suspicion immediately.
+    pub suspect_probation: DurationNs,
+    /// Upper bound on rows per anti-entropy [`RpcBody::RowRangeRequest`].
+    pub anti_entropy_pull_max: u32,
+    /// Base directory for tiered (spill/recovery) segment files; each
+    /// node uses the `node{idx}` subdirectory. Required by
+    /// [`Cluster::spill_node`] and [`Cluster::restart_node`].
+    pub tier_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -79,6 +126,11 @@ impl Default for ClusterConfig {
             fabric: FabricConfig::default(),
             rpc_timeout: DurationNs::from_millis(400),
             max_rpc_retries: 5,
+            replication_factor: 1,
+            write_quorum: 0,
+            suspect_probation: DurationNs::from_millis(60_000),
+            anti_entropy_pull_max: 512,
+            tier_dir: None,
         }
     }
 }
@@ -98,12 +150,32 @@ pub struct ClusterStats {
     pub stale_responses: u64,
     /// Spans shipped to shard owners (local or remote).
     pub spans_shipped: u64,
-    /// Spans whose batch RPC failed permanently (never became visible).
+    /// Spans whose batch failed permanently on *every* owner (never
+    /// became visible anywhere).
     pub spans_lost: u64,
-    /// Shards moved by join/leave handoff.
+    /// Shards moved by join/leave handoff (owner slots rewritten).
     pub handoffs: u64,
     /// Queries answered with a non-empty `missing_shards`.
     pub degraded_queries: u64,
+    /// RPCs issued on the compressed single-probe ladder because the
+    /// destination was under suspicion.
+    pub fast_fails: u64,
+    /// Ingest batches re-targeted to the next owner after the previous
+    /// owner exhausted its retry budget.
+    pub failovers: u64,
+    /// ReplicateBatch RPCs issued by primaries.
+    pub replicated_batches: u64,
+    /// Writes acknowledged below their configured quorum (every
+    /// remaining replication RPC had failed).
+    pub quorum_shortfalls: u64,
+    /// Anti-entropy row-range pulls issued.
+    pub anti_entropy_pulls: u64,
+    /// Spans backfilled into lagging replicas by anti-entropy.
+    pub backfilled_spans: u64,
+    /// Segment files re-registered by [`Cluster::restart_node`].
+    pub recovered_segments: u64,
+    /// Segment files rejected (corrupt/torn) during restart recovery.
+    pub recovered_rejects: u64,
 }
 
 /// The answer to a distributed trace query: possibly partial.
@@ -111,8 +183,8 @@ pub struct ClusterStats {
 pub struct DistributedTrace {
     /// The assembled (partial) trace.
     pub trace: Trace,
-    /// Shards that could not be consulted (owner unreachable or the
-    /// start span's rows were lost in ingest). Sorted, deduplicated.
+    /// Shards that could not be consulted (every owner unreachable, or
+    /// the rows were lost in ingest). Sorted, deduplicated.
     pub missing_shards: Vec<u16>,
     /// Phase 1 rounds actually run.
     pub rounds: u32,
@@ -125,6 +197,27 @@ impl DistributedTrace {
     }
 }
 
+/// What one [`Cluster::anti_entropy_round`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AntiEntropyReport {
+    /// Row-range pulls issued by lagging replicas.
+    pub pulls: u64,
+    /// Spans backfilled.
+    pub spans: u64,
+    /// Replica pairs that matched on row count but differed on content
+    /// digest (should never happen; a detector, not a repair path).
+    pub divergent: u64,
+    /// Summary or pull RPCs that failed (peer unreachable).
+    pub unreachable: u64,
+}
+
+/// A node's tiered-storage handle: the buffer pool caching its decoded
+/// segments and the directory its segment files live in.
+struct NodeTier {
+    pool: Arc<BufferPool>,
+    dir: PathBuf,
+}
+
 /// One simulated trace-server node.
 struct NodeState {
     topo_id: NodeId,
@@ -132,6 +225,7 @@ struct NodeState {
     alive: bool,
     shards: BTreeMap<u16, SpanStore>,
     reorder: HashMap<u16, BatchReorder<Span>>,
+    tier: Option<NodeTier>,
 }
 
 #[derive(Debug)]
@@ -139,6 +233,8 @@ enum EventKind {
     Deliver(Delivery),
     RpcTimeout { rpc_id: u64, attempt: u32 },
     Heal(ElementId),
+    Kill(usize),
+    Join,
 }
 
 struct Event {
@@ -165,20 +261,70 @@ impl Ord for Event {
     }
 }
 
+/// Why an RPC was issued — decides what happens when it resolves.
+#[derive(Debug, Clone, Copy)]
+enum RpcPurpose {
+    /// A synchronous caller is waiting on the `completed` map
+    /// (assembly probes, point fetches, anti-entropy).
+    Driver,
+    /// An ingest shipment; failure fails over to the next owner.
+    Ship(u64),
+    /// A primary→replica forward; resolution feeds the write's quorum.
+    Replication(u64),
+}
+
 struct PendingRpc {
+    from: usize,
     to: usize,
     /// The framed request, encoded exactly once at send time. Retries
     /// retransmit these bytes verbatim — a SpanBatch is never re-encoded.
     encoded: Bytes,
     attempt: u32,
-    /// Span count for loss accounting (SpanBatch only), read from the
-    /// DFW1 batch header without decoding the batch.
-    span_count: u64,
+    /// Total attempts allowed: the full ladder normally, a single
+    /// base-timeout probe while the destination is under suspicion.
+    max_attempts: u32,
+    purpose: RpcPurpose,
 }
 
 enum RpcResult {
     Ok(RpcBody),
     Failed,
+}
+
+/// Who gets told when a replicated write reaches its quorum.
+#[derive(Debug, Clone, Copy)]
+enum WriteReply {
+    /// A remote requester's SpanBatch RPC: send the deferred ack.
+    Rpc { requester: usize, rpc_id: u64 },
+    /// A coordinator-primary ingest shipment: mark the ship done.
+    Ship(u64),
+}
+
+/// A replicated write in flight at its primary.
+struct PendingWrite {
+    /// The node that applied locally and is forwarding (must still be
+    /// alive to ack — a crashed primary's writes die with it).
+    node: usize,
+    shard: u16,
+    start_row: u32,
+    count: u32,
+    quorum: WriteQuorum,
+    reply: WriteReply,
+}
+
+/// One per-shard ingest sub-batch working through the owner list.
+struct Ship {
+    shard: u16,
+    start_row: u32,
+    count: u32,
+    /// The DFW1 batch bytes, encoded once; every owner attempt and
+    /// every replication forward carries them verbatim.
+    wire: Bytes,
+    /// Owner snapshot at ingest time, primary first.
+    owners: Vec<usize>,
+    /// Owners attempted so far (`owners[..tried]`).
+    tried: usize,
+    done: bool,
 }
 
 /// The cluster. See the module docs for the protocol.
@@ -202,12 +348,21 @@ pub struct Cluster {
     next_tcp_seq: u32,
     pending: HashMap<u64, PendingRpc>,
     completed: HashMap<u64, RpcResult>,
+    // Replication layer.
+    ships: HashMap<u64, Ship>,
+    next_ship_id: u64,
+    pending_writes: HashMap<u64, PendingWrite>,
+    next_write_id: u64,
+    /// Nodes that exhausted a retry budget, with their probation
+    /// deadline: until then new RPCs to them run the compressed ladder.
+    suspected: HashMap<usize, TimeNs>,
     stats: ClusterStats,
 }
 
 impl Cluster {
     /// Build a cluster of `cfg.nodes` simple nodes (one pod each, one
-    /// rack), shards spread round-robin.
+    /// rack), shards spread round-robin with
+    /// `cfg.replication_factor` copies each.
     pub fn new(cfg: ClusterConfig) -> Self {
         let n = cfg.nodes.clamp(1, 200);
         let mut topo = Topology::new();
@@ -220,14 +375,15 @@ impl Cluster {
                 alive: true,
                 shards: BTreeMap::new(),
                 reorder: HashMap::new(),
+                tier: None,
             });
         }
         let shards = cfg.policy.shards;
-        let map = ShardMap::round_robin(shards, n);
-        for s in 0..shards {
-            nodes[map.owner(s as u16)]
-                .shards
-                .insert(s as u16, SpanStore::new());
+        let map = ShardMap::replicated(shards, n, cfg.replication_factor);
+        for s in 0..shards as u16 {
+            for &o in map.owners_of(s) {
+                nodes[o].shards.insert(s, SpanStore::new());
+            }
         }
         Cluster {
             fabric: Fabric::new(topo, cfg.fabric.clone()),
@@ -243,6 +399,11 @@ impl Cluster {
             next_tcp_seq: 1,
             pending: HashMap::new(),
             completed: HashMap::new(),
+            ships: HashMap::new(),
+            next_ship_id: 1,
+            pending_writes: HashMap::new(),
+            next_write_id: 1,
+            suspected: HashMap::new(),
             stats: ClusterStats::default(),
             cfg,
         }
@@ -284,11 +445,20 @@ impl Cluster {
             EventKind::Heal(el) => {
                 self.fabric.faults.clear(&el);
             }
+            EventKind::Kill(idx) => {
+                if idx != 0 && idx < self.nodes.len() && self.nodes[idx].alive {
+                    self.nodes[idx].alive = false;
+                }
+            }
+            EventKind::Join => {
+                self.join();
+            }
         }
         true
     }
 
-    /// Drain every scheduled event (deliveries, timeouts, heals).
+    /// Drain every scheduled event (deliveries, timeouts, heals,
+    /// membership events).
     pub fn run_until_idle(&mut self) {
         while self.step() {}
     }
@@ -310,6 +480,27 @@ impl Cluster {
         }
     }
 
+    fn run_until_ships_settled(&mut self, ids: &[u64]) {
+        while ids
+            .iter()
+            .any(|id| self.ships.get(id).is_some_and(|s| !s.done))
+        {
+            if !self.step() {
+                // Defensive, as above: a drained heap with undone ships
+                // means nothing can resolve them — count the loss.
+                for id in ids {
+                    if let Some(s) = self.ships.get_mut(id) {
+                        if !s.done {
+                            s.done = true;
+                            self.stats.spans_lost += s.count as u64;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // RPC layer
     // ------------------------------------------------------------------
@@ -318,31 +509,57 @@ impl Cluster {
         DurationNs(self.cfg.rpc_timeout.0 << attempt.min(6))
     }
 
-    fn send_rpc(&mut self, to: usize, body: RpcBody) -> u64 {
+    /// Whether `node` is currently under probation. Expired suspicions
+    /// are cleared lazily here.
+    fn suspect_active(&mut self, node: usize) -> bool {
+        match self.suspected.get(&node) {
+            Some(&until) if self.clock < until => true,
+            Some(_) => {
+                self.suspected.remove(&node);
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn send_rpc(&mut self, from: usize, to: usize, body: RpcBody, purpose: RpcPurpose) -> u64 {
         let rpc_id = self.next_rpc_id;
         self.next_rpc_id += 1;
         self.stats.rpcs_sent += 1;
-        let span_count = match &body {
-            RpcBody::SpanBatch { wire, .. } => wire::peek_span_count(wire).unwrap_or(0),
-            _ => 0,
+        let max_attempts = if self.suspect_active(to) {
+            // Fast-fail: one base-timeout probe instead of the full
+            // backoff ladder. Never zero attempts — a healed node must
+            // get a real probe so it can clear its own suspicion.
+            self.stats.fast_fails += 1;
+            1
+        } else {
+            self.cfg.max_rpc_retries + 1
         };
         let encoded = RpcEnvelope { rpc_id, body }.encode();
         self.pending.insert(
             rpc_id,
             PendingRpc {
+                from,
                 to,
                 encoded,
                 attempt: 0,
-                span_count,
+                max_attempts,
+                purpose,
             },
         );
-        self.transmit_rpc(rpc_id, to, 0);
+        self.transmit_rpc(rpc_id, 0);
         rpc_id
     }
 
-    fn transmit_rpc(&mut self, rpc_id: u64, to: usize, attempt: u32) {
-        let payload = self.pending[&rpc_id].encoded.clone();
-        let (src, dst) = (self.nodes[0].ip, self.nodes[to].ip);
+    fn transmit_rpc(&mut self, rpc_id: u64, attempt: u32) {
+        let (payload, src, dst) = {
+            let p = &self.pending[&rpc_id];
+            (
+                p.encoded.clone(),
+                self.nodes[p.from].ip,
+                self.nodes[p.to].ip,
+            )
+        };
         self.transmit_segment(src, dst, payload, attempt > 0);
         let deadline = self.clock + self.timeout_for(attempt);
         self.push_event(deadline, EventKind::RpcTimeout { rpc_id, attempt });
@@ -379,20 +596,50 @@ impl Cluster {
         if p.attempt != attempt {
             return; // superseded by a newer attempt's timer
         }
-        if p.attempt >= self.cfg.max_rpc_retries {
-            let p = self.pending.remove(&rpc_id).expect("checked above");
-            self.completed.insert(rpc_id, RpcResult::Failed);
-            self.stats.rpcs_failed += 1;
-            self.stats.spans_lost += p.span_count;
+        if !self.nodes[p.from].alive {
+            // The sender crashed with the RPC in flight: nothing will
+            // retransmit it. Fail it without suspecting the target.
+            self.fail_rpc(rpc_id, false);
             return;
         }
-        let (to, next_attempt) = {
+        if p.attempt + 1 >= p.max_attempts {
+            self.fail_rpc(rpc_id, true);
+            return;
+        }
+        let next_attempt = {
             let p = self.pending.get_mut(&rpc_id).expect("checked above");
             p.attempt += 1;
-            (p.to, p.attempt)
+            p.attempt
         };
         self.stats.rpc_retries += 1;
-        self.transmit_rpc(rpc_id, to, next_attempt);
+        self.transmit_rpc(rpc_id, next_attempt);
+    }
+
+    /// Terminal failure of an RPC: updates suspicion, then dispatches on
+    /// purpose — synchronous callers see `RpcResult::Failed`, ingest
+    /// shipments fail over to the next owner, replication failures feed
+    /// their write's quorum.
+    fn fail_rpc(&mut self, rpc_id: u64, suspect: bool) {
+        let Some(p) = self.pending.remove(&rpc_id) else {
+            return;
+        };
+        self.stats.rpcs_failed += 1;
+        if suspect {
+            self.suspected
+                .insert(p.to, self.clock + self.cfg.suspect_probation);
+        }
+        match p.purpose {
+            RpcPurpose::Driver => {
+                self.completed.insert(rpc_id, RpcResult::Failed);
+            }
+            RpcPurpose::Ship(ship_id) => self.start_ship_attempt(ship_id),
+            RpcPurpose::Replication(write_id) => {
+                if let Some(w) = self.pending_writes.get_mut(&write_id) {
+                    w.quorum.record_failure();
+                }
+                self.maybe_ack_write(write_id);
+            }
+        }
     }
 
     fn on_deliver(&mut self, d: Delivery) {
@@ -408,30 +655,64 @@ impl Cluster {
         match env.body {
             RpcBody::SpanBatch { .. }
             | RpcBody::CandidateRequest { .. }
-            | RpcBody::SpanFetch { .. } => {
-                let resp = self.handle_request(idx, env.body);
-                let (src, dst) = (self.nodes[idx].ip, self.nodes[0].ip);
-                let payload = RpcEnvelope {
-                    rpc_id: env.rpc_id,
-                    body: resp,
+            | RpcBody::SpanFetch { .. }
+            | RpcBody::ReplicateBatch { .. }
+            | RpcBody::ShardSummaryRequest { .. }
+            | RpcBody::RowRangeRequest { .. } => {
+                let requester = self
+                    .nodes
+                    .iter()
+                    .position(|n| n.ip == d.segment.five_tuple.src_ip)
+                    .unwrap_or(0);
+                if let Some(body) = self.handle_request(idx, requester, env.rpc_id, env.body) {
+                    let payload = RpcEnvelope {
+                        rpc_id: env.rpc_id,
+                        body,
+                    }
+                    .encode();
+                    let (src, dst) = (self.nodes[idx].ip, self.nodes[requester].ip);
+                    self.transmit_segment(src, dst, payload, false);
                 }
-                .encode();
-                self.transmit_segment(src, dst, payload, false);
             }
             _ => {
-                if self.pending.remove(&env.rpc_id).is_some() {
-                    self.completed.insert(env.rpc_id, RpcResult::Ok(env.body));
-                } else {
+                let Some(p) = self.pending.remove(&env.rpc_id) else {
                     self.stats.stale_responses += 1;
+                    return;
+                };
+                // Any answer is proof of life: lift the probation.
+                self.suspected.remove(&p.to);
+                match p.purpose {
+                    RpcPurpose::Driver => {
+                        self.completed.insert(env.rpc_id, RpcResult::Ok(env.body));
+                    }
+                    RpcPurpose::Ship(ship_id) => {
+                        if let Some(s) = self.ships.get_mut(&ship_id) {
+                            s.done = true;
+                        }
+                    }
+                    RpcPurpose::Replication(write_id) => {
+                        if let Some(w) = self.pending_writes.get_mut(&write_id) {
+                            w.quorum.record_ack();
+                        }
+                        self.maybe_ack_write(write_id);
+                    }
                 }
             }
         }
     }
 
     /// A node answers a request against its local shards. Requests are
-    /// idempotent: SpanBatch is deduplicated by the reorder buffer, the
-    /// two reads are stateless — so a retried RPC handled twice is safe.
-    fn handle_request(&mut self, idx: usize, body: RpcBody) -> RpcBody {
+    /// idempotent: batch applies are deduplicated by the reorder buffer,
+    /// the reads are stateless — so a retried RPC handled twice is safe.
+    /// Returns `None` when the ack is deferred (a replicated SpanBatch
+    /// waits for its write quorum).
+    fn handle_request(
+        &mut self,
+        idx: usize,
+        requester: usize,
+        rpc_id: u64,
+        body: RpcBody,
+    ) -> Option<RpcBody> {
         match body {
             RpcBody::SpanBatch {
                 shard,
@@ -444,11 +725,35 @@ impl Cluster {
                 let spans = wire::decode_batch(&batch).unwrap_or_default();
                 let count = spans.len() as u32;
                 Self::apply_batch(&mut self.nodes[idx], shard, start_row, spans);
-                RpcBody::SpanBatchAck {
+                if self.begin_write(
+                    idx,
                     shard,
                     start_row,
                     count,
+                    batch,
+                    WriteReply::Rpc { requester, rpc_id },
+                ) {
+                    return None; // ack deferred until the quorum is met
                 }
+                Some(RpcBody::SpanBatchAck {
+                    shard,
+                    start_row,
+                    count,
+                })
+            }
+            RpcBody::ReplicateBatch {
+                shard,
+                start_row,
+                wire: batch,
+            } => {
+                let spans = wire::decode_batch(&batch).unwrap_or_default();
+                let count = spans.len() as u32;
+                Self::apply_batch(&mut self.nodes[idx], shard, start_row, spans);
+                Some(RpcBody::ReplicateAck {
+                    shard,
+                    start_row,
+                    count,
+                })
             }
             RpcBody::CandidateRequest { round, keys } => {
                 let node = &self.nodes[idx];
@@ -459,22 +764,53 @@ impl Cluster {
                         candidates.push(df_types::rpc::CandidateSpan {
                             shard: si,
                             row,
-                            span: store[row].clone(),
+                            span: store
+                                .span_at(row)
+                                .expect("probed row resident")
+                                .into_owned(),
                         });
                     }
                 }
-                RpcBody::CandidateResponse { round, candidates }
+                Some(RpcBody::CandidateResponse { round, candidates })
             }
             RpcBody::SpanFetch { shard, row } => {
                 let span = self.nodes[idx]
                     .shards
                     .get(&shard)
-                    .and_then(|s| s.get_row(row))
-                    .cloned()
-                    .map(Box::new);
-                RpcBody::SpanFetchResponse { shard, row, span }
+                    .and_then(|s| s.span_at(row))
+                    .map(|s| Box::new(s.into_owned()));
+                Some(RpcBody::SpanFetchResponse { shard, row, span })
             }
-            other => other, // responses never reach handle_request
+            RpcBody::ShardSummaryRequest { shard } => {
+                let (rows, digest) = match self.nodes[idx].shards.get(&shard) {
+                    Some(store) => (store.len() as u32, replication::shard_digest(store)),
+                    None => (0, replication::EMPTY_DIGEST),
+                };
+                Some(RpcBody::ShardSummaryResponse {
+                    shard,
+                    rows,
+                    digest,
+                })
+            }
+            RpcBody::RowRangeRequest {
+                shard,
+                start_row,
+                max_rows,
+            } => {
+                let mut spans = Vec::new();
+                if let Some(store) = self.nodes[idx].shards.get(&shard) {
+                    let end =
+                        (u64::from(start_row) + u64::from(max_rows)).min(store.len() as u64) as u32;
+                    for row in start_row..end {
+                        match store.span_at(row) {
+                            Some(s) => spans.push(s.into_owned()),
+                            None => break, // the range must stay contiguous
+                        }
+                    }
+                }
+                Some(RpcBody::row_range_response(shard, start_row, &spans))
+            }
+            other => Some(other), // responses never reach handle_request
         }
     }
 
@@ -493,13 +829,185 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// The write quorum for a shard with `owners` copies.
+    fn effective_quorum(&self, owners: usize) -> u32 {
+        let q = if self.cfg.write_quorum == 0 {
+            owners
+        } else {
+            self.cfg.write_quorum.min(owners)
+        };
+        q.max(1) as u32
+    }
+
+    /// Forward a just-applied batch from `node` to the shard's other
+    /// owners and track the write quorum. Returns false (nothing to
+    /// wait for) when the node is the shard's only owner.
+    fn begin_write(
+        &mut self,
+        node: usize,
+        shard: u16,
+        start_row: u32,
+        count: u32,
+        batch: Bytes,
+        reply: WriteReply,
+    ) -> bool {
+        let peers: Vec<usize> = self
+            .map
+            .owners_of(shard)
+            .iter()
+            .copied()
+            .filter(|&o| o != node)
+            .collect();
+        if peers.is_empty() {
+            return false;
+        }
+        let write_id = self.next_write_id;
+        self.next_write_id += 1;
+        let quorum = self.effective_quorum(peers.len() + 1);
+        self.pending_writes.insert(
+            write_id,
+            PendingWrite {
+                node,
+                shard,
+                start_row,
+                count,
+                quorum: WriteQuorum::new(quorum, peers.len() as u32),
+                reply,
+            },
+        );
+        for peer in peers {
+            self.stats.replicated_batches += 1;
+            self.send_rpc(
+                node,
+                peer,
+                RpcBody::ReplicateBatch {
+                    shard,
+                    start_row,
+                    wire: batch.clone(),
+                },
+                RpcPurpose::Replication(write_id),
+            );
+        }
+        true
+    }
+
+    /// Acknowledge a write's requester if its quorum allows it, and
+    /// retire the write once every replication RPC has resolved. A
+    /// write whose primary crashed is dropped unacked — the requester's
+    /// own RPC times out and fails over.
+    fn maybe_ack_write(&mut self, write_id: u64) {
+        let Some(w) = self.pending_writes.get(&write_id) else {
+            return;
+        };
+        if !self.nodes[w.node].alive {
+            self.pending_writes.remove(&write_id);
+            return;
+        }
+        let acked_now = {
+            let w = self.pending_writes.get_mut(&write_id).expect("checked");
+            if w.quorum.ready() && !w.quorum.met() {
+                self.stats.quorum_shortfalls += 1;
+            }
+            w.quorum.try_ack()
+        };
+        if acked_now {
+            let (node, shard, start_row, count, reply) = {
+                let w = &self.pending_writes[&write_id];
+                (w.node, w.shard, w.start_row, w.count, w.reply)
+            };
+            match reply {
+                WriteReply::Rpc { requester, rpc_id } => {
+                    let payload = RpcEnvelope {
+                        rpc_id,
+                        body: RpcBody::SpanBatchAck {
+                            shard,
+                            start_row,
+                            count,
+                        },
+                    }
+                    .encode();
+                    let (src, dst) = (self.nodes[node].ip, self.nodes[requester].ip);
+                    self.transmit_segment(src, dst, payload, false);
+                }
+                WriteReply::Ship(ship_id) => {
+                    if let Some(s) = self.ships.get_mut(&ship_id) {
+                        s.done = true;
+                    }
+                }
+            }
+        }
+        if let Some(w) = self.pending_writes.get(&write_id) {
+            if w.quorum.acked() && w.quorum.settled() {
+                self.pending_writes.remove(&write_id);
+            }
+        }
+    }
+
+    /// Try the ship's next untried owner; when none is left, the spans
+    /// are lost (every copy's retry budget is exhausted).
+    fn start_ship_attempt(&mut self, ship_id: u64) {
+        let (owner, shard, start_row, batch, first) = {
+            let Some(ship) = self.ships.get_mut(&ship_id) else {
+                return;
+            };
+            if ship.done {
+                return;
+            }
+            if ship.tried >= ship.owners.len() {
+                ship.done = true;
+                self.stats.spans_lost += ship.count as u64;
+                return;
+            }
+            let owner = ship.owners[ship.tried];
+            ship.tried += 1;
+            (
+                owner,
+                ship.shard,
+                ship.start_row,
+                ship.wire.clone(),
+                ship.tried == 1,
+            )
+        };
+        if !first {
+            self.stats.failovers += 1;
+        }
+        if owner == 0 {
+            // The coordinator itself owns a copy: apply in-process, then
+            // replicate to the co-owners before declaring the ship done.
+            let spans = wire::decode_batch(&batch).unwrap_or_default();
+            let count = spans.len() as u32;
+            Self::apply_batch(&mut self.nodes[0], shard, start_row, spans);
+            if !self.begin_write(0, shard, start_row, count, batch, WriteReply::Ship(ship_id)) {
+                // Sole owner: the local apply is the whole write.
+                self.ships.get_mut(&ship_id).expect("ship tracked").done = true;
+            }
+            return;
+        }
+        self.send_rpc(
+            0,
+            owner,
+            RpcBody::SpanBatch {
+                shard,
+                start_row,
+                wire: batch,
+            },
+            RpcPurpose::Ship(ship_id),
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Ingest
     // ------------------------------------------------------------------
 
     /// Route and store a batch of spans, shipping remote sub-batches over
     /// the fabric. Id assignment and shard routing replicate the
     /// single-process oracle exactly, so a fault-free cluster holds the
-    /// same rows in the same shards.
+    /// same rows in the same shards. With replication, each sub-batch is
+    /// acknowledged at its write quorum and fails over through the
+    /// shard's owner list before any span is counted lost.
     pub fn ingest(&mut self, spans: Vec<Span>) -> Vec<SpanId> {
         if spans.is_empty() {
             return Vec::new();
@@ -519,24 +1027,35 @@ impl Cluster {
                 .push(span);
             ids.push(id);
         }
-        let mut rpc_ids = Vec::new();
+        let mut ship_ids = Vec::new();
         for (si, sub) in per_shard.into_iter().enumerate() {
             let Some((start_row, spans)) = sub else {
                 continue;
             };
             self.stats.spans_shipped += spans.len() as u64;
-            let owner = self.map.owner(si as u16);
-            if owner == 0 {
-                Self::apply_batch(&mut self.nodes[0], si as u16, start_row, spans);
-            } else {
-                // Encoded once here; retries retransmit the same bytes.
-                let body = RpcBody::span_batch(si as u16, start_row, &spans);
-                rpc_ids.push(self.send_rpc(owner, body));
-            }
+            // Encoded once here; owner failover and replication forwards
+            // all retransmit the same bytes.
+            let batch = Bytes::from(wire::encode_batch(&spans));
+            let ship_id = self.next_ship_id;
+            self.next_ship_id += 1;
+            self.ships.insert(
+                ship_id,
+                Ship {
+                    shard: si as u16,
+                    start_row,
+                    count: spans.len() as u32,
+                    wire: batch,
+                    owners: self.map.owners_of(si as u16).to_vec(),
+                    tried: 0,
+                    done: false,
+                },
+            );
+            self.start_ship_attempt(ship_id);
+            ship_ids.push(ship_id);
         }
-        self.run_until_settled(&rpc_ids);
-        for id in rpc_ids {
-            self.completed.remove(&id);
+        self.run_until_ships_settled(&ship_ids);
+        for id in &ship_ids {
+            self.ships.remove(id);
         }
         ids
     }
@@ -567,12 +1086,36 @@ impl Cluster {
     // Distributed assembly (Algorithm 1, Phase 1 over RPC)
     // ------------------------------------------------------------------
 
+    /// Record as missing every shard whose *entire* owner list has
+    /// failed — with replicas, one dead owner degrades nothing.
+    fn extend_missing_for_failures(
+        map: &ShardMap,
+        failed: &HashSet<usize>,
+        missing: &mut BTreeSet<u16>,
+    ) {
+        if failed.is_empty() {
+            return;
+        }
+        for shard in 0..map.shard_count() as u16 {
+            if map.owners_of(shard).iter().all(|o| failed.contains(o)) {
+                missing.insert(shard);
+            }
+        }
+    }
+
     /// Assemble the trace containing `start`, probing remote shards over
     /// the fabric. Never hangs: an unreachable owner fails after the
-    /// retry budget and its shards are reported in `missing_shards`.
+    /// retry budget, point reads fail over to replicas, and a shard is
+    /// reported in `missing_shards` only when every copy is gone.
+    ///
+    /// Ownership is snapshotted once at entry: a join or leave that
+    /// lands mid-assembly (scheduled membership events fire inside the
+    /// per-round settle loops) cannot redirect later rounds, though a
+    /// freshly-joined node holding stores is still probed.
     pub fn assemble(&mut self, start: SpanId) -> DistributedTrace {
         let mut missing: BTreeSet<u16> = BTreeSet::new();
         let mut failed_nodes: HashSet<usize> = HashSet::new();
+        let map = self.map.clone();
 
         let Some(&(s_shard, s_row)) = start
             .raw()
@@ -585,7 +1128,8 @@ impl Cluster {
                 rounds: 0,
             };
         };
-        let Some(start_span) = self.fetch_span(s_shard, s_row, &mut failed_nodes, &mut missing)
+        let Some(start_span) =
+            self.fetch_span(&map, s_shard, s_row, &mut failed_nodes, &mut missing)
         else {
             self.stats.degraded_queries += 1;
             return DistributedTrace {
@@ -619,26 +1163,40 @@ impl Cluster {
             rounds += 1;
 
             // Local probes: the coordinator's own shards, against the
-            // real visited set.
-            let mut per_shard: BTreeMap<u16, Vec<(u32, Option<Span>)>> = BTreeMap::new();
+            // real visited set. Spans are captured eagerly — a scheduled
+            // join firing inside this round's settle loop may move the
+            // store before the merge below runs.
+            let mut per_shard: BTreeMap<u16, Vec<(u32, Span)>> = BTreeMap::new();
             for (&si, store) in &self.nodes[0].shards {
                 for row in probe_shard(si, store, &batch, &seen) {
-                    per_shard.entry(si).or_default().push((row, None));
+                    let span = store
+                        .span_at(row)
+                        .expect("probed row resident")
+                        .into_owned();
+                    per_shard.entry(si).or_default().push((row, span));
                 }
             }
 
-            // Remote probes: one CandidateRequest per live shard owner.
+            // Remote probes: every node that could hold a candidate —
+            // each shard copy answers, so one dead owner costs nothing.
+            // A node outside the snapshot that holds stores (it joined
+            // mid-assembly) is probed too.
             let mut round_rpcs: Vec<(u64, usize)> = Vec::new();
             for idx in 1..self.nodes.len() {
-                if failed_nodes.contains(&idx) || self.map.shards_of(idx).is_empty() {
+                if failed_nodes.contains(&idx) {
+                    continue;
+                }
+                if map.shards_of(idx).is_empty() && self.nodes[idx].shards.is_empty() {
                     continue;
                 }
                 let id = self.send_rpc(
+                    0,
                     idx,
                     RpcBody::CandidateRequest {
                         round: iter as u32,
                         keys: batch.clone(),
                     },
+                    RpcPurpose::Driver,
                 );
                 round_rpcs.push((id, idx));
             }
@@ -651,28 +1209,27 @@ impl Cluster {
                         if tracker.accept(round, id) =>
                     {
                         for c in candidates {
-                            per_shard
-                                .entry(c.shard)
-                                .or_default()
-                                .push((c.row, Some(c.span)));
+                            per_shard.entry(c.shard).or_default().push((c.row, c.span));
                         }
                     }
                     _ => {
                         // Timed out, wrong body, or a round-label the
-                        // tracker refused: degrade this node's shards.
+                        // tracker refused: the node is out of this
+                        // query. Its shards go missing only if no other
+                        // copy can answer for them.
                         failed_nodes.insert(idx);
-                        missing.extend(self.map.shards_of(idx));
                     }
                 }
             }
+            Self::extend_missing_for_failures(&map, &failed_nodes, &mut missing);
 
             // Merge in global shard order — the same order the oracle's
             // `phase1_members` produces, so member sets match under caps.
+            // Replicated shards answer once per copy; `seen` dedups.
             let mut next: Vec<(u16, u32)> = Vec::new();
             for (si, rows) in per_shard {
                 for (row, span) in rows {
                     if seen.insert((si, row)) {
-                        let span = span.unwrap_or_else(|| self.nodes[0].shards[&si][row].clone());
                         span_of.insert((si, row), span);
                         next.push((si, row));
                     }
@@ -700,79 +1257,325 @@ impl Cluster {
         }
     }
 
+    /// Point-read a row, trying each owner in slot order (the
+    /// coordinator's own copy is read in-process). `Ok(None)` from one
+    /// copy falls through to the next — a lagging replica must not hide
+    /// a row its co-owner holds.
     fn fetch_span(
         &mut self,
+        map: &ShardMap,
         shard: u16,
         row: u32,
         failed_nodes: &mut HashSet<usize>,
         missing: &mut BTreeSet<u16>,
     ) -> Option<Span> {
-        let owner = self.map.owner(shard);
-        if owner == 0 {
-            return self.nodes[0]
-                .shards
-                .get(&shard)
-                .and_then(|s| s.get_row(row))
-                .cloned();
+        let owners = map.owners_of(shard).to_vec();
+        let mut answered = false;
+        for owner in owners {
+            if failed_nodes.contains(&owner) {
+                continue;
+            }
+            if owner == 0 {
+                match self.nodes[0]
+                    .shards
+                    .get(&shard)
+                    .and_then(|s| s.span_at(row))
+                {
+                    Some(s) => return Some(s.into_owned()),
+                    None => {
+                        answered = true;
+                        continue;
+                    }
+                }
+            }
+            let id = self.send_rpc(
+                0,
+                owner,
+                RpcBody::SpanFetch { shard, row },
+                RpcPurpose::Driver,
+            );
+            self.run_until_settled(&[id]);
+            match self.completed.remove(&id) {
+                Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: Some(s), .. })) => {
+                    return Some(*s)
+                }
+                Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: None, .. })) => {
+                    answered = true;
+                }
+                _ => {
+                    failed_nodes.insert(owner);
+                }
+            }
         }
-        let id = self.send_rpc(owner, RpcBody::SpanFetch { shard, row });
+        // No copy produced the span. Attribute the degradation honestly:
+        // shards all of whose owners failed, plus — if some owner did
+        // answer — this shard, whose rows were lost in ingest.
+        Self::extend_missing_for_failures(map, failed_nodes, missing);
+        if answered {
+            missing.insert(shard);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Anti-entropy
+    // ------------------------------------------------------------------
+
+    /// Issue a Driver RPC and wait for its resolution.
+    fn call(&mut self, from: usize, to: usize, body: RpcBody) -> Option<RpcBody> {
+        let id = self.send_rpc(from, to, body, RpcPurpose::Driver);
         self.run_until_settled(&[id]);
         match self.completed.remove(&id) {
-            Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: Some(s), .. })) => Some(*s),
-            Some(RpcResult::Ok(RpcBody::SpanFetchResponse { span: None, .. })) => {
-                // The owner answered but the row never arrived — the
-                // batch was lost in ingest. Degrade honestly.
-                missing.insert(shard);
-                None
+            Some(RpcResult::Ok(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// One full anti-entropy sweep: every live owner of every replicated
+    /// shard exchanges `(rows, digest)` summaries with its live
+    /// co-owners and pulls the row ranges it is missing, applied through
+    /// the same [`BatchReorder`] as ingest so the copies converge
+    /// byte-identically. Pulls are bounded per RPC by
+    /// [`ClusterConfig::anti_entropy_pull_max`] and never reach past a
+    /// stashed out-of-order batch (which would strand it as a false
+    /// duplicate).
+    pub fn anti_entropy_round(&mut self) -> AntiEntropyReport {
+        let mut report = AntiEntropyReport::default();
+        let map = self.map.clone();
+        for shard in 0..map.shard_count() as u16 {
+            let owners = map.owners_of(shard).to_vec();
+            if owners.len() < 2 {
+                continue;
             }
-            _ => {
-                failed_nodes.insert(owner);
-                missing.extend(self.map.shards_of(owner));
-                None
+            for &me in &owners {
+                if !self.nodes[me].alive {
+                    continue;
+                }
+                // An owner always has a store; make that true even for a
+                // slot acquired without data (defensive — join inserts
+                // empty stores already).
+                self.nodes[me].shards.entry(shard).or_default();
+                for &peer in &owners {
+                    if peer == me || !self.nodes[peer].alive {
+                        continue;
+                    }
+                    let Some(RpcBody::ShardSummaryResponse {
+                        rows: peer_rows,
+                        digest: peer_digest,
+                        ..
+                    }) = self.call(me, peer, RpcBody::ShardSummaryRequest { shard })
+                    else {
+                        report.unreachable += 1;
+                        continue;
+                    };
+                    loop {
+                        let my_rows = self.nodes[me].shards[&shard].len() as u32;
+                        if my_rows >= peer_rows {
+                            break;
+                        }
+                        let cap = self.nodes[me]
+                            .reorder
+                            .get(&shard)
+                            .and_then(|r| r.first_pending_start())
+                            .unwrap_or(u32::MAX);
+                        let end = peer_rows
+                            .min(cap)
+                            .min(my_rows.saturating_add(self.cfg.anti_entropy_pull_max.max(1)));
+                        if end <= my_rows {
+                            break;
+                        }
+                        let resp = self.call(
+                            me,
+                            peer,
+                            RpcBody::RowRangeRequest {
+                                shard,
+                                start_row: my_rows,
+                                max_rows: end - my_rows,
+                            },
+                        );
+                        let Some(RpcBody::RowRangeResponse {
+                            start_row, wire, ..
+                        }) = resp
+                        else {
+                            report.unreachable += 1;
+                            break;
+                        };
+                        let spans = wire::decode_batch(&wire).unwrap_or_default();
+                        if spans.is_empty() {
+                            break; // the peer had nothing servable there
+                        }
+                        report.pulls += 1;
+                        self.stats.anti_entropy_pulls += 1;
+                        let n = spans.len() as u64;
+                        report.spans += n;
+                        self.stats.backfilled_spans += n;
+                        Self::apply_batch(&mut self.nodes[me], shard, start_row, spans);
+                    }
+                    let my_rows = self.nodes[me].shards[&shard].len() as u32;
+                    if my_rows == peer_rows && peer_rows > 0 {
+                        let my_digest = replication::shard_digest(&self.nodes[me].shards[&shard]);
+                        if my_digest != peer_digest {
+                            report.divergent += 1;
+                        }
+                    }
+                }
             }
         }
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Tiered storage: spill and crash recovery
+    // ------------------------------------------------------------------
+
+    fn fresh_pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(BufferPoolConfig {
+            frames: TIER_POOL_FRAMES,
+            ..BufferPoolConfig::default()
+        }))
+    }
+
+    /// Create the node's tier handle (pool + per-node directory) if it
+    /// does not exist yet. Requires [`ClusterConfig::tier_dir`].
+    fn ensure_tier(&mut self, idx: usize) -> io::Result<()> {
+        if self.nodes[idx].tier.is_some() {
+            return Ok(());
+        }
+        let base = self
+            .cfg
+            .tier_dir
+            .clone()
+            .expect("tiered paths need ClusterConfig::tier_dir");
+        let dir = base.join(format!("node{idx}"));
+        persist::ensure_dir(&dir)?;
+        self.nodes[idx].tier = Some(NodeTier {
+            pool: Self::fresh_pool(),
+            dir,
+        });
+        Ok(())
+    }
+
+    /// Spill every shard copy on node `idx` whose rows are older than
+    /// `watermark` to DFSPANS1 segment files under the node's tier
+    /// directory. Content-neutral: queries and probes see the same
+    /// corpus, paged back on demand.
+    pub fn spill_node(&mut self, idx: usize, watermark: TimeNs) -> io::Result<SpillStats> {
+        self.ensure_tier(idx)?;
+        let (pool, dir) = {
+            let tier = self.nodes[idx].tier.as_ref().expect("just ensured");
+            (Arc::clone(&tier.pool), tier.dir.clone())
+        };
+        let policy = self.cfg.policy;
+        let mut total = SpillStats::default();
+        let shards: Vec<u16> = self.nodes[idx].shards.keys().copied().collect();
+        for s in shards {
+            let store = self.nodes[idx].shards.get_mut(&s).expect("key just listed");
+            total.merge(store.spill_before(&policy, watermark, &pool, &dir, s)?);
+        }
+        Ok(total)
+    }
+
+    /// Restart a crashed node: its in-memory shards, reorder buffers,
+    /// page cache, and in-flight writes are gone (that *is* the crash);
+    /// the DFSPANS1 segment files on disk are not. Every owned shard is
+    /// rebuilt by re-registering its valid segment files (corrupt files
+    /// are counted in [`RecoverStats::rejected_segments`], never
+    /// panicked over), after which cold reads are served from disk
+    /// without re-fetching from peers and an
+    /// [`Cluster::anti_entropy_round`] backfills only the hot tail.
+    pub fn restart_node(&mut self, idx: usize) -> io::Result<RecoverStats> {
+        assert!(idx != 0, "coordinator cannot restart");
+        assert!(
+            !self.nodes[idx].alive,
+            "restart requires a crashed node (kill it first)"
+        );
+        // Abandon the crashed process's protocol state: its outbound
+        // RPCs can never be retransmitted and its unacked writes die
+        // unacked (the requesters' own RPCs time out and fail over).
+        let stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.from == idx)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.pending.remove(&id);
+            self.stats.rpcs_failed += 1;
+        }
+        self.pending_writes.retain(|_, w| w.node != idx);
+        self.nodes[idx].shards.clear();
+        self.nodes[idx].reorder.clear();
+        self.nodes[idx].tier = None; // fresh pool; segment files survive
+        self.ensure_tier(idx)?;
+        let (pool, dir) = {
+            let tier = self.nodes[idx].tier.as_ref().expect("just ensured");
+            (Arc::clone(&tier.pool), tier.dir.clone())
+        };
+        let mut total = RecoverStats::default();
+        for s in self.map.shards_of(idx) {
+            let mut store = SpanStore::new();
+            total.merge(store.recover_cold_segments(&pool, &dir, s)?);
+            self.nodes[idx].shards.insert(s, store);
+        }
+        self.stats.recovered_segments += total.segments as u64;
+        self.stats.recovered_rejects += total.rejected_segments as u64;
+        self.nodes[idx].alive = true;
+        self.suspected.remove(&idx);
+        Ok(total)
     }
 
     // ------------------------------------------------------------------
     // Membership: join / leave / kill
     // ------------------------------------------------------------------
 
-    /// Gracefully remove a node: its shards (stores and reorder buffers)
-    /// hand off to the least-loaded remaining members, then the node goes
-    /// offline. Queries after a `leave` are *not* degraded. Returns the
-    /// number of shards moved. The coordinator (node 0) cannot leave.
+    /// Gracefully remove a node: each of its owner slots (store and
+    /// reorder state alongside) hands off to a live node that does not
+    /// already hold a copy, preferring the least loaded; if every live
+    /// node already holds one, the slot is dropped (the shard stays on
+    /// its co-owners). Queries after a `leave` are *not* degraded.
+    /// Returns the number of slots handed off. The coordinator (node 0)
+    /// cannot leave.
     pub fn leave(&mut self, idx: usize) -> usize {
         assert!(idx != 0, "coordinator cannot leave");
         assert!(self.nodes[idx].alive, "node already offline");
         let shards = self.map.shards_of(idx);
-        let moved = shards.len();
+        let mut moved = 0;
         for s in shards {
             let store = self.nodes[idx].shards.remove(&s).expect("map/store agree");
             let reorder = self.nodes[idx].reorder.remove(&s);
-            let target = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|&(i, n)| i != idx && n.alive)
-                .min_by_key(|&(i, n)| (n.shards.len(), i))
-                .map(|(i, _)| i)
-                .expect("at least the coordinator remains");
-            self.map.reassign(s, target);
-            self.nodes[target].shards.insert(s, store);
-            if let Some(r) = reorder {
-                if r.pending() > 0 {
-                    self.nodes[target].reorder.insert(s, r);
+            let target = (0..self.nodes.len())
+                .filter(|&i| i != idx && self.nodes[i].alive && !self.map.is_owner(s, i))
+                .min_by_key(|&i| (self.nodes[i].shards.len(), i));
+            match target {
+                Some(t) => {
+                    let replaced = self.map.replace_owner(s, idx, t);
+                    debug_assert!(replaced, "target verified not an owner");
+                    self.nodes[t].shards.insert(s, store);
+                    if let Some(r) = reorder {
+                        if r.pending() > 0 {
+                            self.nodes[t].reorder.insert(s, r);
+                        }
+                    }
+                    self.stats.handoffs += 1;
+                    moved += 1;
+                }
+                None => {
+                    // Every live node already holds a copy: drop the
+                    // slot, accepting temporary under-replication.
+                    self.map.remove_owner(s, idx);
                 }
             }
-            self.stats.handoffs += 1;
         }
         self.nodes[idx].alive = false;
         moved
     }
 
-    /// Add a node and rebalance: shards move from the most-loaded members
-    /// until the newcomer holds its fair share. Returns the new node's
-    /// index.
+    /// Add a node and rebalance in three passes: (1) take over dead
+    /// owners' slots (the newcomer starts empty there — anti-entropy
+    /// backfills from the surviving co-owners); (2) repair
+    /// under-replicated shards; (3) move primaries (stores and reorder
+    /// state alongside) from the most-loaded nodes until the newcomer
+    /// holds its fair share. Returns the new node's index.
     pub fn join(&mut self) -> usize {
         let idx = self.nodes.len();
         let (topo_id, ip) = Self::add_node_to(&mut self.fabric.topology, idx);
@@ -782,25 +1585,57 @@ impl Cluster {
             alive: true,
             shards: BTreeMap::new(),
             reorder: HashMap::new(),
+            tier: None,
         });
-        let alive = self.nodes.iter().filter(|n| n.alive).count();
-        let target = self.map.shard_count() / alive;
-        while self.nodes[idx].shards.len() < target {
-            let Some((donor, _)) = self
-                .nodes
+        // Pass 1: inherit dead owners' slots.
+        for s in 0..self.map.shard_count() as u16 {
+            let dead: Vec<usize> = self
+                .map
+                .owners_of(s)
                 .iter()
-                .enumerate()
-                .filter(|&(i, n)| i != idx && n.alive && n.shards.len() > target)
-                .max_by_key(|&(i, n)| (n.shards.len(), usize::MAX - i))
+                .copied()
+                .filter(|&o| !self.nodes[o].alive)
+                .collect();
+            for d in dead {
+                if self.map.replace_owner(s, d, idx) {
+                    self.nodes[idx].shards.entry(s).or_default();
+                    self.stats.handoffs += 1;
+                    break; // at most one slot per shard for the newcomer
+                }
+            }
+        }
+        // Pass 2: repair under-replication left by departures.
+        let alive = self.nodes.iter().filter(|n| n.alive).count();
+        let rf = self.cfg.replication_factor.clamp(1, alive);
+        for s in 0..self.map.shard_count() as u16 {
+            if self.map.owners_of(s).len() < rf && self.map.add_owner(s, idx) {
+                self.nodes[idx].shards.entry(s).or_default();
+                self.stats.handoffs += 1;
+            }
+        }
+        // Pass 3: primary rebalance.
+        let target = self.map.shard_count() / alive;
+        while self.map.primary_shards_of(idx).len() < target {
+            let donor = (0..self.nodes.len())
+                .filter(|&i| i != idx && self.nodes[i].alive)
+                .max_by_key(|&i| (self.map.primary_shards_of(i).len(), usize::MAX - i))
+                .filter(|&i| self.map.primary_shards_of(i).len() > target);
+            let Some(donor) = donor else {
+                break;
+            };
+            let Some(s) = self
+                .map
+                .primary_shards_of(donor)
+                .into_iter()
+                .rev()
+                .find(|&s| !self.map.is_owner(s, idx))
             else {
                 break;
             };
-            let &s = self.nodes[donor]
+            let store = self.nodes[donor]
                 .shards
-                .keys()
-                .next_back()
-                .expect("donor non-empty");
-            let store = self.nodes[donor].shards.remove(&s).expect("key just read");
+                .remove(&s)
+                .expect("primary holds store");
             let reorder = self.nodes[donor].reorder.remove(&s);
             self.map.reassign(s, idx);
             self.nodes[idx].shards.insert(s, store);
@@ -812,12 +1647,31 @@ impl Cluster {
         idx
     }
 
-    /// Crash a node: it stops answering but its shards stay assigned to
-    /// it, so subsequent queries degrade with those shards missing. The
-    /// coordinator (node 0) cannot be killed.
+    /// Crash a node: it stops answering but its owner slots stay
+    /// assigned, so queries fail over to its shards' replicas — or
+    /// degrade, when it held the only copy. The coordinator (node 0)
+    /// cannot be killed.
     pub fn kill(&mut self, idx: usize) {
         assert!(idx != 0, "coordinator cannot be killed");
         self.nodes[idx].alive = false;
+    }
+
+    /// Schedule a [`Cluster::kill`] of node `idx` after `after` of
+    /// virtual time — the crash fires *inside* whatever ingest or
+    /// assembly loop is then running, which is how the chaos tests kill
+    /// nodes mid-protocol. A kill targeting a node already dead (or not
+    /// yet joined) is a no-op.
+    pub fn schedule_kill(&mut self, idx: usize, after: DurationNs) {
+        assert!(idx != 0, "coordinator cannot be killed");
+        let at = self.clock + after;
+        self.push_event(at, EventKind::Kill(idx));
+    }
+
+    /// Schedule a [`Cluster::join`] after `after` of virtual time (fires
+    /// mid-protocol like [`Cluster::schedule_kill`]).
+    pub fn schedule_join(&mut self, after: DurationNs) {
+        let at = self.clock + after;
+        self.push_event(at, EventKind::Join);
     }
 
     // ------------------------------------------------------------------
@@ -874,9 +1728,34 @@ impl Cluster {
         self.nodes[idx].alive
     }
 
-    /// The node currently owning `shard`.
+    /// The node currently *primary* for `shard`.
     pub fn shard_owner(&self, shard: u16) -> usize {
         self.map.owner(shard)
+    }
+
+    /// Every node currently holding a copy of `shard`, primary first.
+    pub fn shard_owners(&self, shard: u16) -> Vec<usize> {
+        self.map.owners_of(shard).to_vec()
+    }
+
+    /// The shards node `idx` holds a copy of (primary or replica).
+    pub fn shards_of_node(&self, idx: usize) -> Vec<u16> {
+        self.map.shards_of(idx)
+    }
+
+    /// Content digest of node `idx`'s copy of `shard` (None if it holds
+    /// no copy) — what the convergence tests compare across replicas.
+    pub fn shard_digest_at(&self, idx: usize, shard: u16) -> Option<u64> {
+        self.nodes
+            .get(idx)?
+            .shards
+            .get(&shard)
+            .map(replication::shard_digest)
+    }
+
+    /// Rows in node `idx`'s copy of `shard` (None if it holds no copy).
+    pub fn shard_rows_at(&self, idx: usize, shard: u16) -> Option<usize> {
+        self.nodes.get(idx)?.shards.get(&shard).map(|s| s.len())
     }
 
     /// Spans routed through ingest (whether or not their batch survived).
@@ -895,14 +1774,16 @@ impl Cluster {
     }
 
     /// Rows actually present per shard, ascending by shard — for
-    /// differential tests against the oracle's `shard_sizes`.
+    /// differential tests against the oracle's `shard_sizes`. With
+    /// replicas, a shard reports its best (most-caught-up) copy.
     pub fn shard_sizes(&self) -> Vec<usize> {
         (0..self.map.shard_count() as u16)
             .map(|s| {
-                self.nodes[self.map.owner(s)]
-                    .shards
-                    .get(&s)
-                    .map(|st| st.len())
+                self.map
+                    .owners_of(s)
+                    .iter()
+                    .map(|&o| self.nodes[o].shards.get(&s).map(|st| st.len()).unwrap_or(0))
+                    .max()
                     .unwrap_or(0)
             })
             .collect()
@@ -1001,5 +1882,50 @@ mod tests {
         assert_eq!(result.missing_shards, cluster.map.shards_of(1));
         assert!(cluster.stats().rpcs_failed > 0);
         assert!(cluster.stats().degraded_queries > 0);
+    }
+
+    #[test]
+    fn replicated_ingest_reaches_every_owner() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 2,
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        assert_eq!(cluster.stats().spans_lost, 0);
+        assert!(cluster.stats().replicated_batches > 0);
+        // Every copy of every touched shard holds the same rows.
+        for s in 0..cluster.map.shard_count() as u16 {
+            let rows: Vec<usize> = cluster
+                .map
+                .owners_of(s)
+                .iter()
+                .map(|&o| cluster.shard_rows_at(o, s).unwrap_or(0))
+                .collect();
+            assert!(
+                rows.windows(2).all(|w| w[0] == w[1]),
+                "shard {s} copies diverge: {rows:?}"
+            );
+        }
+        let result = cluster.assemble(ids[1]);
+        assert!(result.is_complete());
+        assert_eq!(result.trace.len(), 2);
+    }
+
+    #[test]
+    fn killed_replica_owner_degrades_nothing_at_rf2() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            replication_factor: 2,
+            ..ClusterConfig::default()
+        });
+        let ids = cluster.ingest(linked_pair());
+        cluster.kill(1);
+        let result = cluster.assemble(ids[0]);
+        assert!(
+            result.is_complete(),
+            "node 0 holds a copy of every shard at RF=2"
+        );
+        assert_eq!(result.trace.len(), 2);
     }
 }

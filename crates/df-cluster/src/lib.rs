@@ -17,10 +17,21 @@
 //!   batched per round, exactly the
 //!   [`CandidateKeys`](df_types::rpc::CandidateKeys) discipline the
 //!   in-process assembly uses);
-//! * [`RoundTracker`] / [`BatchReorder`] — the pure coordination state
-//!   machines (round-ordering of responses, row-ordering of batches)
-//!   that df-check models under adversarial schedules;
-//! * [`ShardMap`] — shard → node ownership, updated by handoff.
+//! * [`RoundTracker`] / [`BatchReorder`] / [`WriteQuorum`] — the pure
+//!   coordination state machines (round-ordering of responses,
+//!   row-ordering of batches, quorum-ack accounting) that df-check
+//!   models under adversarial schedules;
+//! * [`ShardMap`] — shard → owner-list assignment (a primary plus
+//!   `replication_factor − 1` replicas), updated by handoff;
+//! * [`replication`] — the write-quorum state machine and the FNV-1a
+//!   shard content digest anti-entropy summaries exchange.
+//!
+//! With `replication_factor ≥ 2` the cluster survives any single node
+//! failure with zero data loss and zero degraded answers: ingest fails
+//! over through each shard's owner list, queries consult whichever copy
+//! answers, [`Cluster::anti_entropy_round`] converges lagging replicas
+//! byte-identically, and [`Cluster::restart_node`] rebuilds a crashed
+//! node's cold tier from its DFSPANS1 segment files.
 //!
 //! The single-process `ConcurrentShardedStore` is the differential
 //! oracle: a fault-free cluster of any size must produce byte-identical
@@ -52,8 +63,10 @@
 
 pub mod cluster;
 pub mod membership;
+pub mod replication;
 pub mod tracker;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterStats, DistributedTrace};
+pub use cluster::{AntiEntropyReport, Cluster, ClusterConfig, ClusterStats, DistributedTrace};
 pub use membership::ShardMap;
+pub use replication::{shard_digest, WriteQuorum, EMPTY_DIGEST};
 pub use tracker::{BatchReorder, RoundTracker};

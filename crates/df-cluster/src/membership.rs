@@ -1,24 +1,42 @@
-//! Shard ownership: which node answers for which global shard.
+//! Shard ownership: which nodes answer for which global shard.
 //!
 //! The map is the coordinator's routing authority — ingest ships a span
-//! batch to `owner(shard)`, Phase 1 sends candidate probes to every node
-//! that owns at least one shard, and handoff (`join`/`leave` on the
-//! cluster) is a sequence of [`ShardMap::reassign`] calls with the shard's
+//! batch to the shard's *primary* (`owner(shard)`), the primary forwards
+//! to the shard's replicas, Phase 1 sends candidate probes to every node
+//! that holds at least one store, and handoff (`join`/`leave` on the
+//! cluster) rewrites individual owner slots with the shard's
 //! [`SpanStore`](df_storage::SpanStore) moved alongside.
+//!
+//! With `replication_factor = 1` every shard has exactly one owner and
+//! the map behaves exactly like the pre-replication single-owner table.
+//! With RF ≥ 2 each shard's owner list holds the primary first followed
+//! by R−1 replicas; the list never contains duplicates and never goes
+//! empty.
 
-/// Global shard index → owning node index.
+/// Global shard index → owning node indexes (primary first).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
-    owners: Vec<usize>,
+    owners: Vec<Vec<usize>>,
 }
 
 impl ShardMap {
-    /// Round-robin assignment of `shards` global shards over `nodes`
-    /// nodes: shard `s` starts on node `s % nodes`.
+    /// Round-robin single-owner assignment of `shards` global shards over
+    /// `nodes` nodes: shard `s` starts on node `s % nodes`. Equivalent to
+    /// [`ShardMap::replicated`] with a replication factor of 1.
     pub fn round_robin(shards: usize, nodes: usize) -> Self {
+        Self::replicated(shards, nodes, 1)
+    }
+
+    /// Replicated assignment: shard `s` gets primary `s % nodes` and the
+    /// `rf - 1` following nodes as replicas. `rf` is clamped to
+    /// `[1, nodes]` so owner lists never hold duplicates.
+    pub fn replicated(shards: usize, nodes: usize, rf: usize) -> Self {
         let nodes = nodes.max(1);
+        let rf = rf.clamp(1, nodes);
         ShardMap {
-            owners: (0..shards).map(|s| s % nodes).collect(),
+            owners: (0..shards)
+                .map(|s| (0..rf).map(|k| (s + k) % nodes).collect())
+                .collect(),
         }
     }
 
@@ -27,24 +45,94 @@ impl ShardMap {
         self.owners.len()
     }
 
-    /// The node owning `shard`.
+    /// The primary node for `shard`.
     pub fn owner(&self, shard: u16) -> usize {
-        self.owners[shard as usize]
+        self.owners[shard as usize][0]
     }
 
-    /// The shards a node owns, ascending.
+    /// Every node holding a copy of `shard`, primary first.
+    pub fn owners_of(&self, shard: u16) -> &[usize] {
+        &self.owners[shard as usize]
+    }
+
+    /// Whether `node` holds any copy (primary or replica) of `shard`.
+    pub fn is_owner(&self, shard: u16, node: usize) -> bool {
+        self.owners[shard as usize].contains(&node)
+    }
+
+    /// The shards a node holds a copy of (primary or replica), ascending.
     pub fn shards_of(&self, node: usize) -> Vec<u16> {
         self.owners
             .iter()
             .enumerate()
-            .filter(|&(_, &o)| o == node)
+            .filter(|(_, o)| o.contains(&node))
             .map(|(s, _)| s as u16)
             .collect()
     }
 
-    /// Move a shard to a new owner (the caller moves the store alongside).
+    /// The shards a node is *primary* for, ascending.
+    pub fn primary_shards_of(&self, node: usize) -> Vec<u16> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o[0] == node)
+            .map(|(s, _)| s as u16)
+            .collect()
+    }
+
+    /// Move a shard's *primary* slot to a new owner (the caller moves the
+    /// store alongside). If `to` already held a replica slot the old
+    /// primary takes over that slot, so the list stays duplicate-free.
     pub fn reassign(&mut self, shard: u16, to: usize) {
-        self.owners[shard as usize] = to;
+        let owners = &mut self.owners[shard as usize];
+        let from = owners[0];
+        if let Some(slot) = owners.iter().position(|&o| o == to) {
+            owners[slot] = from;
+        }
+        owners[0] = to;
+    }
+
+    /// Replace one owner slot (`from` → `to`), preserving slot order.
+    /// Returns false if `from` is not an owner or `to` already is.
+    pub fn replace_owner(&mut self, shard: u16, from: usize, to: usize) -> bool {
+        let owners = &mut self.owners[shard as usize];
+        if owners.contains(&to) {
+            return false;
+        }
+        match owners.iter().position(|&o| o == from) {
+            Some(slot) => {
+                owners[slot] = to;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Append `node` as a new replica of `shard`. Returns false (no-op)
+    /// if it already holds a copy.
+    pub fn add_owner(&mut self, shard: u16, node: usize) -> bool {
+        let owners = &mut self.owners[shard as usize];
+        if owners.contains(&node) {
+            return false;
+        }
+        owners.push(node);
+        true
+    }
+
+    /// Drop `node`'s slot for `shard`. Refuses (returns false) when it is
+    /// the last remaining owner — a shard must never go ownerless.
+    pub fn remove_owner(&mut self, shard: u16, node: usize) -> bool {
+        let owners = &mut self.owners[shard as usize];
+        if owners.len() <= 1 {
+            return false;
+        }
+        match owners.iter().position(|&o| o == node) {
+            Some(slot) => {
+                owners.remove(slot);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -61,5 +149,54 @@ mod tests {
         m.reassign(3, 0);
         assert_eq!(m.owner(3), 0);
         assert_eq!(m.shards_of(0), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn replicated_assigns_distinct_owners_primary_first() {
+        let m = ShardMap::replicated(4, 3, 2);
+        assert_eq!(m.owners_of(0), &[0, 1]);
+        assert_eq!(m.owners_of(1), &[1, 2]);
+        assert_eq!(m.owners_of(2), &[2, 0]);
+        assert_eq!(m.owners_of(3), &[0, 1]);
+        assert_eq!(m.owner(1), 1);
+        assert!(m.is_owner(1, 2));
+        assert!(!m.is_owner(1, 0));
+        // shards_of counts replica slots too; primary_shards_of does not.
+        assert_eq!(m.shards_of(0), vec![0, 2, 3]);
+        assert_eq!(m.primary_shards_of(0), vec![0, 3]);
+    }
+
+    #[test]
+    fn rf_clamps_to_node_count() {
+        let m = ShardMap::replicated(2, 2, 5);
+        assert_eq!(m.owners_of(0), &[0, 1]);
+        assert_eq!(m.owners_of(1), &[1, 0]);
+    }
+
+    #[test]
+    fn reassign_to_existing_replica_swaps_slots() {
+        let mut m = ShardMap::replicated(1, 3, 2);
+        assert_eq!(m.owners_of(0), &[0, 1]);
+        m.reassign(0, 1);
+        assert_eq!(m.owners_of(0), &[1, 0]);
+        m.reassign(0, 2);
+        assert_eq!(m.owners_of(0), &[2, 0]);
+    }
+
+    #[test]
+    fn replace_add_remove_owner_guard_invariants() {
+        let mut m = ShardMap::replicated(1, 4, 2);
+        assert_eq!(m.owners_of(0), &[0, 1]);
+        assert!(m.replace_owner(0, 1, 2));
+        assert_eq!(m.owners_of(0), &[0, 2]);
+        assert!(!m.replace_owner(0, 1, 3), "1 no longer owns the shard");
+        assert!(!m.replace_owner(0, 0, 2), "2 already owns the shard");
+        assert!(m.add_owner(0, 3));
+        assert!(!m.add_owner(0, 3), "already an owner");
+        assert_eq!(m.owners_of(0), &[0, 2, 3]);
+        assert!(m.remove_owner(0, 2));
+        assert!(m.remove_owner(0, 3));
+        assert!(!m.remove_owner(0, 0), "last owner must stay");
+        assert_eq!(m.owners_of(0), &[0]);
     }
 }

@@ -132,6 +132,14 @@ impl<T> BatchReorder<T> {
         self.stash.len()
     }
 
+    /// The lowest stashed `start_row`, if any batch is waiting. Anti-
+    /// entropy uses this to bound a backfill pull: pulling past the first
+    /// stashed batch would collide with it on `start_row` and strand it
+    /// as a false duplicate.
+    pub fn first_pending_start(&self) -> Option<u32> {
+        self.stash.keys().next().copied()
+    }
+
     /// Duplicate batches dropped.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
@@ -163,9 +171,11 @@ mod tests {
     #[test]
     fn reorder_applies_out_of_order_and_drops_duplicates() {
         let mut r: BatchReorder<u32> = BatchReorder::new();
+        assert_eq!(r.first_pending_start(), None);
         // Rows 0..2 arrive late; rows 2..5 first.
         assert!(r.offer(0, 2, vec![2, 3, 4]).is_empty());
         assert_eq!(r.pending(), 1);
+        assert_eq!(r.first_pending_start(), Some(2));
         let runs = r.offer(0, 0, vec![0, 1]);
         assert_eq!(runs, vec![vec![0, 1], vec![2, 3, 4]]);
         assert_eq!(r.pending(), 0);

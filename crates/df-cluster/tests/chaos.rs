@@ -1,0 +1,288 @@
+//! Deterministic chaos harness on the virtual-clock event loop.
+//!
+//! Each seed derives one fault schedule from a splitmix-style LCG:
+//! cluster shape, corpus, victim node, fault kind (kill / partition +
+//! heal / kill + replacement join / graceful leave), and where in the
+//! ingest sequence the fault lands. Kills and joins are *scheduled*
+//! events — they fire inside whatever settle loop the protocol is then
+//! running, so the failure genuinely interleaves with in-flight batches
+//! and assembly rounds rather than landing between operations.
+//!
+//! The invariant under test is the replication tentpole: with
+//! `replication_factor = 2` and any single-node failure, the cluster
+//! loses **zero spans** and answers **zero degraded queries** — every
+//! assembled trace is extensionally identical to the single-process
+//! `ConcurrentShardedStore` oracle with empty `missing_shards`. At
+//! `replication_factor = 1` the same schedules degrade loudly (explicit
+//! missing shards, counted losses) — regression-pinned so the RF=2
+//! guarantees are visibly doing work.
+
+use df_cluster::{Cluster, ClusterConfig};
+use df_server::ConcurrentShardedStore;
+use df_storage::ShardPolicy;
+use df_types::span::TapSide;
+use df_types::{DurationNs, Span, SpanId};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants); high bits out.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A span whose association keys come from tiny pools, so chaos corpora
+/// form dense trace graphs (the same shape `tests/distributed.rs` uses).
+fn chaos_span(rng: &mut u64) -> Span {
+    let sides = [
+        TapSide::ClientProcess,
+        TapSide::ServerProcess,
+        TapSide::ClientPodNic,
+        TapSide::ServerPodNic,
+        TapSide::Gateway,
+    ];
+    let side = sides[(lcg(rng) % sides.len() as u64) as usize];
+    let req = 1_000 + lcg(rng) % 20;
+    let resp = req + 1 + lcg(rng) % 30;
+    let mut s = Span::synthetic(side, req, resp);
+    s.tcp_seq_req = Some((lcg(rng) % 8) as u32);
+    if lcg(rng).is_multiple_of(3) {
+        s.tcp_seq_resp = Some((lcg(rng) % 8) as u32);
+    }
+    if lcg(rng).is_multiple_of(4) {
+        s.systrace_id_req = Some(df_types::ids::SysTraceId(lcg(rng) % 6));
+    }
+    s
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultKind {
+    /// Crash the victim mid-ingest; it stays dead.
+    Kill,
+    /// Black-hole victim↔coordinator, heal later in virtual time.
+    PartitionHeal,
+    /// Crash mid-ingest, then a replacement joins and anti-entropy
+    /// backfills its empty slots.
+    KillJoin,
+    /// Graceful departure between batches (handoff, not failure).
+    Leave,
+}
+
+struct Schedule {
+    nodes: usize,
+    shards: usize,
+    victim: usize,
+    kind: FaultKind,
+    /// Ingest batch index the fault lands on (scheduled faults fire
+    /// inside this batch's settle loop).
+    fault_batch: usize,
+    batches: Vec<Vec<Span>>,
+}
+
+fn derive_schedule(seed: u64) -> Schedule {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed) | 1;
+    let nodes = 3 + (lcg(&mut rng) % 2) as usize; // 3 or 4
+    let shards = 4 + (lcg(&mut rng) % 3) as usize; // 4..=6
+    let victim = 1 + (lcg(&mut rng) % (nodes as u64 - 1)) as usize;
+    let kind = match lcg(&mut rng) % 4 {
+        0 => FaultKind::Kill,
+        1 => FaultKind::PartitionHeal,
+        2 => FaultKind::KillJoin,
+        _ => FaultKind::Leave,
+    };
+    let n_batches = 3 + (lcg(&mut rng) % 3) as usize; // 3..=5
+    let fault_batch = 1 + (lcg(&mut rng) % (n_batches as u64 - 1)) as usize;
+    let batches = (0..n_batches)
+        .map(|_| {
+            let n = 4 + (lcg(&mut rng) % 8) as usize;
+            (0..n).map(|_| chaos_span(&mut rng)).collect()
+        })
+        .collect();
+    Schedule {
+        nodes,
+        shards,
+        victim,
+        kind,
+        fault_batch,
+        batches,
+    }
+}
+
+/// Run one schedule at the given replication factor; return the cluster,
+/// the oracle, and the assigned span ids.
+fn run_schedule(sched: &Schedule, rf: usize) -> (Cluster, ConcurrentShardedStore, Vec<SpanId>) {
+    let policy = ShardPolicy::with_shards(sched.shards);
+    let oracle = ConcurrentShardedStore::new(policy);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: sched.nodes,
+        policy,
+        replication_factor: rf,
+        ..ClusterConfig::default()
+    });
+    let mut ids = Vec::new();
+    for (i, batch) in sched.batches.iter().enumerate() {
+        if i == sched.fault_batch {
+            match sched.kind {
+                FaultKind::Kill | FaultKind::KillJoin => {
+                    // Fires inside this batch's ship-settle loop: some
+                    // SpanBatch / ReplicateBatch RPCs are already in
+                    // flight to the victim when it dies.
+                    cluster.schedule_kill(sched.victim, DurationNs::from_micros(50));
+                }
+                FaultKind::PartitionHeal => {
+                    let el = cluster.partition_node(sched.victim);
+                    // Heal after the retry ladders for roughly two
+                    // batches have run their course.
+                    cluster.schedule_heal(el, DurationNs::from_millis(120_000));
+                }
+                FaultKind::Leave => {
+                    cluster.leave(sched.victim);
+                }
+            }
+        }
+        let oracle_ids = oracle.insert_batch(batch.clone());
+        let cluster_ids = cluster.ingest(batch.clone());
+        assert_eq!(oracle_ids, cluster_ids, "id assignment diverged");
+        ids.extend(cluster_ids);
+    }
+    if sched.kind == FaultKind::KillJoin {
+        cluster.join();
+        cluster.anti_entropy_round();
+    }
+    cluster.run_until_idle(); // heals / stragglers from dead attempts
+    oracle.flush();
+    (cluster, oracle, ids)
+}
+
+/// The tentpole invariant, checked across ≥ 20 seeded fault schedules:
+/// RF=2 + any single-node failure ⇒ zero loss, zero degraded answers,
+/// oracle-identical traces.
+#[test]
+fn rf2_survives_twenty_plus_seeded_fault_schedules() {
+    let mut kinds_seen = [false; 4];
+    for seed in 0..24u64 {
+        let sched = derive_schedule(seed);
+        kinds_seen[sched.kind as usize] = true;
+        let (mut cluster, oracle, ids) = run_schedule(&sched, 2);
+        assert_eq!(
+            cluster.stats().spans_lost,
+            0,
+            "seed {seed} ({:?}): RF=2 must not lose spans",
+            sched.kind
+        );
+        // Query from several starts spread across the corpus.
+        for k in 0..3 {
+            let start = ids[(seed as usize + k * 7) % ids.len()];
+            let expected = oracle.query_trace(start);
+            let result = cluster.assemble(start);
+            assert!(
+                result.is_complete(),
+                "seed {seed} ({:?}): degraded answer {:?} at RF=2",
+                sched.kind,
+                result.missing_shards
+            );
+            assert_eq!(
+                &result.trace, &*expected,
+                "seed {seed} ({:?}): trace diverged from oracle",
+                sched.kind
+            );
+        }
+        assert_eq!(
+            cluster.stats().degraded_queries,
+            0,
+            "seed {seed} ({:?}): no query may degrade at RF=2",
+            sched.kind
+        );
+    }
+    assert!(
+        kinds_seen.iter().all(|&k| k),
+        "the seed range must exercise every fault kind: {kinds_seen:?}"
+    );
+}
+
+/// After the dust settles, every pair of live replicas of every shard is
+/// byte-identical (equal FNV-1a content digests) — the convergence half
+/// of the tentpole, across the same schedules.
+#[test]
+fn rf2_replicas_converge_byte_identically_after_chaos() {
+    for seed in 0..24u64 {
+        let sched = derive_schedule(seed);
+        let (mut cluster, _oracle, _ids) = run_schedule(&sched, 2);
+        // One sweep patches any replica that was behind (e.g. a write
+        // acknowledged under quorum while its co-owner was dying).
+        cluster.anti_entropy_round();
+        let report = cluster.anti_entropy_round();
+        assert_eq!(
+            report.divergent, 0,
+            "seed {seed} ({:?}): replicas diverged in content",
+            sched.kind
+        );
+        for s in 0..sched.shards as u16 {
+            let digests: Vec<u64> = cluster
+                .shard_owners(s)
+                .into_iter()
+                .filter(|&o| cluster.is_alive(o))
+                .filter_map(|o| cluster.shard_digest_at(o, s))
+                .collect();
+            assert!(
+                digests.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed} ({:?}): shard {s} live copies disagree",
+                sched.kind
+            );
+        }
+    }
+}
+
+/// Regression pin for RF=1: the identical kill schedules lose the
+/// victim's in-flight batches and degrade queries loudly — missing
+/// shards are reported, never silently absorbed. (This is the behavior
+/// replication exists to eliminate; keep it honest, not accidental.)
+#[test]
+fn rf1_kill_schedules_degrade_loudly() {
+    let mut any_lost = false;
+    let mut any_degraded = false;
+    for seed in 0..24u64 {
+        let sched = derive_schedule(seed);
+        if !matches!(sched.kind, FaultKind::Kill | FaultKind::KillJoin) {
+            continue;
+        }
+        // Run the kill only — no replacement join, so the damage stays
+        // visible at query time.
+        let kill_only = Schedule {
+            kind: FaultKind::Kill,
+            batches: sched.batches.clone(),
+            ..sched
+        };
+        let (mut cluster, oracle, ids) = run_schedule(&kill_only, 1);
+        any_lost |= cluster.stats().spans_lost > 0;
+        let start = ids[seed as usize % ids.len()];
+        let result = cluster.assemble(start);
+        if !result.is_complete() {
+            any_degraded = true;
+            // Degradation is attributed: only the dead node's shards.
+            let victim_shards = cluster.shards_of_node(kill_only.victim);
+            assert!(
+                result
+                    .missing_shards
+                    .iter()
+                    .all(|s| victim_shards.contains(s)),
+                "seed {seed}: miss-attribution {:?} vs victim {:?}",
+                result.missing_shards,
+                victim_shards
+            );
+        }
+        // Degraded or not, the answer is a subset of the oracle's trace.
+        let expected = oracle.query_trace(start);
+        for got in &result.trace.spans {
+            assert!(
+                expected
+                    .spans
+                    .iter()
+                    .any(|e| e.span.span_id == got.span.span_id),
+                "seed {seed}: RF=1 degraded trace invented a span"
+            );
+        }
+    }
+    assert!(any_lost, "some kill schedule must lose spans at RF=1");
+    assert!(any_degraded, "some kill schedule must degrade at RF=1");
+}

@@ -11,12 +11,17 @@
 //! append batches in arrival order) are caught with a replayable
 //! counterexample.
 //!
+//! Replication adds a third discipline: a primary may acknowledge a
+//! replicated write *exactly once*, and only when the quorum is met or
+//! nothing is left outstanding ([`WriteQuorum`]). Modeled the same way,
+//! with the naive eager-ack counter caught and replayed.
+//!
 //! Budgets respect `DF_CHECK_MAX_SCHEDULES` / `DF_CHECK_MAX_PREEMPTIONS`
 //! (see `ci.sh`).
 
 use df_check::model::{self, CheckConfig, FailureKind};
 use df_check::sync::{Arc, Mutex};
-use df_cluster::{BatchReorder, RoundTracker};
+use df_cluster::{BatchReorder, RoundTracker, WriteQuorum};
 use std::collections::HashSet;
 
 fn budget() -> CheckConfig {
@@ -205,6 +210,143 @@ fn reordered_batches_apply_in_row_order_under_every_schedule() {
     assert!(report.complete, "schedule space must be exhausted");
     assert!(report.schedules >= 2, "multiple delivery orders explored");
     assert!(report.lock_cycles.is_empty(), "no lock-order inversions");
+}
+
+// ---------------------------------------------------------------------
+// A replicated write is acknowledged exactly once, at or past quorum
+// (or, when every replica failed, as the explicit shortfall path).
+// ---------------------------------------------------------------------
+
+/// Quorum 2 of 3 copies: the primary applied locally, two replica acks
+/// race in. Whichever handler's `try_ack` fires must see the quorum met
+/// at that instant, and exactly one handler may acknowledge — under
+/// every interleaving of the two responses.
+fn quorum_round() {
+    let w = Arc::new(Mutex::new(WriteQuorum::new(2, 2)));
+    let handlers: Vec<_> = (0..2)
+        .map(|_| {
+            let w = Arc::clone(&w);
+            model::spawn(move || {
+                let mut g = w.lock().expect("write lock");
+                g.record_ack();
+                if g.try_ack() {
+                    // Snapshot *inside* the critical section: the state
+                    // that justified this ack.
+                    Some((g.applied(), g.quorum()))
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    let acks: Vec<_> = handlers.into_iter().filter_map(|h| h.join()).collect();
+    assert_eq!(acks.len(), 1, "the requester must be acked exactly once");
+    let (applied, quorum) = acks[0];
+    assert!(applied >= quorum, "ack taken below quorum without failures");
+    let g = w.lock().expect("write lock");
+    assert!(g.settled() && g.acked() && g.met());
+}
+
+/// Quorum 3 of 3 with both replicas failing: the racing failure
+/// handlers may ack only when *nothing* is left outstanding, exactly
+/// once, and that ack is an under-quorum shortfall.
+fn quorum_shortfall_round() {
+    let w = Arc::new(Mutex::new(WriteQuorum::new(3, 2)));
+    let handlers: Vec<_> = (0..2)
+        .map(|_| {
+            let w = Arc::clone(&w);
+            model::spawn(move || {
+                let mut g = w.lock().expect("write lock");
+                g.record_failure();
+                if g.try_ack() {
+                    Some((g.outstanding(), g.met()))
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    let acks: Vec<_> = handlers.into_iter().filter_map(|h| h.join()).collect();
+    assert_eq!(acks.len(), 1, "exhaustion must ack exactly once");
+    let (outstanding, met) = acks[0];
+    assert_eq!(outstanding, 0, "acked while an RPC was still in flight");
+    assert!(!met, "this path is a shortfall by construction");
+}
+
+#[test]
+fn replicated_writes_ack_exactly_once_at_quorum() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::check(budget(), quorum_round);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.schedules >= 2, "multiple ack orders explored");
+    assert!(report.lock_cycles.is_empty(), "no lock-order inversions");
+    let report = model::check(budget(), quorum_shortfall_round);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.lock_cycles.is_empty(), "no lock-order inversions");
+}
+
+/// The *mutation*: an eager-ack counter that acknowledges whenever the
+/// applied count has reached the quorum — with no at-most-once guard.
+/// Both replica-ack handlers observe `applied >= quorum` in some
+/// schedule and the requester is acknowledged twice (a duplicate
+/// SpanBatchAck on the wire).
+struct NaiveQuorum {
+    quorum: u32,
+    applied: u32,
+    acks_sent: u32,
+}
+
+fn naive_quorum_round() {
+    let w = Arc::new(Mutex::new(NaiveQuorum {
+        quorum: 2,
+        applied: 1, // the primary's local apply
+        acks_sent: 0,
+    }));
+    let handlers: Vec<_> = (0..2)
+        .map(|_| {
+            let w = Arc::clone(&w);
+            model::spawn(move || {
+                {
+                    let mut g = w.lock().expect("write lock");
+                    g.applied += 1;
+                }
+                // The bug: a second lock scope re-derives "should I ack"
+                // from the running total, so both handlers can say yes.
+                let mut g = w.lock().expect("write lock");
+                if g.applied >= g.quorum {
+                    g.acks_sent += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handlers {
+        h.join();
+    }
+    let g = w.lock().expect("write lock");
+    assert!(g.acks_sent <= 1, "requester acknowledged more than once");
+}
+
+#[test]
+fn eager_quorum_acks_are_caught_and_replayable() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::explore(budget(), naive_quorum_round);
+    let failure = report
+        .failure
+        .expect("quorum-met re-checks must double-ack in some schedule");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("more than once"),
+        "failure names the invariant: {}",
+        failure.message
+    );
+    let replayed = model::replay(failure.schedule.clone(), naive_quorum_round);
+    let rf = replayed.failure.expect("replay reproduces the failure");
+    assert_eq!(rf.kind, FailureKind::Panic);
+    assert_eq!(replayed.schedules, 1, "replay runs exactly one schedule");
 }
 
 /// The *mutation*: appending batches in arrival order without the

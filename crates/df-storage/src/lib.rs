@@ -44,5 +44,5 @@ pub use bufferpool::{BufferPool, BufferPoolConfig, EvictionPolicy, PoolStats, Se
 pub use column::{Column, ColumnStats};
 pub use disk_sched::DiskScheduler;
 pub use shard::{ShardPolicy, TierConfig};
-pub use store::{ColdRef, SpanQuery, SpanStore, SpillStats, StoreStats};
+pub use store::{ColdRef, RecoverStats, SpanQuery, SpanStore, SpillStats, StoreStats};
 pub use tagtable::{TagEncoding, TagTable, WireTagInterner};

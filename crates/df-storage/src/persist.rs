@@ -340,6 +340,71 @@ pub fn read_span_segment_header(path: &Path) -> io::Result<SpanSegmentHeader> {
     Ok(parsed)
 }
 
+/// One span segment file found by [`scan_span_segments`]: its path plus
+/// the validated header.
+#[derive(Debug, Clone)]
+pub struct ScannedSegment {
+    /// Absolute path of the `.dfspan` file.
+    pub path: std::path::PathBuf,
+    /// Its validated header.
+    pub header: SpanSegmentHeader,
+}
+
+/// Result of a segment-catalog scan: the valid segment files of one
+/// shard, in lexicographic path order (spill filenames embed the time
+/// bucket and segment id, so this is also spill order), plus how many
+/// candidate files failed header validation.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentScan {
+    /// Valid segments, sorted by path.
+    pub segments: Vec<ScannedSegment>,
+    /// Files matching the shard's naming scheme whose header (or length)
+    /// was invalid. Counted, never panicked over: a torn spill or stray
+    /// garbage must not take recovery down.
+    pub rejected: usize,
+}
+
+/// Scan `dir` for shard `shard`'s span segment files (the crash-recovery
+/// catalog scan). Only files named `shard{shard:04}-*.dfspan` — the
+/// pattern [`SpanStore::spill_before`](crate::SpanStore::spill_before)
+/// writes — are considered; each is header-validated via
+/// [`read_span_segment_header`]. A missing directory yields an empty
+/// scan, not an error (a node that never spilled has nothing to recover).
+pub fn scan_span_segments(dir: &Path, shard: u16) -> io::Result<SegmentScan> {
+    let mut scan = SegmentScan::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(e),
+    };
+    let prefix = format!("shard{shard:04}-");
+    let mut candidates: Vec<std::path::PathBuf> = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with(&prefix) && name.ends_with(".dfspan") && path.is_file() {
+            candidates.push(path);
+        }
+    }
+    candidates.sort();
+    for path in candidates {
+        match read_span_segment_header(&path) {
+            Ok(header) => scan.segments.push(ScannedSegment { path, header }),
+            Err(_) => scan.rejected += 1,
+        }
+    }
+    Ok(scan)
+}
+
+/// Create a directory (and parents) if absent. Exists so crates under
+/// the fs-confinement lint (df-cluster's per-node tier directories) can
+/// set up spill paths without touching `std::fs` themselves.
+pub fn ensure_dir(path: &Path) -> io::Result<()> {
+    fs::create_dir_all(path)
+}
+
 /// Export all spans as JSON lines.
 pub fn export_spans_json(store: &SpanStore, path: &Path) -> io::Result<usize> {
     let mut f = io::BufWriter::new(fs::File::create(path)?);
@@ -578,6 +643,70 @@ mod tests {
         let rows_count_at = SPAN_SEGMENT_HEADER_LEN + 8 + span_len + 8;
         bad[rows_count_at] = 2;
         assert!(decode_span_segment(&bad).is_err());
+    }
+
+    #[test]
+    fn segment_scan_finds_valid_files_and_counts_corrupt_ones() {
+        let dir = test_dir("span-scan");
+        let spans: Vec<df_types::Span> = (0..3).map(demo_span).collect();
+        let rows: Vec<u32> = (0..3).collect();
+        let bytes = encode_span_segment(&spans, &rows);
+        // Two valid segments for shard 2, written out of order to check
+        // the scan sorts by path (= spill order).
+        fs::write(
+            dir.path()
+                .join("shard0002-b000000000005-seg00000001.dfspan"),
+            &bytes,
+        )
+        .unwrap();
+        fs::write(
+            dir.path()
+                .join("shard0002-b000000000001-seg00000000.dfspan"),
+            &bytes,
+        )
+        .unwrap();
+        // A different shard's segment: ignored.
+        fs::write(
+            dir.path()
+                .join("shard0003-b000000000001-seg00000002.dfspan"),
+            &bytes,
+        )
+        .unwrap();
+        // A corrupt file matching shard 2's pattern: counted, not fatal.
+        fs::write(
+            dir.path()
+                .join("shard0002-b000000000009-seg00000009.dfspan"),
+            b"garbage",
+        )
+        .unwrap();
+        // A truncated-but-magic-valid file: length check rejects it.
+        fs::write(
+            dir.path()
+                .join("shard0002-b000000000010-seg00000010.dfspan"),
+            &bytes[..bytes.len() - 1],
+        )
+        .unwrap();
+        // Unrelated noise: skipped silently.
+        fs::write(dir.path().join("notes.txt"), b"hi").unwrap();
+
+        let scan = scan_span_segments(dir.path(), 2).unwrap();
+        assert_eq!(scan.segments.len(), 2);
+        assert_eq!(scan.rejected, 2);
+        assert!(scan.segments[0]
+            .path
+            .to_str()
+            .unwrap()
+            .contains("seg00000000"));
+        assert!(scan.segments[1]
+            .path
+            .to_str()
+            .unwrap()
+            .contains("seg00000001"));
+
+        // A directory that never existed is an empty scan, not an error.
+        let empty = scan_span_segments(&dir.path().join("nope"), 2).unwrap();
+        assert!(empty.segments.is_empty());
+        assert_eq!(empty.rejected, 0);
     }
 
     #[test]

@@ -163,6 +163,31 @@ impl SpillStats {
     }
 }
 
+/// What one [`SpanStore::recover_cold_segments`] call rebuilt from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverStats {
+    /// Segment files re-registered.
+    pub segments: usize,
+    /// Candidate files rejected (bad header, torn body) — counted, never
+    /// panicked over.
+    pub rejected_segments: usize,
+    /// Rows rebuilt as cold slots (the contiguous prefix from row 0).
+    pub rows: usize,
+    /// Spilled rows beyond the first row gap, unusable until the gap is
+    /// backfilled — left out of the store (anti-entropy re-pulls them).
+    pub orphan_rows: usize,
+}
+
+impl RecoverStats {
+    /// Fold another recovery's counts into this one.
+    pub fn merge(&mut self, other: RecoverStats) {
+        self.segments += other.segments;
+        self.rejected_segments += other.rejected_segments;
+        self.rows += other.rows;
+        self.orphan_rows += other.orphan_rows;
+    }
+}
+
 /// The span store.
 ///
 /// Ids come in two regimes. A store used standalone assigns its own ids
@@ -508,6 +533,15 @@ impl SpanStore {
     /// whatever `span_id` it carries.
     fn index_and_push(&mut self, span: Span) {
         let row = self.rows.len() as u32;
+        self.index_attrs(&span, row);
+        self.push_time_entry(span.req_time.as_nanos(), row);
+        self.rows.push(RowSlot::Hot(Box::new(span)));
+    }
+
+    /// Association-index maintenance shared by hot ingest and crash
+    /// recovery: one entry per attribute value, request/response
+    /// duplicates collapsed.
+    fn index_attrs(&mut self, span: &Span, row: u32) {
         if let Some(s) = span.systrace_id_req {
             self.by_systrace.entry(s.raw()).or_default().push(row);
         }
@@ -538,7 +572,10 @@ impl SpanStore {
         if let Some(t) = span.otel_trace_id {
             self.by_otel_trace.entry(t.0).or_default().push(row);
         }
-        let ts = span.req_time.as_nanos();
+    }
+
+    /// Append a time-index entry, tracking sortedness.
+    fn push_time_entry(&mut self, ts: u64, row: u32) {
         let idx = self.time_index.get_mut().expect("time index lock poisoned");
         if let Some((last, _)) = idx.entries.last() {
             if *last > ts {
@@ -546,7 +583,6 @@ impl SpanStore {
             }
         }
         idx.entries.push((ts, row));
-        self.rows.push(RowSlot::Hot(Box::new(span)));
     }
 
     /// Fetch by id (tier-aware: cold spans page in).
@@ -759,6 +795,92 @@ impl SpanStore {
             }
             stats.segments += 1;
         }
+        Ok(stats)
+    }
+
+    /// Crash recovery: rebuild this (empty) store from the DFSPANS1
+    /// segments a previous incarnation spilled for `shard` under `dir`.
+    ///
+    /// The segment catalog scan validates every candidate file's header;
+    /// corrupt or torn files are counted in
+    /// [`RecoverStats::rejected_segments`] and skipped — recovery never
+    /// panics on bad input. Each valid segment is read through the pool's
+    /// disk scheduler, re-registered under a fresh [`SegmentId`], and its
+    /// rows rebuilt as cold slots at their original row numbers. Only the
+    /// contiguous prefix from row 0 is adopted (rows beyond a gap —
+    /// possible if a middle bucket's segment was lost — are counted as
+    /// orphans and left for anti-entropy to re-pull, keeping the
+    /// row-contiguity contract the reorder buffer relies on). Association
+    /// and time indexes are rebuilt from the decoded spans with the same
+    /// logic as hot ingest, so probe results are identical to a store
+    /// that never crashed.
+    pub fn recover_cold_segments(
+        &mut self,
+        pool: &Arc<BufferPool>,
+        dir: &Path,
+        shard: u16,
+    ) -> io::Result<RecoverStats> {
+        assert!(
+            self.is_empty(),
+            "recovery rebuilds a fresh store; refusing to splice into live rows"
+        );
+        let scan = persist::scan_span_segments(dir, shard)?;
+        let mut stats = RecoverStats {
+            rejected_segments: scan.rejected,
+            ..RecoverStats::default()
+        };
+        // Original row → (segment, offset, span). BTreeMap so the
+        // contiguous-prefix walk below is ordered.
+        let mut recovered: BTreeMap<u32, (SegmentId, u32, Span)> = BTreeMap::new();
+        for found in scan.segments {
+            let bytes = match pool.scheduler().read(found.path.clone()).wait() {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    stats.rejected_segments += 1;
+                    continue;
+                }
+            };
+            let seg = match persist::decode_span_segment(&bytes) {
+                Ok(seg) => seg,
+                Err(_) => {
+                    stats.rejected_segments += 1;
+                    continue;
+                }
+            };
+            let segment = pool.alloc_segment();
+            pool.register(segment, found.path);
+            stats.segments += 1;
+            for (offset, (row, span)) in seg.rows.iter().copied().zip(seg.spans).enumerate() {
+                recovered
+                    .entry(row)
+                    .or_insert((segment, offset as u32, span));
+            }
+        }
+        // Adopt the contiguous prefix from row 0.
+        let mut next = 0u32;
+        for &row in recovered.keys() {
+            if row == next {
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        stats.orphan_rows = recovered.len() - next as usize;
+        stats.rows = next as usize;
+        for row in 0..next {
+            let (segment, offset, span) = recovered.remove(&row).expect("row in prefix");
+            let cold = ColdRef {
+                segment,
+                offset,
+                span_id: span.span_id,
+                req_time: span.req_time,
+            };
+            self.index_attrs(&span, row);
+            self.push_time_entry(span.req_time.as_nanos(), row);
+            self.rows.push(RowSlot::Cold(cold));
+            self.cold_count += 1;
+        }
+        self.cold_reader = Some(Arc::clone(pool));
         Ok(stats)
     }
 }

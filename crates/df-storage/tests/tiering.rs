@@ -340,6 +340,104 @@ fn all_pinned_pool_serves_reads_through_the_bypass_path() {
     assert!(pool.stats().evictions >= 1);
 }
 
+#[test]
+fn crash_recovery_reregisters_segments_and_rebuilds_reads() {
+    let dir = test_dir("recovery");
+    let policy = ShardPolicy::single();
+
+    // First incarnation: ingest 3 one-second buckets, spill them all.
+    let (oracle, mut first) = tiered_pair(300);
+    let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_frames(8)));
+    let spilled = first
+        .spill_before(&policy, TimeNs(3_000_000_000), &pool, dir.path(), 7)
+        .expect("spill succeeds");
+    assert_eq!(spilled.segments, 3);
+    assert_eq!(spilled.spans, 300);
+    drop(first);
+    drop(pool); // crash: all in-memory state gone
+
+    // Plant a corrupt file matching the shard's naming scheme: recovery
+    // must count it, not die on it.
+    std::fs::write(
+        dir.path()
+            .join("shard0007-b000000000099-seg00009999.dfspan"),
+        b"torn spill",
+    )
+    .expect("write corrupt file");
+
+    // Second incarnation: fresh pool, fresh store, recover from disk.
+    let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_frames(8)));
+    let mut revived = SpanStore::new();
+    let recovered = revived
+        .recover_cold_segments(&pool, dir.path(), 7)
+        .expect("recovery succeeds");
+    assert_eq!(recovered.segments, 3, "every DFSPANS1 file re-registered");
+    assert_eq!(recovered.rejected_segments, 1, "corrupt file counted");
+    assert_eq!(recovered.rows, 300);
+    assert_eq!(recovered.orphan_rows, 0);
+    assert_eq!(revived.len(), 300);
+    assert_eq!(revived.cold_rows(), 300);
+
+    // Every read path agrees with the never-crashed oracle.
+    for i in 0..300u64 {
+        let id = SpanId(i + 1);
+        assert_eq!(
+            *oracle.get(id).expect("oracle has id"),
+            *revived.get(id).expect("revived store serves id"),
+        );
+    }
+    let q = SpanQuery::window(TimeNs(500_000_000), TimeNs(2_500_000_000));
+    let want: Vec<SpanId> = oracle.query(&q).iter().map(|s| s.span_id).collect();
+    let got: Vec<SpanId> = revived.query(&q).iter().map(|s| s.span_id).collect();
+    assert_eq!(want, got, "window query identical after recovery");
+    for i in 0..300u64 {
+        let key = 1_000 + i / 2;
+        assert_eq!(
+            revived.find_by_systrace(key).to_vec(),
+            oracle.find_by_systrace(key).to_vec(),
+            "association probe identical after recovery"
+        );
+    }
+    assert!(pool.stats().misses >= 3, "reads went through the new pool");
+}
+
+#[test]
+fn recovery_with_a_lost_middle_segment_adopts_only_the_prefix() {
+    let dir = test_dir("recovery-gap");
+    let policy = ShardPolicy::single();
+    let (_, mut first) = tiered_pair(300);
+    let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_frames(8)));
+    first
+        .spill_before(&policy, TimeNs(3_000_000_000), &pool, dir.path(), 0)
+        .expect("spill succeeds");
+    drop(first);
+    drop(pool);
+
+    // Lose the middle bucket's segment (rows 100..200).
+    let victim = std::fs::read_dir(dir.path())
+        .expect("read dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.to_str().unwrap().contains("-b000000000001-"))
+        .expect("middle segment exists");
+    std::fs::remove_file(&victim).expect("remove middle segment");
+
+    let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_frames(8)));
+    let mut revived = SpanStore::new();
+    let recovered = revived
+        .recover_cold_segments(&pool, dir.path(), 0)
+        .expect("recovery succeeds");
+    assert_eq!(recovered.segments, 2);
+    assert_eq!(recovered.rows, 100, "contiguous prefix only");
+    assert_eq!(
+        recovered.orphan_rows, 100,
+        "post-gap rows left for backfill"
+    );
+    assert_eq!(revived.len(), 100);
+    let mut want = span(99);
+    want.span_id = SpanId(100);
+    assert_eq!(*revived.get(SpanId(100)).expect("prefix row serves"), want);
+}
+
 /// The ISSUE's acceptance check: ingest ≥1M spans under a small frame
 /// budget, spill everything but the newest bucket, touch every cold
 /// segment, and assert the resident set never exceeds the budget.

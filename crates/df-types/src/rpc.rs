@@ -19,6 +19,18 @@
 //!   [`RpcBody::SpanFetchResponse`]) — the coordinator pulling one span by
 //!   `(shard, row)` address, e.g. the query's start span when its shard
 //!   lives on another node.
+//! * **Replication** — a shard primary forwards each accepted batch to
+//!   the shard's replicas as [`RpcBody::ReplicateBatch`] (the agent's
+//!   DFW1 bytes carried verbatim, same layout as a span batch) and
+//!   collects [`RpcBody::ReplicateAck`]s; the primary acks the agent
+//!   only once its write quorum is met.
+//! * **Anti-entropy** — replicas compare per-shard
+//!   `(row_watermark, content_digest)` summaries
+//!   ([`RpcBody::ShardSummaryRequest`] / [`RpcBody::ShardSummaryResponse`])
+//!   and a lagging replica pulls the missing contiguous row ranges from a
+//!   peer ([`RpcBody::RowRangeRequest`] / [`RpcBody::RowRangeResponse`]),
+//!   applying them through the same reorder buffer as live replication so
+//!   convergence is byte-identical.
 //!
 //! ## Framing
 //!
@@ -160,6 +172,66 @@ pub enum RpcBody {
         /// The span, if present and live.
         span: Option<Box<Span>>,
     },
+    /// Primary → replica forward of an accepted span batch. Same body
+    /// layout as [`RpcBody::SpanBatch`]; the distinct kind lets a replica
+    /// know it must *not* forward further, and lets a tap tell ingest
+    /// traffic from replication traffic.
+    ReplicateBatch {
+        /// Global shard index.
+        shard: u16,
+        /// Row the first span lands on.
+        start_row: u32,
+        /// The DFW1-encoded batch, forwarded verbatim — never re-encoded
+        /// between the agent and the last replica.
+        wire: Bytes,
+    },
+    /// Replica → primary acknowledgement of a [`RpcBody::ReplicateBatch`]
+    /// (same coordinates as the forwarded batch).
+    ReplicateAck {
+        /// Global shard index.
+        shard: u16,
+        /// Row the acknowledged batch started at.
+        start_row: u32,
+        /// Spans acknowledged.
+        count: u32,
+    },
+    /// Ask a peer replica for its per-shard anti-entropy summary.
+    ShardSummaryRequest {
+        /// Global shard index.
+        shard: u16,
+    },
+    /// A replica's anti-entropy summary: its contiguous applied-row
+    /// watermark and a content digest over those rows.
+    ShardSummaryResponse {
+        /// Echoed shard.
+        shard: u16,
+        /// Applied rows (the contiguous prefix; stashed out-of-order
+        /// batches beyond the first gap do not count).
+        rows: u32,
+        /// FNV-1a digest folded over the applied rows' DFW1 encodings.
+        digest: u64,
+    },
+    /// Pull a contiguous row range from a peer replica (anti-entropy
+    /// backfill of rows the requester is missing).
+    RowRangeRequest {
+        /// Global shard index.
+        shard: u16,
+        /// First row wanted.
+        start_row: u32,
+        /// Upper bound on rows returned.
+        max_rows: u32,
+    },
+    /// Answer to a [`RpcBody::RowRangeRequest`]: the rows the peer
+    /// actually holds from `start_row`, as one DFW1 batch (possibly
+    /// empty, possibly shorter than asked).
+    RowRangeResponse {
+        /// Echoed shard.
+        shard: u16,
+        /// Row the first returned span sits on.
+        start_row: u32,
+        /// The DFW1-encoded rows.
+        wire: Bytes,
+    },
 }
 
 impl RpcBody {
@@ -172,6 +244,12 @@ impl RpcBody {
             RpcBody::CandidateResponse { .. } => 4,
             RpcBody::SpanFetch { .. } => 5,
             RpcBody::SpanFetchResponse { .. } => 6,
+            RpcBody::ReplicateBatch { .. } => 7,
+            RpcBody::ReplicateAck { .. } => 8,
+            RpcBody::ShardSummaryRequest { .. } => 9,
+            RpcBody::ShardSummaryResponse { .. } => 10,
+            RpcBody::RowRangeRequest { .. } => 11,
+            RpcBody::RowRangeResponse { .. } => 12,
         }
     }
 
@@ -180,6 +258,16 @@ impl RpcBody {
     /// forwards reuse them verbatim.
     pub fn span_batch(shard: u16, start_row: u32, spans: &[Span]) -> RpcBody {
         RpcBody::SpanBatch {
+            shard,
+            start_row,
+            wire: Bytes::from(wire::encode_batch(spans)),
+        }
+    }
+
+    /// Build a [`RpcBody::RowRangeResponse`], encoding `spans` as one
+    /// DFW1 batch.
+    pub fn row_range_response(shard: u16, start_row: u32, spans: &[Span]) -> RpcBody {
+        RpcBody::RowRangeResponse {
             shard,
             start_row,
             wire: Bytes::from(wire::encode_batch(spans)),
@@ -261,6 +349,50 @@ impl RpcBody {
                     }
                 }
             }
+            RpcBody::ReplicateBatch {
+                shard,
+                start_row,
+                wire,
+            }
+            | RpcBody::RowRangeResponse {
+                shard,
+                start_row,
+                wire,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(wire);
+            }
+            RpcBody::ReplicateAck {
+                shard,
+                start_row,
+                count,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            RpcBody::ShardSummaryRequest { shard } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            RpcBody::ShardSummaryResponse {
+                shard,
+                rows,
+                digest,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            RpcBody::RowRangeRequest {
+                shard,
+                start_row,
+                max_rows,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(&max_rows.to_le_bytes());
+            }
         }
     }
 }
@@ -292,7 +424,7 @@ pub enum RpcDecodeError {
         actual: usize,
     },
     /// The header kind byte names no message kind in this protocol
-    /// version (valid kinds are 1–6).
+    /// version (valid kinds are 1–12).
     BadKind {
         /// The unassigned kind byte.
         kind: u8,
@@ -367,6 +499,24 @@ fn read_u32_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u32, WireDecod
     Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
+fn read_u64_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u64, WireDecodeError> {
+    let b = cur.take(8, ctx)?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+/// Read a `shard + start_row + verbatim DFW1 batch` body (the shared
+/// shape of span-batch, replicate-batch, and row-range-response bodies),
+/// validating the embedded batch header at the envelope boundary.
+fn read_verbatim_batch(cur: &mut Cursor<'_>) -> Result<(u16, u32, Bytes), RpcDecodeError> {
+    let shard = read_u16_le(cur, "shard")?;
+    let start_row = read_u32_le(cur, "start_row")?;
+    let raw = cur.take(cur.remaining(), "span_batch")?;
+    wire::peek_span_count(raw)?;
+    Ok((shard, start_row, Bytes::copy_from_slice(raw)))
+}
+
 /// Read a length-prefixed embedded DFW1 batch and decode it fully.
 fn read_embedded_batch(cur: &mut Cursor<'_>) -> Result<Vec<Span>, RpcDecodeError> {
     let len = cur.varint_u64("batch_len")? as usize;
@@ -378,17 +528,14 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
     let mut cur = Cursor::new(body);
     let decoded = match kind {
         1 => {
-            let shard = read_u16_le(&mut cur, "shard")?;
-            let start_row = read_u32_le(&mut cur, "start_row")?;
-            let raw = cur.take(cur.remaining(), "span_batch")?;
             // The batch travels verbatim; validate the DFW1 header now so
             // a corrupt or foreign-version payload fails at the envelope
             // boundary, not deep inside ingest.
-            wire::peek_span_count(raw)?;
+            let (shard, start_row, wire) = read_verbatim_batch(&mut cur)?;
             return Ok(RpcBody::SpanBatch {
                 shard,
                 start_row,
-                wire: Bytes::copy_from_slice(raw),
+                wire,
             });
         }
         2 => RpcBody::SpanBatchAck {
@@ -472,6 +619,40 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
                 }
             };
             RpcBody::SpanFetchResponse { shard, row, span }
+        }
+        7 => {
+            let (shard, start_row, wire) = read_verbatim_batch(&mut cur)?;
+            return Ok(RpcBody::ReplicateBatch {
+                shard,
+                start_row,
+                wire,
+            });
+        }
+        8 => RpcBody::ReplicateAck {
+            shard: read_u16_le(&mut cur, "shard")?,
+            start_row: read_u32_le(&mut cur, "start_row")?,
+            count: read_u32_le(&mut cur, "count")?,
+        },
+        9 => RpcBody::ShardSummaryRequest {
+            shard: read_u16_le(&mut cur, "shard")?,
+        },
+        10 => RpcBody::ShardSummaryResponse {
+            shard: read_u16_le(&mut cur, "shard")?,
+            rows: read_u32_le(&mut cur, "rows")?,
+            digest: read_u64_le(&mut cur, "digest")?,
+        },
+        11 => RpcBody::RowRangeRequest {
+            shard: read_u16_le(&mut cur, "shard")?,
+            start_row: read_u32_le(&mut cur, "start_row")?,
+            max_rows: read_u32_le(&mut cur, "max_rows")?,
+        },
+        12 => {
+            let (shard, start_row, wire) = read_verbatim_batch(&mut cur)?;
+            return Ok(RpcBody::RowRangeResponse {
+                shard,
+                start_row,
+                wire,
+            });
         }
         other => return Err(RpcDecodeError::BadKind { kind: other }),
     };
@@ -600,6 +781,29 @@ mod tests {
                 round: 0,
                 candidates: Vec::new(),
             },
+            RpcBody::ReplicateBatch {
+                shard: 3,
+                start_row: 17,
+                wire: Bytes::from(wire::encode_batch(std::slice::from_ref(&span))),
+            },
+            RpcBody::ReplicateAck {
+                shard: 3,
+                start_row: 17,
+                count: 1,
+            },
+            RpcBody::ShardSummaryRequest { shard: 6 },
+            RpcBody::ShardSummaryResponse {
+                shard: 6,
+                rows: 4096,
+                digest: 0xfeed_face_cafe_beef,
+            },
+            RpcBody::RowRangeRequest {
+                shard: 6,
+                start_row: 128,
+                max_rows: 512,
+            },
+            RpcBody::row_range_response(6, 128, std::slice::from_ref(&span)),
+            RpcBody::row_range_response(6, 0, &[]),
         ];
         for body in bodies {
             let env = RpcEnvelope { rpc_id: 77, body };
@@ -634,6 +838,37 @@ mod tests {
         assert_eq!(&payload[RPC_HEADER_LEN + 6..], &raw[..]);
         let back = RpcEnvelope::decode(&payload).expect("decodes");
         let RpcBody::SpanBatch { wire: w, .. } = back.body else {
+            panic!("wrong kind");
+        };
+        assert_eq!(wire::decode_batch(&w).expect("batch decodes"), spans);
+    }
+
+    #[test]
+    fn replicate_batch_forwards_the_ingest_bytes_verbatim() {
+        // A primary forwarding a batch to a replica reuses the exact bytes
+        // the agent shipped — only the kind byte differs on the wire.
+        let spans = vec![
+            Span::synthetic(TapSide::ClientProcess, 1, 2),
+            Span::synthetic(TapSide::ServerProcess, 3, 4),
+        ];
+        let ingest = RpcBody::span_batch(7, 100, &spans);
+        let RpcBody::SpanBatch { wire: carried, .. } = &ingest else {
+            unreachable!()
+        };
+        let forward = RpcBody::ReplicateBatch {
+            shard: 7,
+            start_row: 100,
+            wire: carried.clone(),
+        };
+        assert_eq!(forward.kind(), 7);
+        let payload = RpcEnvelope {
+            rpc_id: 11,
+            body: forward,
+        }
+        .encode();
+        assert_eq!(&payload[RPC_HEADER_LEN + 6..], &carried[..]);
+        let back = RpcEnvelope::decode(&payload).expect("decodes");
+        let RpcBody::ReplicateBatch { wire: w, .. } = back.body else {
             panic!("wrong kind");
         };
         assert_eq!(wire::decode_batch(&w).expect("batch decodes"), spans);
