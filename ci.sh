@@ -22,6 +22,13 @@ cargo run -q -p df-check --bin df-lint -- .
 echo "==> df-spec-sync (wire spec matches df_types::wire)"
 cargo run -q -p df-check --bin df-spec-sync -- .
 
+# Structure-aware static analysis (docs/LINTS.md): decoder
+# panic-totality over wire.rs/rpc.rs/persist.rs, the static lock-order
+# graph (AB/BA cycles fail; the model suite cross-checks it against
+# runtime-observed edges), and RPC-kind / presence-bit exhaustiveness.
+echo "==> df-audit (panic-totality, lock-order, spec exhaustiveness)"
+cargo run -q -p df-check --bin df-audit -- .
+
 echo "==> cargo test"
 cargo test --workspace -q
 

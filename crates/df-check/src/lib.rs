@@ -6,7 +6,7 @@
 //! all shard read locks through the cache store) was proven by one
 //! hand-rolled interleaving test. Every new lock or channel interaction
 //! multiplies the interleaving space faster than hand-written tests can
-//! cover it, so this crate provides systematic tooling in three layers:
+//! cover it, so this crate provides systematic tooling in four layers:
 //!
 //! 1. **[`sync`] — instrumented shims.** Drop-in stand-ins for
 //!    `std::sync::{Mutex, RwLock, Condvar, Arc}`,
@@ -35,11 +35,27 @@
 //!
 //! 3. **[`lint`] — the `df-lint` sync-discipline pass.** A token-level
 //!    source scan (no rustc internals) that bans raw `std::sync` imports
-//!    in `df-server`/`df-storage` (they must use these shims so the model
+//!    in the sync-scoped crates (they must use these shims so the model
 //!    tests stay honest), bans `.lock().unwrap()`-style lock unwraps
-//!    outside test code, and checks `#![forbid(unsafe_code)]` in every
-//!    first-party crate root. Shipped as the `df-lint` binary and wired
-//!    into `ci.sh`.
+//!    outside test code, checks `#![forbid(unsafe_code)]` in every
+//!    first-party crate root, confines `std::fs` to the tiering layer,
+//!    and bans OS threads (`thread::spawn`/`thread::scope`) inside
+//!    model-test files where they would escape the checked scheduler.
+//!    Shipped as the `df-lint` binary and wired into `ci.sh`.
+//!
+//! 4. **[`audit`] — the `df-audit` static analysis passes**, built on
+//!    the [`syntax`] lexer/item layer: panic-totality of the designated
+//!    total-decode modules (no `unwrap`/`panic!`, no slice indexing, no
+//!    unchecked length arithmetic — with a justification-required
+//!    `// df-audit: allow(...)` escape), a static lock-order graph
+//!    derived from shim call sites and call-graph propagation (AB/BA
+//!    cycles fail CI), and spec exhaustiveness via [`spec`] (every RPC
+//!    kind and presence bit: encode site + decode arm + doc-table row).
+//!    The lock graph is cross-checked against the edges the checked
+//!    scheduler actually observes ([`model::runtime_lock_edges`] /
+//!    [`audit::check_runtime_edges`]), so the heuristic static pass
+//!    cannot silently under-approximate. Rule catalogue:
+//!    `docs/LINTS.md`.
 //!
 //! The model tests that exercise the PR 3 invariants live next to the code
 //! they check, in `df-server/tests/df_check_models.rs`; this crate's own
@@ -66,10 +82,12 @@
 //! assert!(report.failure.is_none());
 //! ```
 
+pub mod audit;
 pub mod lint;
 pub mod model;
 pub mod spec;
 pub mod sync;
+pub mod syntax;
 
 #[cfg(any(feature = "checked", df_check))]
 mod sched;

@@ -2,7 +2,7 @@
 //! internals — a comment/string-aware scrubber plus token-sequence
 //! matching, so it is fast, dependency-free, and robust to formatting).
 //!
-//! Three rules, all motivated by keeping the model checker honest:
+//! Five rules, all motivated by keeping the model checker honest:
 //!
 //! 1. **No raw `std::sync` in the sync-scoped crates** (`df-server`,
 //!    `df-storage`). Code there must import the [`crate::sync`] shims, or
@@ -21,6 +21,11 @@
 //!    filesystem. Anywhere else — an ingest worker, a shard, the buffer
 //!    pool itself — direct file IO would run under shard locks and
 //!    bypass the disk scheduler's queue, counters and shutdown drain.
+//! 5. **No OS threads in model-test files**: `thread::spawn` /
+//!    `std::thread::scope` in a `*df_check_models*.rs` suite spawns a
+//!    thread the model scheduler cannot pause or order, silently turning
+//!    exhaustive exploration into a plain racy run; model code must use
+//!    [`crate::model::spawn`].
 //!
 //! Run as `cargo run -p df-check --bin df-lint -- <repo-root>`; wired
 //! into `ci.sh`. Exits nonzero iff any violation is found.
@@ -248,8 +253,9 @@ fn line_of(src: &str, offset: usize) -> usize {
 
 /// Byte ranges of `#[cfg(test)] ... { ... }` regions (attribute through
 /// the matching close brace of the next block), where the lock-unwrap
-/// rule does not apply.
-fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+/// rule does not apply. Also used by the `df-audit` structural layer
+/// ([`crate::syntax`]) to mark items as test code.
+pub(crate) fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
     let b = scrubbed.as_bytes();
     let mut regions = Vec::new();
     let mut i = 0;
@@ -376,6 +382,48 @@ pub fn lint_source(file: &Path, source: &str, sync_scoped: bool) -> Vec<Violatio
     out
 }
 
+/// File-name predicate for the model-test-file rule: the df-check model
+/// suites are `*df_check_models*.rs` under a crate's `tests/` directory.
+pub fn is_model_test_file(file: &Path) -> bool {
+    file.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.contains("df_check_models") && n.ends_with(".rs"))
+}
+
+/// Rule 5: OS threads in model-test files. `thread::spawn` and
+/// `thread::scope` (with or without a `std::` prefix) create threads the
+/// model scheduler cannot pause or order, so a model suite using them
+/// silently degrades from exhaustive exploration to one racy run.
+pub fn lint_model_test_source(file: &Path, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let scrubbed = scrub(source);
+    let b = scrubbed.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let boundary = i == 0 || !is_ident(b[i - 1]);
+        if boundary && b[i] == b't' {
+            for m in ["spawn", "scope"] {
+                if let Some(end) = match_tokens(b, i, &["thread", "::", m]) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_of(&scrubbed, i),
+                        rule: "model-thread-spawn",
+                        message: format!(
+                            "thread::{m} in a model-test file spawns an OS thread the model \
+                             scheduler cannot see; use df_check::model::spawn so the checker \
+                             controls every interleaving"
+                        ),
+                    });
+                    i = end;
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Tree walking
 // ---------------------------------------------------------------------
@@ -439,6 +487,17 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
                         .map_err(|e| format!("read {}: {e}", file.display()))?;
                     violations.extend(lint_source(&file, &source, true));
                 }
+            }
+        }
+        // Rule 5 applies to every crate's model-test suites.
+        let tests_dir = crate_dir.join("tests");
+        if tests_dir.is_dir() {
+            let mut files = Vec::new();
+            rust_files(&tests_dir, &mut files)?;
+            for file in files.into_iter().filter(|f| is_model_test_file(f)) {
+                let source = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("read {}: {e}", file.display()))?;
+                violations.extend(lint_model_test_source(&file, &source));
             }
         }
     }
@@ -517,6 +576,30 @@ mod tests {
         // `std::fmt` and a local `fs` module are not `std::fs`.
         let ok = "use std::fmt;\nmod fs { pub fn read() {} }\npub fn g() { fs::read(); }";
         assert!(lint_source(Path::new("store.rs"), ok, true).is_empty());
+    }
+
+    #[test]
+    fn flags_os_threads_in_model_test_files() {
+        assert!(is_model_test_file(Path::new(
+            "crates/df-server/tests/df_check_models.rs"
+        )));
+        assert!(!is_model_test_file(Path::new(
+            "crates/df-server/tests/concurrency.rs"
+        )));
+
+        let bad = "fn round() { let t = std::thread::spawn(|| {}); t.join().unwrap(); }\n\
+                   fn scoped() { thread::scope(|s| { s.spawn(|| {}); }); }";
+        let v = lint_model_test_source(Path::new("df_check_models.rs"), bad);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "model-thread-spawn"));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+
+        // model::spawn is the sanctioned API; a local `spawn` helper and
+        // commented-out thread::spawn are fine too.
+        let ok = "fn round() { let t = model::spawn(|| {}); t.join(); }\n\
+                  // thread::spawn(|| {});\nfn h() { spawn(); }";
+        assert!(lint_model_test_source(Path::new("df_check_models.rs"), ok).is_empty());
     }
 
     #[test]

@@ -238,6 +238,23 @@ where
     }
 }
 
+/// Every lock-order edge observed by model executions in this process,
+/// as `(held, acquired)` lock-creation-site pairs formatted `file:line`.
+/// `df-audit`'s static/dynamic cross-check feeds these to
+/// [`crate::audit::check_runtime_edges`] to assert the static lock-order
+/// graph predicted every edge the model suite actually exercised.
+#[cfg(any(feature = "checked", df_check))]
+pub fn runtime_lock_edges() -> Vec<(String, String)> {
+    crate::sched::runtime_lock_edges()
+}
+
+/// Unchecked fallback: plain `std` locks record nothing, so the runtime
+/// lock-order graph is empty.
+#[cfg(not(any(feature = "checked", df_check)))]
+pub fn runtime_lock_edges() -> Vec<(String, String)> {
+    Vec::new()
+}
+
 /// [`explore`] with a test-friendly contract: panic with the rendered
 /// interleaving (and replayable decision vector) on any failure, return
 /// the report otherwise.

@@ -56,6 +56,35 @@ pub fn next_instance() -> u64 {
     INSTANCES.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Process-global registry of every lock-order edge any model execution
+/// has observed, as `(held, acquired)` creation-site pairs formatted
+/// `file:line`. `df-audit`'s static/dynamic cross-check reads this after
+/// the model suite runs to assert every runtime edge was statically
+/// predicted (see [`crate::audit::check_runtime_edges`]).
+static RUNTIME_LOCK_EDGES: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+fn record_runtime_edge(held: &'static Location<'static>, acquired: &'static Location<'static>) {
+    let pair = (
+        format!("{}:{}", held.file(), held.line()),
+        format!("{}:{}", acquired.file(), acquired.line()),
+    );
+    let mut reg = RUNTIME_LOCK_EDGES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !reg.contains(&pair) {
+        reg.push(pair);
+    }
+}
+
+/// Every lock-order edge recorded by model executions in this process,
+/// as `(held creation site, acquired creation site)` `file:line` pairs.
+pub(crate) fn runtime_lock_edges() -> Vec<(String, String)> {
+    RUNTIME_LOCK_EDGES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
 /// What kind of shim object an [`ObjId`] refers to (for reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ObjKind {
@@ -738,6 +767,7 @@ fn acquire_obj(g: &mut SchedInner, tid: Tid, obj: ObjId, mode: Mode) {
     for (h, hm) in held {
         if h != obj {
             g.lock_edges.entry((h, obj)).or_insert((hm, mode));
+            record_runtime_edge(g.objs[h].created, g.objs[obj].created);
         }
     }
     match mode {

@@ -1,0 +1,382 @@
+//! Structural layer for `df-audit`: a minimal Rust lexer and a
+//! brace-matched item scanner, built on the same scrubbed-source
+//! foundation as [`crate::lint`] (no rustc internals, std-only).
+//!
+//! The lexer turns a [`crate::lint::scrub`]-ed source into a flat token
+//! stream (identifiers, numbers, punctuation — multi-character operators
+//! like `::`, `->`, `+=` are single tokens, which is what disambiguates
+//! a binary minus from the arrow in `fn f() -> T`). The item scanner
+//! attributes byte ranges to named `fn` items, tracking the attributes
+//! on each item so passes can tell test code (`#[test]`, `#[cfg(test)]`)
+//! from production code.
+//!
+//! This is deliberately *not* a Rust parser: it understands exactly as
+//! much structure as the audit passes need — token classes, brace
+//! nesting, and item boundaries — and nothing more. The passes built on
+//! it are heuristic by design; the runtime cross-check in
+//! [`crate::audit`] is what keeps the heuristics honest.
+
+use crate::lint::scrub;
+
+/// Token classes produced by [`lex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `self`).
+    Ident,
+    /// Numeric literal (`42`, `0xFF`, `1_000`).
+    Number,
+    /// Punctuation; multi-character operators are one token (`::`, `->`,
+    /// `=>`, `..=`, `+=`, `<<`, …).
+    Punct,
+}
+
+/// One token of a scrubbed source file.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// Byte offset in the scrubbed source (scrubbing preserves offsets,
+    /// so this indexes the original file too).
+    pub off: usize,
+}
+
+/// Multi-character operators, longest first so `..=` wins over `..`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "<<", ">>", "==", "!=", "<=", ">=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Rust keywords (strict + reserved-in-use); identifiers in this set are
+/// never treated as lock names, call targets, or index receivers.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Is `s` a Rust keyword?
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex a scrubbed source file into tokens. Lifetimes are dropped whole
+/// (`'a` produces no token — otherwise `&'a [u8]` in a signature would
+/// read as identifier-then-index); string/char/comment contents were
+/// already blanked by the scrubber, so a surviving tick is always a
+/// lifetime.
+pub fn lex(scrubbed: &str) -> Vec<Token<'_>> {
+    let b = scrubbed.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if (c as char).is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'\'' {
+            i += 1;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            // Numbers swallow alphanumerics and `_` (covers 0xFF, 1u32,
+            // 1_000, 2.5 without the dot — `2.5` lexes as Number(2),
+            // Punct(.), Number(5), which is fine for our purposes: a
+            // float never carries a length).
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokenKind::Number,
+                text: &scrubbed[start..i],
+                off: start,
+            });
+            continue;
+        }
+        if is_ident_byte(c) {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident,
+                text: &scrubbed[start..i],
+                off: start,
+            });
+            continue;
+        }
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let ob = op.as_bytes();
+            if b.len() - i >= ob.len() && &b[i..i + ob.len()] == ob {
+                toks.push(Token {
+                    kind: TokenKind::Punct,
+                    text: &scrubbed[i..i + ob.len()],
+                    off: i,
+                });
+                i += ob.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        toks.push(Token {
+            kind: TokenKind::Punct,
+            text: &scrubbed[i..i + 1],
+            off: i,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// A named `fn` item found by [`scan_items`].
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Byte offset of the name token.
+    pub name_off: usize,
+    /// Token-index range of the body, *exclusive* of the outer braces.
+    pub body_tokens: (usize, usize),
+    /// Byte range of the body, inclusive of the outer braces.
+    pub body_bytes: (usize, usize),
+    /// True when the item carries `#[test]` / `#[cfg(test)]` directly or
+    /// sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// Does this item's body contain byte offset `off`?
+    pub fn contains(&self, off: usize) -> bool {
+        off >= self.body_bytes.0 && off < self.body_bytes.1
+    }
+}
+
+/// Byte ranges of `#[cfg(test)] …{…}` regions, re-exported from the lint
+/// layer for passes that work on offsets rather than items.
+pub fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+    crate::lint::test_regions(scrubbed)
+}
+
+/// Scan a token stream for `fn` items. Nested `fn`s each get their own
+/// entry; [`innermost_fn`] resolves a byte offset to the tightest one.
+pub fn scan_items(toks: &[Token<'_>], scrubbed: &str) -> Vec<FnItem> {
+    let tests = test_regions(scrubbed);
+    let in_test_region = |off: usize| -> bool { tests.iter().any(|&(a, z)| off >= a && off <= z) };
+    let mut items = Vec::new();
+    // Attributes seen since the last item-ish token, as flattened text
+    // (`cfg(test)`, `test`, `track_caller`). Reset on any `;`/`{`/`}` at
+    // the scan level so expression `#[…]` noise cannot leak across items.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == TokenKind::Punct && t.text == "#" {
+            // `#[…]` or `#![…]`: collect the bracketed tokens.
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].text == "!" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let mut depth = 0usize;
+                let start = j;
+                while j < toks.len() {
+                    match toks[j].text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let flat: String = toks[start + 1..j.min(toks.len())]
+                    .iter()
+                    .map(|t| t.text)
+                    .collect();
+                pending_attrs.push(flat);
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident && t.text == "fn" {
+            // `fn` then the name; skip the signature (which may contain
+            // parens, generics, `->`, `where`) to the first `{` or `;` at
+            // bracket depth zero.
+            if let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                let mut j = i + 2;
+                let mut paren = 0isize;
+                let mut bracket = 0isize;
+                let body_open = loop {
+                    if j >= toks.len() {
+                        break None;
+                    }
+                    match toks[j].text {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        "{" if paren == 0 && bracket == 0 => break Some(j),
+                        ";" if paren == 0 && bracket == 0 => break None,
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                if let Some(open) = body_open {
+                    let mut depth = 0usize;
+                    let mut k = open;
+                    while k < toks.len() {
+                        match toks[k].text {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let close = k.min(toks.len() - 1);
+                    let attr_test = pending_attrs
+                        .iter()
+                        .any(|a| a == "test" || a.contains("cfg(test"));
+                    items.push(FnItem {
+                        name: name_tok.text.to_string(),
+                        name_off: name_tok.off,
+                        body_tokens: (open + 1, close),
+                        body_bytes: (toks[open].off, toks[close].off + 1),
+                        in_test: attr_test || in_test_region(name_tok.off),
+                    });
+                }
+                pending_attrs.clear();
+                // Continue *into* the signature/body so nested fns are
+                // found too.
+                i += 2;
+                continue;
+            }
+        }
+        if matches!(t.text, ";" | "{" | "}") {
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+    items
+}
+
+/// The innermost `fn` item whose body contains byte offset `off`.
+pub fn innermost_fn(items: &[FnItem], off: usize) -> Option<&FnItem> {
+    items
+        .iter()
+        .filter(|f| f.contains(off))
+        .min_by_key(|f| f.body_bytes.1 - f.body_bytes.0)
+}
+
+/// Convenience: scrub + lex in one call, returning the scrubbed source
+/// (token texts borrow from it).
+pub fn scrub_source(source: &str) -> String {
+    scrub(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        let s = scrub(src);
+        lex(&s).iter().map(|t| t.text.to_string()).collect()
+    }
+
+    #[test]
+    fn lexes_multi_char_operators_as_single_tokens() {
+        let t = texts("fn f(a: &mut usize) -> u32 { *a += 1; a::b(c..=d) }");
+        assert!(t.contains(&"->".to_string()));
+        assert!(t.contains(&"+=".to_string()));
+        assert!(t.contains(&"::".to_string()));
+        assert!(t.contains(&"..=".to_string()));
+        // `->` must not produce a lone binary minus.
+        assert!(!t.contains(&"-".to_string()));
+    }
+
+    #[test]
+    fn lexes_numbers_and_idents() {
+        let s = scrub("let x1 = 0xFF + 1_000;");
+        let toks = lex(&s);
+        let kinds: Vec<_> = toks.iter().map(|t| (t.kind, t.text)).collect();
+        assert!(kinds.contains(&(TokenKind::Ident, "x1")));
+        assert!(kinds.contains(&(TokenKind::Number, "0xFF")));
+        assert!(kinds.contains(&(TokenKind::Number, "1_000")));
+    }
+
+    #[test]
+    fn scan_finds_fns_and_bodies() {
+        let src = "pub fn outer(x: u32) -> u32 { inner(x) }\nfn inner(x: u32) -> u32 { x + 1 }";
+        let s = scrub(src);
+        let toks = lex(&s);
+        let items = scan_items(&toks, &s);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[1].name, "inner");
+        assert!(!items[0].in_test);
+        let call_off = src.find("inner(x)").unwrap();
+        assert_eq!(innermost_fn(&items, call_off).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn fn_signature_with_generics_and_where_clause() {
+        let src = "fn g<T: Clone>(v: Vec<[u8; 4]>) -> Option<T> where T: Default { None }";
+        let s = scrub(src);
+        let items = scan_items(&lex(&s), &s);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "g");
+        let body = &src[items[0].body_bytes.0..items[0].body_bytes.1];
+        assert_eq!(body, "{ None }");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self) -> u32; fn with_default(&self) -> u32 { 1 } }";
+        let s = scrub(src);
+        let items = scan_items(&lex(&s), &s);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "with_default");
+    }
+
+    #[test]
+    fn test_attribute_and_cfg_test_region_mark_items() {
+        let src = "#[test]\nfn t() { assert!(true) }\n\
+                   #[cfg(test)]\nmod tests { fn helper() {} }\n\
+                   fn prod() {}";
+        let s = scrub(src);
+        let items = scan_items(&lex(&s), &s);
+        let by_name = |n: &str| items.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("t").in_test);
+        assert!(by_name("helper").in_test);
+        assert!(!by_name("prod").in_test);
+    }
+
+    #[test]
+    fn nested_fn_resolution_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { let x = 1; } inner(); }";
+        let s = scrub(src);
+        let items = scan_items(&lex(&s), &s);
+        assert_eq!(items.len(), 2);
+        let off = src.find("let x").unwrap();
+        assert_eq!(innermost_fn(&items, off).unwrap().name, "inner");
+    }
+}

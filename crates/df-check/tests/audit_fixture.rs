@@ -1,0 +1,213 @@
+//! Fixture tests for the `df-audit` binary: each rule's seed (see
+//! `audit_fixtures/README.md`) planted in the base tree must fail with
+//! the rule's name and the violating `file:line`, the untouched base
+//! tree must pass, and the shipped repository tree must pass. The
+//! model-thread-spawn seed exercises `df-lint` (rule 5) the same way.
+//! These run in every build mode (no `checked` feature needed).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("audit_fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    // crates/df-check -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("df-check lives at <repo>/crates/df-check")
+        .to_path_buf()
+}
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    /// A temp tree seeded with a full copy of `audit_fixtures/base/`.
+    fn from_base(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("df-audit-fixture-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        copy_tree(&fixtures_dir().join("base"), &root);
+        Fixture { root }
+    }
+
+    /// Overwrite (or create) `rel` with the named seed file's contents.
+    fn plant(&self, seed: &str, rel: &str) {
+        let contents = std::fs::read_to_string(fixtures_dir().join("seeds").join(seed))
+            .expect("read seed file");
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create fixture dirs");
+        std::fs::write(&path, contents).expect("write seeded file");
+    }
+
+    fn run(&self, bin: &str) -> (bool, String) {
+        let exe = match bin {
+            "df-audit" => env!("CARGO_BIN_EXE_df-audit"),
+            "df-lint" => env!("CARGO_BIN_EXE_df-lint"),
+            other => panic!("unknown fixture binary {other}"),
+        };
+        let output = Command::new(exe)
+            .arg(&self.root)
+            .output()
+            .unwrap_or_else(|e| panic!("run {bin}: {e}"));
+        let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+        (output.status.success(), stderr)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create fixture dir");
+    for entry in std::fs::read_dir(from).expect("read fixture base") {
+        let entry = entry.expect("fixture entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            std::fs::copy(&src, &dst).expect("copy fixture file");
+        }
+    }
+}
+
+/// Plant one seed over `rel`, run df-audit, and assert it fails naming
+/// `rule` and each of `expect` (rule names and `file:line` anchors).
+fn seeded_audit_fails(tag: &str, seed: &str, rel: &str, expect: &[&str]) {
+    let fx = Fixture::from_base(tag);
+    fx.plant(seed, rel);
+    let (ok, stderr) = fx.run("df-audit");
+    assert!(
+        !ok,
+        "df-audit must exit nonzero on {seed}; stderr:\n{stderr}"
+    );
+    for needle in expect {
+        assert!(
+            stderr.contains(needle),
+            "stderr for {seed} must contain {needle:?}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn base_tree_passes_both_binaries() {
+    let fx = Fixture::from_base("clean");
+    let (audit_ok, audit_err) = fx.run("df-audit");
+    assert!(audit_ok, "df-audit must pass the base tree:\n{audit_err}");
+    let (lint_ok, lint_err) = fx.run("df-lint");
+    assert!(lint_ok, "df-lint must pass the base tree:\n{lint_err}");
+}
+
+#[test]
+fn seeded_unwrap_fails_panic_totality() {
+    seeded_audit_fails(
+        "panic",
+        "decode_panic.rs",
+        "crates/df-types/src/wire.rs",
+        &["decode-panic", "crates/df-types/src/wire.rs:16"],
+    );
+}
+
+#[test]
+fn seeded_indexing_fails_panic_totality() {
+    seeded_audit_fails(
+        "index",
+        "decode_index.rs",
+        "crates/df-types/src/wire.rs",
+        &["decode-index", "crates/df-types/src/wire.rs:16"],
+    );
+}
+
+#[test]
+fn seeded_length_arithmetic_fails_panic_totality() {
+    seeded_audit_fails(
+        "arith",
+        "decode_arith.rs",
+        "crates/df-types/src/wire.rs",
+        &["decode-arith", "crates/df-types/src/wire.rs:16"],
+    );
+}
+
+#[test]
+fn unjustified_allow_fails_the_audit_itself() {
+    seeded_audit_fails(
+        "allow",
+        "empty_allow.rs",
+        "crates/df-types/src/wire.rs",
+        &[
+            "audit-allow",
+            "crates/df-types/src/wire.rs:17",
+            "decode-index",
+            "crates/df-types/src/wire.rs:18",
+        ],
+    );
+}
+
+#[test]
+fn seeded_ab_ba_nesting_fails_lock_order() {
+    seeded_audit_fails(
+        "cycle",
+        "lock_cycle.rs",
+        "crates/df-server/src/lib.rs",
+        &["lock-order", "crates/df-server/src/lib.rs"],
+    );
+}
+
+#[test]
+fn seeded_undeclared_decode_arm_fails_spec_exhaustiveness() {
+    seeded_audit_fails(
+        "spec",
+        "spec_gap.rs",
+        "crates/df-types/src/rpc.rs",
+        &["spec-exhaustive", "crates/df-types/src/rpc.rs", "kind 3"],
+    );
+}
+
+#[test]
+fn seeded_os_thread_in_model_suite_fails_df_lint() {
+    let fx = Fixture::from_base("spawn");
+    fx.plant(
+        "model_spawn.rs",
+        "crates/df-server/tests/df_check_models.rs",
+    );
+    let (ok, stderr) = fx.run("df-lint");
+    assert!(!ok, "df-lint must exit nonzero; stderr:\n{stderr}");
+    for needle in [
+        "model-thread-spawn",
+        "df_check_models.rs:7",
+        "df_check_models.rs:12",
+    ] {
+        assert!(
+            stderr.contains(needle),
+            "stderr must contain {needle:?}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn shipped_tree_audits_clean() {
+    let root = repo_root();
+    assert!(
+        root.join("crates").join("df-types").is_dir(),
+        "repo layout changed? {root:?}"
+    );
+    let output = Command::new(env!("CARGO_BIN_EXE_df-audit"))
+        .arg(&root)
+        .output()
+        .expect("run df-audit");
+    assert!(
+        output.status.success(),
+        "shipped tree must audit clean:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -1,0 +1,10 @@
+//! Fixture segment codec: declares no presence bits (so the segment doc
+//! needs no table), and decodes totally.
+
+pub fn header_len() -> usize {
+    16
+}
+
+pub fn magic_ok(b: &[u8]) -> bool {
+    b.get(..4) == Some(b"DFS1".as_slice())
+}

@@ -1,0 +1,21 @@
+//! Fixture RPC codec: two kinds, every one declared, encoded, decoded.
+
+pub const RPC_KINDS: &[(&str, u8)] = &[("SpanBatch", 1), ("SpanBatchAck", 2)];
+
+impl RpcBody {
+    pub fn kind(&self) -> u8 {
+        match self {
+            RpcBody::SpanBatch { .. } => 1,
+            RpcBody::SpanBatchAck { .. } => 2,
+        }
+    }
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
+    let decoded = match kind {
+        1 => RpcBody::SpanBatch {},
+        2 => RpcBody::SpanBatchAck {},
+        other => return Err(RpcDecodeError::UnknownKind(other)),
+    };
+    Ok(decoded)
+}

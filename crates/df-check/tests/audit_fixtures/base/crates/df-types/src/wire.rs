@@ -1,0 +1,17 @@
+//! Fixture wire codec: total decode, two presence bits, no violations.
+
+pub const F_A: u32 = 1 << 0;
+pub const F_B: u32 = 1 << 1;
+
+pub fn encode(flags: &mut u32) {
+    *flags |= F_A;
+    *flags |= F_B;
+}
+
+pub fn decode(flags: u32) -> (bool, bool) {
+    (flags & F_A != 0, flags & F_B != 0)
+}
+
+pub fn first(b: &[u8]) -> Option<u8> {
+    b.first().copied()
+}

@@ -1,0 +1,17 @@
+//! Seed: unchecked `+` on a length in a total-decode module (line 16).
+
+pub const F_A: u32 = 1 << 0;
+pub const F_B: u32 = 1 << 1;
+
+pub fn encode(flags: &mut u32) {
+    *flags |= F_A;
+    *flags |= F_B;
+}
+
+pub fn decode(flags: u32) -> (bool, bool) {
+    (flags & F_A != 0, flags & F_B != 0)
+}
+
+pub fn frame_len(b: &[u8]) -> usize {
+    b.len() + 5
+}

@@ -1,0 +1,23 @@
+//! Seed: `decode_body` grows an arm for kind 3, which is neither in
+//! `RPC_KINDS` nor in the doc table — the spec pass must flag it.
+
+pub const RPC_KINDS: &[(&str, u8)] = &[("SpanBatch", 1), ("SpanBatchAck", 2)];
+
+impl RpcBody {
+    pub fn kind(&self) -> u8 {
+        match self {
+            RpcBody::SpanBatch { .. } => 1,
+            RpcBody::SpanBatchAck { .. } => 2,
+        }
+    }
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
+    let decoded = match kind {
+        1 => RpcBody::SpanBatch {},
+        2 => RpcBody::SpanBatchAck {},
+        3 => RpcBody::SpanBatchAck {},
+        other => return Err(RpcDecodeError::UnknownKind(other)),
+    };
+    Ok(decoded)
+}

@@ -70,7 +70,7 @@ use crate::sharded::{finish_assembly, phase1_members, Bucket, Loc, PARALLEL_MIN_
 use crate::trace_cache::{BucketGens, CacheOutcome, TraceCache};
 use df_check::sync::atomic::{AtomicUsize, Ordering};
 use df_check::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use df_check::sync::{Arc, Condvar, Mutex, RwLock};
+use df_check::sync::{Arc, Condvar, Mutex, Once, RwLock};
 use df_storage::{BufferPool, ShardPolicy, SpanQuery, SpanStore, SpillStats, TierConfig};
 use df_types::trace::Trace;
 use df_types::wire::{self, WireDecodeError};
@@ -426,6 +426,9 @@ pub struct ConcurrentShardedStore {
     /// Hot/cold tiering: the shared buffer pool and spill directory, if
     /// enabled via [`ConcurrentShardedStore::with_tiering`].
     tier: Option<(Arc<BufferPool>, TierConfig)>,
+    /// One-shot spill-directory setup, run by whichever spill call gets
+    /// there first (spills may race from maintenance threads).
+    tier_init: Once,
 }
 
 impl ConcurrentShardedStore {
@@ -476,6 +479,7 @@ impl ConcurrentShardedStore {
             cache: Mutex::new(TraceCache::new()),
             stats: Mutex::new(ServerStats::default()),
             tier: None,
+            tier_init: Once::new(),
         }
     }
 
@@ -514,6 +518,20 @@ impl ConcurrentShardedStore {
                 "tiering not enabled on this store",
             ));
         };
+        // First spill through this store creates the spill directory; the
+        // `Once` makes racing spill calls agree on exactly one creator. A
+        // failure here is not cached — the disk scheduler re-creates
+        // parent directories per write, so a transient error surfaces
+        // again (with the write's context) instead of wedging the store.
+        let mut init_err = None;
+        self.tier_init.call_once(|| {
+            if let Err(e) = df_storage::persist::ensure_dir(&tier.dir) {
+                init_err = Some(e);
+            }
+        });
+        if let Some(e) = init_err {
+            return Err(e);
+        }
         let mut total = SpillStats::default();
         for (si, slot) in self.slots.iter().enumerate() {
             total.merge(

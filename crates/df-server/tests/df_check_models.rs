@@ -305,3 +305,77 @@ fn bounded_staleness_drift_never_exceeds_the_window() {
     });
     assert!(report.complete);
 }
+
+// ---------------------------------------------------------------------
+// Static/dynamic lock-order cross-check (df-audit).
+// ---------------------------------------------------------------------
+
+/// One bounded round of the production nesting discipline, miniaturized:
+/// the worker drains under the shard write lock and bumps generations
+/// (store -> gens); the assembler reads the shard, consults the trace
+/// cache, and validates generations (store -> cache -> gens). These are
+/// exactly the acquisition orders `ConcurrentShardedStore` uses, so the
+/// runtime edges this round records must all be predicted by df-audit's
+/// static lock-order graph.
+fn nested_discipline_round() {
+    let store = Arc::new(RwLock::new(0u64));
+    let cache = Arc::new(Mutex::new(0u64));
+    let gens = Arc::new(Mutex::new(0u64));
+    let worker = {
+        let store = Arc::clone(&store);
+        let gens = Arc::clone(&gens);
+        model::spawn(move || {
+            let mut s = store.write().expect("shard lock");
+            *s += 1;
+            let mut g = gens.lock().expect("gen table");
+            *g += 1;
+            drop(g);
+            drop(s);
+        })
+    };
+    let assembler = {
+        let store = Arc::clone(&store);
+        let cache = Arc::clone(&cache);
+        let gens = Arc::clone(&gens);
+        model::spawn(move || {
+            let s = store.read().expect("shard lock");
+            let mut c = cache.lock().expect("trace cache");
+            let g = gens.lock().expect("gen table");
+            *c = (*s).wrapping_add(*g);
+            drop(g);
+            drop(c);
+            drop(s);
+        })
+    };
+    worker.join();
+    assembler.join();
+}
+
+/// The df-audit cross-check: every lock-order edge the scheduler records
+/// at runtime (by lock *creation site*) must be an edge the static
+/// analysis predicted. A gap here means `df_check::audit` has a blind
+/// spot — the static cycle check could then silently miss a real
+/// inversion, so a gap fails CI.
+#[test]
+fn static_lock_graph_predicts_every_runtime_edge() {
+    if !checked_or_skip() {
+        return;
+    }
+    let report = model::check(budget(), nested_discipline_round);
+    assert!(
+        report.lock_cycles.is_empty(),
+        "discipline must stay acyclic"
+    );
+
+    let runtime = model::runtime_lock_edges();
+    assert!(!runtime.is_empty(), "the model run must record lock edges");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = df_check::audit::analyze_locks(&root).expect("static lock analysis");
+    let gaps = df_check::audit::check_runtime_edges(&analysis, &runtime);
+    assert!(
+        gaps.is_empty(),
+        "static graph missed runtime edges:\n{}",
+        gaps.join("\n")
+    );
+}

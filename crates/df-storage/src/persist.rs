@@ -66,7 +66,7 @@ pub fn write_segment(table: &TagTable, path: &Path) -> io::Result<u64> {
     f.write_all(&(body.len() as u64).to_le_bytes())?;
     f.write_all(&body)?;
     f.flush()?;
-    Ok(8 + 8 + body.len() as u64)
+    Ok((body.len() as u64).saturating_add(16))
 }
 
 /// Validate a segment file's header and return the body length it
@@ -77,14 +77,21 @@ pub fn read_segment_header(path: &Path) -> io::Result<u64> {
     let mut header = [0u8; 16];
     f.read_exact(&mut header)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad segment magic"))?;
-    if &header[..8] != SEGMENT_MAGIC {
+    let (magic, len_bytes) = header.split_at(8);
+    if magic != SEGMENT_MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad segment magic",
         ));
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    if fs::metadata(path)?.len() != 16 + len {
+    let len = u64::from_le_bytes(
+        len_bytes
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad segment header"))?,
+    );
+    // checked_sub instead of `16 + len`: a hostile declared length near
+    // u64::MAX must not wrap the comparison around.
+    if fs::metadata(path)?.len().checked_sub(16) != Some(len) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "segment length mismatch",
@@ -129,11 +136,12 @@ fn invalid(msg: &str) -> io::Error {
 /// images are derived here so a future reader can rebuild index state
 /// without decoding the DFW1 batch.
 pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
+    // df-audit: allow(decode-panic) — encode-side API contract on in-process data, not wire input
     assert_eq!(spans.len(), rows.len(), "spans and rows must be parallel");
 
     let span_bytes = wire::encode_batch(spans);
 
-    let mut row_bytes = Vec::with_capacity(4 + rows.len() * 4);
+    let mut row_bytes = Vec::with_capacity(rows.len().saturating_mul(4).saturating_add(4));
     row_bytes.extend_from_slice(&(rows.len() as u32).to_le_bytes());
     for &row in rows {
         row_bytes.extend_from_slice(&row.to_le_bytes());
@@ -145,7 +153,7 @@ pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
         .map(|(i, s)| (s.req_time.as_nanos(), i as u32))
         .collect();
     time_pairs.sort_unstable();
-    let mut time_bytes = Vec::with_capacity(4 + time_pairs.len() * 12);
+    let mut time_bytes = Vec::with_capacity(time_pairs.len().saturating_mul(12).saturating_add(4));
     time_bytes.extend_from_slice(&(time_pairs.len() as u32).to_le_bytes());
     for &(ts, off) in &time_pairs {
         time_bytes.extend_from_slice(&ts.to_le_bytes());
@@ -153,28 +161,31 @@ pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
     }
 
     let mut assoc: [Vec<(u128, u32)>; 5] = Default::default();
-    for (i, s) in spans.iter().enumerate() {
-        let off = i as u32;
-        for v in [s.systrace_id_req, s.systrace_id_resp]
-            .into_iter()
-            .flatten()
-        {
-            assoc[0].push((u128::from(v.raw()), off));
-        }
-        if let Some(p) = s.pseudo_thread_id {
-            assoc[1].push((u128::from(p.raw()), off));
-        }
-        for v in [s.x_request_id_req, s.x_request_id_resp]
-            .into_iter()
-            .flatten()
-        {
-            assoc[2].push((v.0, off));
-        }
-        for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
-            assoc[3].push((u128::from(v), off));
-        }
-        if let Some(t) = s.otel_trace_id {
-            assoc[4].push((t.0, off));
+    {
+        let [a_systrace, a_pseudo, a_xreq, a_tcp, a_otel] = &mut assoc;
+        for (i, s) in spans.iter().enumerate() {
+            let off = i as u32;
+            for v in [s.systrace_id_req, s.systrace_id_resp]
+                .into_iter()
+                .flatten()
+            {
+                a_systrace.push((u128::from(v.raw()), off));
+            }
+            if let Some(p) = s.pseudo_thread_id {
+                a_pseudo.push((u128::from(p.raw()), off));
+            }
+            for v in [s.x_request_id_req, s.x_request_id_resp]
+                .into_iter()
+                .flatten()
+            {
+                a_xreq.push((v.0, off));
+            }
+            for v in [s.tcp_seq_req, s.tcp_seq_resp].into_iter().flatten() {
+                a_tcp.push((u128::from(v), off));
+            }
+            if let Some(t) = s.otel_trace_id {
+                a_otel.push((t.0, off));
+            }
         }
     }
     let mut assoc_bytes = Vec::new();
@@ -189,8 +200,11 @@ pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
     }
 
     let sections = [span_bytes, row_bytes, time_bytes, assoc_bytes];
-    let body_len: usize = sections.iter().map(|s| 8 + s.len()).sum();
-    let mut out = Vec::with_capacity(SPAN_SEGMENT_HEADER_LEN + body_len);
+    let body_len: usize = sections
+        .iter()
+        .map(|s| s.len().saturating_add(8))
+        .fold(0usize, usize::saturating_add);
+    let mut out = Vec::with_capacity(SPAN_SEGMENT_HEADER_LEN.saturating_add(body_len));
     out.extend_from_slice(SPAN_SEGMENT_MAGIC);
     out.push(SPAN_SEGMENT_VERSION);
     out.push(sections.len() as u8);
@@ -202,19 +216,48 @@ pub fn encode_span_segment(spans: &[Span], rows: &[u32]) -> Vec<u8> {
     out
 }
 
+/// Decode a little-endian u32 from an exactly-4-byte slice, totally.
+fn le_u32(b: &[u8], what: &'static str) -> io::Result<u32> {
+    b.try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| invalid(what))
+}
+
+/// Decode a little-endian u64 from an exactly-8-byte slice, totally.
+fn le_u64(b: &[u8], what: &'static str) -> io::Result<u64> {
+    b.try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| invalid(what))
+}
+
+/// Decode a little-endian u128 from an exactly-16-byte slice, totally.
+fn le_u128(b: &[u8], what: &'static str) -> io::Result<u128> {
+    b.try_into()
+        .map(u128::from_le_bytes)
+        .map_err(|_| invalid(what))
+}
+
+/// Split a u32-LE count prefix off a section, totally: `(count, rest)`.
+fn split_count_prefix<'a>(bytes: &'a [u8], what: &'static str) -> io::Result<(usize, &'a [u8])> {
+    let n = le_u32(bytes.get(..4).unwrap_or(&[]), what)?;
+    Ok((n as usize, bytes.get(4..).unwrap_or(&[])))
+}
+
 fn parse_span_segment_header(header: &[u8]) -> io::Result<SpanSegmentHeader> {
-    if header.len() < SPAN_SEGMENT_HEADER_LEN || &header[..8] != SPAN_SEGMENT_MAGIC {
+    if header.len() < SPAN_SEGMENT_HEADER_LEN
+        || header.get(..8) != Some(SPAN_SEGMENT_MAGIC.as_slice())
+    {
         return Err(invalid("bad span segment magic"));
     }
-    let version = header[8];
+    let version = *header.get(8).ok_or_else(|| invalid("header truncated"))?;
     if version != SPAN_SEGMENT_VERSION {
         return Err(invalid("unsupported span segment version"));
     }
-    let sections = header[9];
+    let sections = *header.get(9).ok_or_else(|| invalid("header truncated"))?;
     if usize::from(sections) != SPAN_SEGMENT_SECTIONS.len() {
         return Err(invalid("unexpected span segment section count"));
     }
-    let body_len = u64::from_le_bytes(header[10..18].try_into().unwrap());
+    let body_len = le_u64(header.get(10..18).unwrap_or(&[]), "header truncated")?;
     Ok(SpanSegmentHeader {
         version,
         sections,
@@ -225,29 +268,31 @@ fn parse_span_segment_header(header: &[u8]) -> io::Result<SpanSegmentHeader> {
 /// Decode a span segment produced by [`encode_span_segment`].
 pub fn decode_span_segment(bytes: &[u8]) -> io::Result<SpanSegment> {
     let header = parse_span_segment_header(bytes)?;
-    let body = &bytes[SPAN_SEGMENT_HEADER_LEN..];
+    let body = bytes
+        .get(SPAN_SEGMENT_HEADER_LEN..)
+        .ok_or_else(|| invalid("span segment length mismatch"))?;
     if body.len() as u64 != header.body_len {
         return Err(invalid("span segment length mismatch"));
     }
 
     let mut cursor = body;
     let mut section = |name: &str| -> io::Result<&[u8]> {
-        if cursor.len() < 8 {
-            return Err(invalid(&format!("span segment truncated before {name}")));
-        }
-        let len = u64::from_le_bytes(cursor[..8].try_into().unwrap()) as usize;
-        let rest = &cursor[8..];
-        if rest.len() < len {
-            return Err(invalid(&format!("span segment {name} section truncated")));
-        }
-        cursor = &rest[len..];
-        Ok(&rest[..len])
+        let len = le_u64(cursor.get(..8).unwrap_or(&[]), "section header truncated")
+            .map_err(|_| invalid(&format!("span segment truncated before {name}")))?
+            as usize;
+        let rest = cursor.get(8..).unwrap_or(&[]);
+        let sec = rest
+            .get(..len)
+            .ok_or_else(|| invalid(&format!("span segment {name} section truncated")))?;
+        cursor = rest.get(len..).unwrap_or(&[]);
+        Ok(sec)
     };
 
-    let span_bytes = section(SPAN_SEGMENT_SECTIONS[0])?;
-    let row_bytes = section(SPAN_SEGMENT_SECTIONS[1])?;
-    let time_bytes = section(SPAN_SEGMENT_SECTIONS[2])?;
-    let assoc_bytes = section(SPAN_SEGMENT_SECTIONS[3])?;
+    let [sec_spans, sec_rows, sec_time, sec_assoc] = SPAN_SEGMENT_SECTIONS;
+    let span_bytes = section(sec_spans)?;
+    let row_bytes = section(sec_rows)?;
+    let time_bytes = section(sec_time)?;
+    let assoc_bytes = section(sec_assoc)?;
     if !cursor.is_empty() {
         return Err(invalid("span segment has trailing bytes"));
     }
@@ -256,62 +301,55 @@ pub fn decode_span_segment(bytes: &[u8]) -> io::Result<SpanSegment> {
         .map_err(|e| invalid(&format!("span segment DFW1 batch invalid: {e:?}")))?;
 
     let rows = {
-        if row_bytes.len() < 4 {
-            return Err(invalid("rows section truncated"));
-        }
-        let n = u32::from_le_bytes(row_bytes[..4].try_into().unwrap()) as usize;
-        let data = &row_bytes[4..];
-        if data.len() != n * 4 {
+        let (n, data) = split_count_prefix(row_bytes, "rows section truncated")?;
+        if Some(data.len()) != n.checked_mul(4) {
             return Err(invalid("rows section length mismatch"));
         }
         data.chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect::<Vec<u32>>()
+            .map(|c| le_u32(c, "rows section truncated"))
+            .collect::<io::Result<Vec<u32>>>()?
     };
     if rows.len() != spans.len() {
         return Err(invalid("rows section does not match span count"));
     }
 
     let time_index = {
-        if time_bytes.len() < 4 {
-            return Err(invalid("time index section truncated"));
-        }
-        let n = u32::from_le_bytes(time_bytes[..4].try_into().unwrap()) as usize;
-        let data = &time_bytes[4..];
-        if data.len() != n * 12 {
+        let (n, data) = split_count_prefix(time_bytes, "time index section truncated")?;
+        if Some(data.len()) != n.checked_mul(12) {
             return Err(invalid("time index section length mismatch"));
         }
         data.chunks_exact(12)
             .map(|c| {
-                (
-                    u64::from_le_bytes(c[..8].try_into().unwrap()),
-                    u32::from_le_bytes(c[8..12].try_into().unwrap()),
-                )
+                let (ts, off) = c.split_at(8);
+                Ok((
+                    le_u64(ts, "time index section truncated")?,
+                    le_u32(off, "time index section truncated")?,
+                ))
             })
-            .collect::<Vec<(u64, u32)>>()
+            .collect::<io::Result<Vec<(u64, u32)>>>()?
     };
 
     let mut assoc_index: [Vec<(u128, u32)>; 5] = Default::default();
     let mut cur = assoc_bytes;
     for slot in assoc_index.iter_mut() {
-        if cur.len() < 4 {
-            return Err(invalid("assoc index section truncated"));
-        }
-        let n = u32::from_le_bytes(cur[..4].try_into().unwrap()) as usize;
-        cur = &cur[4..];
-        if cur.len() < n * 20 {
-            return Err(invalid("assoc index entries truncated"));
-        }
-        *slot = cur[..n * 20]
+        let (n, rest) = split_count_prefix(cur, "assoc index section truncated")?;
+        let entry_bytes = n
+            .checked_mul(20)
+            .ok_or_else(|| invalid("assoc index entries truncated"))?;
+        let entries = rest
+            .get(..entry_bytes)
+            .ok_or_else(|| invalid("assoc index entries truncated"))?;
+        *slot = entries
             .chunks_exact(20)
             .map(|c| {
-                (
-                    u128::from_le_bytes(c[..16].try_into().unwrap()),
-                    u32::from_le_bytes(c[16..20].try_into().unwrap()),
-                )
+                let (key, off) = c.split_at(16);
+                Ok((
+                    le_u128(key, "assoc index entries truncated")?,
+                    le_u32(off, "assoc index entries truncated")?,
+                ))
             })
-            .collect();
-        cur = &cur[n * 20..];
+            .collect::<io::Result<Vec<(u128, u32)>>>()?;
+        cur = rest.get(entry_bytes..).unwrap_or(&[]);
     }
     if !cur.is_empty() {
         return Err(invalid("assoc index has trailing bytes"));
@@ -334,7 +372,12 @@ pub fn read_span_segment_header(path: &Path) -> io::Result<SpanSegmentHeader> {
     f.read_exact(&mut header)
         .map_err(|_| invalid("bad span segment magic"))?;
     let parsed = parse_span_segment_header(&header)?;
-    if fs::metadata(path)?.len() != SPAN_SEGMENT_HEADER_LEN as u64 + parsed.body_len {
+    // checked_sub so a hostile declared length near u64::MAX cannot wrap.
+    if fs::metadata(path)?
+        .len()
+        .checked_sub(SPAN_SEGMENT_HEADER_LEN as u64)
+        != Some(parsed.body_len)
+    {
         return Err(invalid("span segment length mismatch"));
     }
     Ok(parsed)
@@ -408,13 +451,13 @@ pub fn ensure_dir(path: &Path) -> io::Result<()> {
 /// Export all spans as JSON lines.
 pub fn export_spans_json(store: &SpanStore, path: &Path) -> io::Result<usize> {
     let mut f = io::BufWriter::new(fs::File::create(path)?);
-    let mut n = 0;
+    let mut n = 0usize;
     for span in store.iter() {
         let line = serde_json::to_string(span.as_ref())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         f.write_all(line.as_bytes())?;
         f.write_all(b"\n")?;
-        n += 1;
+        n = n.saturating_add(1);
     }
     f.flush()?;
     Ok(n)
@@ -513,6 +556,26 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 10]);
         fs::write(&path, &bytes).unwrap();
         assert!(read_segment_header(&path).is_err());
+    }
+
+    #[test]
+    fn hostile_declared_length_is_rejected_without_wrapping() {
+        // A declared length near u64::MAX would wrap `16 + len` back into
+        // range and validate against a tiny file; the checked_sub form
+        // must reject it (and not overflow under overflow-checks).
+        let dir = test_dir("segments-hostile");
+        let path = dir.path().join("hostile.dfseg");
+        for declared in [u64::MAX, u64::MAX - 15, u64::MAX - 16] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(SEGMENT_MAGIC);
+            bytes.extend_from_slice(&declared.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 32]);
+            fs::write(&path, &bytes).unwrap();
+            assert!(
+                read_segment_header(&path).is_err(),
+                "declared {declared:#x} must be rejected"
+            );
+        }
     }
 
     fn demo_span(i: u64) -> df_types::Span {
@@ -643,6 +706,43 @@ mod tests {
         let rows_count_at = SPAN_SEGMENT_HEADER_LEN + 8 + span_len + 8;
         bad[rows_count_at] = 2;
         assert!(decode_span_segment(&bad).is_err());
+    }
+
+    #[test]
+    fn hostile_span_section_lengths_rejected_without_wrapping() {
+        let spans: Vec<df_types::Span> = (0..2).map(demo_span).collect();
+        let rows: Vec<u32> = (0..2).collect();
+        let good = encode_span_segment(&spans, &rows);
+
+        // First section claims a near-u64::MAX length: slicing math must
+        // not wrap around the body, it must error.
+        for hostile in [u64::MAX, u64::MAX - 7, good.len() as u64 * 2] {
+            let mut bad = good.clone();
+            bad[SPAN_SEGMENT_HEADER_LEN..SPAN_SEGMENT_HEADER_LEN + 8]
+                .copy_from_slice(&hostile.to_le_bytes());
+            assert!(
+                decode_span_segment(&bad).is_err(),
+                "section length {hostile:#x} must be rejected"
+            );
+        }
+
+        // Hostile assoc-index count: `n.checked_mul(20)` guards the pair
+        // math, so a count of u32::MAX fails cleanly instead of wrapping.
+        // The assoc section is last; its first image's count is the first
+        // 4 bytes after the section length.
+        let mut offset = SPAN_SEGMENT_HEADER_LEN;
+        for _ in 0..3 {
+            let len = u64::from_le_bytes(bad_slice(&good, offset, 8).try_into().unwrap()) as usize;
+            offset += 8 + len;
+        }
+        let assoc_count_at = offset + 8;
+        let mut bad = good.clone();
+        bad[assoc_count_at..assoc_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_span_segment(&bad).is_err());
+    }
+
+    fn bad_slice(b: &[u8], at: usize, n: usize) -> &[u8] {
+        &b[at..at + n]
     }
 
     #[test]

@@ -61,6 +61,26 @@ pub const RPC_MAGIC: &[u8; 4] = b"DFR1";
 /// Fixed header length: magic (4) + rpc_id (8) + kind (1) + body len (4).
 pub const RPC_HEADER_LEN: usize = 17;
 
+/// Normative table of every DFR1 RPC kind: `(variant name, kind byte)`.
+/// `df-audit`'s spec-exhaustiveness pass cross-checks this table against
+/// [`RpcBody::kind`], `decode_body`, and the RPC_KINDS table in
+/// `docs/WIRE_FORMAT.md` — adding a kind without updating all four is a
+/// CI failure.
+pub const RPC_KINDS: &[(&str, u8)] = &[
+    ("SpanBatch", 1),
+    ("SpanBatchAck", 2),
+    ("CandidateRequest", 3),
+    ("CandidateResponse", 4),
+    ("SpanFetch", 5),
+    ("SpanFetchResponse", 6),
+    ("ReplicateBatch", 7),
+    ("ReplicateAck", 8),
+    ("ShardSummaryRequest", 9),
+    ("ShardSummaryResponse", 10),
+    ("RowRangeRequest", 11),
+    ("RowRangeResponse", 12),
+];
+
 /// One frontier round's association keys, batched per index — the Phase 1
 /// probe payload. Field order mirrors the probe order on the receiving
 /// shard (systrace, pseudo-thread, X-Request-ID, TCP seq, OTel trace), so
@@ -82,13 +102,15 @@ pub struct CandidateKeys {
 }
 
 impl CandidateKeys {
-    /// Total keys across all indexes.
+    /// Total keys across all indexes (saturating — the sum is a size
+    /// estimate, not an offset).
     pub fn len(&self) -> usize {
-        self.systrace.len()
-            + self.pseudo_thread.len()
-            + self.x_request.len()
-            + self.tcp_seq.len()
-            + self.otel_trace.len()
+        self.systrace
+            .len()
+            .saturating_add(self.pseudo_thread.len())
+            .saturating_add(self.x_request.len())
+            .saturating_add(self.tcp_seq.len())
+            .saturating_add(self.otel_trace.len())
     }
 
     /// Whether the batch holds no keys.
@@ -490,20 +512,27 @@ impl From<WireDecodeError> for RpcDecodeError {
 }
 
 fn read_u16_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u16, WireDecodeError> {
-    let b = cur.take(2, ctx)?;
-    Ok(u16::from_le_bytes([b[0], b[1]]))
+    let b: [u8; 2] = cur
+        .take(2, ctx)?
+        .try_into()
+        .map_err(|_| WireDecodeError::Truncated { context: ctx })?;
+    Ok(u16::from_le_bytes(b))
 }
 
 fn read_u32_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u32, WireDecodeError> {
-    let b = cur.take(4, ctx)?;
-    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    let b: [u8; 4] = cur
+        .take(4, ctx)?
+        .try_into()
+        .map_err(|_| WireDecodeError::Truncated { context: ctx })?;
+    Ok(u32::from_le_bytes(b))
 }
 
 fn read_u64_le(cur: &mut Cursor<'_>, ctx: &'static str) -> Result<u64, WireDecodeError> {
-    let b = cur.take(8, ctx)?;
-    Ok(u64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    let b: [u8; 8] = cur
+        .take(8, ctx)?
+        .try_into()
+        .map_err(|_| WireDecodeError::Truncated { context: ctx })?;
+    Ok(u64::from_le_bytes(b))
 }
 
 /// Read a `shard + start_row + verbatim DFW1 batch` body (the shared
@@ -546,27 +575,27 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<RpcBody, RpcDecodeError> {
         3 => {
             let round = read_u32_le(&mut cur, "round")?;
             let n = cur.varint_u64("systrace_count")? as usize;
-            let mut systrace = Vec::with_capacity(n.min(cur.remaining() + 1));
+            let mut systrace = Vec::with_capacity(n.min(cur.remaining().saturating_add(1)));
             for _ in 0..n {
                 systrace.push(cur.varint_u64("systrace_key")?);
             }
             let n = cur.varint_u64("pseudo_thread_count")? as usize;
-            let mut pseudo_thread = Vec::with_capacity(n.min(cur.remaining() + 1));
+            let mut pseudo_thread = Vec::with_capacity(n.min(cur.remaining().saturating_add(1)));
             for _ in 0..n {
                 pseudo_thread.push(cur.varint_u64("pseudo_thread_key")?);
             }
             let n = cur.varint_u64("x_request_count")? as usize;
-            let mut x_request = Vec::with_capacity(n.min(cur.remaining() + 1));
+            let mut x_request = Vec::with_capacity(n.min(cur.remaining().saturating_add(1)));
             for _ in 0..n {
                 x_request.push(cur.varint_u128("x_request_key")?);
             }
             let n = cur.varint_u64("tcp_seq_count")? as usize;
-            let mut tcp_seq = Vec::with_capacity(n.min(cur.remaining() + 1));
+            let mut tcp_seq = Vec::with_capacity(n.min(cur.remaining().saturating_add(1)));
             for _ in 0..n {
                 tcp_seq.push(cur.varint_u32("tcp_seq_key")?);
             }
             let n = cur.varint_u64("otel_trace_count")? as usize;
-            let mut otel_trace = Vec::with_capacity(n.min(cur.remaining() + 1));
+            let mut otel_trace = Vec::with_capacity(n.min(cur.remaining().saturating_add(1)));
             for _ in 0..n {
                 otel_trace.push(cur.varint_u128("otel_trace_key")?);
             }
@@ -668,29 +697,20 @@ impl RpcEnvelope {
     /// Frame the envelope into a fabric-segment payload. Infallible by
     /// construction: every body value has exactly one encoding.
     pub fn encode(&self) -> Bytes {
-        let mut out = Vec::with_capacity(RPC_HEADER_LEN + 64);
+        let mut body = Vec::with_capacity(64);
+        self.body.encode_into(&mut body);
+        let mut out = Vec::with_capacity(RPC_HEADER_LEN.saturating_add(body.len()));
         out.extend_from_slice(RPC_MAGIC);
         out.extend_from_slice(&self.rpc_id.to_le_bytes());
         out.push(self.body.kind());
-        out.extend_from_slice(&[0u8; 4]); // body length backfilled below
-        self.body.encode_into(&mut out);
-        let body_len = (out.len() - RPC_HEADER_LEN) as u32;
-        out[13..17].copy_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
         Bytes::from(out)
     }
 
     /// Parse a fabric-segment payload back into an envelope.
     pub fn decode(payload: &[u8]) -> Result<RpcEnvelope, RpcDecodeError> {
-        if payload.len() < RPC_HEADER_LEN {
-            return Err(RpcDecodeError::Truncated);
-        }
-        if &payload[..4] != RPC_MAGIC {
-            return Err(RpcDecodeError::BadMagic);
-        }
-        let rpc_id = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
-        let kind = payload[12];
-        let claimed = u32::from_le_bytes(payload[13..17].try_into().expect("4 bytes")) as usize;
-        let rest = &payload[RPC_HEADER_LEN..];
+        let (rpc_id, kind, claimed, rest) = split_header(payload)?;
         if rest.len() != claimed {
             return Err(RpcDecodeError::LengthMismatch {
                 claimed,
@@ -704,15 +724,36 @@ impl RpcEnvelope {
     /// Peek the rpc_id and kind byte without parsing the body (tap
     /// classification, dispatch).
     pub fn peek(payload: &[u8]) -> Result<(u64, u8), RpcDecodeError> {
-        if payload.len() < RPC_HEADER_LEN {
-            return Err(RpcDecodeError::Truncated);
-        }
-        if &payload[..4] != RPC_MAGIC {
-            return Err(RpcDecodeError::BadMagic);
-        }
-        let rpc_id = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
-        Ok((rpc_id, payload[12]))
+        let (rpc_id, kind, _, _) = split_header(payload)?;
+        Ok((rpc_id, kind))
     }
+}
+
+/// Split the fixed DFR1 header totally: `(rpc_id, kind, claimed body
+/// length, body bytes)`. Truncation is checked once up front so the
+/// field reads below cannot fail.
+fn split_header(payload: &[u8]) -> Result<(u64, u8, usize, &[u8]), RpcDecodeError> {
+    let rest = payload
+        .get(RPC_HEADER_LEN..)
+        .ok_or(RpcDecodeError::Truncated)?;
+    if payload.get(..4) != Some(RPC_MAGIC.as_slice()) {
+        return Err(RpcDecodeError::BadMagic);
+    }
+    let rpc_id_bytes: [u8; 8] = payload
+        .get(4..12)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(RpcDecodeError::Truncated)?;
+    let kind = *payload.get(12).ok_or(RpcDecodeError::Truncated)?;
+    let len_bytes: [u8; 4] = payload
+        .get(13..17)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(RpcDecodeError::Truncated)?;
+    Ok((
+        u64::from_le_bytes(rpc_id_bytes),
+        kind,
+        u32::from_le_bytes(len_bytes) as usize,
+        rest,
+    ))
 }
 
 #[cfg(test)]
@@ -932,6 +973,52 @@ mod tests {
             RpcEnvelope::decode(&wire),
             Err(RpcDecodeError::Body(_))
         ));
+    }
+
+    #[test]
+    fn hostile_claimed_length_is_rejected_without_wrapping() {
+        // The length field claims u32::MAX bytes against a tiny body: the
+        // comparison must stay a plain equality, never header + claimed
+        // arithmetic that could wrap under overflow-checks.
+        let mut wire = RpcEnvelope {
+            rpc_id: 7,
+            body: RpcBody::SpanBatchAck {
+                shard: 0,
+                start_row: 0,
+                count: 0,
+            },
+        }
+        .encode()
+        .to_vec();
+        wire[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            RpcEnvelope::decode(&wire),
+            Err(RpcDecodeError::LengthMismatch {
+                claimed,
+                actual
+            }) if claimed == u32::MAX as usize && actual < claimed
+        ));
+    }
+
+    #[test]
+    fn peek_requires_the_full_header_and_nothing_more() {
+        let wire = RpcEnvelope {
+            rpc_id: 11,
+            body: RpcBody::SpanBatchAck {
+                shard: 3,
+                start_row: 4,
+                count: 5,
+            },
+        }
+        .encode();
+        // Exactly the fixed header is enough to classify the frame even
+        // though the body is missing; one byte short is Truncated.
+        assert_eq!(RpcEnvelope::peek(&wire[..RPC_HEADER_LEN]), Ok((11, 2)));
+        assert_eq!(
+            RpcEnvelope::peek(&wire[..RPC_HEADER_LEN - 1]),
+            Err(RpcDecodeError::Truncated)
+        );
+        assert_eq!(RpcEnvelope::peek(&[]), Err(RpcDecodeError::Truncated));
     }
 
     #[test]

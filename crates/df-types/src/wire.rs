@@ -326,7 +326,7 @@ impl WireEncoder {
 
     /// Append one span record, interning its strings.
     pub fn push(&mut self, span: &Span) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
 
         let mut flags = 0u32;
         if span.capture.interface.is_some() {
@@ -536,8 +536,18 @@ impl WireEncoder {
     /// Assemble the frame: magic, version, span count, tag dictionary,
     /// then the accumulated records.
     pub fn finish(self) -> Vec<u8> {
-        let dict_bytes: usize = self.dict.iter().map(|s| s.len() + 5).sum();
-        let mut out = Vec::with_capacity(WIRE_PREFIX_LEN + 10 + dict_bytes + self.records.len());
+        // Capacity estimate only — saturating so a pathological dictionary
+        // can at worst under-reserve, never wrap.
+        let dict_bytes: usize = self
+            .dict
+            .iter()
+            .map(|s| s.len().saturating_add(5))
+            .fold(0usize, usize::saturating_add);
+        let mut out = Vec::with_capacity(
+            (WIRE_PREFIX_LEN + 10)
+                .saturating_add(dict_bytes)
+                .saturating_add(self.records.len()),
+        );
         out.extend_from_slice(WIRE_MAGIC);
         out.push(WIRE_VERSION);
         put_varint_u64(&mut out, self.count);
@@ -576,13 +586,18 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Everything after the cursor (empty when exhausted).
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
     }
 
     pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, WireDecodeError> {
         match self.buf.get(self.pos) {
             Some(&b) => {
-                self.pos += 1;
+                self.pos = self.pos.saturating_add(1);
                 Ok(b)
             }
             None => Err(WireDecodeError::Truncated { context }),
@@ -598,10 +613,10 @@ impl<'a> Cursor<'a> {
             .pos
             .checked_add(n)
             .ok_or(WireDecodeError::Truncated { context })?;
-        if end > self.buf.len() {
-            return Err(WireDecodeError::Truncated { context });
-        }
-        let out = &self.buf[self.pos..end];
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireDecodeError::Truncated { context })?;
         self.pos = end;
         Ok(out)
     }
@@ -687,7 +702,7 @@ impl<'a> WireBatch<'a> {
         Ok(WireBatch {
             count,
             dict,
-            records: &bytes[cur.pos..],
+            records: cur.rest(),
         })
     }
 
@@ -776,13 +791,19 @@ impl<'a> WireBatch<'a> {
         };
         let agent = AgentId(cur.varint_u32("agent")?);
         let flow_id = FlowId(cur.varint_u64("flow_id")?);
-        let ft = cur.take(13, "five_tuple")?;
+        let &[s0, s1, s2, s3, d0, d1, d2, d3, sp0, sp1, dp0, dp1, proto] =
+            cur.take(13, "five_tuple")?
+        else {
+            return Err(WireDecodeError::Truncated {
+                context: "five_tuple",
+            });
+        };
         let five_tuple = FiveTuple {
-            src_ip: Ipv4Addr::new(ft[0], ft[1], ft[2], ft[3]),
-            dst_ip: Ipv4Addr::new(ft[4], ft[5], ft[6], ft[7]),
-            src_port: u16::from_le_bytes([ft[8], ft[9]]),
-            dst_port: u16::from_le_bytes([ft[10], ft[11]]),
-            protocol: match ft[12] {
+            src_ip: Ipv4Addr::new(s0, s1, s2, s3),
+            dst_ip: Ipv4Addr::new(d0, d1, d2, d3),
+            src_port: u16::from_le_bytes([sp0, sp1]),
+            dst_port: u16::from_le_bytes([dp0, dp1]),
+            protocol: match proto {
                 0 => TransportProtocol::Tcp,
                 1 => TransportProtocol::Udp,
                 v => {
@@ -910,8 +931,12 @@ impl<'a> WireBatch<'a> {
             None
         };
 
-        let rt_raw = cur.take(2, "resource_tags")?;
-        let rt_bits = u16::from_le_bytes([rt_raw[0], rt_raw[1]]);
+        let &[rt0, rt1] = cur.take(2, "resource_tags")? else {
+            return Err(WireDecodeError::Truncated {
+                context: "resource_tags",
+            });
+        };
+        let rt_bits = u16::from_le_bytes([rt0, rt1]);
         if rt_bits & !0x0fff != 0 {
             return Err(WireDecodeError::BadEnum {
                 field: "resource_tags",
@@ -924,19 +949,21 @@ impl<'a> WireBatch<'a> {
                 *v = Some(cur.varint_u32("resource_tag")?);
             }
         }
+        let [vpc_id, ip, region_id, az_id, subnet_id, host_id, cluster_id, k8s_node_id, namespace_id, workload_id, service_id, pod_id] =
+            rt_vals;
         let resource = ResourceTags {
-            vpc_id: rt_vals[0],
-            ip: rt_vals[1],
-            region_id: rt_vals[2],
-            az_id: rt_vals[3],
-            subnet_id: rt_vals[4],
-            host_id: rt_vals[5],
-            cluster_id: rt_vals[6],
-            k8s_node_id: rt_vals[7],
-            namespace_id: rt_vals[8],
-            workload_id: rt_vals[9],
-            service_id: rt_vals[10],
-            pod_id: rt_vals[11],
+            vpc_id,
+            ip,
+            region_id,
+            az_id,
+            subnet_id,
+            host_id,
+            cluster_id,
+            k8s_node_id,
+            namespace_id,
+            workload_id,
+            service_id,
+            pod_id,
         };
 
         let custom_len = cur.varint_u32("custom_tag_count")? as usize;
@@ -1053,7 +1080,7 @@ impl Iterator for WireSpanIter<'_, '_> {
         if self.poisoned || self.remaining == 0 {
             return None;
         }
-        self.remaining -= 1;
+        self.remaining = self.remaining.saturating_sub(1);
         match self.batch.decode_record(&mut self.cur) {
             Ok(span) => Some(Ok(span)),
             Err(e) => {

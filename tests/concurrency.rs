@@ -12,6 +12,7 @@ use deepflow::server::sharded::ShardedSpanStore;
 use deepflow::storage::{ShardPolicy, SpanQuery, SpanStore};
 use deepflow::types::span::{SpanStatus, TapSide};
 use deepflow::types::{FiveTuple, Span, SpanId, TimeNs, Trace};
+use df_check::sync::Barrier;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
@@ -169,10 +170,17 @@ fn multi_producer_stress_loses_nothing_and_keeps_stats_coherent() {
         },
     );
 
+    // Start gate: producers and the reader all rendezvous before touching
+    // the store, so the contention window opens with every thread live
+    // instead of the first spawned producer racing ahead alone.
+    let gate = Barrier::new(PRODUCERS + 1);
+
     std::thread::scope(|scope| {
         for p in 0..PRODUCERS {
             let store = &store;
+            let gate = &gate;
             scope.spawn(move || {
+                gate.wait();
                 let mut rng = SmallRng::seed_from_u64(p as u64 + 7);
                 for round in 0..ROUNDS {
                     let mut batch = Vec::with_capacity(BATCH);
@@ -211,7 +219,9 @@ fn multi_producer_stress_loses_nothing_and_keeps_stats_coherent() {
         // A reader hammering queries mid-ingest: every snapshot must be
         // coherent, every returned trace well-formed.
         let store = &store;
+        let gate = &gate;
         scope.spawn(move || {
+            gate.wait();
             for i in 0..200u64 {
                 let trace = store.query_trace(SpanId(i % 500 + 1));
                 assert!(trace.is_well_formed());
